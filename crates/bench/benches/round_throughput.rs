@@ -1,0 +1,38 @@
+//! B1a — simulator throughput: wall-clock cost of full `A_{t+2}` runs as
+//! the system size grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use indulgent_consensus::{AtPlus2, RotatingCoordinator};
+use indulgent_model::{ProcessId, SystemConfig, Value};
+use indulgent_sim::{run_schedule, ModelKind, Schedule};
+
+fn proposals(n: usize) -> Vec<Value> {
+    (0..n).map(|i| Value::new((((i + n / 2) % n) as u64) * 2 + 1)).collect()
+}
+
+fn bench_round_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("round_throughput");
+    for n in [4usize, 8, 16, 32, 64] {
+        let t = n / 2 - 1;
+        let config = SystemConfig::majority(n, t).expect("valid config");
+        let props = proposals(n);
+        let schedule = Schedule::failure_free(config, ModelKind::Es);
+        let rounds = t as u64 + 2;
+        group.throughput(Throughput::Elements(rounds * n as u64));
+        group.bench_with_input(BenchmarkId::new("at_plus2_sync_run", n), &n, |b, _| {
+            b.iter(|| {
+                let factory = move |i: usize, v: Value| {
+                    let id = ProcessId::new(i);
+                    AtPlus2::new(config, id, v, RotatingCoordinator::new(config, id))
+                };
+                let outcome = run_schedule(&factory, &props, &schedule, 4 * rounds as u32);
+                assert!(outcome.all_correct_decided());
+                outcome
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_round_throughput);
+criterion_main!(benches);

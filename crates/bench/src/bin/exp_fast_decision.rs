@@ -1,0 +1,31 @@
+//! E2 — `A_{t+2}`'s fast decision (Lemma 13): global decision at exactly
+//! `t + 2` in every synchronous run, across `(n, t, f)`.
+
+use indulgent_bench::experiments::fast_decision_table;
+use indulgent_bench::render_table;
+
+fn main() {
+    let rows = fast_decision_table(&[4, 5, 6, 7, 8, 9], 200);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.n.to_string(),
+                r.t.to_string(),
+                r.f.to_string(),
+                r.runs.to_string(),
+                r.max_round.to_string(),
+                r.bound.to_string(),
+                if r.max_round == r.bound { "ok" } else { "MISMATCH" }.into(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "E2 — A_t+2 global decision round over random synchronous runs (Lemma 13)",
+            &["n", "t", "f", "runs", "max round", "t+2", "check"],
+            &table,
+        )
+    );
+}

@@ -1,0 +1,68 @@
+//! Experiment harness regenerating every claim of the paper.
+//!
+//! The paper is theoretical: its "evaluation" is a set of proven bounds and
+//! five figures. Each function in [`experiments`] regenerates one of them
+//! as a table of measured rows (see `EXPERIMENTS.md` at the workspace root
+//! for the mapping). The `exp_*` binaries print the tables; the criterion
+//! benches in `benches/` time the same computations so `cargo bench`
+//! exercises every experiment end to end.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod stats;
+
+/// Renders a table: a header line, a separator, and one line per row.
+///
+/// Purely cosmetic (fixed-width columns sized to content); used by all the
+/// `exp_*` binaries.
+#[must_use]
+pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| (*s).to_owned()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_table_aligns_columns() {
+        let s = render_table(
+            "T",
+            &["a", "bbbb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        assert!(s.contains("T\n"));
+        assert!(s.lines().count() >= 4);
+    }
+}

@@ -1,0 +1,248 @@
+//! Small statistics toolkit for experiment tables.
+//!
+//! Decision rounds are small integers, so a dense histogram is the natural
+//! summary; [`RoundHistogram`] accumulates them and answers means,
+//! percentiles and modes. Used by the experiment binaries to report
+//! distributions rather than just worst cases.
+
+use std::fmt;
+
+use indulgent_model::Round;
+
+/// A histogram of decision rounds.
+///
+/// # Examples
+///
+/// ```
+/// use indulgent_bench::stats::RoundHistogram;
+/// use indulgent_model::Round;
+///
+/// let mut h = RoundHistogram::new();
+/// for r in [4, 4, 4, 7, 10] {
+///     h.record(Round::new(r));
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.min(), Some(Round::new(4)));
+/// assert_eq!(h.max(), Some(Round::new(10)));
+/// assert_eq!(h.percentile(50.0), Some(Round::new(4)));
+/// assert!((h.mean().unwrap() - 5.8).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RoundHistogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl RoundHistogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one decision round.
+    pub fn record(&mut self, round: Round) {
+        let idx = round.get() as usize;
+        if self.counts.len() <= idx {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Returns `true` if nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Occurrences of a specific round.
+    #[must_use]
+    pub fn count_at(&self, round: Round) -> u64 {
+        self.counts.get(round.get() as usize).copied().unwrap_or(0)
+    }
+
+    /// The smallest recorded round.
+    #[must_use]
+    pub fn min(&self) -> Option<Round> {
+        self.counts
+            .iter()
+            .enumerate()
+            .find(|&(_, &c)| c > 0)
+            .map(|(i, _)| Round::new(i as u32))
+    }
+
+    /// The largest recorded round.
+    #[must_use]
+    pub fn max(&self) -> Option<Round> {
+        self.counts
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|&(_, &c)| c > 0)
+            .map(|(i, _)| Round::new(i as u32))
+    }
+
+    /// The mean recorded round.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let sum: u64 = self.counts.iter().enumerate().map(|(i, &c)| i as u64 * c).sum();
+        Some(sum as f64 / self.total as f64)
+    }
+
+    /// The `p`-th percentile (nearest-rank), `0 < p <= 100`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `(0, 100]`.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> Option<Round> {
+        assert!(p > 0.0 && p <= 100.0, "percentile must be in (0, 100]");
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((p / 100.0) * self.total as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Round::new(i as u32));
+            }
+        }
+        self.max()
+    }
+
+    /// The most frequent round (smallest wins ties).
+    #[must_use]
+    pub fn mode(&self) -> Option<Round> {
+        let best = self.counts.iter().enumerate().max_by_key(|&(i, &c)| (c, std::cmp::Reverse(i)));
+        match best {
+            Some((i, &c)) if c > 0 => Some(Round::new(i as u32)),
+            _ => None,
+        }
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &RoundHistogram) {
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (i, &c) in other.counts.iter().enumerate() {
+            self.counts[i] += c;
+        }
+        self.total += other.total;
+    }
+
+    /// Iterates over `(round, count)` pairs with non-zero counts.
+    pub fn iter(&self) -> impl Iterator<Item = (Round, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (Round::new(i as u32), c))
+    }
+}
+
+impl fmt::Display for RoundHistogram {
+    /// Renders as `round: count` lines with a proportional bar.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        for (round, count) in self.iter() {
+            let bar = "#".repeat(((count * 40) / max) as usize);
+            writeln!(f, "{:>8}: {count:>7} {bar}", round.to_string())?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Round> for RoundHistogram {
+    fn from_iter<I: IntoIterator<Item = Round>>(iter: I) -> Self {
+        let mut h = RoundHistogram::new();
+        for r in iter {
+            h.record(r);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RoundHistogram {
+        [4u32, 4, 4, 5, 7, 7, 10].into_iter().map(Round::new).collect()
+    }
+
+    #[test]
+    fn basic_accounting() {
+        let h = sample();
+        assert_eq!(h.count(), 7);
+        assert!(!h.is_empty());
+        assert_eq!(h.count_at(Round::new(4)), 3);
+        assert_eq!(h.count_at(Round::new(6)), 0);
+        assert_eq!(h.min(), Some(Round::new(4)));
+        assert_eq!(h.max(), Some(Round::new(10)));
+        assert_eq!(h.mode(), Some(Round::new(4)));
+    }
+
+    #[test]
+    fn mean_and_percentiles() {
+        let h = sample();
+        let mean = h.mean().unwrap();
+        assert!((mean - 41.0 / 7.0).abs() < 1e-9);
+        assert_eq!(h.percentile(1.0), Some(Round::new(4)));
+        assert_eq!(h.percentile(50.0), Some(Round::new(5)));
+        assert_eq!(h.percentile(100.0), Some(Round::new(10)));
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = RoundHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.percentile(50.0), None);
+        assert_eq!(h.mode(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn percentile_zero_rejected() {
+        let _ = sample().percentile(0.0);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = sample();
+        let b: RoundHistogram = [2u32, 10, 12].into_iter().map(Round::new).collect();
+        a.merge(&b);
+        assert_eq!(a.count(), 10);
+        assert_eq!(a.min(), Some(Round::new(2)));
+        assert_eq!(a.max(), Some(Round::new(12)));
+        assert_eq!(a.count_at(Round::new(10)), 2);
+    }
+
+    #[test]
+    fn display_renders_bars() {
+        let s = sample().to_string();
+        assert!(s.contains("round 4"));
+        assert!(s.contains('#'));
+    }
+
+    #[test]
+    fn iter_skips_zeros() {
+        let h = sample();
+        let rounds: Vec<u32> = h.iter().map(|(r, _)| r.get()).collect();
+        assert_eq!(rounds, vec![4, 5, 7, 10]);
+    }
+}

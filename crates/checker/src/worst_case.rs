@@ -1,0 +1,245 @@
+//! Worst-case decision-round search over the serial synchronous runs.
+//!
+//! The paper's time-complexity measure `k_ES` asks for the worst round, over
+//! all synchronous runs, at which a global decision happens. For small
+//! systems the space of *serial* runs (at most one crash per round — the
+//! run class the lower-bound proof manipulates) is exhaustively enumerable,
+//! which lets us measure the exact worst case of every implemented
+//! algorithm and verify the consensus properties in every single run.
+
+use std::ops::ControlFlow;
+
+use indulgent_model::{ConsensusViolation, ProcessFactory, Round, SystemConfig, Value};
+use indulgent_sim::{for_each_serial_schedule, run_schedule, ModelKind, Schedule};
+
+/// Result of an exhaustive serial-run sweep.
+#[derive(Debug, Clone)]
+pub struct WorstCaseReport {
+    /// Number of serial runs executed.
+    pub runs: u64,
+    /// The worst (largest) global-decision round over all runs.
+    pub worst_round: Round,
+    /// The best (smallest) global-decision round over all runs.
+    pub best_round: Round,
+    /// A schedule attaining the worst round.
+    pub worst_schedule: Schedule,
+}
+
+/// Error from a worst-case sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckError {
+    /// A run violated a consensus property; the offending schedule is
+    /// attached.
+    Violation {
+        /// The violated property.
+        violation: ConsensusViolation,
+        /// The run that violated it.
+        schedule: Box<Schedule>,
+    },
+    /// A run reached the execution horizon without a global decision.
+    NoDecision {
+        /// The run that failed to decide.
+        schedule: Box<Schedule>,
+    },
+}
+
+impl std::fmt::Display for CheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckError::Violation { violation, .. } => write!(f, "consensus violated: {violation}"),
+            CheckError::NoDecision { .. } => write!(f, "no global decision within the horizon"),
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// Exhaustively runs `factory` under every serial schedule of `config`
+/// (crashes in rounds `1..=crash_horizon`), checking the consensus
+/// properties in each run and reporting the worst and best global-decision
+/// rounds.
+///
+/// `run_horizon` bounds each run's execution; it must be generous enough
+/// for the algorithm to decide in every serial run (serial runs are
+/// synchronous, so for the paper's algorithms `t + 3` already suffices).
+///
+/// # Errors
+///
+/// Returns [`CheckError`] on the first property violation or undecided run.
+pub fn worst_case_decision_round<F>(
+    factory: &F,
+    config: SystemConfig,
+    kind: ModelKind,
+    proposals: &[Value],
+    crash_horizon: u32,
+    run_horizon: u32,
+) -> Result<WorstCaseReport, CheckError>
+where
+    F: ProcessFactory,
+{
+    let mut report: Option<WorstCaseReport> = None;
+    let mut runs = 0u64;
+    let mut error: Option<CheckError> = None;
+    let _ = for_each_serial_schedule(config, kind, crash_horizon, |schedule| {
+        let outcome = run_schedule(factory, proposals, schedule, run_horizon);
+        if let Err(violation) = outcome.check_consensus() {
+            error = Some(CheckError::Violation {
+                violation,
+                schedule: Box::new(schedule.clone()),
+            });
+            return ControlFlow::Break(());
+        }
+        let Some(round) = outcome.global_decision_round() else {
+            error = Some(CheckError::NoDecision { schedule: Box::new(schedule.clone()) });
+            return ControlFlow::Break(());
+        };
+        runs += 1;
+        report = Some(match report.take() {
+            None => WorstCaseReport {
+                runs,
+                worst_round: round,
+                best_round: round,
+                worst_schedule: schedule.clone(),
+            },
+            Some(mut r) => {
+                if round > r.worst_round {
+                    r.worst_round = round;
+                    r.worst_schedule = schedule.clone();
+                }
+                r.best_round = r.best_round.min(round);
+                r.runs = runs;
+                r
+            }
+        });
+        ControlFlow::Continue(())
+    });
+    if let Some(e) = error {
+        return Err(e);
+    }
+    Ok(report.expect("serial enumeration visits at least the crash-free run"))
+}
+
+/// Runs [`worst_case_decision_round`] over every binary proposal vector
+/// (all `2^n` assignments of `{0, 1}`), returning the overall worst case.
+///
+/// # Errors
+///
+/// Returns the first [`CheckError`] encountered.
+pub fn worst_case_over_binary_proposals<F>(
+    factory: &F,
+    config: SystemConfig,
+    kind: ModelKind,
+    crash_horizon: u32,
+    run_horizon: u32,
+) -> Result<WorstCaseReport, CheckError>
+where
+    F: ProcessFactory,
+{
+    let n = config.n();
+    let mut overall: Option<WorstCaseReport> = None;
+    for bits in 0u64..(1 << n) {
+        let proposals: Vec<Value> =
+            (0..n).map(|i| Value::binary(bits & (1 << i) != 0)).collect();
+        let report =
+            worst_case_decision_round(factory, config, kind, &proposals, crash_horizon, run_horizon)?;
+        overall = Some(match overall.take() {
+            None => report,
+            Some(mut o) => {
+                if report.worst_round > o.worst_round {
+                    o.worst_round = report.worst_round;
+                    o.worst_schedule = report.worst_schedule;
+                }
+                o.best_round = o.best_round.min(report.best_round);
+                o.runs += report.runs;
+                o
+            }
+        });
+    }
+    Ok(overall.expect("at least one proposal vector"))
+}
+
+#[cfg(test)]
+mod tests {
+    use indulgent_consensus::{AtPlus2, FloodSet, RotatingCoordinator};
+    use indulgent_model::ProcessId;
+
+    use super::*;
+
+    #[test]
+    fn at_plus2_worst_case_is_exactly_t_plus_2() {
+        let config = SystemConfig::majority(4, 1).unwrap();
+        let factory = move |i: usize, v: Value| {
+            let id = ProcessId::new(i);
+            AtPlus2::new(config, id, v, RotatingCoordinator::new(config, id))
+        };
+        let proposals: Vec<Value> = [5u64, 3, 8, 1].map(Value::new).to_vec();
+        let report =
+            worst_case_decision_round(&factory, config, ModelKind::Es, &proposals, 3, 30).unwrap();
+        assert_eq!(report.worst_round, Round::new(3)); // t + 2
+        assert_eq!(report.best_round, Round::new(3)); // never earlier either
+        assert_eq!(report.runs, 97);
+    }
+
+    #[test]
+    fn floodset_worst_case_is_exactly_t_plus_1_in_scs() {
+        let config = SystemConfig::synchronous(4, 2).unwrap();
+        let factory = move |_i: usize, v: Value| FloodSet::new(config, v);
+        let proposals: Vec<Value> = [5u64, 3, 8, 1].map(Value::new).to_vec();
+        let report =
+            worst_case_decision_round(&factory, config, ModelKind::Scs, &proposals, 3, 10).unwrap();
+        assert_eq!(report.worst_round, Round::new(3)); // t + 1
+        assert_eq!(report.best_round, Round::new(3));
+    }
+
+    #[test]
+    fn binary_sweep_covers_all_vectors() {
+        let config = SystemConfig::majority(3, 1).unwrap();
+        let factory = move |i: usize, v: Value| {
+            let id = ProcessId::new(i);
+            AtPlus2::new(config, id, v, RotatingCoordinator::new(config, id))
+        };
+        let report =
+            worst_case_over_binary_proposals(&factory, config, ModelKind::Es, 3, 30).unwrap();
+        assert_eq!(report.worst_round, Round::new(3)); // t + 2 with t = 1
+        // 8 proposal vectors x 37 serial schedules each.
+        assert_eq!(report.runs, 8 * 37);
+    }
+
+    #[test]
+    fn coordinator_echo_exhaustive_worst_case_is_2t_plus_2() {
+        use indulgent_consensus::CoordinatorEcho;
+        let config = SystemConfig::majority(3, 1).unwrap();
+        let factory = move |i: usize, v: Value| CoordinatorEcho::new(config, ProcessId::new(i), v);
+        let proposals: Vec<Value> = [5u64, 3, 8].map(Value::new).to_vec();
+        // Crashes may land anywhere in the first 2t + 2 rounds.
+        let report =
+            worst_case_decision_round(&factory, config, ModelKind::Es, &proposals, 4, 30).unwrap();
+        assert_eq!(report.worst_round, Round::new(4)); // 2t + 2
+        assert_eq!(report.best_round, Round::new(2)); // failure-free phase 1
+    }
+
+    #[test]
+    fn early_floodset_exhaustive_worst_case_is_min_f2_t1() {
+        use indulgent_consensus::EarlyFloodSet;
+        let config = SystemConfig::synchronous(4, 2).unwrap();
+        let factory = move |_i: usize, v: Value| EarlyFloodSet::new(config, v);
+        let proposals: Vec<Value> = [5u64, 3, 8, 1].map(Value::new).to_vec();
+        let report =
+            worst_case_decision_round(&factory, config, ModelKind::Scs, &proposals, 3, 10).unwrap();
+        assert_eq!(report.worst_round, Round::new(3)); // min(f+2, t+1) with f = t = 2
+        assert_eq!(report.best_round, Round::new(2)); // failure-free f + 2
+    }
+
+    #[test]
+    fn truncated_floodset_is_caught_violating_agreement() {
+        // An algorithm deciding one round too early (at round t instead of
+        // t + 1) must be caught by the sweep: the t + 1 bound is real.
+        let config = SystemConfig::synchronous(4, 2).unwrap();
+        let early = config.t() as u32; // decide at round t
+        let factory = move |_i: usize, v: Value| FloodSet::deciding_at(Round::new(early), v);
+        let proposals: Vec<Value> = [5u64, 3, 8, 1].map(Value::new).to_vec();
+        let err = worst_case_decision_round(&factory, config, ModelKind::Scs, &proposals, 3, 10)
+            .unwrap_err();
+        assert!(matches!(err, CheckError::Violation { .. }));
+    }
+}

@@ -1,0 +1,246 @@
+//! `A_{f+2}`: fast *eventual* decision for `t < n/3` (paper Fig. 5).
+//!
+//! Section 6 of the paper asks how quickly consensus can be reached once a
+//! run *becomes* synchronous: if a run is synchronous after round `k` and
+//! suffers `f` crashes after `k`, the modified lower bound says some process
+//! decides at round `k + f + 2` or later. `A_{f+2}` matches that bound for
+//! `t < n/3` (closing the gap for `n/3 ≤ t < n/2` is stated as an open
+//! problem).
+//!
+//! The algorithm is an optimized version of Mostefaoui & Raynal's
+//! leader-based consensus, built on the observation that when `t < n/3`, in
+//! any collection of at least `n - t` values out of `n`, a value occurring
+//! `n - t` times overall still occurs at least `n - 2t` times, and no other
+//! value can reach `n - 2t`. Per round, each process:
+//!
+//! 1. decides immediately on any `DECIDE` message received (round `k` or
+//!    lower);
+//! 2. otherwise selects the `n - t` `ESTIMATE` messages with the lowest
+//!    sender ids; if all carry the same value it decides it; else if some
+//!    value occurs at least `n - 2t` times it adopts it; else it adopts the
+//!    minimum;
+//! 3. having decided, it broadcasts its decision in every later round.
+
+use indulgent_model::{Delivery, ProcessId, Round, RoundProcess, Step, SystemConfig, Value};
+
+/// Messages of [`AfPlus2`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AfMsg {
+    /// Current estimate.
+    Estimate(Value),
+    /// Decision relay.
+    Decide(Value),
+}
+
+/// The `A_{f+2}` automaton (see module docs). Requires `t < n/3`.
+#[derive(Debug, Clone)]
+pub struct AfPlus2 {
+    config: SystemConfig,
+    id: ProcessId,
+    est: Value,
+    decided: Option<Value>,
+    reported: bool,
+}
+
+impl AfPlus2 {
+    /// Creates the automaton for process `id` proposing `proposal`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` does not satisfy `t < n/3`.
+    #[must_use]
+    pub fn new(config: SystemConfig, id: ProcessId, proposal: Value) -> Self {
+        assert!(3 * config.t() < config.n(), "AfPlus2 requires t < n/3");
+        AfPlus2 { config, id, est: proposal, decided: None, reported: false }
+    }
+
+    /// The current estimate.
+    #[must_use]
+    pub fn estimate(&self) -> Value {
+        self.est
+    }
+
+    fn decide(&mut self, v: Value) -> Step {
+        if self.decided.is_none() {
+            self.decided = Some(v);
+        }
+        if self.reported {
+            Step::Continue
+        } else {
+            self.reported = true;
+            Step::Decide(v)
+        }
+    }
+}
+
+impl RoundProcess for AfPlus2 {
+    type Msg = AfMsg;
+
+    fn send(&mut self, _round: Round) -> AfMsg {
+        match self.decided {
+            Some(v) => AfMsg::Decide(v),
+            None => AfMsg::Estimate(self.est),
+        }
+    }
+
+    fn deliver(&mut self, _round: Round, delivery: &Delivery<AfMsg>) -> Step {
+        // Step 1: any DECIDE message (from this round or a lower one)
+        // settles the decision.
+        for m in delivery.messages() {
+            if let AfMsg::Decide(v) = m.msg {
+                return self.decide(v);
+            }
+        }
+        if self.decided.is_some() {
+            return Step::Continue;
+        }
+
+        // Step 2: the n - t lowest-sender-id current estimates.
+        let mut ests: Vec<(ProcessId, Value)> = delivery
+            .current()
+            .filter_map(|m| match m.msg {
+                AfMsg::Estimate(v) => Some((m.sender, v)),
+                AfMsg::Decide(_) => None,
+            })
+            .collect();
+        ests.sort_by_key(|&(sender, _)| sender);
+        let quorum = self.config.quorum();
+        debug_assert!(
+            ests.len() >= quorum,
+            "{}: t-resilience guarantees {quorum} estimates, got {}",
+            self.id,
+            ests.len()
+        );
+        ests.truncate(quorum);
+        if ests.is_empty() {
+            return Step::Continue;
+        }
+
+        let first = ests[0].1;
+        if ests.iter().all(|&(_, v)| v == first) {
+            return self.decide(first);
+        }
+
+        // n - 2t occurrence rule; at most one value can qualify.
+        let threshold = self.config.small_quorum();
+        let mut counts: std::collections::BTreeMap<Value, usize> = Default::default();
+        for &(_, v) in &ests {
+            *counts.entry(v).or_default() += 1;
+        }
+        if let Some((&v, _)) = counts.iter().find(|&(_, &c)| c >= threshold) {
+            self.est = v;
+        } else {
+            self.est = ests.iter().map(|&(_, v)| v).min().expect("nonempty");
+        }
+        Step::Continue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use indulgent_model::{ProcessFactory, Value};
+    use indulgent_sim::{run_schedule, ModelKind, Schedule, ScheduleBuilder};
+
+    use super::*;
+
+    fn cfg() -> SystemConfig {
+        SystemConfig::third(7, 2).unwrap()
+    }
+
+    fn factory(config: SystemConfig) -> impl ProcessFactory<Process = AfPlus2> {
+        move |i: usize, v: Value| AfPlus2::new(config, ProcessId::new(i), v)
+    }
+
+    fn vals(vs: &[u64]) -> Vec<Value> {
+        vs.iter().copied().map(Value::new).collect()
+    }
+
+    #[test]
+    #[should_panic(expected = "t < n/3")]
+    fn rejects_majority_only_config() {
+        let bad = SystemConfig::majority(5, 2).unwrap();
+        let _ = AfPlus2::new(bad, ProcessId::new(0), Value::ZERO);
+    }
+
+    #[test]
+    fn failure_free_synchronous_decides_by_round_two() {
+        // f = 0, k = 0: global decision by round f + 2 = 2.
+        let schedule = Schedule::failure_free(cfg(), ModelKind::Es);
+        let outcome = run_schedule(&factory(cfg()), &vals(&[4, 2, 7, 2, 9, 1, 3]), &schedule, 20);
+        outcome.check_consensus().unwrap();
+        assert!(outcome.global_decision_round().unwrap() <= Round::new(2));
+    }
+
+    #[test]
+    fn identical_proposals_decide_in_round_one() {
+        let schedule = Schedule::failure_free(cfg(), ModelKind::Es);
+        let outcome = run_schedule(&factory(cfg()), &vals(&[5; 7]), &schedule, 20);
+        outcome.check_consensus().unwrap();
+        assert_eq!(outcome.global_decision_round(), Some(Round::FIRST));
+    }
+
+    #[test]
+    fn f_crashes_decide_by_f_plus_two() {
+        // k = 0, f = 2 crashes: global decision by round f + 2 = 4.
+        let schedule = ScheduleBuilder::new(cfg(), ModelKind::Es)
+            .crash_before_send(ProcessId::new(0), Round::new(1))
+            .crash_before_send(ProcessId::new(1), Round::new(2))
+            .build(20)
+            .unwrap();
+        let outcome = run_schedule(&factory(cfg()), &vals(&[4, 2, 7, 2, 9, 1, 3]), &schedule, 20);
+        outcome.check_consensus().unwrap();
+        assert!(outcome.global_decision_round().unwrap() <= Round::new(4));
+    }
+
+    #[test]
+    fn asynchronous_prefix_shifts_decision_by_k() {
+        // Synchronous after round k = 3 (delays in rounds 1..=2), f = 0
+        // crashes: global decision by k + f + 2 = 5.
+        let schedule = indulgent_sim::random_run(
+            cfg(),
+            ModelKind::Es,
+            indulgent_sim::RandomRunParams::eventually_synchronous(0, 1, 3),
+            30,
+            42,
+        );
+        let outcome = run_schedule(&factory(cfg()), &vals(&[4, 2, 7, 2, 9, 1, 3]), &schedule, 30);
+        outcome.check_consensus().unwrap();
+        assert!(outcome.global_decision_round().unwrap() <= Round::new(5));
+    }
+
+    #[test]
+    fn exhaustive_serial_runs_meet_f_plus_two() {
+        // For every serial run with f crashes, the run globally decides by
+        // round f + 2 (k = 0). Exhaustive over n = 4, t = 1.
+        let config = SystemConfig::third(4, 1).unwrap();
+        let mut checked = 0u32;
+        let _ = indulgent_sim::for_each_serial_schedule(config, ModelKind::Es, 3, |schedule| {
+            let outcome = run_schedule(&factory(config), &vals(&[3, 1, 4, 1]), schedule, 20);
+            outcome.check_consensus().unwrap();
+            let f = schedule.crash_count() as u32;
+            assert!(
+                outcome.global_decision_round().unwrap() <= Round::new(f + 2),
+                "serial run with f={f} decided late: {outcome:?}"
+            );
+            checked += 1;
+            std::ops::ControlFlow::Continue(())
+        });
+        assert_eq!(checked, 97); // 1 + 3 rounds x 4 victims x 2^3 subsets
+    }
+
+    #[test]
+    fn random_runs_satisfy_consensus() {
+        for seed in 0..200u64 {
+            let schedule = indulgent_sim::random_run(
+                cfg(),
+                ModelKind::Es,
+                indulgent_sim::RandomRunParams::eventually_synchronous((seed % 3) as usize, 5, 6),
+                60,
+                seed,
+            );
+            let outcome =
+                run_schedule(&factory(cfg()), &vals(&[4, 2, 7, 2, 9, 1, 3]), &schedule, 60);
+            outcome.check_consensus().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,633 @@
+//! `A_{t+2}` — the paper's matching algorithm (Fig. 2), with the ◇S
+//! variant (Fig. 3) and the failure-free optimization (Fig. 4).
+//!
+//! The algorithm closes the paper's `t + 2` lower bound: in *every*
+//! synchronous run it reaches a global decision at round `t + 2`, while
+//! remaining a correct indulgent consensus in arbitrary ES runs.
+//!
+//! # Structure
+//!
+//! **Phase 1 (rounds `1..=t+1`)** floods `ESTIMATE(est, Halt)` messages.
+//! `est` converges towards the minimum proposal; `Halt_i` accumulates every
+//! process involved in a suspicion with `p_i` — both `p_j` that `p_i`
+//! suspected and `p_j` that reported suspecting `p_i` (via the exchanged
+//! `Halt` sets). Messages from `Halt` members are excluded from the
+//! estimate update (`msgSet`). Phase 1 guarantees the *elimination*
+//! property (paper Lemma 6): any two processes entering Phase 2 either
+//! share the estimate or at least one of them has `|Halt| > t`, i.e. has
+//! detected a false suspicion.
+//!
+//! **Phase 2 (round `t + 2`)** exchanges `NEWESTIMATE(nE)` where
+//! `nE = ⊥` if `|Halt| > t` (a false suspicion was detected) and `nE = est`
+//! otherwise. By elimination at most one non-⊥ value circulates. A process
+//! receiving only non-⊥ values decides; otherwise it adopts any non-⊥ value
+//! (or keeps its proposal) as the proposal `vc` for the underlying
+//! consensus `C`, invoked from round `t + 3` on. Deciders broadcast
+//! `DECIDE` from round `t + 3`; any process receiving `DECIDE` decides.
+//!
+//! In a synchronous run nobody accumulates `|Halt| > t` (suspected
+//! processes really crashed — paper Lemma 13), so every `nE` is non-⊥ and
+//! everyone alive decides at round `t + 2` — *regardless of how slow `C`
+//! is*.
+//!
+//! # Variants
+//!
+//! * [`AtPlus2::with_detector`] builds the **`A_◇S`** variant (paper
+//!   Sect. 5.1): suspicions come from an eventually strong failure detector
+//!   instead of message absence. The fast-decision property is preserved
+//!   because synchronous runs keep the detector accurate.
+//! * [`AtPlus2::with_failure_free_optimization`] enables the **Fig. 4**
+//!   optimization: if round 2 shows a complete, suspicion-free round 1
+//!   (all `n` messages with `Halt = ∅`), decide immediately at round 2 —
+//!   matching the 2-round lower bound for well-behaved runs.
+
+use indulgent_fd::{FailureDetector, NoDetector, Suspicion};
+use indulgent_model::{
+    DeliveredMsg, Delivery, ProcessId, ProcessSet, Round, RoundProcess, Step, SystemConfig, Value,
+};
+
+use crate::underlying::UnderlyingConsensus;
+
+/// Messages of [`AtPlus2`], generic over the underlying consensus messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AtMsg<U> {
+    /// Phase 1 flood: estimate and suspicion set.
+    Estimate {
+        /// Sender's current estimate (minimum value seen).
+        est: Value,
+        /// Sender's `Halt` set after the previous round.
+        halt: ProcessSet,
+    },
+    /// Phase 2 exchange: `None` encodes the paper's ⊥ (false suspicion
+    /// detected).
+    NewEstimate {
+        /// The new estimate, or ⊥.
+        ne: Option<Value>,
+    },
+    /// Decision relay (sent from round `t + 3` on by deciders).
+    Decide(Value),
+    /// A message of the underlying consensus `C` (rounds `≥ t + 3`).
+    Underlying(U),
+}
+
+/// The `A_{t+2}` automaton (see module docs).
+#[derive(Debug, Clone)]
+pub struct AtPlus2<C, D = NoDetector> {
+    config: SystemConfig,
+    id: ProcessId,
+    est: Value,
+    halt: ProcessSet,
+    /// Proposal for the underlying consensus, initially the own proposal.
+    vc: Value,
+    suspicion: Suspicion<D>,
+    underlying: C,
+    underlying_proposed: bool,
+    optimize_ff: bool,
+    decided: Option<Value>,
+    reported: bool,
+}
+
+impl<C: UnderlyingConsensus> AtPlus2<C, NoDetector> {
+    /// Creates the standard ES automaton for process `id` proposing
+    /// `proposal`: suspicions are derived from message absence, exactly as
+    /// the ES model defines them.
+    #[must_use]
+    pub fn new(config: SystemConfig, id: ProcessId, proposal: Value, underlying: C) -> Self {
+        Self::with_suspicion(config, id, proposal, underlying, Suspicion::Derived)
+    }
+}
+
+impl<C: UnderlyingConsensus, D: FailureDetector> AtPlus2<C, D> {
+    /// Creates the `A_◇S` variant (paper Sect. 5.1): suspicions are read
+    /// from `detector` (typically an
+    /// [`indulgent_fd::EventuallyStrongDetector`]).
+    #[must_use]
+    pub fn with_detector(
+        config: SystemConfig,
+        id: ProcessId,
+        proposal: Value,
+        underlying: C,
+        detector: D,
+    ) -> Self {
+        Self::with_suspicion(config, id, proposal, underlying, Suspicion::Detector(detector))
+    }
+
+    /// Creates the automaton with an explicit suspicion source.
+    #[must_use]
+    pub fn with_suspicion(
+        config: SystemConfig,
+        id: ProcessId,
+        proposal: Value,
+        underlying: C,
+        suspicion: Suspicion<D>,
+    ) -> Self {
+        AtPlus2 {
+            config,
+            id,
+            est: proposal,
+            halt: ProcessSet::empty(),
+            vc: proposal,
+            suspicion,
+            underlying,
+            underlying_proposed: false,
+            optimize_ff: false,
+            decided: None,
+            reported: false,
+        }
+    }
+
+    /// Enables the failure-free optimization of paper Fig. 4: decide at
+    /// round 2 when round 1 was complete and suspicion-free.
+    #[must_use]
+    pub fn with_failure_free_optimization(mut self) -> Self {
+        self.optimize_ff = true;
+        self
+    }
+
+    /// The current `Halt` set (processes involved in suspicions with this
+    /// process).
+    #[must_use]
+    pub fn halt(&self) -> ProcessSet {
+        self.halt
+    }
+
+    /// The current estimate.
+    #[must_use]
+    pub fn estimate(&self) -> Value {
+        self.est
+    }
+
+    /// End of Phase 1 (round `t + 1`).
+    fn phase1_end(&self) -> u32 {
+        self.config.t() as u32 + 1
+    }
+
+    /// The `NEWESTIMATE` round `t + 2`.
+    fn ne_round(&self) -> u32 {
+        self.config.t() as u32 + 2
+    }
+
+    fn decide(&mut self, v: Value) -> Step {
+        if self.decided.is_none() {
+            self.decided = Some(v);
+        }
+        if self.reported {
+            Step::Continue
+        } else {
+            self.reported = true;
+            Step::Decide(v)
+        }
+    }
+
+    /// Translates a global round (`> t + 2`) to the underlying consensus's
+    /// local round.
+    fn local_round(&self, round: Round) -> Round {
+        Round::new(round.get() - self.ne_round())
+    }
+
+    /// Phase 1 `compute()` (paper lines 30-35): update `Halt` from this
+    /// round's suspicions and the received `Halt` sets, then take the
+    /// minimum estimate over messages from non-`Halt` senders.
+    fn compute(&mut self, round: Round, delivery: &Delivery<AtMsg<C::Msg>>) {
+        let absent = delivery.suspected(self.config.n());
+        let suspected = self.suspicion.suspects(self.id, round, absent);
+        self.halt = self.halt.union(suspected);
+        for m in delivery.current() {
+            if let AtMsg::Estimate { halt, .. } = &m.msg {
+                if halt.contains(self.id) {
+                    self.halt.insert(m.sender);
+                }
+            }
+        }
+        let min_est = delivery
+            .current()
+            .filter_map(|m| match &m.msg {
+                AtMsg::Estimate { est, .. } if !self.halt.contains(m.sender) => Some(*est),
+                _ => None,
+            })
+            .min();
+        if let Some(v) = min_est {
+            self.est = self.est.min(v);
+        }
+    }
+
+    /// The Fig. 4 failure-free optimization, applied in round 2: returns a
+    /// decision step if round 1 was globally complete and suspicion-free.
+    fn failure_free_check(&mut self, delivery: &Delivery<AtMsg<C::Msg>>) -> Option<Value> {
+        let estimates: Vec<(ProcessSet, Value)> = delivery
+            .current()
+            .filter_map(|m| match &m.msg {
+                AtMsg::Estimate { est, halt } => Some((*halt, *est)),
+                _ => None,
+            })
+            .collect();
+        if estimates.iter().any(|(halt, _)| !halt.is_empty()) {
+            return None;
+        }
+        let min = estimates.iter().map(|&(_, v)| v).min()?;
+        if estimates.len() == self.config.n() {
+            // A complete, suspicion-free first round: decide now. All
+            // estimates necessarily equal the global minimum.
+            Some(min)
+        } else {
+            // No suspicion *detected*, but not everyone was heard: prime
+            // both the estimate and the fallback proposal with the (unique)
+            // estimate value (paper Sect. 5.2).
+            self.vc = min;
+            self.est = min;
+            None
+        }
+    }
+}
+
+impl<C: UnderlyingConsensus, D: FailureDetector> RoundProcess for AtPlus2<C, D> {
+    type Msg = AtMsg<C::Msg>;
+
+    fn send(&mut self, round: Round) -> AtMsg<C::Msg> {
+        if let Some(v) = self.decided {
+            return AtMsg::Decide(v);
+        }
+        let k = round.get();
+        if k <= self.phase1_end() {
+            AtMsg::Estimate { est: self.est, halt: self.halt }
+        } else if k == self.ne_round() {
+            let ne = if self.halt.len() > self.config.t() { None } else { Some(self.est) };
+            AtMsg::NewEstimate { ne }
+        } else {
+            if !self.underlying_proposed {
+                self.underlying.propose(self.vc);
+                self.underlying_proposed = true;
+            }
+            AtMsg::Underlying(self.underlying.send(self.local_round(round)))
+        }
+    }
+
+    fn deliver(&mut self, round: Round, delivery: &Delivery<AtMsg<C::Msg>>) -> Step {
+        // A DECIDE message — current or delayed — settles the decision at
+        // any round (with the base algorithm they only circulate from round
+        // t + 3 on; with the failure-free optimization from round 3).
+        for m in delivery.messages() {
+            if let AtMsg::Decide(v) = &m.msg {
+                return self.decide(*v);
+            }
+        }
+        if self.decided.is_some() {
+            return Step::Continue;
+        }
+
+        let k = round.get();
+        if k <= self.phase1_end() {
+            self.compute(round, delivery);
+            if self.optimize_ff && k == 2 {
+                if let Some(v) = self.failure_free_check(delivery) {
+                    return self.decide(v);
+                }
+            }
+            Step::Continue
+        } else if k == self.ne_round() {
+            let nes: Vec<Option<Value>> = delivery
+                .current()
+                .filter_map(|m| match &m.msg {
+                    AtMsg::NewEstimate { ne } => Some(*ne),
+                    _ => None,
+                })
+                .collect();
+            if !nes.is_empty() && nes.iter().all(Option::is_some) {
+                let v = nes.iter().flatten().copied().min().expect("nonempty");
+                return self.decide(v);
+            }
+            if let Some(v) = nes.iter().flatten().copied().min() {
+                // Elimination guarantees all non-⊥ values coincide.
+                self.vc = v;
+            }
+            Step::Continue
+        } else {
+            // Rounds t + 3 and later: run the underlying consensus on the
+            // `Underlying` messages (current and delayed), with rounds
+            // translated to its local clock.
+            let local = self.local_round(round);
+            let messages: Vec<DeliveredMsg<C::Msg>> = delivery
+                .messages()
+                .iter()
+                .filter_map(|m| match &m.msg {
+                    AtMsg::Underlying(u) if m.sent_round.get() > self.ne_round() => {
+                        Some(DeliveredMsg {
+                            sender: m.sender,
+                            sent_round: Round::new(m.sent_round.get() - self.ne_round()),
+                            msg: u.clone(),
+                        })
+                    }
+                    _ => None,
+                })
+                .collect();
+            let sub_delivery = Delivery::new(local, messages);
+            match self.underlying.deliver(local, &sub_delivery) {
+                Some(v) => self.decide(v),
+                None => Step::Continue,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use indulgent_model::ProcessFactory;
+    use indulgent_sim::{run_schedule, ModelKind, Schedule, ScheduleBuilder};
+
+    use super::*;
+    use crate::rotating::RotatingCoordinator;
+    use crate::underlying::Delayed;
+
+    fn cfg() -> SystemConfig {
+        SystemConfig::majority(5, 2).unwrap()
+    }
+
+    type Standard = AtPlus2<RotatingCoordinator, NoDetector>;
+
+    fn factory(config: SystemConfig) -> impl ProcessFactory<Process = Standard> {
+        move |i: usize, v: Value| {
+            let id = ProcessId::new(i);
+            AtPlus2::new(config, id, v, RotatingCoordinator::new(config, id))
+        }
+    }
+
+    fn vals(vs: &[u64]) -> Vec<Value> {
+        vs.iter().copied().map(Value::new).collect()
+    }
+
+    #[test]
+    fn failure_free_synchronous_run_decides_at_t_plus_2() {
+        let schedule = Schedule::failure_free(cfg(), ModelKind::Es);
+        let outcome = run_schedule(&factory(cfg()), &vals(&[6, 2, 8, 4, 7]), &schedule, 30);
+        outcome.check_consensus().unwrap();
+        assert_eq!(outcome.global_decision_round(), Some(Round::new(4))); // t + 2
+        for d in outcome.decisions.iter().flatten() {
+            assert_eq!(d.value, Value::new(2));
+        }
+    }
+
+    #[test]
+    fn synchronous_run_with_crashes_still_decides_at_t_plus_2() {
+        let schedule = ScheduleBuilder::new(cfg(), ModelKind::Es)
+            .crash_delivering_only(ProcessId::new(1), Round::new(1), [ProcessId::new(0)])
+            .crash_before_send(ProcessId::new(2), Round::new(3))
+            .build(30)
+            .unwrap();
+        let outcome = run_schedule(&factory(cfg()), &vals(&[6, 2, 8, 4, 7]), &schedule, 30);
+        outcome.check_consensus().unwrap();
+        assert_eq!(outcome.global_decision_round(), Some(Round::new(4)));
+    }
+
+    #[test]
+    fn exhaustive_serial_runs_decide_exactly_at_t_plus_2() {
+        // The fast-decision property (paper Lemma 13) over *all* serial
+        // runs of n = 4, t = 1 (horizon t + 2 = 3 for crashes).
+        let config = SystemConfig::majority(4, 1).unwrap();
+        let f = factory(config);
+        let mut runs = 0;
+        let _ = indulgent_sim::for_each_serial_schedule(config, ModelKind::Es, 3, |schedule| {
+            let outcome = run_schedule(&f, &vals(&[6, 2, 8, 4]), schedule, 30);
+            outcome.check_consensus().unwrap();
+            assert!(
+                outcome.global_decision_round().unwrap() <= Round::new(3),
+                "synchronous run decided after t+2: {schedule:?}"
+            );
+            runs += 1;
+            std::ops::ControlFlow::Continue(())
+        });
+        assert_eq!(runs, 97); // 1 + 3 rounds x 4 victims x 2^3 subsets
+    }
+
+    #[test]
+    fn fast_decision_holds_with_arbitrarily_slow_underlying_consensus() {
+        // Paper Sect. 3: "the fast decision property is achieved by At+2
+        // regardless of the time complexity of C". Delay C by 50 rounds; a
+        // synchronous run must still decide at t + 2.
+        let config = cfg();
+        let f = move |i: usize, v: Value| {
+            let id = ProcessId::new(i);
+            AtPlus2::new(config, id, v, Delayed::new(RotatingCoordinator::new(config, id), 50))
+        };
+        let schedule = ScheduleBuilder::new(config, ModelKind::Es)
+            .crash_before_send(ProcessId::new(0), Round::new(2))
+            .build(100)
+            .unwrap();
+        let outcome = run_schedule(&f, &vals(&[6, 2, 8, 4, 7]), &schedule, 100);
+        outcome.check_consensus().unwrap();
+        assert_eq!(outcome.global_decision_round(), Some(Round::new(4)));
+    }
+
+    #[test]
+    fn false_suspicion_defers_to_underlying_consensus() {
+        // An asynchronous run: enough false suspicions to poison Phase 1.
+        // Decision must still happen (via C) and stay consistent.
+        let config = cfg();
+        let mut builder = ScheduleBuilder::new(config, ModelKind::Es).sync_from(Round::new(5));
+        // Each round 1..=4, two senders' messages to each receiver are
+        // delayed (budget = t = 2), causing widespread false suspicions.
+        for k in 1..=4u32 {
+            for r in 0..5usize {
+                let s1 = (r + 1) % 5;
+                let s2 = (r + 2) % 5;
+                builder = builder
+                    .delay(Round::new(k), ProcessId::new(s1), ProcessId::new(r), Round::new(5))
+                    .delay(Round::new(k), ProcessId::new(s2), ProcessId::new(r), Round::new(5));
+            }
+        }
+        let schedule = builder.build(60).unwrap();
+        let outcome = run_schedule(&factory(config), &vals(&[6, 2, 8, 4, 7]), &schedule, 60);
+        outcome.check_consensus().unwrap();
+        // With poisoned Phase 1 the decision comes from C, i.e. after t+2.
+        assert!(outcome.global_decision_round().unwrap() > Round::new(4));
+    }
+
+    #[test]
+    fn halt_exchange_tracks_mutual_suspicions() {
+        // p0 falsely suspects p1 in round 1 (delayed message); p1 learns it
+        // from p0's round-2 Halt set and adds p0 to its own Halt.
+        let config = cfg();
+        // Drive manually to inspect internal state.
+        let mut procs: Vec<Standard> = (0..5)
+            .map(|i| {
+                let id = ProcessId::new(i);
+                AtPlus2::new(config, id, Value::new(i as u64), RotatingCoordinator::new(config, id))
+            })
+            .collect();
+        // Round 1.
+        let msgs: Vec<_> = procs.iter_mut().map(|p| p.send(Round::new(1))).collect();
+        for (i, p) in procs.iter_mut().enumerate() {
+            let delivered: Vec<_> = (0..5)
+                .filter(|&s| !(s == 1 && i == 0)) // p1 -> p0 delayed
+                .map(|s| DeliveredMsg {
+                    sender: ProcessId::new(s),
+                    sent_round: Round::new(1),
+                    msg: msgs[s].clone(),
+                })
+                .collect();
+            let _ = p.deliver(Round::new(1), &Delivery::new(Round::new(1), delivered));
+        }
+        assert!(procs[0].halt().contains(ProcessId::new(1)));
+        assert!(procs[1].halt().is_empty());
+        // Round 2: full delivery; p1 must learn p0 suspected it.
+        let msgs: Vec<_> = procs.iter_mut().map(|p| p.send(Round::new(2))).collect();
+        for (i, p) in procs.iter_mut().enumerate() {
+            let delivered: Vec<_> = (0..5)
+                .map(|s| DeliveredMsg {
+                    sender: ProcessId::new(s),
+                    sent_round: Round::new(2),
+                    msg: msgs[s].clone(),
+                })
+                .collect();
+            let _ = (i, p.deliver(Round::new(2), &Delivery::new(Round::new(2), delivered)));
+        }
+        assert!(procs[1].halt().contains(ProcessId::new(0)));
+    }
+
+    #[test]
+    fn random_synchronous_runs_all_decide_at_t_plus_2() {
+        let config = cfg();
+        for seed in 0..300u64 {
+            let schedule = indulgent_sim::random_run(
+                config,
+                ModelKind::Es,
+                indulgent_sim::RandomRunParams::synchronous((seed % 3) as usize, 4),
+                40,
+                seed,
+            );
+            let outcome = run_schedule(&factory(config), &vals(&[6, 2, 8, 4, 7]), &schedule, 40);
+            outcome.check_consensus().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(
+                outcome.global_decision_round().unwrap() <= Round::new(4),
+                "seed {seed}: synchronous run decided after t+2"
+            );
+        }
+    }
+
+    #[test]
+    fn random_es_runs_safe_and_live() {
+        let config = cfg();
+        for seed in 0..150u64 {
+            let schedule = indulgent_sim::random_run(
+                config,
+                ModelKind::Es,
+                indulgent_sim::RandomRunParams::eventually_synchronous((seed % 3) as usize, 6, 7),
+                90,
+                seed,
+            );
+            let outcome = run_schedule(&factory(config), &vals(&[6, 2, 8, 4, 7]), &schedule, 90);
+            outcome.check_consensus().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn failure_free_optimization_decides_at_round_2() {
+        let config = cfg();
+        let f = move |i: usize, v: Value| {
+            let id = ProcessId::new(i);
+            AtPlus2::new(config, id, v, RotatingCoordinator::new(config, id))
+                .with_failure_free_optimization()
+        };
+        let schedule = Schedule::failure_free(config, ModelKind::Es);
+        let outcome = run_schedule(&f, &vals(&[6, 2, 8, 4, 7]), &schedule, 30);
+        outcome.check_consensus().unwrap();
+        assert_eq!(outcome.global_decision_round(), Some(Round::new(2)));
+        for d in outcome.decisions.iter().flatten() {
+            assert_eq!(d.value, Value::new(2));
+        }
+    }
+
+    #[test]
+    fn failure_free_optimization_falls_back_under_crashes() {
+        // A crash in round 1 disables the round-2 decision but must not
+        // break correctness; decision comes at t + 2 as usual.
+        let config = cfg();
+        let f = move |i: usize, v: Value| {
+            let id = ProcessId::new(i);
+            AtPlus2::new(config, id, v, RotatingCoordinator::new(config, id))
+                .with_failure_free_optimization()
+        };
+        let schedule = ScheduleBuilder::new(config, ModelKind::Es)
+            .crash_delivering_only(ProcessId::new(4), Round::new(1), [ProcessId::new(0)])
+            .build(30)
+            .unwrap();
+        let outcome = run_schedule(&f, &vals(&[6, 2, 8, 4, 7]), &schedule, 30);
+        outcome.check_consensus().unwrap();
+        assert!(outcome.global_decision_round().unwrap() <= Round::new(4));
+    }
+
+    #[test]
+    fn failure_free_optimization_safe_in_random_runs() {
+        let config = cfg();
+        let f = move |i: usize, v: Value| {
+            let id = ProcessId::new(i);
+            AtPlus2::new(config, id, v, RotatingCoordinator::new(config, id))
+                .with_failure_free_optimization()
+        };
+        for seed in 0..200u64 {
+            let schedule = indulgent_sim::random_run(
+                config,
+                ModelKind::Es,
+                indulgent_sim::RandomRunParams::eventually_synchronous((seed % 3) as usize, 5, 6),
+                90,
+                seed,
+            );
+            let outcome = run_schedule(&f, &vals(&[6, 2, 8, 4, 7]), &schedule, 90);
+            outcome.check_consensus().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn diamond_s_variant_decides_at_t_plus_2_in_synchronous_runs() {
+        use indulgent_fd::{CrashInfo, EventuallyStrongDetector, SuspicionScript};
+        let config = cfg();
+        let schedule = ScheduleBuilder::new(config, ModelKind::Es)
+            .crash_before_send(ProcessId::new(3), Round::new(2))
+            .build(30)
+            .unwrap();
+        let info = CrashInfo::new(config.processes().map(|p| schedule.crash_round(p)).collect());
+        let f = move |i: usize, v: Value| {
+            let id = ProcessId::new(i);
+            let detector = EventuallyStrongDetector::new(
+                info.clone(),
+                Round::FIRST, // accurate from the start: a synchronous run
+                ProcessId::new(0),
+                SuspicionScript::new(),
+            );
+            AtPlus2::with_detector(config, id, v, RotatingCoordinator::new(config, id), detector)
+        };
+        let outcome = run_schedule(&f, &vals(&[6, 2, 8, 4, 7]), &schedule, 30);
+        outcome.check_consensus().unwrap();
+        assert_eq!(outcome.global_decision_round(), Some(Round::new(4)));
+    }
+
+    #[test]
+    fn diamond_s_variant_survives_persistent_false_suspicions() {
+        use indulgent_fd::{CrashInfo, EventuallyStrongDetector, SuspicionScript};
+        // ◇S may falsely suspect all but one process forever. Script: every
+        // process suspects p1 in every round (p1 is correct!); only p0 is
+        // eventually trusted. Decision must still happen, via C.
+        let config = cfg();
+        let mut script = SuspicionScript::new();
+        for k in 1..=60u32 {
+            for obs in 0..5usize {
+                if obs != 1 {
+                    script.insert((k, obs), ProcessSet::from_ids([ProcessId::new(1)]));
+                }
+            }
+        }
+        let info = CrashInfo::none(5);
+        let f = move |i: usize, v: Value| {
+            let id = ProcessId::new(i);
+            let detector = EventuallyStrongDetector::new(
+                info.clone(),
+                Round::new(1),
+                ProcessId::new(0),
+                script.clone(),
+            );
+            AtPlus2::with_detector(config, id, v, RotatingCoordinator::new(config, id), detector)
+        };
+        let schedule = Schedule::failure_free(config, ModelKind::Es);
+        let outcome = run_schedule(&f, &vals(&[6, 2, 8, 4, 7]), &schedule, 60);
+        outcome.check_consensus().unwrap();
+    }
+}

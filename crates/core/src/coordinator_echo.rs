@@ -1,0 +1,297 @@
+//! The Hurfin–Raynal-style baseline: 2-round coordinator phases.
+//!
+//! The paper compares `A_{t+2}` against the most efficient indulgent
+//! algorithm previously known (Hurfin & Raynal's ◇S consensus), which has a
+//! synchronous run requiring **2t + 2** rounds for a global decision. This
+//! module implements a behavioural equivalent with the same round shape:
+//! each phase has a rotating coordinator and costs two rounds — a *propose*
+//! round and an all-to-all *echo* round — so a run in which the first `t`
+//! coordinators crash decides only at round `2(t + 1) = 2t + 2`.
+//!
+//! Protocol per phase `p` with coordinator `c_p = p_{(p-1) mod n}`:
+//!
+//! * round `2p - 1`: `c_p` broadcasts a proposal (its estimate pick from the
+//!   previous echo round); receivers adopt it with timestamp `p`;
+//! * round `2p`: everyone echoes `(adopted?, est, ts)`. A process seeing
+//!   `n - t` echoes that adopted the same `v` decides `v`; a process seeing
+//!   at least one such echo adopts `v` indirectly. Everyone remembers the
+//!   echoed `(est, ts)` pairs — the next coordinator picks the highest
+//!   timestamped estimate from them, which preserves the majority lock.
+//!
+//! Failure-free synchronous runs decide at round 2 (matching the known lower
+//! bound for well-behaved runs), but each crashed coordinator costs a full
+//! phase, which is exactly the 2t + 2 worst case the paper cites.
+
+use indulgent_model::{Delivery, ProcessId, Round, RoundProcess, Step, SystemConfig, Value};
+
+/// Messages of [`CoordinatorEcho`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CeMsg {
+    /// Coordinator proposal for a phase.
+    Propose {
+        /// Phase number.
+        phase: u64,
+        /// Proposed value.
+        value: Value,
+    },
+    /// All-to-all echo closing a phase.
+    Echo {
+        /// Phase number.
+        phase: u64,
+        /// `Some(v)` if the sender adopted the coordinator's `v` this phase.
+        adopted: Option<Value>,
+        /// Sender's current estimate.
+        est: Value,
+        /// Phase at which `est` was last adopted.
+        ts: u64,
+    },
+    /// Decision relay.
+    Decide(Value),
+    /// Filler message.
+    Noop,
+}
+
+fn phase_pos(round: Round) -> (u64, bool) {
+    let r = u64::from(round.get());
+    let phase = (r - 1) / 2 + 1;
+    let is_echo = (r - 1) % 2 == 1;
+    (phase, is_echo)
+}
+
+/// The 2-round-per-phase rotating-coordinator baseline (see module docs).
+#[derive(Debug, Clone)]
+pub struct CoordinatorEcho {
+    config: SystemConfig,
+    id: ProcessId,
+    est: Value,
+    ts: u64,
+    adopted: Option<Value>,
+    /// `(est, ts)` pairs observed in the latest echo round, feeding the next
+    /// coordinator's pick.
+    echo_view: Vec<(Value, u64)>,
+    decided: Option<Value>,
+    reported: bool,
+}
+
+impl CoordinatorEcho {
+    /// Creates the automaton for process `id` proposing `proposal`.
+    #[must_use]
+    pub fn new(config: SystemConfig, id: ProcessId, proposal: Value) -> Self {
+        CoordinatorEcho {
+            config,
+            id,
+            est: proposal,
+            ts: 0,
+            adopted: None,
+            echo_view: Vec::new(),
+            decided: None,
+            reported: false,
+        }
+    }
+
+    /// The coordinator of `phase`.
+    #[must_use]
+    pub fn coordinator(&self, phase: u64) -> ProcessId {
+        ProcessId::new(((phase - 1) % self.config.n() as u64) as usize)
+    }
+
+    fn decide(&mut self, v: Value) -> Step {
+        if self.decided.is_none() {
+            self.decided = Some(v);
+        }
+        if self.reported {
+            Step::Continue
+        } else {
+            self.reported = true;
+            Step::Decide(v)
+        }
+    }
+
+    /// The coordinator's proposal pick: the highest-timestamp estimate seen
+    /// in the previous echo round (ties towards the smaller value), or the
+    /// coordinator's own estimate in phase 1.
+    fn pick(&self) -> Value {
+        self.echo_view
+            .iter()
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+            .map_or(self.est, |&(v, _)| v)
+    }
+}
+
+impl RoundProcess for CoordinatorEcho {
+    type Msg = CeMsg;
+
+    fn send(&mut self, round: Round) -> CeMsg {
+        if let Some(v) = self.decided {
+            return CeMsg::Decide(v);
+        }
+        let (phase, is_echo) = phase_pos(round);
+        if is_echo {
+            CeMsg::Echo { phase, adopted: self.adopted, est: self.est, ts: self.ts }
+        } else if self.coordinator(phase) == self.id {
+            CeMsg::Propose { phase, value: self.pick() }
+        } else {
+            CeMsg::Noop
+        }
+    }
+
+    fn deliver(&mut self, round: Round, delivery: &Delivery<CeMsg>) -> Step {
+        for m in delivery.messages() {
+            if let CeMsg::Decide(v) = m.msg {
+                return self.decide(v);
+            }
+        }
+        if self.decided.is_some() {
+            return Step::Continue;
+        }
+
+        let (phase, is_echo) = phase_pos(round);
+        if !is_echo {
+            // Propose round: adopt the coordinator's value if it arrived.
+            self.adopted = None;
+            let coord = self.coordinator(phase);
+            if let Some(CeMsg::Propose { phase: p, value }) = delivery.current_from(coord) {
+                if *p == phase {
+                    self.est = *value;
+                    self.ts = phase;
+                    self.adopted = Some(*value);
+                }
+            }
+            Step::Continue
+        } else {
+            // Echo round: count adoptions, remember the views.
+            let mut counts: std::collections::BTreeMap<Value, usize> = Default::default();
+            self.echo_view.clear();
+            let mut indirect: Option<Value> = None;
+            for m in delivery.current() {
+                if let CeMsg::Echo { phase: p, adopted, est, ts } = m.msg {
+                    if p == phase {
+                        self.echo_view.push((est, ts));
+                        if let Some(v) = adopted {
+                            *counts.entry(v).or_default() += 1;
+                            indirect = Some(match indirect {
+                                Some(w) => w.min(v),
+                                None => v,
+                            });
+                        }
+                    }
+                }
+            }
+            self.adopted = None;
+            for (&v, &count) in counts.iter() {
+                if count >= self.config.quorum() {
+                    return self.decide(v);
+                }
+            }
+            if let Some(v) = indirect {
+                // Someone adopted the coordinator's value this phase: adopt
+                // it indirectly to speed convergence (at most one value can
+                // be adopted per phase, so `indirect` is unambiguous).
+                self.est = v;
+                self.ts = phase;
+            }
+            Step::Continue
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use indulgent_model::{ProcessFactory, Value};
+    use indulgent_sim::{run_schedule, ModelKind, Schedule, ScheduleBuilder};
+
+    use super::*;
+
+    fn cfg() -> SystemConfig {
+        SystemConfig::majority(5, 2).unwrap()
+    }
+
+    fn factory(config: SystemConfig) -> impl ProcessFactory<Process = CoordinatorEcho> {
+        move |i: usize, v: Value| CoordinatorEcho::new(config, ProcessId::new(i), v)
+    }
+
+    fn vals(vs: &[u64]) -> Vec<Value> {
+        vs.iter().copied().map(Value::new).collect()
+    }
+
+    #[test]
+    fn failure_free_decides_at_round_two() {
+        let schedule = Schedule::failure_free(cfg(), ModelKind::Es);
+        let outcome = run_schedule(&factory(cfg()), &vals(&[3, 1, 4, 1, 5]), &schedule, 20);
+        outcome.check_consensus().unwrap();
+        assert_eq!(outcome.global_decision_round(), Some(Round::new(2)));
+        // Decision is the phase-1 coordinator's proposal.
+        for d in outcome.decisions.iter().flatten() {
+            assert_eq!(d.value, Value::new(3));
+        }
+    }
+
+    #[test]
+    fn each_coordinator_crash_costs_two_rounds() {
+        // Coordinators p0 and p1 crash before proposing: decision lands at
+        // round 2t + 2 = 6 — the Hurfin–Raynal worst-case shape.
+        let schedule = ScheduleBuilder::new(cfg(), ModelKind::Es)
+            .crash_before_send(ProcessId::new(0), Round::new(1))
+            .crash_before_send(ProcessId::new(1), Round::new(3))
+            .build(20)
+            .unwrap();
+        let outcome = run_schedule(&factory(cfg()), &vals(&[3, 1, 4, 1, 5]), &schedule, 20);
+        outcome.check_consensus().unwrap();
+        assert_eq!(outcome.global_decision_round(), Some(Round::new(6)));
+    }
+
+    #[test]
+    fn one_coordinator_crash_decides_at_round_four() {
+        let schedule = ScheduleBuilder::new(cfg(), ModelKind::Es)
+            .crash_before_send(ProcessId::new(0), Round::new(1))
+            .build(20)
+            .unwrap();
+        let outcome = run_schedule(&factory(cfg()), &vals(&[3, 1, 4, 1, 5]), &schedule, 20);
+        outcome.check_consensus().unwrap();
+        assert_eq!(outcome.global_decision_round(), Some(Round::new(4)));
+    }
+
+    #[test]
+    fn partial_echo_delivery_preserves_agreement() {
+        // The coordinator's proposal is delayed to two processes during an
+        // asynchronous prefix; agreement must survive.
+        let schedule = ScheduleBuilder::new(cfg(), ModelKind::Es)
+            .sync_from(Round::new(5))
+            .delay(Round::new(1), ProcessId::new(0), ProcessId::new(3), Round::new(5))
+            .delay(Round::new(1), ProcessId::new(0), ProcessId::new(4), Round::new(5))
+            .build(30)
+            .unwrap();
+        let outcome = run_schedule(&factory(cfg()), &vals(&[3, 1, 4, 1, 5]), &schedule, 30);
+        outcome.check_consensus().unwrap();
+    }
+
+    #[test]
+    fn random_runs_satisfy_consensus() {
+        for seed in 0..200u64 {
+            let schedule = indulgent_sim::random_run(
+                cfg(),
+                ModelKind::Es,
+                indulgent_sim::RandomRunParams::synchronous((seed % 3) as usize, 6),
+                60,
+                seed,
+            );
+            let outcome = run_schedule(&factory(cfg()), &vals(&[9, 2, 5, 2, 8]), &schedule, 60);
+            outcome.check_consensus().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn random_es_runs_safe_and_live() {
+        for seed in 0..100u64 {
+            let schedule = indulgent_sim::random_run(
+                cfg(),
+                ModelKind::Es,
+                indulgent_sim::RandomRunParams::eventually_synchronous((seed % 3) as usize, 6, 8),
+                80,
+                seed,
+            );
+            let outcome = run_schedule(&factory(cfg()), &vals(&[9, 2, 5, 2, 8]), &schedule, 80);
+            outcome.check_consensus().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Early-deciding uniform consensus in SCS: `min(f + 2, t + 1)` rounds.
+//!
+//! The paper's Sect. 6 discusses *early decision*: in runs with only
+//! `f < t` actual crashes, how fast can a decision come? For the
+//! synchronous model the tight bound for **uniform** consensus is
+//! `min(f + 2, t + 1)` (Charron-Bost & Schiper [4]; Keidar & Rajsbaum
+//! [11]) — one round more than the `f + 1` of non-uniform consensus. This
+//! module implements the classic quiescence-based algorithm achieving it,
+//! as the SCS-side companion of the ES early-decision experiment (E7):
+//!
+//! * flood the estimate every round and take minima, as FloodSet does;
+//! * call round `r` *quiescent* for `p_i` if the set of processes heard in
+//!   round `r` equals the set heard in round `r - 1` (round 0 = everyone):
+//!   no *new* crash became visible, so `p_i`'s estimate has stabilized at
+//!   the global minimum of the surviving values;
+//! * decide **one round after** the first quiescent round (the extra round
+//!   makes the decision uniform: it gives the estimate one more hop, so a
+//!   process that decides-then-crashes cannot leave a different value
+//!   behind), or unconditionally at round `t + 1` (the FloodSet bound).
+//!
+//! With `f` crashes at most `f` rounds are non-quiescent, so the first
+//! quiescent round is at most `f + 1` and the decision comes by
+//! `min(f + 2, t + 1)`. The exhaustive checker sweeps in the tests verify
+//! uniform agreement over every serial run for small systems.
+
+use indulgent_model::{Delivery, ProcessSet, Round, RoundProcess, Step, SystemConfig, Value};
+
+/// The early-deciding uniform consensus automaton for SCS (see module
+/// docs).
+#[derive(Debug, Clone)]
+pub struct EarlyFloodSet {
+    config: SystemConfig,
+    est: Value,
+    prev_heard: ProcessSet,
+    /// Set when a quiescent round has been observed; decision follows one
+    /// round later.
+    quiescent_at: Option<Round>,
+    decided: bool,
+}
+
+impl EarlyFloodSet {
+    /// Creates the automaton proposing `proposal` in system `config`.
+    #[must_use]
+    pub fn new(config: SystemConfig, proposal: Value) -> Self {
+        EarlyFloodSet {
+            config,
+            est: proposal,
+            prev_heard: config.all(),
+            quiescent_at: None,
+            decided: false,
+        }
+    }
+
+    /// The current estimate.
+    #[must_use]
+    pub fn estimate(&self) -> Value {
+        self.est
+    }
+
+    /// The first quiescent round observed so far, if any.
+    #[must_use]
+    pub fn quiescent_at(&self) -> Option<Round> {
+        self.quiescent_at
+    }
+}
+
+impl RoundProcess for EarlyFloodSet {
+    type Msg = Value;
+
+    fn send(&mut self, _round: Round) -> Value {
+        self.est
+    }
+
+    fn deliver(&mut self, round: Round, delivery: &Delivery<Value>) -> Step {
+        for m in delivery.current() {
+            self.est = self.est.min(m.msg);
+        }
+        let heard = delivery.current_senders();
+        let quiescent = heard == self.prev_heard;
+        // Decide one round after the first quiescent round, or at t + 1.
+        let due = self
+            .quiescent_at
+            .is_some_and(|q| round > q)
+            || round.get() > self.config.t() as u32;
+        if quiescent && self.quiescent_at.is_none() {
+            self.quiescent_at = Some(round);
+        }
+        self.prev_heard = heard;
+        if due && !self.decided {
+            self.decided = true;
+            Step::Decide(self.est)
+        } else {
+            Step::Continue
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use indulgent_model::{ProcessFactory, ProcessId};
+    use indulgent_sim::{run_schedule, ModelKind, Schedule, ScheduleBuilder};
+
+    use super::*;
+
+    fn factory(config: SystemConfig) -> impl ProcessFactory<Process = EarlyFloodSet> {
+        move |_i: usize, v: Value| EarlyFloodSet::new(config, v)
+    }
+
+    fn vals(vs: &[u64]) -> Vec<Value> {
+        vs.iter().copied().map(Value::new).collect()
+    }
+
+    #[test]
+    fn failure_free_decides_at_round_two() {
+        // f = 0: round 1 is quiescent (heard everyone = initial set),
+        // decision at round 2 = f + 2.
+        let config = SystemConfig::synchronous(5, 3).unwrap();
+        let schedule = Schedule::failure_free(config, ModelKind::Scs);
+        let outcome = run_schedule(&factory(config), &vals(&[6, 2, 8, 4, 7]), &schedule, 10);
+        outcome.check_consensus().unwrap();
+        assert_eq!(outcome.global_decision_round(), Some(Round::new(2)));
+    }
+
+    #[test]
+    fn one_crash_decides_by_round_three() {
+        let config = SystemConfig::synchronous(5, 3).unwrap();
+        let schedule = ScheduleBuilder::new(config, ModelKind::Scs)
+            .crash_before_send(ProcessId::new(1), Round::new(1))
+            .build(10)
+            .unwrap();
+        let outcome = run_schedule(&factory(config), &vals(&[6, 2, 8, 4, 7]), &schedule, 10);
+        outcome.check_consensus().unwrap();
+        assert!(outcome.global_decision_round().unwrap() <= Round::new(3)); // f + 2
+    }
+
+    #[test]
+    fn never_later_than_t_plus_one() {
+        // Worst case (crashes in every round up to t): the t + 1 FloodSet
+        // cap kicks in.
+        let config = SystemConfig::synchronous(5, 3).unwrap();
+        let schedule = ScheduleBuilder::new(config, ModelKind::Scs)
+            .crash_delivering_only(ProcessId::new(1), Round::new(1), [ProcessId::new(0)])
+            .crash_delivering_only(ProcessId::new(0), Round::new(2), [ProcessId::new(2)])
+            .crash_delivering_only(ProcessId::new(2), Round::new(3), [ProcessId::new(3)])
+            .build(10)
+            .unwrap();
+        let outcome = run_schedule(&factory(config), &vals(&[6, 2, 8, 4, 7]), &schedule, 10);
+        outcome.check_consensus().unwrap();
+        assert!(outcome.global_decision_round().unwrap() <= Round::new(4)); // t + 1
+    }
+
+    #[test]
+    fn exhaustive_serial_runs_meet_min_f_plus_2_t_plus_1() {
+        // The headline property, exhaustively for n = 4, t = 2: uniform
+        // consensus holds in every serial run and the global decision round
+        // is at most min(f + 2, t + 1).
+        let config = SystemConfig::synchronous(4, 2).unwrap();
+        let mut runs = 0u32;
+        let _ = indulgent_sim::for_each_serial_schedule(config, ModelKind::Scs, 3, |schedule| {
+            let outcome = run_schedule(&factory(config), &vals(&[6, 2, 8, 4]), schedule, 10);
+            outcome.check_consensus().unwrap_or_else(|e| panic!("{e} in {schedule:?}"));
+            let f = schedule.crash_count() as u32;
+            let bound = (f + 2).min(config.t() as u32 + 1);
+            assert!(
+                outcome.global_decision_round().unwrap() <= Round::new(bound),
+                "f={f}: decided at {:?} > {bound} in {schedule:?}",
+                outcome.global_decision_round()
+            );
+            runs += 1;
+            std::ops::ControlFlow::Continue(())
+        });
+        assert!(runs > 1000);
+    }
+
+    #[test]
+    fn exhaustive_serial_runs_n5_t2() {
+        let config = SystemConfig::synchronous(5, 2).unwrap();
+        let _ = indulgent_sim::for_each_serial_schedule(config, ModelKind::Scs, 3, |schedule| {
+            let outcome = run_schedule(&factory(config), &vals(&[6, 2, 8, 4, 7]), schedule, 10);
+            outcome.check_consensus().unwrap_or_else(|e| panic!("{e} in {schedule:?}"));
+            let f = schedule.crash_count() as u32;
+            let bound = (f + 2).min(config.t() as u32 + 1);
+            assert!(outcome.global_decision_round().unwrap() <= Round::new(bound));
+            std::ops::ControlFlow::Continue(())
+        });
+    }
+
+    #[test]
+    fn random_synchronous_runs_with_simultaneous_crashes() {
+        // The serial enumerator never crashes two processes in one round;
+        // the random generator does. Uniform agreement must survive.
+        let config = SystemConfig::synchronous(6, 3).unwrap();
+        for seed in 0..300u64 {
+            let schedule = indulgent_sim::random_run(
+                config,
+                ModelKind::Scs,
+                indulgent_sim::RandomRunParams::synchronous((seed % 4) as usize, 3),
+                12,
+                seed,
+            );
+            let outcome =
+                run_schedule(&factory(config), &vals(&[6, 2, 8, 4, 7, 5]), &schedule, 12);
+            outcome.check_consensus().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn quiescence_tracker_reports_first_quiescent_round() {
+        let config = SystemConfig::synchronous(3, 1).unwrap();
+        let mut p = EarlyFloodSet::new(config, Value::new(4));
+        assert_eq!(p.quiescent_at(), None);
+        let full = |r: u32, ests: &[u64]| {
+            Delivery::new(
+                Round::new(r),
+                ests.iter()
+                    .enumerate()
+                    .map(|(i, &e)| indulgent_model::DeliveredMsg {
+                        sender: ProcessId::new(i),
+                        sent_round: Round::new(r),
+                        msg: Value::new(e),
+                    })
+                    .collect(),
+            )
+        };
+        let _ = p.send(Round::new(1));
+        let step = p.deliver(Round::new(1), &full(1, &[4, 2, 9]));
+        assert_eq!(step, Step::Continue);
+        assert_eq!(p.quiescent_at(), Some(Round::new(1)));
+        assert_eq!(p.estimate(), Value::new(2));
+        let _ = p.send(Round::new(2));
+        let step = p.deliver(Round::new(2), &full(2, &[2, 2, 2]));
+        assert_eq!(step, Step::Decide(Value::new(2)));
+    }
+}

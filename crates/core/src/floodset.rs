@@ -1,0 +1,172 @@
+//! `FloodSet`: the classic synchronous-model consensus (Lynch).
+//!
+//! In SCS, flooding estimates for `t + 1` rounds and deciding the minimum
+//! achieves global decision at round `t + 1` in *every* run — the matching
+//! upper bound for the classic `t + 1` lower bound. The paper uses this
+//! contrast (Sect. 1.3) to quantify the price of indulgence: the same
+//! problem needs `t + 2` rounds in ES.
+//!
+//! The correctness argument needs the SCS delivery guarantee: among rounds
+//! `1..=t+1` at least one is crash-free, after which all alive processes
+//! hold the same minimum, so everyone decides the same value at `t + 1`.
+//! Running this automaton in ES (where false suspicions delay messages
+//! without crashes) violates agreement — which is precisely the point of
+//! the paper, and is demonstrated by `exp_scs_contrast` and the ablation
+//! tests.
+
+use indulgent_model::{Delivery, Round, RoundProcess, Step, SystemConfig, Value};
+
+/// The FloodSet automaton for SCS. Decides at the end of round `t + 1`.
+#[derive(Debug, Clone)]
+pub struct FloodSet {
+    decide_round: Round,
+    est: Value,
+    decided: bool,
+}
+
+impl FloodSet {
+    /// Creates the automaton proposing `proposal` in system `config`.
+    #[must_use]
+    pub fn new(config: SystemConfig, proposal: Value) -> Self {
+        FloodSet {
+            decide_round: Round::new(config.t() as u32 + 1),
+            est: proposal,
+            decided: false,
+        }
+    }
+
+    /// Creates a FloodSet variant deciding at the end of `round` instead of
+    /// `t + 1`.
+    ///
+    /// Deciding earlier than `t + 1` is **unsound** — that is the point: the
+    /// checker uses this constructor to demonstrate, by exhaustive search,
+    /// that a `t`-round variant violates agreement in some serial run
+    /// (the classic `t + 1` lower bound made executable).
+    #[must_use]
+    pub fn deciding_at(round: Round, proposal: Value) -> Self {
+        FloodSet { decide_round: round, est: proposal, decided: false }
+    }
+
+    /// The current estimate (minimum value seen so far).
+    #[must_use]
+    pub fn estimate(&self) -> Value {
+        self.est
+    }
+}
+
+impl RoundProcess for FloodSet {
+    type Msg = Value;
+
+    fn send(&mut self, _round: Round) -> Value {
+        self.est
+    }
+
+    fn deliver(&mut self, round: Round, delivery: &Delivery<Value>) -> Step {
+        for m in delivery.current() {
+            self.est = self.est.min(m.msg);
+        }
+        if round >= self.decide_round && !self.decided {
+            self.decided = true;
+            Step::Decide(self.est)
+        } else {
+            Step::Continue
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use indulgent_model::{ProcessFactory, ProcessId, Value};
+    use indulgent_sim::{run_schedule, ModelKind, Schedule, ScheduleBuilder};
+
+    use super::*;
+
+    fn cfg() -> SystemConfig {
+        SystemConfig::synchronous(4, 2).unwrap()
+    }
+
+    fn factory(config: SystemConfig) -> impl ProcessFactory<Process = FloodSet> {
+        move |_i: usize, v: Value| FloodSet::new(config, v)
+    }
+
+    fn vals(vs: &[u64]) -> Vec<Value> {
+        vs.iter().copied().map(Value::new).collect()
+    }
+
+    #[test]
+    fn decides_min_at_t_plus_one_when_failure_free() {
+        let schedule = Schedule::failure_free(cfg(), ModelKind::Scs);
+        let outcome = run_schedule(&factory(cfg()), &vals(&[6, 2, 8, 4]), &schedule, 10);
+        outcome.check_consensus().unwrap();
+        assert_eq!(outcome.global_decision_round(), Some(Round::new(3))); // t + 1
+        for d in outcome.decisions.iter().flatten() {
+            assert_eq!(d.value, Value::new(2));
+        }
+    }
+
+    #[test]
+    fn chain_of_crashes_still_agrees_at_t_plus_one() {
+        // The classic hard case: a value travels through a chain of
+        // crashing processes. p1 (holding the minimum) crashes in round 1
+        // delivering only to p0; p0 crashes in round 2 delivering only to
+        // p2. Round 3 (= t + 1) is clean, so all decide together.
+        let schedule = ScheduleBuilder::new(cfg(), ModelKind::Scs)
+            .crash_delivering_only(ProcessId::new(1), Round::new(1), [ProcessId::new(0)])
+            .crash_delivering_only(ProcessId::new(0), Round::new(2), [ProcessId::new(2)])
+            .build(10)
+            .unwrap();
+        let outcome = run_schedule(&factory(cfg()), &vals(&[6, 2, 8, 4]), &schedule, 10);
+        outcome.check_consensus().unwrap();
+        // p2 and p3 both decide 2: the value reached p2 via the chain and
+        // p3 hears it from p2's round-3 flood.
+        assert_eq!(outcome.decision_of(ProcessId::new(2)).unwrap().value, Value::new(2));
+        assert_eq!(outcome.decision_of(ProcessId::new(3)).unwrap().value, Value::new(2));
+    }
+
+    #[test]
+    fn hidden_value_never_decided_by_anyone() {
+        // p1 crashes before sending anything: its minimum proposal is
+        // invisible and must not be decided.
+        let schedule = ScheduleBuilder::new(cfg(), ModelKind::Scs)
+            .crash_before_send(ProcessId::new(1), Round::new(1))
+            .build(10)
+            .unwrap();
+        let outcome = run_schedule(&factory(cfg()), &vals(&[6, 2, 8, 4]), &schedule, 10);
+        outcome.check_consensus().unwrap();
+        for d in outcome.decisions.iter().flatten() {
+            assert_eq!(d.value, Value::new(4));
+        }
+    }
+
+    #[test]
+    fn exhaustive_serial_runs_satisfy_consensus_in_scs() {
+        // Every serial SCS run of n=4, t=2 must satisfy all three consensus
+        // properties with decision exactly at round t + 1 = 3.
+        let config = cfg();
+        let mut runs = 0u32;
+        let _ = indulgent_sim::for_each_serial_schedule(config, ModelKind::Scs, 3, |schedule| {
+            let outcome = run_schedule(&factory(config), &vals(&[6, 2, 8, 4]), schedule, 10);
+            outcome.check_consensus().unwrap();
+            assert_eq!(outcome.global_decision_round(), Some(Round::new(3)));
+            runs += 1;
+            std::ops::ControlFlow::Continue(())
+        });
+        assert!(runs > 1000, "expected a substantial run space, got {runs}");
+    }
+
+    #[test]
+    fn estimate_accessor_tracks_minimum() {
+        let mut fs = FloodSet::new(cfg(), Value::new(9));
+        assert_eq!(fs.estimate(), Value::new(9));
+        let d = Delivery::new(
+            Round::FIRST,
+            vec![indulgent_model::DeliveredMsg {
+                sender: ProcessId::new(1),
+                sent_round: Round::FIRST,
+                msg: Value::new(4),
+            }],
+        );
+        let _ = fs.deliver(Round::FIRST, &d);
+        assert_eq!(fs.estimate(), Value::new(4));
+    }
+}

@@ -1,0 +1,283 @@
+//! The leader-based baseline `AMR` for `t < n/3` (Mostefaoui–Raynal).
+//!
+//! The paper's Sect. 6 compares its `A_{f+2}` algorithm against the
+//! leader-based algorithm of Mostefaoui & Raynal, noting that a run that is
+//! synchronous after round `k` with `f` later crashes requires
+//! **`k + 2f + 2`** rounds for `AMR` — two rounds per crashed leader —
+//! against `k + f + 2` for `A_{f+2}`. Following the paper's footnote 10,
+//! the eventual leader primitive is implemented directly in ES: each process
+//! takes as leader the minimum-id sender among the messages it received in
+//! the latest all-to-all round.
+//!
+//! Protocol per 2-round phase `p`:
+//!
+//! * round `2p - 1` (*propose*): every process believing itself leader
+//!   broadcasts its estimate; receivers adopt the proposal of the
+//!   minimum-id proposer they hear;
+//! * round `2p` (*echo*): everyone echoes `(adopted?, est)`; a process
+//!   seeing `n - t` echoes that adopted the same `v` decides `v`; otherwise
+//!   it re-estimates with the `n - 2t` threshold rule of `A_{f+2}` (any
+//!   value appearing `n - 2t` times is adopted — with `t < n/3` at most one
+//!   can — else the minimum), and updates its leader to the minimum-id
+//!   sender heard in this round.
+
+use indulgent_model::{Delivery, ProcessId, Round, RoundProcess, Step, SystemConfig, Value};
+
+/// Messages of [`LeaderEcho`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LeMsg {
+    /// A self-believed leader's proposal.
+    Propose {
+        /// Phase number.
+        phase: u64,
+        /// Proposed value.
+        value: Value,
+    },
+    /// All-to-all echo closing a phase.
+    Echo {
+        /// Phase number.
+        phase: u64,
+        /// `Some(v)` if the sender adopted a leader proposal this phase.
+        adopted: Option<Value>,
+        /// Sender's current estimate.
+        est: Value,
+    },
+    /// Decision relay.
+    Decide(Value),
+    /// Filler message for non-leaders in propose rounds.
+    Noop,
+}
+
+fn phase_pos(round: Round) -> (u64, bool) {
+    let r = u64::from(round.get());
+    ((r - 1) / 2 + 1, (r - 1) % 2 == 1)
+}
+
+/// The leader-based `AMR` baseline (see module docs). Requires `t < n/3`.
+#[derive(Debug, Clone)]
+pub struct LeaderEcho {
+    config: SystemConfig,
+    id: ProcessId,
+    est: Value,
+    leader: ProcessId,
+    adopted: Option<Value>,
+    decided: Option<Value>,
+    reported: bool,
+}
+
+impl LeaderEcho {
+    /// Creates the automaton for process `id` proposing `proposal`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` does not satisfy `t < n/3`, the regime this
+    /// algorithm requires for safety.
+    #[must_use]
+    pub fn new(config: SystemConfig, id: ProcessId, proposal: Value) -> Self {
+        assert!(3 * config.t() < config.n(), "LeaderEcho requires t < n/3");
+        LeaderEcho {
+            config,
+            id,
+            est: proposal,
+            leader: ProcessId::new(0),
+            adopted: None,
+            decided: None,
+            reported: false,
+        }
+    }
+
+    /// The process this automaton currently believes to be the leader.
+    #[must_use]
+    pub fn leader(&self) -> ProcessId {
+        self.leader
+    }
+
+    fn decide(&mut self, v: Value) -> Step {
+        if self.decided.is_none() {
+            self.decided = Some(v);
+        }
+        if self.reported {
+            Step::Continue
+        } else {
+            self.reported = true;
+            Step::Decide(v)
+        }
+    }
+}
+
+impl RoundProcess for LeaderEcho {
+    type Msg = LeMsg;
+
+    fn send(&mut self, round: Round) -> LeMsg {
+        if let Some(v) = self.decided {
+            return LeMsg::Decide(v);
+        }
+        let (phase, is_echo) = phase_pos(round);
+        if is_echo {
+            LeMsg::Echo { phase, adopted: self.adopted, est: self.est }
+        } else if self.leader == self.id {
+            LeMsg::Propose { phase, value: self.est }
+        } else {
+            LeMsg::Noop
+        }
+    }
+
+    fn deliver(&mut self, round: Round, delivery: &Delivery<LeMsg>) -> Step {
+        for m in delivery.messages() {
+            if let LeMsg::Decide(v) = m.msg {
+                return self.decide(v);
+            }
+        }
+        if self.decided.is_some() {
+            return Step::Continue;
+        }
+
+        let (phase, is_echo) = phase_pos(round);
+        if !is_echo {
+            // Propose round: adopt from the minimum-id proposer heard.
+            self.adopted = None;
+            let proposal = delivery
+                .current()
+                .filter_map(|m| match m.msg {
+                    LeMsg::Propose { phase: p, value } if p == phase => Some((m.sender, value)),
+                    _ => None,
+                })
+                .min_by_key(|&(sender, _)| sender);
+            if let Some((_, v)) = proposal {
+                self.est = v;
+                self.adopted = Some(v);
+            }
+            Step::Continue
+        } else {
+            let mut adopt_counts: std::collections::BTreeMap<Value, usize> = Default::default();
+            let mut est_counts: std::collections::BTreeMap<Value, usize> = Default::default();
+            for m in delivery.current() {
+                if let LeMsg::Echo { phase: p, adopted, est } = m.msg {
+                    if p == phase {
+                        *est_counts.entry(est).or_default() += 1;
+                        if let Some(v) = adopted {
+                            *adopt_counts.entry(v).or_default() += 1;
+                        }
+                    }
+                }
+            }
+            self.adopted = None;
+            for (&v, &count) in adopt_counts.iter() {
+                if count >= self.config.quorum() {
+                    return self.decide(v);
+                }
+            }
+            // Re-estimate with the n - 2t rule; with t < n/3 at most one
+            // value can reach the threshold.
+            let threshold = self.config.small_quorum();
+            if let Some((&v, _)) = est_counts.iter().find(|&(_, &c)| c >= threshold) {
+                self.est = v;
+            } else if let Some((&v, _)) = est_counts.iter().next() {
+                self.est = v; // minimum estimate (BTreeMap iterates in order)
+            }
+            // Leader update: minimum-id sender heard this round.
+            if let Some(min_sender) = delivery.current_senders().min() {
+                self.leader = min_sender;
+            }
+            Step::Continue
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use indulgent_model::{ProcessFactory, Value};
+    use indulgent_sim::{run_schedule, ModelKind, Schedule, ScheduleBuilder};
+
+    use super::*;
+
+    fn cfg() -> SystemConfig {
+        SystemConfig::third(7, 2).unwrap()
+    }
+
+    fn factory(config: SystemConfig) -> impl ProcessFactory<Process = LeaderEcho> {
+        move |i: usize, v: Value| LeaderEcho::new(config, ProcessId::new(i), v)
+    }
+
+    fn vals(vs: &[u64]) -> Vec<Value> {
+        vs.iter().copied().map(Value::new).collect()
+    }
+
+    #[test]
+    #[should_panic(expected = "t < n/3")]
+    fn rejects_majority_only_config() {
+        let bad = SystemConfig::majority(5, 2).unwrap();
+        let _ = LeaderEcho::new(bad, ProcessId::new(0), Value::ZERO);
+    }
+
+    #[test]
+    fn failure_free_decides_at_round_two() {
+        let schedule = Schedule::failure_free(cfg(), ModelKind::Es);
+        let outcome = run_schedule(&factory(cfg()), &vals(&[4, 2, 7, 2, 9, 1, 3]), &schedule, 20);
+        outcome.check_consensus().unwrap();
+        assert_eq!(outcome.global_decision_round(), Some(Round::new(2)));
+        // The initial leader p0's proposal wins.
+        for d in outcome.decisions.iter().flatten() {
+            assert_eq!(d.value, Value::new(4));
+        }
+    }
+
+    #[test]
+    fn leader_crash_costs_two_rounds() {
+        // p0 crashes before proposing; processes notice in the echo round
+        // and elect p1, which proposes in phase 2: decision at round 4
+        // (2f + 2 with f = 1).
+        let schedule = ScheduleBuilder::new(cfg(), ModelKind::Es)
+            .crash_before_send(ProcessId::new(0), Round::new(1))
+            .build(20)
+            .unwrap();
+        let outcome = run_schedule(&factory(cfg()), &vals(&[4, 2, 7, 2, 9, 1, 3]), &schedule, 20);
+        outcome.check_consensus().unwrap();
+        assert_eq!(outcome.global_decision_round(), Some(Round::new(4)));
+    }
+
+    #[test]
+    fn two_leader_crashes_cost_four_rounds() {
+        let schedule = ScheduleBuilder::new(cfg(), ModelKind::Es)
+            .crash_before_send(ProcessId::new(0), Round::new(1))
+            .crash_before_send(ProcessId::new(1), Round::new(3))
+            .build(20)
+            .unwrap();
+        let outcome = run_schedule(&factory(cfg()), &vals(&[4, 2, 7, 2, 9, 1, 3]), &schedule, 20);
+        outcome.check_consensus().unwrap();
+        // 2f + 2 with f = 2.
+        assert_eq!(outcome.global_decision_round(), Some(Round::new(6)));
+    }
+
+    #[test]
+    fn random_runs_satisfy_consensus() {
+        for seed in 0..200u64 {
+            let schedule = indulgent_sim::random_run(
+                cfg(),
+                ModelKind::Es,
+                indulgent_sim::RandomRunParams::synchronous((seed % 3) as usize, 6),
+                60,
+                seed,
+            );
+            let outcome =
+                run_schedule(&factory(cfg()), &vals(&[4, 2, 7, 2, 9, 1, 3]), &schedule, 60);
+            outcome.check_consensus().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn random_es_runs_safe_and_live() {
+        for seed in 0..100u64 {
+            let schedule = indulgent_sim::random_run(
+                cfg(),
+                ModelKind::Es,
+                indulgent_sim::RandomRunParams::eventually_synchronous((seed % 3) as usize, 5, 7),
+                80,
+                seed,
+            );
+            let outcome =
+                run_schedule(&factory(cfg()), &vals(&[4, 2, 7, 2, 9, 1, 3]), &schedule, 80);
+            outcome.check_consensus().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+}

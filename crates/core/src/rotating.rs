@@ -1,0 +1,331 @@
+//! A rotating-coordinator indulgent consensus for `t < n/2`.
+//!
+//! This is the workspace's stand-in for "any ◇S consensus algorithm C"
+//! (e.g. Chandra–Toueg) that `A_{t+2}` assumes as its fallback. Each phase
+//! takes three rounds:
+//!
+//! 1. **Estimate** — everyone broadcasts `(est, ts)`; the phase coordinator
+//!    picks the estimate with the highest timestamp;
+//! 2. **Propose** — the coordinator broadcasts its pick; receivers adopt it
+//!    (setting their timestamp to the phase number);
+//! 3. **Ack** — everyone reports whether it adopted; a process seeing
+//!    `n - t` acks for the same value decides it.
+//!
+//! Uniform agreement follows from majority locking: a decision at phase `p`
+//! means `n - t > n/2` processes hold `(v, ts = p)`, so every later
+//! coordinator's estimate pick (which reads `n - t` estimates) intersects
+//! the lock and selects `v`. Decisions are relayed with `DECIDE` messages.
+//!
+//! In the worst-case synchronous run the first `t` coordinators crash one
+//! phase after another, costing three rounds each: global decision at round
+//! `3t + 3`. That is *slower* than both the paper's `A_{t+2}` (`t + 2`) and
+//! the Hurfin–Raynal-style baseline (`2t + 2`), which is fine — it plays
+//! the role of the arbitrarily slow fallback.
+
+use indulgent_model::{Delivery, ProcessId, Round, SystemConfig, Value};
+
+use crate::underlying::UnderlyingConsensus;
+
+/// Messages of [`RotatingCoordinator`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RcMsg {
+    /// Round 1 of a phase: current estimate and its adoption timestamp.
+    Estimate {
+        /// Phase number.
+        phase: u64,
+        /// Sender's estimate.
+        est: Value,
+        /// Phase at which `est` was last adopted (0 = initial).
+        ts: u64,
+    },
+    /// Round 2 of a phase: the coordinator's proposal.
+    Propose {
+        /// Phase number.
+        phase: u64,
+        /// Proposed value.
+        value: Value,
+    },
+    /// Round 3 of a phase: did the sender adopt the proposal?
+    Ack {
+        /// Phase number.
+        phase: u64,
+        /// `Some(v)` if the sender adopted `v` this phase.
+        adopted: Option<Value>,
+    },
+    /// Decision relay.
+    Decide(Value),
+    /// Filler for rounds in which a process has nothing to say (the model
+    /// requires a message every round).
+    Noop,
+}
+
+/// Position of a local round within its 3-round phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pos {
+    Estimate,
+    Propose,
+    Ack,
+}
+
+fn phase_pos(round: Round) -> (u64, Pos) {
+    let r = u64::from(round.get());
+    let phase = (r - 1) / 3 + 1;
+    let pos = match (r - 1) % 3 {
+        0 => Pos::Estimate,
+        1 => Pos::Propose,
+        _ => Pos::Ack,
+    };
+    (phase, pos)
+}
+
+/// The rotating-coordinator consensus algorithm (see module docs).
+#[derive(Debug, Clone)]
+pub struct RotatingCoordinator {
+    config: SystemConfig,
+    id: ProcessId,
+    est: Value,
+    ts: u64,
+    /// Coordinator's pick for the current phase, set in the estimate round.
+    pick: Option<Value>,
+    /// Value adopted from the coordinator in the current phase.
+    adopted: Option<Value>,
+    decided: Option<Value>,
+    reported: bool,
+}
+
+impl RotatingCoordinator {
+    /// Creates the automaton for process `id` in system `config`. The
+    /// proposal is supplied later via [`UnderlyingConsensus::propose`].
+    #[must_use]
+    pub fn new(config: SystemConfig, id: ProcessId) -> Self {
+        RotatingCoordinator {
+            config,
+            id,
+            est: Value::ZERO,
+            ts: 0,
+            pick: None,
+            adopted: None,
+            decided: None,
+            reported: false,
+        }
+    }
+
+    /// The coordinator of `phase`: processes rotate in id order.
+    #[must_use]
+    pub fn coordinator(&self, phase: u64) -> ProcessId {
+        ProcessId::new(((phase - 1) % self.config.n() as u64) as usize)
+    }
+
+    fn decide(&mut self, v: Value) -> Option<Value> {
+        if self.decided.is_none() {
+            self.decided = Some(v);
+        }
+        if self.reported {
+            None
+        } else {
+            self.reported = true;
+            self.decided
+        }
+    }
+}
+
+impl UnderlyingConsensus for RotatingCoordinator {
+    type Msg = RcMsg;
+
+    fn propose(&mut self, value: Value) {
+        self.est = value;
+        self.ts = 0;
+    }
+
+    fn send(&mut self, round: Round) -> RcMsg {
+        if let Some(v) = self.decided {
+            return RcMsg::Decide(v);
+        }
+        let (phase, pos) = phase_pos(round);
+        match pos {
+            Pos::Estimate => RcMsg::Estimate { phase, est: self.est, ts: self.ts },
+            Pos::Propose => match self.pick.take() {
+                Some(value) if self.coordinator(phase) == self.id => {
+                    RcMsg::Propose { phase, value }
+                }
+                _ => RcMsg::Noop,
+            },
+            Pos::Ack => RcMsg::Ack { phase, adopted: self.adopted },
+        }
+    }
+
+    fn deliver(&mut self, round: Round, delivery: &Delivery<RcMsg>) -> Option<Value> {
+        // Decision relay first: any DECIDE, current or delayed, settles it.
+        for m in delivery.messages() {
+            if let RcMsg::Decide(v) = m.msg {
+                return self.decide(v);
+            }
+        }
+        if self.decided.is_some() {
+            return None;
+        }
+
+        let (phase, pos) = phase_pos(round);
+        match pos {
+            Pos::Estimate => {
+                if self.coordinator(phase) == self.id {
+                    // Highest timestamp wins; ties break towards the
+                    // smallest value for determinism.
+                    let best = delivery
+                        .current()
+                        .filter_map(|m| match m.msg {
+                            RcMsg::Estimate { phase: p, est, ts } if p == phase => Some((ts, est)),
+                            _ => None,
+                        })
+                        .max_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)));
+                    self.pick = best.map(|(_, est)| est);
+                }
+                None
+            }
+            Pos::Propose => {
+                self.adopted = None;
+                let coord = self.coordinator(phase);
+                if let Some(RcMsg::Propose { phase: p, value }) = delivery.current_from(coord) {
+                    if *p == phase {
+                        self.est = *value;
+                        self.ts = phase;
+                        self.adopted = Some(*value);
+                    }
+                }
+                None
+            }
+            Pos::Ack => {
+                let mut counts: std::collections::BTreeMap<Value, usize> = Default::default();
+                for m in delivery.current() {
+                    if let RcMsg::Ack { phase: p, adopted: Some(v) } = m.msg {
+                        if p == phase {
+                            *counts.entry(v).or_default() += 1;
+                        }
+                    }
+                }
+                self.adopted = None;
+                let quorum = self.config.quorum();
+                for (v, count) in counts {
+                    if count >= quorum {
+                        return self.decide(v);
+                    }
+                }
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use indulgent_model::{ProcessFactory, SystemConfig, Value};
+    use indulgent_sim::{run_schedule, ModelKind, Schedule, ScheduleBuilder};
+
+    use super::*;
+    use crate::underlying::Standalone;
+
+    fn cfg() -> SystemConfig {
+        SystemConfig::majority(5, 2).unwrap()
+    }
+
+    fn factory(config: SystemConfig) -> impl ProcessFactory<Process = Standalone<RotatingCoordinator>> {
+        move |i: usize, v: Value| {
+            Standalone::new(RotatingCoordinator::new(config, ProcessId::new(i)), v)
+        }
+    }
+
+    fn vals(vs: &[u64]) -> Vec<Value> {
+        vs.iter().copied().map(Value::new).collect()
+    }
+
+    #[test]
+    fn phase_positions() {
+        assert_eq!(phase_pos(Round::new(1)), (1, Pos::Estimate));
+        assert_eq!(phase_pos(Round::new(2)), (1, Pos::Propose));
+        assert_eq!(phase_pos(Round::new(3)), (1, Pos::Ack));
+        assert_eq!(phase_pos(Round::new(4)), (2, Pos::Estimate));
+        assert_eq!(phase_pos(Round::new(7)), (3, Pos::Estimate));
+    }
+
+    #[test]
+    fn coordinator_rotates() {
+        let rc = RotatingCoordinator::new(cfg(), ProcessId::new(0));
+        assert_eq!(rc.coordinator(1), ProcessId::new(0));
+        assert_eq!(rc.coordinator(5), ProcessId::new(4));
+        assert_eq!(rc.coordinator(6), ProcessId::new(0));
+    }
+
+    #[test]
+    fn failure_free_run_decides_in_one_phase() {
+        let schedule = Schedule::failure_free(cfg(), ModelKind::Es);
+        let outcome = run_schedule(&factory(cfg()), &vals(&[3, 1, 4, 1, 5]), &schedule, 30);
+        outcome.check_consensus().unwrap();
+        // Phase 1: everyone decides the coordinator's pick at round 3.
+        assert_eq!(outcome.global_decision_round(), Some(Round::new(3)));
+    }
+
+    #[test]
+    fn coordinator_crash_costs_a_phase() {
+        // p0 (phase 1 coordinator) crashes before proposing in round 2.
+        let schedule = ScheduleBuilder::new(cfg(), ModelKind::Es)
+            .crash_before_send(ProcessId::new(0), Round::new(2))
+            .build(30)
+            .unwrap();
+        let outcome = run_schedule(&factory(cfg()), &vals(&[3, 1, 4, 1, 5]), &schedule, 30);
+        outcome.check_consensus().unwrap();
+        assert_eq!(outcome.global_decision_round(), Some(Round::new(6)));
+    }
+
+    #[test]
+    fn two_coordinator_crashes_cost_two_phases() {
+        let schedule = ScheduleBuilder::new(cfg(), ModelKind::Es)
+            .crash_before_send(ProcessId::new(0), Round::new(2))
+            .crash_before_send(ProcessId::new(1), Round::new(5))
+            .build(30)
+            .unwrap();
+        let outcome = run_schedule(&factory(cfg()), &vals(&[3, 1, 4, 1, 5]), &schedule, 30);
+        outcome.check_consensus().unwrap();
+        // 3t + 3 with t = 2 coordinator crashes.
+        assert_eq!(outcome.global_decision_round(), Some(Round::new(9)));
+    }
+
+    #[test]
+    fn validity_holds_with_identical_proposals() {
+        let schedule = Schedule::failure_free(cfg(), ModelKind::Es);
+        let outcome = run_schedule(&factory(cfg()), &vals(&[7, 7, 7, 7, 7]), &schedule, 30);
+        outcome.check_consensus().unwrap();
+        for d in outcome.decisions.iter().flatten() {
+            assert_eq!(d.value, Value::new(7));
+        }
+    }
+
+    #[test]
+    fn asynchronous_prefix_delays_but_does_not_break() {
+        // Delay the phase-1 proposal to two processes (async until round 4):
+        // they miss adoption, but the quorum still decides, and the
+        // stragglers decide on the DECIDE relay.
+        let schedule = ScheduleBuilder::new(cfg(), ModelKind::Es)
+            .sync_from(Round::new(4))
+            .delay(Round::new(2), ProcessId::new(0), ProcessId::new(3), Round::new(4))
+            .delay(Round::new(2), ProcessId::new(0), ProcessId::new(4), Round::new(4))
+            .build(40)
+            .unwrap();
+        let outcome = run_schedule(&factory(cfg()), &vals(&[3, 1, 4, 1, 5]), &schedule, 40);
+        outcome.check_consensus().unwrap();
+    }
+
+    #[test]
+    fn random_synchronous_runs_satisfy_consensus() {
+        for seed in 0..200u64 {
+            let schedule = indulgent_sim::random_run(
+                cfg(),
+                ModelKind::Es,
+                indulgent_sim::RandomRunParams::synchronous((seed % 3) as usize, 6),
+                60,
+                seed,
+            );
+            let outcome = run_schedule(&factory(cfg()), &vals(&[3, 1, 4, 1, 5]), &schedule, 60);
+            outcome.check_consensus().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+}

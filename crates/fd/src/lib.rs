@@ -1,0 +1,405 @@
+//! Failure detector oracles for round-based consensus.
+//!
+//! The paper's Sect. 4 relates the eventually synchronous model **ES** to
+//! asynchronous round models enriched with unreliable failure detectors
+//! (Chandra & Toueg): the *eventually perfect* detector ◇P and the
+//! *eventually strong* detector ◇S. This crate provides:
+//!
+//! * the [`FailureDetector`] trait — a local module queried each round;
+//! * [`PerfectDetector`] (P): strong completeness and strong accuracy,
+//!   driven by ground-truth crash information;
+//! * [`EventuallyPerfectDetector`] (◇P): arbitrary scripted output before an
+//!   accuracy round `G`, perfect afterwards;
+//! * [`EventuallyStrongDetector`] (◇S): complete, but only *one* correct
+//!   process is guaranteed to stop being falsely suspected after `G`;
+//! * [`Suspicion`] — the suspicion source abstraction letting one algorithm
+//!   implementation run either on message-absence-derived suspicions (the
+//!   ES definition, also the paper's Sect. 4 simulation of ◇P from ES) or
+//!   on an explicit detector oracle (the `A_◇S` variant of Sect. 5.1).
+//!
+//! All detectors are deterministic: false suspicions are scripted, not
+//! sampled, so runs are exactly reproducible.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+
+use indulgent_model::{ProcessId, ProcessSet, Round};
+
+/// A failure detector: each process's local module outputs a set of
+/// suspected processes when queried in a round.
+///
+/// Determinism requirement: the output may depend only on `(observer,
+/// round)` and the detector's construction parameters, so that simulator
+/// runs are reproducible.
+pub trait FailureDetector {
+    /// The set of processes `observer`'s local module suspects in `round`.
+    fn suspects(&mut self, observer: ProcessId, round: Round) -> ProcessSet;
+}
+
+/// Ground-truth crash information driving the oracle detectors: for each
+/// process, the round in which it crashes (`None` = correct).
+///
+/// # Examples
+///
+/// ```
+/// use indulgent_fd::CrashInfo;
+/// use indulgent_model::{ProcessId, Round};
+///
+/// let info = CrashInfo::new(vec![None, Some(Round::new(2)), None]);
+/// assert!(info.crashed_before(ProcessId::new(1), Round::new(3)));
+/// assert!(!info.crashed_before(ProcessId::new(1), Round::new(2)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashInfo {
+    crash_rounds: Vec<Option<Round>>,
+}
+
+impl CrashInfo {
+    /// Creates crash information from per-process crash rounds.
+    #[must_use]
+    pub fn new(crash_rounds: Vec<Option<Round>>) -> Self {
+        CrashInfo { crash_rounds }
+    }
+
+    /// Crash information with no crashes among `n` processes.
+    #[must_use]
+    pub fn none(n: usize) -> Self {
+        CrashInfo { crash_rounds: vec![None; n] }
+    }
+
+    /// Number of processes described.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.crash_rounds.len()
+    }
+
+    /// Returns `true` if `p` crashed strictly before `round` (so `p`
+    /// certainly sends nothing in `round`).
+    #[must_use]
+    pub fn crashed_before(&self, p: ProcessId, round: Round) -> bool {
+        match self.crash_rounds.get(p.index()).copied().flatten() {
+            Some(r) => r < round,
+            None => false,
+        }
+    }
+
+    /// The set of processes that crashed strictly before `round`.
+    #[must_use]
+    pub fn crashed_set(&self, round: Round) -> ProcessSet {
+        (0..self.n())
+            .map(ProcessId::new)
+            .filter(|&p| self.crashed_before(p, round))
+            .collect()
+    }
+
+    /// The faulty processes (those that crash at any round).
+    #[must_use]
+    pub fn faulty(&self) -> ProcessSet {
+        (0..self.n())
+            .map(ProcessId::new)
+            .filter(|&p| self.crash_rounds[p.index()].is_some())
+            .collect()
+    }
+}
+
+/// The perfect failure detector **P**: strong completeness (crashed
+/// processes are suspected by everyone from the round after their crash)
+/// and strong accuracy (no process is suspected before it crashes).
+///
+/// # Examples
+///
+/// ```
+/// use indulgent_fd::{CrashInfo, FailureDetector, PerfectDetector};
+/// use indulgent_model::{ProcessId, Round};
+///
+/// let mut p = PerfectDetector::new(CrashInfo::new(vec![None, Some(Round::new(1)), None]));
+/// assert!(p.suspects(ProcessId::new(0), Round::new(2)).contains(ProcessId::new(1)));
+/// assert!(p.suspects(ProcessId::new(0), Round::new(1)).is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct PerfectDetector {
+    info: CrashInfo,
+}
+
+impl PerfectDetector {
+    /// Creates a perfect detector from ground-truth crash information.
+    #[must_use]
+    pub fn new(info: CrashInfo) -> Self {
+        PerfectDetector { info }
+    }
+}
+
+impl FailureDetector for PerfectDetector {
+    fn suspects(&mut self, _observer: ProcessId, round: Round) -> ProcessSet {
+        self.info.crashed_set(round)
+    }
+}
+
+/// A script of false suspicions: `(round, observer) → extra suspected set`.
+///
+/// Used to make the unreliable period of ◇P / ◇S detectors fully
+/// deterministic and hand-craftable in tests and experiments.
+pub type SuspicionScript = BTreeMap<(u32, usize), ProcessSet>;
+
+/// The eventually perfect failure detector **◇P**: before the accuracy
+/// round `G` its output is arbitrary (taken from a [`SuspicionScript`] plus
+/// true crashes); from `G` on it behaves like [`PerfectDetector`].
+///
+/// Strong completeness holds throughout (crashed processes are always
+/// included); eventual strong accuracy holds from `G`.
+#[derive(Debug, Clone)]
+pub struct EventuallyPerfectDetector {
+    info: CrashInfo,
+    accuracy_round: Round,
+    script: SuspicionScript,
+}
+
+impl EventuallyPerfectDetector {
+    /// Creates a ◇P detector that stops making mistakes at `accuracy_round`.
+    #[must_use]
+    pub fn new(info: CrashInfo, accuracy_round: Round, script: SuspicionScript) -> Self {
+        EventuallyPerfectDetector { info, accuracy_round, script }
+    }
+
+    /// A ◇P detector that never makes mistakes (equivalent to P).
+    #[must_use]
+    pub fn accurate(info: CrashInfo) -> Self {
+        Self::new(info, Round::FIRST, SuspicionScript::new())
+    }
+}
+
+impl FailureDetector for EventuallyPerfectDetector {
+    fn suspects(&mut self, observer: ProcessId, round: Round) -> ProcessSet {
+        let mut out = self.info.crashed_set(round);
+        if round < self.accuracy_round {
+            if let Some(extra) = self.script.get(&(round.get(), observer.index())) {
+                let mut with_extra = out.union(*extra);
+                // A process never suspects itself.
+                with_extra.remove(observer);
+                out = with_extra;
+            }
+        }
+        out
+    }
+}
+
+/// The eventually strong failure detector **◇S**: strong completeness, but
+/// only *eventual weak accuracy* — after round `G` the designated `trusted`
+/// correct process is never suspected, while any other process may keep
+/// being falsely suspected forever (per the script).
+#[derive(Debug, Clone)]
+pub struct EventuallyStrongDetector {
+    info: CrashInfo,
+    accuracy_round: Round,
+    trusted: ProcessId,
+    script: SuspicionScript,
+}
+
+impl EventuallyStrongDetector {
+    /// Creates a ◇S detector trusting `trusted` from `accuracy_round` on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trusted` is faulty in `info` — eventual weak accuracy
+    /// requires a *correct* process to be eventually trusted.
+    #[must_use]
+    pub fn new(
+        info: CrashInfo,
+        accuracy_round: Round,
+        trusted: ProcessId,
+        script: SuspicionScript,
+    ) -> Self {
+        assert!(
+            !info.faulty().contains(trusted),
+            "the eventually trusted process must be correct"
+        );
+        EventuallyStrongDetector { info, accuracy_round, trusted, script }
+    }
+}
+
+impl FailureDetector for EventuallyStrongDetector {
+    fn suspects(&mut self, observer: ProcessId, round: Round) -> ProcessSet {
+        let mut out = self.info.crashed_set(round);
+        if let Some(extra) = self.script.get(&(round.get(), observer.index())) {
+            out = out.union(*extra);
+        }
+        if round >= self.accuracy_round {
+            out.remove(self.trusted);
+        }
+        out.remove(observer);
+        out
+    }
+}
+
+/// The suspicion source used by suspicion-tracking algorithms.
+///
+/// In **ES** the model itself defines suspicion: `pi` suspects `pj` in round
+/// `k` iff `pj`'s round-`k` message did not arrive in round `k`
+/// ([`Suspicion::Derived`]). In an asynchronous round model enriched with a
+/// failure detector, suspicion is the local detector output
+/// ([`Suspicion::Detector`]). The paper's Sect. 4 shows the first simulates
+/// the second; keeping both lets `A_{t+2}` and `A_◇S` share one
+/// implementation.
+#[derive(Debug, Clone)]
+pub enum Suspicion<D> {
+    /// Suspect exactly the processes whose current-round message is absent.
+    Derived,
+    /// Suspect what the failure detector module outputs, *plus* the absent
+    /// processes.
+    ///
+    /// In an FD-enriched asynchronous round model a process waits for
+    /// messages "from all processes not suspected by the local failure
+    /// detector module" (paper Sect. 4), so the receive phase can only end
+    /// with a message missing if its sender is suspected. In our
+    /// delivery-driven simulator the equivalent statement is that an absent
+    /// sender counts as suspected; without it the elimination property of
+    /// `A_{t+2}` (paper Lemma 7) would not carry over.
+    Detector(D),
+}
+
+impl<D: FailureDetector> Suspicion<D> {
+    /// Computes the suspicion set for `observer` in `round`, given the set
+    /// `absent` of processes whose current-round message did not arrive.
+    ///
+    /// The result never contains `observer` itself (algorithm assumption 2
+    /// of the paper: no process ever suspects itself).
+    pub fn suspects(&mut self, observer: ProcessId, round: Round, absent: ProcessSet) -> ProcessSet {
+        let mut out = match self {
+            Suspicion::Derived => absent,
+            Suspicion::Detector(d) => d.suspects(observer, round).union(absent),
+        };
+        out.remove(observer);
+        out
+    }
+}
+
+/// A placeholder detector for purely derived suspicion; it suspects nobody
+/// and is never consulted by algorithms configured with
+/// [`Suspicion::Derived`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoDetector;
+
+impl FailureDetector for NoDetector {
+    fn suspects(&mut self, _observer: ProcessId, _round: Round) -> ProcessSet {
+        ProcessSet::empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn crash_info() -> CrashInfo {
+        // p1 crashes in round 2, p3 crashes in round 4, out of 5 processes.
+        CrashInfo::new(vec![None, Some(Round::new(2)), None, Some(Round::new(4)), None])
+    }
+
+    #[test]
+    fn crash_info_accessors() {
+        let info = crash_info();
+        assert_eq!(info.n(), 5);
+        assert_eq!(info.faulty().len(), 2);
+        assert!(info.crashed_before(ProcessId::new(1), Round::new(3)));
+        assert!(!info.crashed_before(ProcessId::new(1), Round::new(2)));
+        assert_eq!(info.crashed_set(Round::new(5)).len(), 2);
+        assert!(CrashInfo::none(3).faulty().is_empty());
+    }
+
+    #[test]
+    fn perfect_detector_strong_accuracy_and_completeness() {
+        let mut p = PerfectDetector::new(crash_info());
+        // Round 2: nobody crashed strictly before round 2.
+        assert!(p.suspects(ProcessId::new(0), Round::new(2)).is_empty());
+        // Round 3: p1 crashed in round 2.
+        let s = p.suspects(ProcessId::new(0), Round::new(3));
+        assert!(s.contains(ProcessId::new(1)));
+        assert!(!s.contains(ProcessId::new(3)));
+        // Round 5: both crashed.
+        assert_eq!(p.suspects(ProcessId::new(2), Round::new(5)).len(), 2);
+    }
+
+    #[test]
+    fn eventually_perfect_follows_script_then_converges() {
+        let mut script = SuspicionScript::new();
+        // In round 1 p0 falsely suspects p2 and p4.
+        script.insert((1, 0), ProcessSet::from_ids([ProcessId::new(2), ProcessId::new(4)]));
+        let mut d = EventuallyPerfectDetector::new(crash_info(), Round::new(3), script);
+        let r1 = d.suspects(ProcessId::new(0), Round::new(1));
+        assert!(r1.contains(ProcessId::new(2)));
+        assert!(r1.contains(ProcessId::new(4)));
+        // Other observers see no false suspicions (not scripted).
+        assert!(d.suspects(ProcessId::new(1), Round::new(1)).is_empty());
+        // From the accuracy round on, output is perfect.
+        let r3 = d.suspects(ProcessId::new(0), Round::new(3));
+        assert_eq!(r3, ProcessSet::from_ids([ProcessId::new(1)]));
+    }
+
+    #[test]
+    fn eventually_perfect_never_self_suspects_via_script() {
+        let mut script = SuspicionScript::new();
+        script.insert((1, 0), ProcessSet::from_ids([ProcessId::new(0), ProcessId::new(2)]));
+        let mut d = EventuallyPerfectDetector::new(CrashInfo::none(3), Round::new(5), script);
+        let out = d.suspects(ProcessId::new(0), Round::new(1));
+        assert!(!out.contains(ProcessId::new(0)));
+        assert!(out.contains(ProcessId::new(2)));
+    }
+
+    #[test]
+    fn eventually_strong_keeps_suspecting_untrusted() {
+        let mut script = SuspicionScript::new();
+        // p0 falsely suspects p2 forever (scripted for rounds 1..=10).
+        for k in 1..=10 {
+            script.insert((k, 0), ProcessSet::from_ids([ProcessId::new(2)]));
+        }
+        let mut d =
+            EventuallyStrongDetector::new(crash_info(), Round::new(4), ProcessId::new(4), script);
+        // Before accuracy round: p2 suspected.
+        assert!(d.suspects(ProcessId::new(0), Round::new(2)).contains(ProcessId::new(2)));
+        // After accuracy round: p2 may *still* be suspected (only weak
+        // accuracy), but the trusted p4 never is.
+        let late = d.suspects(ProcessId::new(0), Round::new(8));
+        assert!(late.contains(ProcessId::new(2)));
+        assert!(!late.contains(ProcessId::new(4)));
+        // Completeness still holds.
+        assert!(late.contains(ProcessId::new(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be correct")]
+    fn eventually_strong_rejects_faulty_trustee() {
+        let _ = EventuallyStrongDetector::new(
+            crash_info(),
+            Round::new(4),
+            ProcessId::new(1),
+            SuspicionScript::new(),
+        );
+    }
+
+    #[test]
+    fn derived_suspicion_uses_absent_set() {
+        let mut s: Suspicion<NoDetector> = Suspicion::Derived;
+        let absent = ProcessSet::from_ids([ProcessId::new(0), ProcessId::new(2)]);
+        let out = s.suspects(ProcessId::new(0), Round::FIRST, absent);
+        // Self is removed even if absent (cannot suspect yourself).
+        assert!(!out.contains(ProcessId::new(0)));
+        assert!(out.contains(ProcessId::new(2)));
+    }
+
+    #[test]
+    fn detector_suspicion_unions_oracle_with_absence() {
+        let mut s = Suspicion::Detector(PerfectDetector::new(crash_info()));
+        let absent = ProcessSet::from_ids([ProcessId::new(2)]);
+        let out = s.suspects(ProcessId::new(0), Round::new(3), absent);
+        assert!(out.contains(ProcessId::new(2))); // absent => suspected
+        assert!(out.contains(ProcessId::new(1))); // oracle output used
+    }
+
+    #[test]
+    fn no_detector_suspects_nobody() {
+        let mut d = NoDetector;
+        assert!(d.suspects(ProcessId::new(0), Round::new(9)).is_empty());
+    }
+}

@@ -1,0 +1,11 @@
+//! Cross-crate integration tests for the indulgent consensus workspace.
+//!
+//! The tests live in `tests/`; this library only hosts shared helpers.
+
+use indulgent_model::Value;
+
+/// Pairwise distinct odd proposal values used across the integration suite.
+#[must_use]
+pub fn proposals(n: usize) -> Vec<Value> {
+    (0..n).map(|i| Value::new((((i + n / 2) % n) as u64) * 2 + 1)).collect()
+}

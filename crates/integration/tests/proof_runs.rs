@@ -1,0 +1,136 @@
+//! The lower-bound proof's run constructions (paper Claim 5.1, Fig. 1),
+//! expressed as executable schedules.
+//!
+//! The proof of Proposition 1 builds, around a `(t-1)`-round bivalent
+//! serial partial run, two synchronous runs `s1`/`s0` and three
+//! asynchronous runs `a2`/`a1`/`a0` whose pairwise indistinguishabilities
+//! force a hypothetical `(t+1)`-deciding algorithm into disagreement.
+//! A *correct* algorithm like `A_{t+2}` must of course survive all five;
+//! these tests express the runs' schedule shapes for `n = 3, t = 1`
+//! (so `t + 1 = 2`) and check `A_{t+2}`'s behaviour on them.
+
+use indulgent_consensus::{AtPlus2, RotatingCoordinator};
+use indulgent_model::{ProcessFactory, ProcessId, Round, SystemConfig, Value};
+use indulgent_sim::{run_schedule, ModelKind, ScheduleBuilder};
+
+fn config() -> SystemConfig {
+    SystemConfig::majority(3, 1).unwrap()
+}
+
+fn factory(config: SystemConfig) -> impl ProcessFactory<Process = AtPlus2<RotatingCoordinator>> {
+    move |i: usize, v: Value| {
+        let id = ProcessId::new(i);
+        AtPlus2::new(config, id, v, RotatingCoordinator::new(config, id))
+    }
+}
+
+/// `s1`-shaped run: `p0` (the proof's `p'1`) crashes in round `t = 1`, its
+/// message to `p1` (the proof's `p'_{i+1}`) lost, and nobody crashes later.
+/// A synchronous serial run.
+#[test]
+fn s_runs_are_synchronous_and_decide_at_t_plus_2() {
+    let cfg = config();
+    let s1 = ScheduleBuilder::new(cfg, ModelKind::Es)
+        .crash_losing_to(ProcessId::new(0), Round::new(1), [ProcessId::new(1)])
+        .build(30)
+        .unwrap();
+    assert!(s1.is_synchronous());
+    let proposals = [Value::ONE, Value::ONE, Value::ZERO];
+    let outcome = run_schedule(&factory(cfg), &proposals, &s1, 30);
+    outcome.check_consensus().unwrap();
+    assert_eq!(outcome.global_decision_round(), Some(Round::new(3))); // t + 2
+
+    // s0: same crash round, but the message reaches everyone.
+    let s0 = ScheduleBuilder::new(cfg, ModelKind::Es)
+        .crash_after_send(ProcessId::new(0), Round::new(1))
+        .build(30)
+        .unwrap();
+    let outcome = run_schedule(&factory(cfg), &proposals, &s0, 30);
+    outcome.check_consensus().unwrap();
+    assert_eq!(outcome.global_decision_round(), Some(Round::new(3)));
+}
+
+/// `a2`-shaped run: `p0` does *not* crash in round 1 but is falsely
+/// suspected by `p1` (its message delayed); `p1` crashes before sending in
+/// round `t + 1 = 2`; the delayed message arrives at round `t + 2`.
+///
+/// At the end of round 1 this run is indistinguishable from `s1` for
+/// everybody except `p0` itself — the indistinguishability at the heart of
+/// the proof. A `(t+1)`-deciding algorithm would be trapped; `A_{t+2}`
+/// detects the false suspicion through the `Halt` exchange or simply
+/// tolerates it by deciding later.
+#[test]
+fn a2_shaped_run_is_survived() {
+    let cfg = config();
+    let a2 = ScheduleBuilder::new(cfg, ModelKind::Es)
+        .sync_from(Round::new(3))
+        .delay(Round::new(1), ProcessId::new(0), ProcessId::new(1), Round::new(3))
+        .crash_before_send(ProcessId::new(1), Round::new(2))
+        .build(30)
+        .unwrap();
+    let proposals = [Value::ONE, Value::ONE, Value::ZERO];
+    let outcome = run_schedule(&factory(cfg), &proposals, &a2, 30);
+    outcome.check_consensus().unwrap();
+}
+
+/// `a1`/`a0`-shaped runs: as `a2`, but `p1` survives round 2 while being
+/// falsely suspected by everyone (its round-2 messages delayed), and
+/// crashes before round 3. The proof shows the two are indistinguishable
+/// to the survivors yet must decide differently for a fast algorithm —
+/// `A_{t+2}` instead decides consistently in both.
+#[test]
+fn a1_a0_shaped_runs_decide_the_same_value() {
+    let cfg = config();
+    let proposals = [Value::ONE, Value::ONE, Value::ZERO];
+
+    // a1: p0 falsely suspected by p1 in round 1; p1 falsely suspected by
+    // all in round 2; p1 crashes before round 3.
+    let a1 = ScheduleBuilder::new(cfg, ModelKind::Es)
+        .sync_from(Round::new(3))
+        .delay(Round::new(1), ProcessId::new(0), ProcessId::new(1), Round::new(3))
+        .delay(Round::new(2), ProcessId::new(1), ProcessId::new(0), Round::new(4))
+        .delay(Round::new(2), ProcessId::new(1), ProcessId::new(2), Round::new(4))
+        .crash_before_send(ProcessId::new(1), Round::new(3))
+        .build(30)
+        .unwrap();
+    let o1 = run_schedule(&factory(cfg), &proposals, &a1, 30);
+    o1.check_consensus().unwrap();
+
+    // a0: as a1 but without the round-1 false suspicion (p0's message
+    // reaches p1 in round 1).
+    let a0 = ScheduleBuilder::new(cfg, ModelKind::Es)
+        .sync_from(Round::new(3))
+        .delay(Round::new(2), ProcessId::new(1), ProcessId::new(0), Round::new(4))
+        .delay(Round::new(2), ProcessId::new(1), ProcessId::new(2), Round::new(4))
+        .crash_before_send(ProcessId::new(1), Round::new(3))
+        .build(30)
+        .unwrap();
+    let o0 = run_schedule(&factory(cfg), &proposals, &a0, 30);
+    o0.check_consensus().unwrap();
+
+    // For the correct algorithm, both runs settle on a single value each;
+    // the paper's contradiction (1 in a1, 0 in a0 *with* survivor
+    // indistinguishability) cannot arise because A_{t+2} holds the
+    // survivors' decisions until the suspicion pattern is resolved.
+    let v1 = o1.decisions.iter().flatten().next().unwrap().value;
+    let v0 = o0.decisions.iter().flatten().next().unwrap().value;
+    assert!(proposals.contains(&v1));
+    assert!(proposals.contains(&v0));
+}
+
+/// The footnote-5 feature: crash-round messages may be *delayed* (not just
+/// lost) even in synchronous runs of ES. The schedule validator accepts
+/// them and the algorithm still decides at `t + 2`.
+#[test]
+fn crash_round_delay_in_synchronous_run() {
+    let cfg = config();
+    let schedule = ScheduleBuilder::new(cfg, ModelKind::Es)
+        .crash_delaying_to(ProcessId::new(0), Round::new(1), [ProcessId::new(1)], Round::new(5))
+        .build(30)
+        .unwrap();
+    assert!(schedule.is_synchronous());
+    let proposals = [Value::ONE, Value::ONE, Value::ZERO];
+    let outcome = run_schedule(&factory(cfg), &proposals, &schedule, 30);
+    outcome.check_consensus().unwrap();
+    assert_eq!(outcome.global_decision_round(), Some(Round::new(3)));
+}

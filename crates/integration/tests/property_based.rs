@@ -1,0 +1,190 @@
+//! Property-based tests (proptest): consensus invariants under randomized
+//! adversaries, for every algorithm in the workspace.
+
+use indulgent_consensus::{
+    AfPlus2, AtPlus2, CoordinatorEcho, LeaderEcho, RotatingCoordinator, Standalone,
+};
+use indulgent_model::{ProcessId, Round, SystemConfig, Value};
+use indulgent_sim::{random_run, run_schedule, ModelKind, RandomRunParams};
+use proptest::prelude::*;
+
+fn value_vec(n: usize) -> impl Strategy<Value = Vec<Value>> {
+    proptest::collection::vec((0u64..50).prop_map(Value::new), n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A_{t+2} satisfies all three consensus properties in arbitrary
+    /// random ES runs (any crash count up to t, any synchrony round).
+    #[test]
+    fn at_plus2_consensus_in_random_es_runs(
+        seed in any::<u64>(),
+        crashes in 0usize..=2,
+        sync_from in 1u32..8,
+        props in value_vec(5),
+    ) {
+        let config = SystemConfig::majority(5, 2).unwrap();
+        let schedule = random_run(
+            config,
+            ModelKind::Es,
+            RandomRunParams::eventually_synchronous(crashes, 6, sync_from),
+            90,
+            seed,
+        );
+        let factory = move |i: usize, v: Value| {
+            let id = ProcessId::new(i);
+            AtPlus2::new(config, id, v, RotatingCoordinator::new(config, id))
+        };
+        let outcome = run_schedule(&factory, &props, &schedule, 90);
+        prop_assert!(outcome.check_consensus().is_ok(), "{:?}", outcome.check_consensus());
+    }
+
+    /// In synchronous runs A_{t+2} decides exactly at t + 2, and the
+    /// decision is the minimum proposal among processes that got to speak.
+    #[test]
+    fn at_plus2_fast_decision_in_random_synchronous_runs(
+        seed in any::<u64>(),
+        crashes in 0usize..=2,
+        props in value_vec(5),
+    ) {
+        let config = SystemConfig::majority(5, 2).unwrap();
+        let schedule = random_run(
+            config,
+            ModelKind::Es,
+            RandomRunParams::synchronous(crashes, 4),
+            40,
+            seed,
+        );
+        let factory = move |i: usize, v: Value| {
+            let id = ProcessId::new(i);
+            AtPlus2::new(config, id, v, RotatingCoordinator::new(config, id))
+        };
+        let outcome = run_schedule(&factory, &props, &schedule, 40);
+        prop_assert!(outcome.check_consensus().is_ok());
+        prop_assert_eq!(outcome.global_decision_round(), Some(Round::new(4)));
+        // Validity, strengthened: the decision is some process's proposal
+        // and at least the global minimum.
+        let min = props.iter().copied().min().unwrap();
+        for d in outcome.decisions.iter().flatten() {
+            prop_assert!(d.value >= min);
+            prop_assert!(props.contains(&d.value));
+        }
+    }
+
+    /// The failure-free optimization never compromises safety, whatever
+    /// the adversary does.
+    #[test]
+    fn optimized_at_plus2_safe_in_random_es_runs(
+        seed in any::<u64>(),
+        crashes in 0usize..=2,
+        sync_from in 1u32..8,
+        props in value_vec(5),
+    ) {
+        let config = SystemConfig::majority(5, 2).unwrap();
+        let schedule = random_run(
+            config,
+            ModelKind::Es,
+            RandomRunParams::eventually_synchronous(crashes, 6, sync_from),
+            90,
+            seed,
+        );
+        let factory = move |i: usize, v: Value| {
+            let id = ProcessId::new(i);
+            AtPlus2::new(config, id, v, RotatingCoordinator::new(config, id))
+                .with_failure_free_optimization()
+        };
+        let outcome = run_schedule(&factory, &props, &schedule, 90);
+        prop_assert!(outcome.check_consensus().is_ok(), "{:?}", outcome.check_consensus());
+    }
+
+    /// The HR-style baseline is a correct indulgent consensus too (it is
+    /// only *slower*).
+    #[test]
+    fn coordinator_echo_consensus_in_random_es_runs(
+        seed in any::<u64>(),
+        crashes in 0usize..=2,
+        sync_from in 1u32..8,
+        props in value_vec(5),
+    ) {
+        let config = SystemConfig::majority(5, 2).unwrap();
+        let schedule = random_run(
+            config,
+            ModelKind::Es,
+            RandomRunParams::eventually_synchronous(crashes, 6, sync_from),
+            90,
+            seed,
+        );
+        let factory = move |i: usize, v: Value| CoordinatorEcho::new(config, ProcessId::new(i), v);
+        let outcome = run_schedule(&factory, &props, &schedule, 90);
+        prop_assert!(outcome.check_consensus().is_ok(), "{:?}", outcome.check_consensus());
+    }
+
+    /// The rotating-coordinator fallback on its own.
+    #[test]
+    fn rotating_coordinator_consensus_in_random_es_runs(
+        seed in any::<u64>(),
+        crashes in 0usize..=2,
+        sync_from in 1u32..6,
+        props in value_vec(5),
+    ) {
+        let config = SystemConfig::majority(5, 2).unwrap();
+        let schedule = random_run(
+            config,
+            ModelKind::Es,
+            RandomRunParams::eventually_synchronous(crashes, 6, sync_from),
+            120,
+            seed,
+        );
+        let factory = move |i: usize, v: Value| {
+            Standalone::new(RotatingCoordinator::new(config, ProcessId::new(i)), v)
+        };
+        let outcome = run_schedule(&factory, &props, &schedule, 120);
+        prop_assert!(outcome.check_consensus().is_ok(), "{:?}", outcome.check_consensus());
+    }
+
+    /// A_{f+2} and the AMR baseline under random ES runs (t < n/3).
+    #[test]
+    fn third_resilience_algorithms_consensus(
+        seed in any::<u64>(),
+        crashes in 0usize..=2,
+        sync_from in 1u32..8,
+        props in value_vec(7),
+    ) {
+        let config = SystemConfig::third(7, 2).unwrap();
+        let schedule = random_run(
+            config,
+            ModelKind::Es,
+            RandomRunParams::eventually_synchronous(crashes, 6, sync_from),
+            90,
+            seed,
+        );
+        let af = move |i: usize, v: Value| AfPlus2::new(config, ProcessId::new(i), v);
+        let outcome = run_schedule(&af, &props, &schedule, 90);
+        prop_assert!(outcome.check_consensus().is_ok(), "AfPlus2: {:?}", outcome.check_consensus());
+
+        let amr = move |i: usize, v: Value| LeaderEcho::new(config, ProcessId::new(i), v);
+        let outcome = run_schedule(&amr, &props, &schedule, 90);
+        prop_assert!(outcome.check_consensus().is_ok(), "LeaderEcho: {:?}", outcome.check_consensus());
+    }
+
+    /// Random schedules produced by the generator always validate — the
+    /// generator never emits an illegal run.
+    #[test]
+    fn random_schedules_are_always_legal(
+        seed in any::<u64>(),
+        crashes in 0usize..=3,
+        sync_from in 1u32..10,
+    ) {
+        let config = SystemConfig::majority(7, 3).unwrap();
+        let schedule = random_run(
+            config,
+            ModelKind::Es,
+            RandomRunParams::eventually_synchronous(crashes, 8, sync_from),
+            60,
+            seed,
+        );
+        prop_assert!(schedule.validate(60).is_ok());
+        prop_assert_eq!(schedule.crash_count(), crashes);
+    }
+}

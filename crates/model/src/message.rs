@@ -1,0 +1,195 @@
+//! Message envelopes and per-round deliveries.
+//!
+//! In each round a process broadcasts one message (the paper assumes without
+//! loss of generality that a process sends the same message to all processes;
+//! a per-destination message can be encoded as an array). The receive phase
+//! hands the process a [`Delivery`]: every message that *arrives* in that
+//! round, each tagged with the round in which it was sent. In the eventually
+//! synchronous model a message may arrive in a round higher than the one it
+//! was sent in; such messages are *delayed* and — crucially — do **not**
+//! prevent the receiver from suspecting the sender in the round of arrival.
+
+use std::fmt;
+
+use crate::process::{ProcessId, ProcessSet};
+use crate::round::Round;
+
+/// A message as delivered to a process: payload plus provenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeliveredMsg<M> {
+    /// The process that sent the message.
+    pub sender: ProcessId,
+    /// The round in which the message was *sent* (its timestamp).
+    pub sent_round: Round,
+    /// The message payload.
+    pub msg: M,
+}
+
+/// Everything delivered to one process in the receive phase of one round.
+///
+/// A `Delivery` distinguishes *current* messages (sent in this round and
+/// arriving in this round) from *delayed* messages (sent in an earlier
+/// round). Suspicion in the ES model is defined from current messages only:
+/// `pi` suspects `pj` in round `k` iff `pj`'s round-`k` message is absent.
+///
+/// # Examples
+///
+/// ```
+/// use indulgent_model::{Delivery, DeliveredMsg, ProcessId, Round};
+///
+/// let delivery = Delivery::new(
+///     Round::new(2),
+///     vec![
+///         DeliveredMsg { sender: ProcessId::new(0), sent_round: Round::new(2), msg: "a" },
+///         DeliveredMsg { sender: ProcessId::new(1), sent_round: Round::new(1), msg: "late" },
+///     ],
+/// );
+/// assert!(delivery.current_senders().contains(ProcessId::new(0)));
+/// assert!(!delivery.current_senders().contains(ProcessId::new(1))); // delayed
+/// assert_eq!(delivery.suspected(2).len(), 1); // p1 suspected out of {p0, p1}
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery<M> {
+    round: Round,
+    messages: Vec<DeliveredMsg<M>>,
+    current_senders: ProcessSet,
+}
+
+impl<M> Delivery<M> {
+    /// Builds a delivery for `round` from arrived messages.
+    #[must_use]
+    pub fn new(round: Round, messages: Vec<DeliveredMsg<M>>) -> Self {
+        let mut current_senders = ProcessSet::empty();
+        for m in &messages {
+            if m.sent_round == round {
+                current_senders.insert(m.sender);
+            }
+        }
+        Delivery { round, messages, current_senders }
+    }
+
+    /// The round this delivery belongs to.
+    #[must_use]
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// All messages that arrived this round, current and delayed.
+    #[must_use]
+    pub fn messages(&self) -> &[DeliveredMsg<M>] {
+        &self.messages
+    }
+
+    /// Senders whose *current-round* message arrived.
+    #[must_use]
+    pub fn current_senders(&self) -> ProcessSet {
+        self.current_senders
+    }
+
+    /// Processes suspected this round by the receiving process: those among
+    /// `{p0, …, p(n-1)}` whose current-round message did not arrive.
+    ///
+    /// This is the ES model's definition of suspicion (Sect. 1.2) and also
+    /// the paper's Sect. 4 construction of a simulated failure-detector
+    /// output from round receptions.
+    #[must_use]
+    pub fn suspected(&self, n: usize) -> ProcessSet {
+        self.current_senders.complement(n)
+    }
+
+    /// Iterates over the *current-round* messages only.
+    pub fn current(&self) -> impl Iterator<Item = &DeliveredMsg<M>> {
+        let round = self.round;
+        self.messages.iter().filter(move |m| m.sent_round == round)
+    }
+
+    /// Iterates over *delayed* messages (sent in an earlier round).
+    pub fn delayed(&self) -> impl Iterator<Item = &DeliveredMsg<M>> {
+        let round = self.round;
+        self.messages.iter().filter(move |m| m.sent_round != round)
+    }
+
+    /// The current-round message from `sender`, if it arrived.
+    #[must_use]
+    pub fn current_from(&self, sender: ProcessId) -> Option<&M> {
+        self.current().find(|m| m.sender == sender).map(|m| &m.msg)
+    }
+
+    /// Number of messages delivered (current plus delayed).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// Returns `true` if nothing was delivered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.messages.is_empty()
+    }
+}
+
+impl<M: fmt::Display> fmt::Display for DeliveredMsg<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} @ {}] {}", self.sender, self.sent_round, self.msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Delivery<&'static str> {
+        Delivery::new(
+            Round::new(3),
+            vec![
+                DeliveredMsg { sender: ProcessId::new(0), sent_round: Round::new(3), msg: "x" },
+                DeliveredMsg { sender: ProcessId::new(2), sent_round: Round::new(3), msg: "y" },
+                DeliveredMsg { sender: ProcessId::new(1), sent_round: Round::new(1), msg: "old" },
+            ],
+        )
+    }
+
+    #[test]
+    fn current_vs_delayed() {
+        let d = sample();
+        assert_eq!(d.current().count(), 2);
+        assert_eq!(d.delayed().count(), 1);
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+        assert_eq!(d.round(), Round::new(3));
+    }
+
+    #[test]
+    fn current_senders_and_suspicion() {
+        let d = sample();
+        let senders = d.current_senders();
+        assert!(senders.contains(ProcessId::new(0)));
+        assert!(senders.contains(ProcessId::new(2)));
+        assert!(!senders.contains(ProcessId::new(1)));
+        // With n = 4 both p1 (delayed) and p3 (absent) are suspected.
+        let suspected = d.suspected(4);
+        assert_eq!(suspected.len(), 2);
+        assert!(suspected.contains(ProcessId::new(1)));
+        assert!(suspected.contains(ProcessId::new(3)));
+    }
+
+    #[test]
+    fn current_from_lookup() {
+        let d = sample();
+        assert_eq!(d.current_from(ProcessId::new(2)), Some(&"y"));
+        assert_eq!(d.current_from(ProcessId::new(1)), None);
+    }
+
+    #[test]
+    fn empty_delivery() {
+        let d: Delivery<()> = Delivery::new(Round::FIRST, vec![]);
+        assert!(d.is_empty());
+        assert_eq!(d.suspected(3).len(), 3);
+    }
+
+    #[test]
+    fn delivered_msg_display() {
+        let m = DeliveredMsg { sender: ProcessId::new(1), sent_round: Round::new(2), msg: "hello" };
+        assert_eq!(m.to_string(), "[p1 @ round 2] hello");
+    }
+}

@@ -1,0 +1,183 @@
+//! Property-based tests of the model's core data structures.
+
+use indulgent_model::{
+    Decision, DeliveredMsg, Delivery, ProcessId, ProcessSet, Round, RunOutcome, Value,
+};
+use proptest::prelude::*;
+
+fn pid() -> impl Strategy<Value = ProcessId> {
+    (0usize..64).prop_map(ProcessId::new)
+}
+
+fn pset() -> impl Strategy<Value = ProcessSet> {
+    proptest::collection::vec(pid(), 0..20).prop_map(ProcessSet::from_ids)
+}
+
+proptest! {
+    // ---- ProcessSet: boolean-algebra laws ----
+
+    #[test]
+    fn union_is_commutative_and_associative(a in pset(), b in pset(), c in pset()) {
+        prop_assert_eq!(a.union(b), b.union(a));
+        prop_assert_eq!(a.union(b).union(c), a.union(b.union(c)));
+    }
+
+    #[test]
+    fn intersection_distributes_over_union(a in pset(), b in pset(), c in pset()) {
+        prop_assert_eq!(
+            a.intersection(b.union(c)),
+            a.intersection(b).union(a.intersection(c))
+        );
+    }
+
+    #[test]
+    fn difference_and_intersection_partition(a in pset(), b in pset()) {
+        let inter = a.intersection(b);
+        let diff = a.difference(b);
+        prop_assert_eq!(inter.union(diff), a);
+        prop_assert_eq!(inter.intersection(diff), ProcessSet::empty());
+        prop_assert_eq!(inter.len() + diff.len(), a.len());
+    }
+
+    #[test]
+    fn de_morgan(a in pset(), b in pset()) {
+        let n = 64;
+        prop_assert_eq!(
+            a.union(b).complement(n),
+            a.complement(n).intersection(b.complement(n))
+        );
+        prop_assert_eq!(
+            a.intersection(b).complement(n),
+            a.complement(n).union(b.complement(n))
+        );
+    }
+
+    #[test]
+    fn complement_is_involutive(a in pset()) {
+        prop_assert_eq!(a.complement(64).complement(64), a);
+    }
+
+    #[test]
+    fn subset_iff_difference_empty(a in pset(), b in pset()) {
+        prop_assert_eq!(a.is_subset(b), a.difference(b).is_empty());
+    }
+
+    #[test]
+    fn insert_remove_roundtrip(a in pset(), p in pid()) {
+        let mut s = a;
+        let was_in = s.contains(p);
+        s.insert(p);
+        prop_assert!(s.contains(p));
+        s.remove(p);
+        prop_assert!(!s.contains(p));
+        if !was_in {
+            prop_assert_eq!(s, a);
+        }
+    }
+
+    #[test]
+    fn iteration_matches_membership(a in pset()) {
+        let collected: Vec<ProcessId> = a.iter().collect();
+        prop_assert_eq!(collected.len(), a.len());
+        for p in &collected {
+            prop_assert!(a.contains(*p));
+        }
+        // Ascending, strictly.
+        for w in collected.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        // Round-trip through FromIterator.
+        prop_assert_eq!(ProcessSet::from_ids(collected), a);
+    }
+
+    #[test]
+    fn min_is_smallest_member(a in pset()) {
+        match a.min() {
+            None => prop_assert!(a.is_empty()),
+            Some(m) => {
+                prop_assert!(a.contains(m));
+                for p in a.iter() {
+                    prop_assert!(m <= p);
+                }
+            }
+        }
+    }
+
+    // ---- Round arithmetic ----
+
+    #[test]
+    fn round_add_sub_roundtrip(base in 1u32..1000, delta in 0u32..1000) {
+        let r = Round::new(base);
+        prop_assert_eq!((r + delta) - r, delta);
+        prop_assert_eq!(r.next().prev(), Some(r));
+    }
+
+    // ---- Delivery invariants ----
+
+    #[test]
+    fn delivery_partitions_current_and_delayed(
+        round in 2u32..10,
+        senders in proptest::collection::vec((0usize..8, 1u32..10), 0..16),
+    ) {
+        let round_r = Round::new(round);
+        let msgs: Vec<DeliveredMsg<u32>> = senders
+            .iter()
+            .enumerate()
+            .map(|(i, &(s, sent))| DeliveredMsg {
+                sender: ProcessId::new(s),
+                sent_round: Round::new(sent.min(round)),
+                msg: i as u32,
+            })
+            .collect();
+        let d = Delivery::new(round_r, msgs.clone());
+        prop_assert_eq!(d.current().count() + d.delayed().count(), msgs.len());
+        for m in d.current() {
+            prop_assert_eq!(m.sent_round, round_r);
+            prop_assert!(d.current_senders().contains(m.sender));
+        }
+        for m in d.delayed() {
+            prop_assert!(m.sent_round < round_r);
+        }
+        // suspected(n) is exactly the complement of current senders.
+        let n = 8;
+        prop_assert_eq!(d.suspected(n), d.current_senders().complement(n));
+    }
+
+    // ---- RunOutcome properties ----
+
+    #[test]
+    fn unanimous_decisions_always_pass_safety(
+        decided in proptest::collection::vec(proptest::bool::ANY, 4),
+        value in 0u64..4,
+        rounds in proptest::collection::vec(1u32..9, 4),
+    ) {
+        let proposals: Vec<Value> = (0..4).map(|i| Value::new(i as u64)).collect();
+        let outcome = RunOutcome {
+            proposals,
+            decisions: decided
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| {
+                    d.then(|| Decision {
+                        process: ProcessId::new(i),
+                        round: Round::new(rounds[i]),
+                        value: Value::new(value),
+                    })
+                })
+                .collect(),
+            crashed: ProcessSet::empty(),
+            rounds_executed: 10,
+        };
+        prop_assert!(outcome.check_safety().is_ok());
+        // Termination holds iff everyone decided.
+        prop_assert_eq!(outcome.check_consensus().is_ok(), decided.iter().all(|&d| d));
+        // Global decision round is the max of decision rounds.
+        let expected = decided
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d)
+            .map(|(i, _)| rounds[i])
+            .max();
+        prop_assert_eq!(outcome.global_decision_round().map(|r| r.get()), expected);
+    }
+}

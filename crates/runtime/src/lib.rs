@@ -1,0 +1,464 @@
+//! Thread-per-process message-passing runtime.
+//!
+//! The paper's model is abstract; this crate gives it a concrete,
+//! wall-clock incarnation: every process is an OS thread, messages travel
+//! over crossbeam channels with an injectable delay model, and round
+//! synchronization works the way eventually synchronous systems do in
+//! practice — wait for a quorum of `n - t` current-round messages
+//! (mandatory, this is the model's t-resilience), then a grace period for
+//! stragglers, then move on. A message that misses its round's grace window
+//! is *suspected* exactly as in ES: it still arrives later (reliable
+//! channels), tagged with the round it was sent in.
+//!
+//! The same [`RoundProcess`] automatons that run under the deterministic
+//! simulator run here unchanged, which is the point: `quickstart` decisions
+//! in the simulator carry over to a racing, multi-threaded execution. Use
+//! [`DelayModel::AsyncUntil`] to inject an asynchronous prefix (false
+//! suspicions) and [`NetworkConfig::crash`] to crash processes at chosen
+//! rounds.
+//!
+//! This substrate replaces the tokio-style network harness a reproduction
+//! might otherwise reach for: round-based algorithms need no async I/O, so
+//! plain threads and channels keep the dependency set small (see
+//! DESIGN.md).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use indulgent_model::{
+    Decision, DeliveredMsg, Delivery, ProcessFactory, ProcessId, ProcessSet, Round, RoundProcess,
+    RunOutcome, Step, SystemConfig, Value,
+};
+
+/// A message in flight: payload plus wire metadata.
+#[derive(Debug, Clone)]
+struct Envelope<M> {
+    sender: ProcessId,
+    sent_round: Round,
+    deliver_at: Instant,
+    msg: M,
+}
+
+/// When messages become visible to their receiver.
+#[derive(Debug, Clone, Copy)]
+pub enum DelayModel {
+    /// Deliver instantly (a synchronous network).
+    Instant,
+    /// Before `until_round`, each message is independently delayed by
+    /// `delay` with probability `probability` (deterministically derived
+    /// from `seed` and the message coordinates); from `until_round` on the
+    /// network is synchronous. This produces the ES asynchronous prefix:
+    /// delayed messages miss their round's grace window and cause false
+    /// suspicions, then arrive late.
+    AsyncUntil {
+        /// First synchronous round (the model's `K`).
+        until_round: u32,
+        /// Extra latency for delayed messages.
+        delay: Duration,
+        /// Per-message delay probability in `[0, 1]`.
+        probability: f64,
+        /// Determinism seed.
+        seed: u64,
+    },
+}
+
+impl DelayModel {
+    fn delay_for(&self, round: Round, from: ProcessId, to: ProcessId) -> Duration {
+        match *self {
+            DelayModel::Instant => Duration::ZERO,
+            DelayModel::AsyncUntil { until_round, delay, probability, seed } => {
+                if round.get() >= until_round {
+                    return Duration::ZERO;
+                }
+                // Deterministic per-edge coin flip (splitmix64).
+                let mut x = seed
+                    ^ (u64::from(round.get()) << 32)
+                    ^ ((from.index() as u64) << 16)
+                    ^ (to.index() as u64);
+                x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                x ^= x >> 31;
+                let unit = (x >> 11) as f64 / (1u64 << 53) as f64;
+                if unit < probability {
+                    delay
+                } else {
+                    Duration::ZERO
+                }
+            }
+        }
+    }
+}
+
+/// Configuration of a networked run.
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    /// Grace period waited for stragglers after the `n - t` quorum of
+    /// current-round messages has arrived. Messages missing the window are
+    /// suspected for that round.
+    pub grace: Duration,
+    /// Hard bound on rounds executed per process.
+    pub max_rounds: u32,
+    /// The delay model.
+    pub delays: DelayModel,
+    /// Injected crash rounds per process (crash happens at the start of the
+    /// round, before sending).
+    pub crashes: Vec<Option<Round>>,
+}
+
+impl NetworkConfig {
+    /// A synchronous network for `config` with a sensible test-sized grace
+    /// window and no crashes.
+    #[must_use]
+    pub fn synchronous(config: SystemConfig) -> Self {
+        NetworkConfig {
+            grace: Duration::from_millis(4),
+            max_rounds: 200,
+            delays: DelayModel::Instant,
+            crashes: vec![None; config.n()],
+        }
+    }
+
+    /// Schedules `process` to crash at the start of `round`.
+    #[must_use]
+    pub fn crash(mut self, process: ProcessId, round: Round) -> Self {
+        self.crashes[process.index()] = Some(round);
+        self
+    }
+
+    /// Sets the delay model.
+    #[must_use]
+    pub fn with_delays(mut self, delays: DelayModel) -> Self {
+        self.delays = delays;
+        self
+    }
+}
+
+/// Outcome of a networked run.
+#[derive(Debug, Clone)]
+pub struct NetReport {
+    /// The consensus outcome (decisions are tagged with the *round* in
+    /// which each process decided, comparable with simulator outcomes).
+    pub outcome: RunOutcome,
+    /// Wall-clock duration of the whole run.
+    pub elapsed: Duration,
+}
+
+/// Tracks which processes have finished (decided or crashed); everyone
+/// keeps relaying until the mask is full so no process is stranded.
+#[derive(Debug)]
+struct DoneMask {
+    bits: AtomicU64,
+    full: u64,
+}
+
+impl DoneMask {
+    fn new(n: usize) -> Self {
+        DoneMask { bits: AtomicU64::new(0), full: if n == 64 { u64::MAX } else { (1 << n) - 1 } }
+    }
+
+    fn mark(&self, p: ProcessId) {
+        self.bits.fetch_or(1 << p.index(), Ordering::SeqCst);
+    }
+
+    fn all_done(&self) -> bool {
+        self.bits.load(Ordering::SeqCst) == self.full
+    }
+}
+
+/// Runs `factory`-built automatons over real threads and channels.
+///
+/// Every process broadcasts one message per round (including to itself,
+/// instantly), waits for the `n - t` quorum of current-round messages plus
+/// the grace window, and hands its automaton everything that arrived.
+/// Processes keep participating after deciding (relaying their decision)
+/// until every process has decided or crashed.
+///
+/// # Panics
+///
+/// Panics if `proposals.len() != config.n()`, or if a worker thread
+/// panics.
+pub fn run_network<F>(
+    config: SystemConfig,
+    factory: &F,
+    proposals: &[Value],
+    net: &NetworkConfig,
+) -> NetReport
+where
+    F: ProcessFactory,
+    <F::Process as RoundProcess>::Msg: Send + 'static,
+    F::Process: Send + 'static,
+{
+    assert_eq!(proposals.len(), config.n(), "one proposal per process required");
+    let n = config.n();
+    let quorum = config.quorum();
+    let start = Instant::now();
+
+    let mut senders: Vec<Sender<Envelope<<F::Process as RoundProcess>::Msg>>> = Vec::with_capacity(n);
+    #[allow(clippy::type_complexity)]
+    let mut receivers: Vec<Option<Receiver<Envelope<<F::Process as RoundProcess>::Msg>>>> =
+        Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(Some(rx));
+    }
+    let senders = Arc::new(senders);
+    let done = Arc::new(DoneMask::new(n));
+    let delays = net.delays;
+    let grace = net.grace;
+    let max_rounds = net.max_rounds;
+
+    let mut handles = Vec::with_capacity(n);
+    for i in 0..n {
+        let id = ProcessId::new(i);
+        let mut process = factory.build(i, proposals[i]);
+        let rx = receivers[i].take().expect("receiver taken once");
+        let senders = Arc::clone(&senders);
+        let done = Arc::clone(&done);
+        let crash_round = net.crashes[i];
+        handles.push(std::thread::spawn(move || {
+            worker(
+                id, &mut process, rx, &senders, &done, crash_round, delays, grace, quorum, n,
+                max_rounds,
+            )
+        }));
+    }
+
+    let mut decisions: Vec<Option<Decision>> = vec![None; n];
+    let mut rounds_executed = 0;
+    for (i, h) in handles.into_iter().enumerate() {
+        let (decision, last_round) = h.join().expect("worker thread panicked");
+        decisions[i] = decision;
+        rounds_executed = rounds_executed.max(last_round);
+    }
+
+    let crashed: ProcessSet = config
+        .processes()
+        .filter(|p| net.crashes[p.index()].is_some())
+        .collect();
+    NetReport {
+        outcome: RunOutcome {
+            proposals: proposals.to_vec(),
+            decisions,
+            crashed,
+            rounds_executed,
+        },
+        elapsed: start.elapsed(),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker<P: RoundProcess>(
+    id: ProcessId,
+    process: &mut P,
+    rx: Receiver<Envelope<P::Msg>>,
+    senders: &[Sender<Envelope<P::Msg>>],
+    done: &DoneMask,
+    crash_round: Option<Round>,
+    delays: DelayModel,
+    grace: Duration,
+    quorum: usize,
+    n: usize,
+    max_rounds: u32,
+) -> (Option<Decision>, u32) {
+    // Messages that have "arrived" (deliver_at reached), keyed by the round
+    // they were sent in; delivered to the automaton once the local round
+    // reaches them.
+    let mut arrived: BTreeMap<u32, Vec<DeliveredMsg<P::Msg>>> = BTreeMap::new();
+    // Messages whose injected delay has not elapsed yet.
+    let mut in_flight: Vec<Envelope<P::Msg>> = Vec::new();
+    let mut decision: Option<Decision> = None;
+    let mut last_round = 0;
+
+    for k in 1..=max_rounds {
+        let round = Round::new(k);
+        if crash_round == Some(round) {
+            done.mark(id);
+            return (decision, last_round);
+        }
+        last_round = k;
+
+        // Send phase: broadcast (self-delivery is instantaneous).
+        let msg = process.send(round);
+        let now = Instant::now();
+        for (j, tx) in senders.iter().enumerate() {
+            let to = ProcessId::new(j);
+            let delay = if to == id { Duration::ZERO } else { delays.delay_for(round, id, to) };
+            // Receivers may have exited; ignore closed channels.
+            let _ = tx.send(Envelope {
+                sender: id,
+                sent_round: round,
+                deliver_at: now + delay,
+                msg: msg.clone(),
+            });
+        }
+
+        // Receive phase: wait for the quorum of round-k messages, then the
+        // grace window.
+        let mut quorum_at: Option<Instant> = None;
+        loop {
+            let now = Instant::now();
+            // Promote ripe in-flight messages.
+            let mut i = 0;
+            while i < in_flight.len() {
+                if in_flight[i].deliver_at <= now {
+                    let e = in_flight.swap_remove(i);
+                    arrived.entry(e.sent_round.get()).or_default().push(DeliveredMsg {
+                        sender: e.sender,
+                        sent_round: e.sent_round,
+                        msg: e.msg,
+                    });
+                } else {
+                    i += 1;
+                }
+            }
+            let current = arrived.get(&k).map_or(0, Vec::len);
+            if current >= n {
+                break;
+            }
+            if current >= quorum {
+                let entered = *quorum_at.get_or_insert(now);
+                if now.duration_since(entered) >= grace {
+                    break;
+                }
+            }
+            // Pull from the wire.
+            match rx.recv_timeout(Duration::from_micros(300)) {
+                Ok(e) => in_flight.push(e),
+                Err(RecvTimeoutError::Timeout) => {
+                    // If everyone is done we may be waiting for ghosts.
+                    if done.all_done() {
+                        break;
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+
+        // Deliver everything sent in rounds <= k that has arrived.
+        let ready_rounds: Vec<u32> = arrived.range(..=k).map(|(&r, _)| r).collect();
+        let mut batch: Vec<DeliveredMsg<P::Msg>> = Vec::new();
+        for r in ready_rounds {
+            batch.extend(arrived.remove(&r).unwrap_or_default());
+        }
+        batch.sort_by_key(|m| (m.sent_round, m.sender));
+        let delivery = Delivery::new(round, batch);
+        if let Step::Decide(value) = process.deliver(round, &delivery) {
+            if decision.is_none() {
+                decision = Some(Decision { process: id, round, value });
+                done.mark(id);
+            }
+        }
+
+        if done.all_done() {
+            break;
+        }
+    }
+    done.mark(id); // In case we hit max_rounds undecided.
+    (decision, last_round)
+}
+
+#[cfg(test)]
+mod tests {
+    use indulgent_consensus::{AtPlus2, CoordinatorEcho, RotatingCoordinator};
+
+    use super::*;
+
+    fn cfg() -> SystemConfig {
+        SystemConfig::majority(5, 2).unwrap()
+    }
+
+    fn at_factory(
+        config: SystemConfig,
+    ) -> impl ProcessFactory<Process = AtPlus2<RotatingCoordinator>> {
+        move |i: usize, v: Value| {
+            let id = ProcessId::new(i);
+            AtPlus2::new(config, id, v, RotatingCoordinator::new(config, id))
+        }
+    }
+
+    fn vals(vs: &[u64]) -> Vec<Value> {
+        vs.iter().copied().map(Value::new).collect()
+    }
+
+    #[test]
+    fn synchronous_network_decides_at_t_plus_2() {
+        let config = cfg();
+        let net = NetworkConfig::synchronous(config);
+        let report = run_network(config, &at_factory(config), &vals(&[6, 2, 8, 4, 7]), &net);
+        report.outcome.check_consensus().unwrap();
+        assert_eq!(
+            report.outcome.global_decision_round(),
+            Some(Round::new(4)),
+            "t + 2 fast decision should carry over to the threaded runtime"
+        );
+        for d in report.outcome.decisions.iter().flatten() {
+            assert_eq!(d.value, Value::new(2));
+        }
+    }
+
+    #[test]
+    fn crashed_process_is_tolerated() {
+        let config = cfg();
+        let net = NetworkConfig::synchronous(config).crash(ProcessId::new(1), Round::new(2));
+        let report = run_network(config, &at_factory(config), &vals(&[6, 2, 8, 4, 7]), &net);
+        report.outcome.check_consensus().unwrap();
+        assert!(report.outcome.crashed.contains(ProcessId::new(1)));
+        assert!(report.outcome.decision_of(ProcessId::new(1)).is_none());
+    }
+
+    #[test]
+    fn asynchronous_prefix_still_terminates_consistently() {
+        let config = cfg();
+        let net = NetworkConfig::synchronous(config).with_delays(DelayModel::AsyncUntil {
+            until_round: 5,
+            delay: Duration::from_millis(40),
+            probability: 0.3,
+            seed: 7,
+        });
+        let report = run_network(config, &at_factory(config), &vals(&[6, 2, 8, 4, 7]), &net);
+        report.outcome.check_consensus().unwrap();
+    }
+
+    #[test]
+    fn coordinator_echo_runs_on_the_network() {
+        let config = cfg();
+        let factory =
+            move |i: usize, v: Value| CoordinatorEcho::new(config, ProcessId::new(i), v);
+        let net = NetworkConfig::synchronous(config);
+        let report = run_network(config, &factory, &vals(&[6, 2, 8, 4, 7]), &net);
+        report.outcome.check_consensus().unwrap();
+        assert_eq!(report.outcome.global_decision_round(), Some(Round::new(2)));
+    }
+
+    #[test]
+    fn delay_model_is_deterministic() {
+        let m = DelayModel::AsyncUntil {
+            until_round: 4,
+            delay: Duration::from_millis(10),
+            probability: 0.5,
+            seed: 42,
+        };
+        let a = m.delay_for(Round::new(2), ProcessId::new(1), ProcessId::new(3));
+        let b = m.delay_for(Round::new(2), ProcessId::new(1), ProcessId::new(3));
+        assert_eq!(a, b);
+        // After the synchrony round there are no delays.
+        assert_eq!(m.delay_for(Round::new(4), ProcessId::new(1), ProcessId::new(3)), Duration::ZERO);
+    }
+
+    #[test]
+    fn wall_clock_is_reported() {
+        let config = cfg();
+        let net = NetworkConfig::synchronous(config);
+        let report = run_network(config, &at_factory(config), &vals(&[1, 1, 1, 1, 1]), &net);
+        assert!(report.elapsed > Duration::ZERO);
+    }
+}

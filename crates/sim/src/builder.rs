@@ -1,0 +1,252 @@
+//! Fluent construction of adversary schedules.
+
+use std::collections::BTreeMap;
+
+use indulgent_model::{ProcessId, ProcessSet, Round, SystemConfig};
+
+use crate::schedule::{MessageFate, ModelKind, Schedule, ScheduleError};
+
+/// Builder for [`Schedule`]s.
+///
+/// The builder collects crash plans and message fates and validates the
+/// complete schedule on [`ScheduleBuilder::build`].
+///
+/// # Examples
+///
+/// A synchronous run of `n = 5, t = 2` in which `p0` crashes in round 2,
+/// its round-2 message reaching only `p1`:
+///
+/// ```
+/// use indulgent_model::{ProcessId, Round, SystemConfig};
+/// use indulgent_sim::{ModelKind, ScheduleBuilder};
+///
+/// let cfg = SystemConfig::majority(5, 2)?;
+/// let schedule = ScheduleBuilder::new(cfg, ModelKind::Es)
+///     .crash_delivering_only(
+///         ProcessId::new(0),
+///         Round::new(2),
+///         [ProcessId::new(1)],
+///     )
+///     .build(10)?;
+/// assert!(schedule.is_synchronous());
+/// assert_eq!(schedule.crash_count(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScheduleBuilder {
+    config: SystemConfig,
+    kind: ModelKind,
+    crash_rounds: Vec<Option<Round>>,
+    overrides: BTreeMap<(u32, usize, usize), MessageFate>,
+    sync_from: Round,
+}
+
+impl ScheduleBuilder {
+    /// Starts building a schedule for `config` in model `kind`.
+    #[must_use]
+    pub fn new(config: SystemConfig, kind: ModelKind) -> Self {
+        ScheduleBuilder {
+            config,
+            kind,
+            crash_rounds: vec![None; config.n()],
+            overrides: BTreeMap::new(),
+            sync_from: Round::FIRST,
+        }
+    }
+
+    /// Sets the eventual-synchrony round `K`; rounds `>= K` are synchronous.
+    #[must_use]
+    pub fn sync_from(mut self, k: Round) -> Self {
+        self.sync_from = k;
+        self
+    }
+
+    /// Crashes `p` in `round`, with all of its round-`round` messages
+    /// delivered normally (a "clean" crash after sending).
+    #[must_use]
+    pub fn crash_after_send(mut self, p: ProcessId, round: Round) -> Self {
+        self.crash_rounds[p.index()] = Some(round);
+        self
+    }
+
+    /// Crashes `p` in `round` before sending anything: all its round-`round`
+    /// messages are lost.
+    #[must_use]
+    pub fn crash_before_send(self, p: ProcessId, round: Round) -> Self {
+        let others: Vec<ProcessId> = self.config.processes().filter(|&q| q != p).collect();
+        self.crash_losing_to(p, round, others)
+    }
+
+    /// Crashes `p` in `round`; its message is lost to every process in
+    /// `losers` and delivered to the rest.
+    #[must_use]
+    pub fn crash_losing_to<I>(mut self, p: ProcessId, round: Round, losers: I) -> Self
+    where
+        I: IntoIterator<Item = ProcessId>,
+    {
+        self.crash_rounds[p.index()] = Some(round);
+        for q in losers {
+            self.overrides.insert((round.get(), p.index(), q.index()), MessageFate::Lose);
+        }
+        self
+    }
+
+    /// Crashes `p` in `round`; its message is delivered only to processes in
+    /// `receivers` and lost to all others.
+    #[must_use]
+    pub fn crash_delivering_only<I>(self, p: ProcessId, round: Round, receivers: I) -> Self
+    where
+        I: IntoIterator<Item = ProcessId>,
+    {
+        let keep: ProcessSet = receivers.into_iter().collect();
+        let losers: Vec<ProcessId> =
+            self.config.processes().filter(|&q| q != p && !keep.contains(q)).collect();
+        self.crash_losing_to(p, round, losers)
+    }
+
+    /// Crashes `p` in `round`; its message to each process in `delayed` is
+    /// delayed until `arrival`, delivered in-round to the rest.
+    ///
+    /// This is the schedule shape used throughout the paper's lower-bound
+    /// proof (runs `a2`, `a1`, `a0` of Claim 5.1): crash-round messages may
+    /// be delayed even in synchronous runs.
+    #[must_use]
+    pub fn crash_delaying_to<I>(mut self, p: ProcessId, round: Round, delayed: I, arrival: Round) -> Self
+    where
+        I: IntoIterator<Item = ProcessId>,
+    {
+        self.crash_rounds[p.index()] = Some(round);
+        for q in delayed {
+            self.overrides.insert((round.get(), p.index(), q.index()), MessageFate::Delay(arrival));
+        }
+        self
+    }
+
+    /// Delays the round-`round` message from `sender` to `receiver` until
+    /// `arrival` (a false suspicion of `sender` by `receiver` in `round`).
+    #[must_use]
+    pub fn delay(mut self, round: Round, sender: ProcessId, receiver: ProcessId, arrival: Round) -> Self {
+        self.overrides
+            .insert((round.get(), sender.index(), receiver.index()), MessageFate::Delay(arrival));
+        self
+    }
+
+    /// Loses the round-`round` message from `sender` to `receiver`.
+    /// Only legal where the model allows loss (see [`Schedule::validate`]).
+    #[must_use]
+    pub fn lose(mut self, round: Round, sender: ProcessId, receiver: ProcessId) -> Self {
+        self.overrides.insert((round.get(), sender.index(), receiver.index()), MessageFate::Lose);
+        self
+    }
+
+    /// Finishes the schedule, validating it for rounds `1..=horizon`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScheduleError`] if the schedule violates the model.
+    pub fn build(self, horizon: u32) -> Result<Schedule, ScheduleError> {
+        let schedule = Schedule::from_parts(
+            self.config,
+            self.kind,
+            self.crash_rounds,
+            self.overrides,
+            self.sync_from,
+        );
+        schedule.validate(horizon)?;
+        Ok(schedule)
+    }
+
+    /// Finishes the schedule without validation. Intended for constructing
+    /// deliberately illegal schedules in tests.
+    #[must_use]
+    pub fn build_unchecked(self) -> Schedule {
+        Schedule::from_parts(
+            self.config,
+            self.kind,
+            self.crash_rounds,
+            self.overrides,
+            self.sync_from,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SystemConfig {
+        SystemConfig::majority(5, 2).unwrap()
+    }
+
+    #[test]
+    fn crash_after_send_delivers_everything() {
+        let s = ScheduleBuilder::new(cfg(), ModelKind::Es)
+            .crash_after_send(ProcessId::new(1), Round::new(3))
+            .build(5)
+            .unwrap();
+        assert_eq!(s.crash_round(ProcessId::new(1)), Some(Round::new(3)));
+        assert_eq!(s.fate(Round::new(3), ProcessId::new(1), ProcessId::new(0)), MessageFate::Deliver);
+    }
+
+    #[test]
+    fn crash_before_send_loses_everything() {
+        let s = ScheduleBuilder::new(cfg(), ModelKind::Es)
+            .crash_before_send(ProcessId::new(1), Round::new(2))
+            .build(5)
+            .unwrap();
+        for q in cfg().processes().filter(|&q| q != ProcessId::new(1)) {
+            assert_eq!(s.fate(Round::new(2), ProcessId::new(1), q), MessageFate::Lose);
+        }
+    }
+
+    #[test]
+    fn crash_delivering_only_partitions_receivers() {
+        let s = ScheduleBuilder::new(cfg(), ModelKind::Es)
+            .crash_delivering_only(ProcessId::new(0), Round::new(1), [ProcessId::new(2)])
+            .build(5)
+            .unwrap();
+        assert_eq!(s.fate(Round::FIRST, ProcessId::new(0), ProcessId::new(2)), MessageFate::Deliver);
+        assert_eq!(s.fate(Round::FIRST, ProcessId::new(0), ProcessId::new(1)), MessageFate::Lose);
+    }
+
+    #[test]
+    fn crash_delaying_to_schedules_delays() {
+        let s = ScheduleBuilder::new(cfg(), ModelKind::Es)
+            .crash_delaying_to(ProcessId::new(0), Round::new(2), [ProcessId::new(3)], Round::new(4))
+            .build(5)
+            .unwrap();
+        assert_eq!(
+            s.fate(Round::new(2), ProcessId::new(0), ProcessId::new(3)),
+            MessageFate::Delay(Round::new(4))
+        );
+        assert!(s.is_synchronous());
+    }
+
+    #[test]
+    fn async_prefix_delay() {
+        let s = ScheduleBuilder::new(cfg(), ModelKind::Es)
+            .sync_from(Round::new(3))
+            .delay(Round::new(1), ProcessId::new(0), ProcessId::new(1), Round::new(3))
+            .build(5)
+            .unwrap();
+        assert!(!s.is_synchronous());
+        assert_eq!(s.sync_from(), Round::new(3));
+    }
+
+    #[test]
+    fn invalid_schedules_rejected_at_build() {
+        let err = ScheduleBuilder::new(cfg(), ModelKind::Es)
+            .lose(Round::new(1), ProcessId::new(0), ProcessId::new(1))
+            .build(5)
+            .unwrap_err();
+        assert!(matches!(err, ScheduleError::IllegalLoss { .. }));
+    }
+
+    #[test]
+    fn build_unchecked_skips_validation() {
+        let s = ScheduleBuilder::new(cfg(), ModelKind::Es)
+            .lose(Round::new(1), ProcessId::new(0), ProcessId::new(1))
+            .build_unchecked();
+        assert!(s.validate(5).is_err());
+    }
+}

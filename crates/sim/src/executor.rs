@@ -1,0 +1,292 @@
+//! The deterministic round executor.
+//!
+//! [`run_schedule`] drives `n` [`RoundProcess`] automatons through the rounds
+//! of a [`Schedule`]: the send phase broadcasts each alive process's message
+//! and applies the adversary's per-receiver fates; the receive phase hands
+//! every process the messages arriving that round (current and delayed) and
+//! records decisions. Execution is completely deterministic: identical
+//! inputs produce identical outcomes, which the checker and the property
+//! tests rely on.
+
+use std::collections::BTreeMap;
+
+use indulgent_model::{
+    Decision, DeliveredMsg, Delivery, ProcessFactory, Round, RoundProcess, RunOutcome, Step, Value,
+};
+
+use crate::schedule::{MessageFate, Schedule};
+
+/// Per-receiver mailbox: arrival round -> messages arriving that round.
+type Mailbox<P> = BTreeMap<u32, Vec<DeliveredMsg<<P as RoundProcess>::Msg>>>;
+
+/// Runs `factory`-built processes with `proposals` under `schedule` for at
+/// most `horizon` rounds.
+///
+/// Execution stops early once every alive process has decided. The returned
+/// [`RunOutcome`] records each process's first decision, the crash set and
+/// the number of rounds executed.
+///
+/// # Panics
+///
+/// Panics if `proposals.len()` differs from the schedule's configuration
+/// size. Schedule legality is the caller's concern: run
+/// [`Schedule::validate`] first (the builders and generators in this crate
+/// only produce validated schedules).
+pub fn run_schedule<F>(
+    factory: &F,
+    proposals: &[Value],
+    schedule: &Schedule,
+    horizon: u32,
+) -> RunOutcome
+where
+    F: ProcessFactory,
+{
+    let config = schedule.config();
+    let n = config.n();
+    assert_eq!(proposals.len(), n, "one proposal per process required");
+
+    let mut processes: Vec<F::Process> = (0..n).map(|i| factory.build(i, proposals[i])).collect();
+    let mut decisions: Vec<Option<Decision>> = vec![None; n];
+    // pending[r] -> messages arriving at round key for receiver r.
+    let mut pending: Vec<Mailbox<F::Process>> = vec![BTreeMap::new(); n];
+    let mut rounds_executed = 0;
+
+    for k in 1..=horizon {
+        let round = Round::new(k);
+        rounds_executed = k;
+
+        // Send phase: every process alive *entering* the round sends; the
+        // adversary decides each copy's fate. Crashing processes send the
+        // subset the schedule dictates.
+        for sender in config.processes() {
+            if !schedule.alive_entering(sender, round) {
+                continue;
+            }
+            let msg = processes[sender.index()].send(round);
+            for receiver in config.processes() {
+                // Deliveries to processes that crashed strictly before this
+                // round are irrelevant.
+                if !schedule.alive_entering(receiver, round) {
+                    continue;
+                }
+                match schedule.fate(round, sender, receiver) {
+                    MessageFate::Deliver => {
+                        pending[receiver.index()].entry(k).or_default().push(DeliveredMsg {
+                            sender,
+                            sent_round: round,
+                            msg: msg.clone(),
+                        });
+                    }
+                    MessageFate::Delay(arrival) => {
+                        pending[receiver.index()].entry(arrival.get()).or_default().push(
+                            DeliveredMsg { sender, sent_round: round, msg: msg.clone() },
+                        );
+                    }
+                    MessageFate::Lose => {}
+                }
+            }
+        }
+
+        // Receive phase: only processes completing the round receive.
+        for receiver in config.processes() {
+            if !schedule.completes(receiver, round) {
+                continue;
+            }
+            let mut arrived = pending[receiver.index()].remove(&k).unwrap_or_default();
+            // Deterministic presentation order: by sent round, then sender.
+            arrived.sort_by_key(|m| (m.sent_round, m.sender));
+            let delivery = Delivery::new(round, arrived);
+            let step = processes[receiver.index()].deliver(round, &delivery);
+            if let Step::Decide(value) = step {
+                if decisions[receiver.index()].is_none() {
+                    decisions[receiver.index()] =
+                        Some(Decision { process: receiver, round, value });
+                }
+            }
+        }
+
+        // Early exit: everyone still alive has decided.
+        let all_alive_decided = config
+            .processes()
+            .filter(|&p| schedule.completes(p, round))
+            .all(|p| decisions[p.index()].is_some());
+        if all_alive_decided {
+            break;
+        }
+    }
+
+    RunOutcome {
+        proposals: proposals.to_vec(),
+        decisions,
+        crashed: schedule.faulty(),
+        rounds_executed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use indulgent_model::{ProcessId, SystemConfig};
+
+    use super::*;
+    use crate::builder::ScheduleBuilder;
+    use crate::schedule::ModelKind;
+
+    /// Broadcasts its estimate every round; decides the minimum seen at the
+    /// end of round `rounds`. (A FloodSet skeleton for executor testing —
+    /// not fault-tolerant reasoning, just deterministic plumbing.)
+    #[derive(Debug)]
+    struct MinAfter {
+        est: Value,
+        rounds: u32,
+        decided: bool,
+    }
+
+    impl RoundProcess for MinAfter {
+        type Msg = Value;
+
+        fn send(&mut self, _round: Round) -> Value {
+            self.est
+        }
+
+        fn deliver(&mut self, round: Round, delivery: &Delivery<Value>) -> Step {
+            for m in delivery.current() {
+                self.est = self.est.min(m.msg);
+            }
+            if round.get() >= self.rounds && !self.decided {
+                self.decided = true;
+                Step::Decide(self.est)
+            } else {
+                Step::Continue
+            }
+        }
+    }
+
+    fn factory(rounds: u32) -> impl ProcessFactory<Process = MinAfter> {
+        move |_i: usize, v: Value| MinAfter { est: v, rounds, decided: false }
+    }
+
+    fn cfg() -> SystemConfig {
+        SystemConfig::majority(3, 1).unwrap()
+    }
+
+    fn proposals(vals: &[u64]) -> Vec<Value> {
+        vals.iter().copied().map(Value::new).collect()
+    }
+
+    #[test]
+    fn failure_free_run_floods_minimum() {
+        let schedule = Schedule::failure_free(cfg(), ModelKind::Es);
+        let outcome = run_schedule(&factory(2), &proposals(&[5, 3, 9]), &schedule, 10);
+        assert!(outcome.check_consensus().is_ok());
+        for d in outcome.decisions.iter().flatten() {
+            assert_eq!(d.value, Value::new(3));
+            assert_eq!(d.round, Round::new(2));
+        }
+        assert_eq!(outcome.rounds_executed, 2);
+    }
+
+    #[test]
+    fn crash_before_send_hides_value() {
+        // p1 (value 3) crashes before sending in round 1; with a 1-round
+        // horizon the others decide without ever seeing 3.
+        let schedule = ScheduleBuilder::new(cfg(), ModelKind::Es)
+            .crash_before_send(ProcessId::new(1), Round::FIRST)
+            .build(5)
+            .unwrap();
+        let outcome = run_schedule(&factory(1), &proposals(&[5, 3, 9]), &schedule, 5);
+        assert_eq!(outcome.decision_of(ProcessId::new(0)).unwrap().value, Value::new(5));
+        assert_eq!(outcome.decision_of(ProcessId::new(2)).unwrap().value, Value::new(5));
+        assert_eq!(outcome.decision_of(ProcessId::new(1)), None);
+        assert!(outcome.crashed.contains(ProcessId::new(1)));
+    }
+
+    #[test]
+    fn partial_crash_delivery_splits_views() {
+        // p1 crashes in round 1 delivering only to p0: p0 sees 3, p2 does
+        // not. Deciding after round 1 exposes the classic disagreement that
+        // motivates flooding for t+1 rounds.
+        let schedule = ScheduleBuilder::new(cfg(), ModelKind::Es)
+            .crash_delivering_only(ProcessId::new(1), Round::FIRST, [ProcessId::new(0)])
+            .build(5)
+            .unwrap();
+        let outcome = run_schedule(&factory(1), &proposals(&[5, 3, 9]), &schedule, 5);
+        assert_eq!(outcome.decision_of(ProcessId::new(0)).unwrap().value, Value::new(3));
+        assert_eq!(outcome.decision_of(ProcessId::new(2)).unwrap().value, Value::new(5));
+        assert!(outcome.check_safety().is_err());
+    }
+
+    #[test]
+    fn delayed_message_arrives_later_and_is_tagged() {
+        #[derive(Debug)]
+        struct Recorder {
+            est: Value,
+            delayed_seen: Vec<(u32, u32)>, // (arrival, sent)
+        }
+        impl RoundProcess for Recorder {
+            type Msg = Value;
+            fn send(&mut self, _round: Round) -> Value {
+                self.est
+            }
+            fn deliver(&mut self, round: Round, delivery: &Delivery<Value>) -> Step {
+                for m in delivery.delayed() {
+                    self.delayed_seen.push((round.get(), m.sent_round.get()));
+                }
+                if round.get() == 3 {
+                    Step::Decide(self.est)
+                } else {
+                    Step::Continue
+                }
+            }
+        }
+        let schedule = ScheduleBuilder::new(cfg(), ModelKind::Es)
+            .sync_from(Round::new(2))
+            .delay(Round::FIRST, ProcessId::new(1), ProcessId::new(0), Round::new(3))
+            .build(5)
+            .unwrap();
+        let factory = |_i: usize, v: Value| Recorder { est: v, delayed_seen: vec![] };
+        let outcome = run_schedule(&factory, &proposals(&[5, 3, 9]), &schedule, 5);
+        assert_eq!(outcome.rounds_executed, 3);
+        // We cannot inspect the recorder after the run (owned by executor),
+        // so assert via behaviour: the run terminates with decisions.
+        assert!(outcome.all_correct_decided());
+    }
+
+    #[test]
+    fn early_exit_when_all_alive_decided() {
+        let schedule = Schedule::failure_free(cfg(), ModelKind::Es);
+        let outcome = run_schedule(&factory(1), &proposals(&[1, 2, 3]), &schedule, 100);
+        assert_eq!(outcome.rounds_executed, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "one proposal per process")]
+    fn proposal_arity_checked() {
+        let schedule = Schedule::failure_free(cfg(), ModelKind::Es);
+        let _ = run_schedule(&factory(1), &proposals(&[1, 2]), &schedule, 5);
+    }
+
+    #[test]
+    fn first_decision_is_recorded_once() {
+        // MinAfter never decides twice, so emulate with a custom automaton
+        // that (incorrectly) decides every round; the executor must keep the
+        // first decision only.
+        #[derive(Debug)]
+        struct Eager;
+        impl RoundProcess for Eager {
+            type Msg = ();
+            fn send(&mut self, _round: Round) {}
+            fn deliver(&mut self, round: Round, _delivery: &Delivery<()>) -> Step {
+                Step::Decide(Value::new(u64::from(round.get())))
+            }
+        }
+        // Keep one process undecided forever to avoid early exit.
+        let schedule = ScheduleBuilder::new(cfg(), ModelKind::Es)
+            .crash_after_send(ProcessId::new(2), Round::new(4))
+            .build(5)
+            .unwrap();
+        let factory = |_i: usize, _v: Value| Eager;
+        let outcome = run_schedule(&factory, &proposals(&[0, 0, 0]), &schedule, 3);
+        assert_eq!(outcome.decision_of(ProcessId::new(0)).unwrap().round, Round::FIRST);
+        assert_eq!(outcome.decision_of(ProcessId::new(0)).unwrap().value, Value::new(1));
+    }
+}

@@ -1,0 +1,64 @@
+//! Deterministic round-based simulator for the SCS and ES models.
+//!
+//! This crate turns the paper's pencil-and-paper runs into executable
+//! artifacts:
+//!
+//! * [`Schedule`] — a complete adversary description (crashes, crash-round
+//!   message fates, delays, the eventual-synchrony round `K`), validated
+//!   against the model constraints of *"The inherent price of indulgence"*
+//!   (t-resilience, reliable channels, eventual synchrony);
+//! * [`ScheduleBuilder`] — fluent construction of hand-crafted runs, e.g.
+//!   the `s1/s0/a2/a1/a0` runs of the paper's Claim 5.1;
+//! * [`run_schedule`] — the deterministic executor driving any
+//!   [`indulgent_model::RoundProcess`] through a schedule;
+//! * [`random`] — seeded random adversaries for statistical sweeps;
+//! * [`serial`] — exhaustive enumeration of serial runs (at most one crash
+//!   per round), the run class used by the lower-bound proof.
+//!
+//! # Example
+//!
+//! ```
+//! use indulgent_model::{Delivery, Round, RoundProcess, Step, SystemConfig, Value};
+//! use indulgent_sim::{run_schedule, ModelKind, Schedule};
+//!
+//! struct Echo(Value);
+//! impl RoundProcess for Echo {
+//!     type Msg = Value;
+//!     fn send(&mut self, _round: Round) -> Value { self.0 }
+//!     fn deliver(&mut self, _round: Round, d: &Delivery<Value>) -> Step {
+//!         let min = d.current().map(|m| m.msg).min().unwrap_or(self.0);
+//!         Step::Decide(min)
+//!     }
+//! }
+//!
+//! let cfg = SystemConfig::majority(3, 1)?;
+//! let schedule = Schedule::failure_free(cfg, ModelKind::Es);
+//! let outcome = run_schedule(
+//!     &|_i: usize, v: Value| Echo(v),
+//!     &[Value::new(4), Value::new(2), Value::new(9)],
+//!     &schedule,
+//!     5,
+//! );
+//! assert!(outcome.all_correct_decided());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod builder;
+mod executor;
+pub mod fd_sim;
+pub mod random;
+mod schedule;
+pub mod serial;
+pub mod trace;
+
+pub use builder::ScheduleBuilder;
+pub use executor::run_schedule;
+pub use fd_sim::ScheduleDetector;
+pub use random::{random_run, RandomRunParams};
+pub use schedule::{MessageFate, ModelKind, Schedule, ScheduleError};
+pub use serial::{count_serial_schedules, for_each_serial_extension, for_each_serial_schedule};
+pub use trace::{run_traced, RoundRecord, RunTrace};

@@ -1,0 +1,352 @@
+//! Run tracing: record what happened, round by round, and render it.
+//!
+//! The paper's Fig. 1 depicts runs as process timelines with crosses for
+//! crashes, arrows for messages and markers for decisions. The
+//! [`run_traced`] executor records exactly that information — per round and
+//! per process: what was sent, which current-round messages arrived, which
+//! processes were suspected, what was decided — and [`RunTrace::render`]
+//! draws an ASCII timeline. Traces also power debugging assertions in the
+//! test suites (e.g. "p1 suspected p0 in round 1 but not round 2").
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use indulgent_model::{
+    Decision, DeliveredMsg, Delivery, ProcessFactory, ProcessId, ProcessSet, Round, RoundProcess,
+    RunOutcome, Step, Value,
+};
+
+use crate::schedule::{MessageFate, Schedule};
+
+/// What one process experienced in one round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundRecord {
+    /// The round.
+    pub round: Round,
+    /// The process.
+    pub process: ProcessId,
+    /// Senders whose current-round message arrived.
+    pub heard: ProcessSet,
+    /// Processes suspected this round (current-round message absent).
+    pub suspected: ProcessSet,
+    /// Number of delayed (earlier-round) messages that arrived.
+    pub delayed_arrivals: usize,
+    /// The decision taken at the end of this round, if any.
+    pub decision: Option<Value>,
+}
+
+/// A full record of one simulated run.
+#[derive(Debug, Clone)]
+pub struct RunTrace {
+    n: usize,
+    records: BTreeMap<(u32, usize), RoundRecord>,
+    crashes: Vec<Option<Round>>,
+    outcome: RunOutcome,
+}
+
+impl RunTrace {
+    /// The run outcome (decisions, crashes, rounds executed).
+    #[must_use]
+    pub fn outcome(&self) -> &RunOutcome {
+        &self.outcome
+    }
+
+    /// The record of `process` at `round`, if the process completed it.
+    #[must_use]
+    pub fn record(&self, round: Round, process: ProcessId) -> Option<&RoundRecord> {
+        self.records.get(&(round.get(), process.index()))
+    }
+
+    /// Iterates over all records in (round, process) order.
+    pub fn records(&self) -> impl Iterator<Item = &RoundRecord> {
+        self.records.values()
+    }
+
+    /// Returns `true` if `observer` suspected `target` in `round`.
+    #[must_use]
+    pub fn suspected(&self, round: Round, observer: ProcessId, target: ProcessId) -> bool {
+        self.record(round, observer).is_some_and(|r| r.suspected.contains(target))
+    }
+
+    /// Renders the run as an ASCII timeline, one row per process, one
+    /// column per round:
+    ///
+    /// * `.` — completed the round uneventfully,
+    /// * `s` — suspected someone this round,
+    /// * `D` — decided at the end of this round,
+    /// * `X` — crashed in this round,
+    /// * (blank) — already crashed.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let max_round = self.outcome.rounds_executed;
+        let _ = write!(out, "{:>4} |", "");
+        for k in 1..=max_round {
+            let _ = write!(out, "{k:>3}");
+        }
+        out.push('\n');
+        let _ = writeln!(out, "-----+{}", "-".repeat(3 * max_round as usize));
+        for i in 0..self.n {
+            let p = ProcessId::new(i);
+            let _ = write!(out, "{:>4} |", p.to_string());
+            for k in 1..=max_round {
+                let cell = if self.crashes[i].map(Round::get) == Some(k) {
+                    "X"
+                } else if let Some(rec) = self.record(Round::new(k), p) {
+                    if rec.decision.is_some() {
+                        "D"
+                    } else if !rec.suspected.is_empty() {
+                        "s"
+                    } else {
+                        "."
+                    }
+                } else {
+                    " "
+                };
+                let _ = write!(out, "{cell:>3}");
+            }
+            match self.outcome.decision_of(p) {
+                Some(d) => {
+                    let _ = write!(out, "   decided {} @ {}", d.value, d.round);
+                }
+                None if self.crashes[i].is_some() => {
+                    let _ = write!(out, "   crashed");
+                }
+                None => {
+                    let _ = write!(out, "   undecided");
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Like [`run_schedule`](crate::run_schedule) but records a full
+/// [`RunTrace`].
+///
+/// # Panics
+///
+/// Panics if `proposals.len()` differs from the configuration size.
+pub fn run_traced<F>(
+    factory: &F,
+    proposals: &[Value],
+    schedule: &Schedule,
+    horizon: u32,
+) -> RunTrace
+where
+    F: ProcessFactory,
+{
+    let config = schedule.config();
+    let n = config.n();
+    assert_eq!(proposals.len(), n, "one proposal per process required");
+
+    let mut processes: Vec<F::Process> = (0..n).map(|i| factory.build(i, proposals[i])).collect();
+    let mut decisions: Vec<Option<Decision>> = vec![None; n];
+    #[allow(clippy::type_complexity)]
+    let mut pending: Vec<BTreeMap<u32, Vec<DeliveredMsg<<F::Process as RoundProcess>::Msg>>>> =
+        vec![BTreeMap::new(); n];
+    let mut records = BTreeMap::new();
+    let mut rounds_executed = 0;
+
+    for k in 1..=horizon {
+        let round = Round::new(k);
+        rounds_executed = k;
+
+        for sender in config.processes() {
+            if !schedule.alive_entering(sender, round) {
+                continue;
+            }
+            let msg = processes[sender.index()].send(round);
+            for receiver in config.processes() {
+                if !schedule.alive_entering(receiver, round) {
+                    continue;
+                }
+                match schedule.fate(round, sender, receiver) {
+                    MessageFate::Deliver => {
+                        pending[receiver.index()].entry(k).or_default().push(DeliveredMsg {
+                            sender,
+                            sent_round: round,
+                            msg: msg.clone(),
+                        });
+                    }
+                    MessageFate::Delay(arrival) => {
+                        pending[receiver.index()].entry(arrival.get()).or_default().push(
+                            DeliveredMsg { sender, sent_round: round, msg: msg.clone() },
+                        );
+                    }
+                    MessageFate::Lose => {}
+                }
+            }
+        }
+
+        for receiver in config.processes() {
+            if !schedule.completes(receiver, round) {
+                continue;
+            }
+            let mut arrived = pending[receiver.index()].remove(&k).unwrap_or_default();
+            arrived.sort_by_key(|m| (m.sent_round, m.sender));
+            let delivery = Delivery::new(round, arrived);
+            let heard = delivery.current_senders();
+            let delayed_arrivals = delivery.delayed().count();
+            let step = processes[receiver.index()].deliver(round, &delivery);
+            let mut decision_value = None;
+            if let Step::Decide(value) = step {
+                if decisions[receiver.index()].is_none() {
+                    decisions[receiver.index()] =
+                        Some(Decision { process: receiver, round, value });
+                    decision_value = Some(value);
+                }
+            }
+            records.insert(
+                (k, receiver.index()),
+                RoundRecord {
+                    round,
+                    process: receiver,
+                    heard,
+                    suspected: heard.complement(n).difference(ProcessSet::from_ids([receiver])),
+                    delayed_arrivals,
+                    decision: decision_value,
+                },
+            );
+        }
+
+        let all_alive_decided = config
+            .processes()
+            .filter(|&p| schedule.completes(p, round))
+            .all(|p| decisions[p.index()].is_some());
+        if all_alive_decided {
+            break;
+        }
+    }
+
+    RunTrace {
+        n,
+        records,
+        crashes: config.processes().map(|p| schedule.crash_round(p)).collect(),
+        outcome: RunOutcome {
+            proposals: proposals.to_vec(),
+            decisions,
+            crashed: schedule.faulty(),
+            rounds_executed,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use indulgent_model::{SystemConfig, Value};
+
+    use super::*;
+    use crate::builder::ScheduleBuilder;
+    use crate::schedule::ModelKind;
+
+    /// Minimal flooding automaton for trace tests.
+    #[derive(Debug)]
+    struct Flood {
+        est: Value,
+        decide_at: u32,
+        decided: bool,
+    }
+
+    impl RoundProcess for Flood {
+        type Msg = Value;
+
+        fn send(&mut self, _round: Round) -> Value {
+            self.est
+        }
+
+        fn deliver(&mut self, round: Round, delivery: &Delivery<Value>) -> Step {
+            for m in delivery.current() {
+                self.est = self.est.min(m.msg);
+            }
+            if round.get() >= self.decide_at && !self.decided {
+                self.decided = true;
+                Step::Decide(self.est)
+            } else {
+                Step::Continue
+            }
+        }
+    }
+
+    fn factory() -> impl ProcessFactory<Process = Flood> {
+        |_i: usize, v: Value| Flood { est: v, decide_at: 2, decided: false }
+    }
+
+    fn cfg() -> SystemConfig {
+        SystemConfig::majority(3, 1).unwrap()
+    }
+
+    fn vals() -> Vec<Value> {
+        vec![Value::new(5), Value::new(1), Value::new(9)]
+    }
+
+    #[test]
+    fn trace_records_suspicions_and_decisions() {
+        let schedule = ScheduleBuilder::new(cfg(), ModelKind::Es)
+            .crash_before_send(ProcessId::new(1), Round::FIRST)
+            .build(10)
+            .unwrap();
+        let trace = run_traced(&factory(), &vals(), &schedule, 10);
+        // p0 suspected p1 in round 1 (it crashed before sending).
+        assert!(trace.suspected(Round::FIRST, ProcessId::new(0), ProcessId::new(1)));
+        assert!(!trace.suspected(Round::FIRST, ProcessId::new(0), ProcessId::new(2)));
+        // p1 has no round records at all.
+        assert!(trace.record(Round::FIRST, ProcessId::new(1)).is_none());
+        // Decisions recorded at round 2.
+        let rec = trace.record(Round::new(2), ProcessId::new(0)).unwrap();
+        assert_eq!(rec.decision, Some(Value::new(5)));
+        assert!(trace.outcome().check_consensus().is_ok());
+    }
+
+    #[test]
+    fn trace_counts_delayed_arrivals() {
+        let schedule = ScheduleBuilder::new(cfg(), ModelKind::Es)
+            .sync_from(Round::new(2))
+            .delay(Round::FIRST, ProcessId::new(1), ProcessId::new(0), Round::new(2))
+            .build(10)
+            .unwrap();
+        let trace = run_traced(&factory(), &vals(), &schedule, 10);
+        let r1 = trace.record(Round::FIRST, ProcessId::new(0)).unwrap();
+        assert!(r1.suspected.contains(ProcessId::new(1)));
+        let r2 = trace.record(Round::new(2), ProcessId::new(0)).unwrap();
+        assert_eq!(r2.delayed_arrivals, 1);
+    }
+
+    #[test]
+    fn trace_outcome_matches_plain_executor() {
+        let schedule = ScheduleBuilder::new(cfg(), ModelKind::Es)
+            .crash_delivering_only(ProcessId::new(1), Round::FIRST, [ProcessId::new(0)])
+            .build(10)
+            .unwrap();
+        let traced = run_traced(&factory(), &vals(), &schedule, 10);
+        let plain = crate::run_schedule(&factory(), &vals(), &schedule, 10);
+        assert_eq!(traced.outcome(), &plain);
+    }
+
+    #[test]
+    fn render_shows_crash_decision_and_suspicion_markers() {
+        let schedule = ScheduleBuilder::new(cfg(), ModelKind::Es)
+            .crash_before_send(ProcessId::new(1), Round::FIRST)
+            .build(10)
+            .unwrap();
+        let trace = run_traced(&factory(), &vals(), &schedule, 10);
+        let art = trace.render();
+        assert!(art.contains('X'), "crash marker expected:\n{art}");
+        assert!(art.contains('D'), "decision marker expected:\n{art}");
+        assert!(art.contains('s'), "suspicion marker expected:\n{art}");
+        assert!(art.contains("decided"));
+        assert!(art.contains("crashed"));
+    }
+
+    #[test]
+    fn records_iterate_in_round_process_order() {
+        let schedule = Schedule::failure_free(cfg(), ModelKind::Es);
+        let trace = run_traced(&factory(), &vals(), &schedule, 10);
+        let keys: Vec<(u32, usize)> =
+            trace.records().map(|r| (r.round.get(), r.process.index())).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+    }
+}

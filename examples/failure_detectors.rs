@@ -1,0 +1,72 @@
+//! The failure-detector side of the story (paper Sects. 4–5): run the
+//! `A_◇S` variant with an eventually strong detector — fast when the
+//! detector is accurate, safe when it lies.
+//!
+//! ```text
+//! cargo run --example failure_detectors
+//! ```
+
+use indulgent_consensus::{AtPlus2, RotatingCoordinator};
+use indulgent_fd::{CrashInfo, EventuallyStrongDetector, SuspicionScript};
+use indulgent_model::{ProcessId, ProcessSet, Round, SystemConfig, Value};
+use indulgent_sim::{run_schedule, ModelKind, Schedule};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = SystemConfig::majority(5, 2)?;
+    let proposals: Vec<Value> = [6u64, 2, 8, 4, 7].map(Value::new).to_vec();
+    let schedule = Schedule::failure_free(cfg, ModelKind::Es);
+
+    // 1. An accurate ◇S (no false suspicions): decisions at t + 2.
+    let info = CrashInfo::none(5);
+    let accurate = {
+        let info = info.clone();
+        move |i: usize, v: Value| {
+            let id = ProcessId::new(i);
+            let detector = EventuallyStrongDetector::new(
+                info.clone(),
+                Round::FIRST,
+                ProcessId::new(0),
+                SuspicionScript::new(),
+            );
+            AtPlus2::with_detector(cfg, id, v, RotatingCoordinator::new(cfg, id), detector)
+        }
+    };
+    let outcome = run_schedule(&accurate, &proposals, &schedule, 60);
+    outcome.check_consensus()?;
+    println!(
+        "accurate diamond-S: global decision at {} (t + 2 = {})",
+        outcome.global_decision_round().expect("decided"),
+        cfg.t() + 2
+    );
+
+    // 2. A lying ◇S: everyone permanently suspects the correct p1 (weak
+    // accuracy allows it — only one correct process must eventually be
+    // trusted). Fast decision is lost, but the fallback consensus C
+    // finishes the job and agreement holds.
+    let mut script = SuspicionScript::new();
+    for k in 1..=60u32 {
+        for obs in 0..5usize {
+            if obs != 1 {
+                script.insert((k, obs), ProcessSet::from_ids([ProcessId::new(1)]));
+            }
+        }
+    }
+    let lying = move |i: usize, v: Value| {
+        let id = ProcessId::new(i);
+        let detector = EventuallyStrongDetector::new(
+            info.clone(),
+            Round::FIRST,
+            ProcessId::new(0),
+            script.clone(),
+        );
+        AtPlus2::with_detector(cfg, id, v, RotatingCoordinator::new(cfg, id), detector)
+    };
+    let outcome = run_schedule(&lying, &proposals, &schedule, 60);
+    outcome.check_consensus()?;
+    println!(
+        "lying diamond-S:    global decision at {} (deferred to the fallback C, still safe)",
+        outcome.global_decision_round().expect("decided"),
+    );
+    println!("indulgence in action: the detector was wrong for the whole run and was forgiven");
+    Ok(())
+}

@@ -1,0 +1,3 @@
+//! This crate exists only to host the runnable examples
+//! (`cargo run --example quickstart`, etc.). See the files next to
+//! `Cargo.toml`.
