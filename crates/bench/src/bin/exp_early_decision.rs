@@ -25,7 +25,13 @@ fn main() {
         "{}",
         render_table(
             "E7 — early decision with f actual crashes (synchronous runs)",
-            &["f", "A_t+2 (n=5,t=2)", "A_f+2 (n=7,t=2)", "EarlyFloodSet SCS (n=5,t=2)", "bound f+2"],
+            &[
+                "f",
+                "A_t+2 (n=5,t=2)",
+                "A_f+2 (n=7,t=2)",
+                "EarlyFloodSet SCS (n=5,t=2)",
+                "bound f+2"
+            ],
             &table,
         )
     );

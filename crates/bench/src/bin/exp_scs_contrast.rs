@@ -16,8 +16,7 @@ fn main() {
                 r.t.to_string(),
                 r.floodset_scs.to_string(),
                 r.at_plus2_es.map_or("n/a".into(), |v| v.to_string()),
-                r.at_plus2_es
-                    .map_or("n/a".into(), |v| (v - r.floodset_scs).to_string()),
+                r.at_plus2_es.map_or("n/a".into(), |v| (v - r.floodset_scs).to_string()),
                 if r.truncated_violates { "caught" } else { "MISSED" }.into(),
             ]
         })

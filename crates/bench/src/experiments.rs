@@ -78,27 +78,23 @@ pub fn lower_bound_table(configs: &[(usize, usize)]) -> Vec<LowerBoundRow> {
         let crash_horizon = t as u32 + 2;
         let run_horizon = 12 * (t as u32 + 2);
         let props = proposals(n);
-        let vparams =
-            ValencyParams { crash_horizon, run_horizon };
+        let vparams = ValencyParams { crash_horizon, run_horizon };
 
         // A_{t+2}.
         let f = at_plus2_factory(config);
         let report = worst_case_decision_round(
-            &f, config, ModelKind::Es, &props, crash_horizon, run_horizon,
+            &f,
+            config,
+            ModelKind::Es,
+            &props,
+            crash_horizon,
+            run_horizon,
         )
         .expect("A_t+2 satisfies consensus in all serial runs");
-        let bivalent_initial =
-            find_bivalent_initial(&f, config, ModelKind::Es, vparams).is_some();
+        let bivalent_initial = find_bivalent_initial(&f, config, ModelKind::Es, vparams).is_some();
         let bivalent_prefix = if t >= 2 {
-            find_bivalent_prefix(
-                &f,
-                &binary_mixed(n),
-                config,
-                ModelKind::Es,
-                t as u32 - 1,
-                vparams,
-            )
-            .is_some()
+            find_bivalent_prefix(&f, &binary_mixed(n), config, ModelKind::Es, t as u32 - 1, vparams)
+                .is_some()
         } else {
             bivalent_initial // t - 1 = 0 rounds: the initial configuration
         };
@@ -116,7 +112,12 @@ pub fn lower_bound_table(configs: &[(usize, usize)]) -> Vec<LowerBoundRow> {
         // Hurfin–Raynal-style baseline.
         let f = move |i: usize, v: Value| CoordinatorEcho::new(config, ProcessId::new(i), v);
         let report = worst_case_decision_round(
-            &f, config, ModelKind::Es, &props, 2 * t as u32 + 2, run_horizon,
+            &f,
+            config,
+            ModelKind::Es,
+            &props,
+            2 * t as u32 + 2,
+            run_horizon,
         )
         .expect("CoordinatorEcho satisfies consensus in all serial runs");
         rows.push(LowerBoundRow {
@@ -185,10 +186,10 @@ pub fn fast_decision_table(ns: &[usize], runs_per_cell: u32) -> Vec<FastDecision
                         40,
                         u64::from(seed) * 31 + n as u64,
                     );
-                    let outcome =
-                        run_schedule(&at_plus2_factory(config), &props, &schedule, 40);
+                    let outcome = run_schedule(&at_plus2_factory(config), &props, &schedule, 40);
                     outcome.check_consensus().expect("consensus holds");
-                    max_round = max_round.max(outcome.global_decision_round().expect("decided").get());
+                    max_round =
+                        max_round.max(outcome.global_decision_round().expect("decided").get());
                 }
                 rows.push(FastDecisionRow {
                     n,
@@ -322,7 +323,13 @@ pub fn baseline_comparison_table(ts: &[usize]) -> Vec<BaselineRow> {
             outcome.check_safety().is_ok()
         };
 
-        rows.push(BaselineRow { t, at_plus2: at_worst, hr_style: hr_worst, rotating: rc_worst, strawman_safe_in_es });
+        rows.push(BaselineRow {
+            t,
+            at_plus2: at_worst,
+            hr_style: hr_worst,
+            rotating: rc_worst,
+            strawman_safe_in_es,
+        });
     }
     rows
 }
@@ -385,7 +392,13 @@ pub fn diamond_s_table(configs: &[(usize, usize)], runs_per_cell: u32) -> Vec<Di
                     trusted,
                     SuspicionScript::new(),
                 );
-                AtPlus2::with_detector(config, id, v, RotatingCoordinator::new(config, id), detector)
+                AtPlus2::with_detector(
+                    config,
+                    id,
+                    v,
+                    RotatingCoordinator::new(config, id),
+                    detector,
+                )
             };
             let outcome = run_schedule(&f, &props, &schedule, horizon);
             outcome.check_consensus().expect("consensus holds");
@@ -412,7 +425,13 @@ pub fn diamond_s_table(configs: &[(usize, usize)], runs_per_cell: u32) -> Vec<Di
                     ProcessId::new(0),
                     script.clone(),
                 );
-                AtPlus2::with_detector(config, id, v, RotatingCoordinator::new(config, id), detector)
+                AtPlus2::with_detector(
+                    config,
+                    id,
+                    v,
+                    RotatingCoordinator::new(config, id),
+                    detector,
+                )
             };
             let schedule = Schedule::failure_free(config, ModelKind::Es);
             let outcome = run_schedule(&f, &props, &schedule, horizon);
@@ -618,7 +637,8 @@ pub fn eventual_decision_table(ks: &[u32], fs: &[usize], seeds: u32) -> Vec<Even
                     horizon,
                     u64::from(seed) * 13 + u64::from(k),
                 );
-                let mut b = ScheduleBuilder::new(config, ModelKind::Es).sync_from(Round::new(k + 1));
+                let mut b =
+                    ScheduleBuilder::new(config, ModelKind::Es).sync_from(Round::new(k + 1));
                 for (r, s, d, fate) in base.overrides() {
                     if let indulgent_sim::MessageFate::Delay(a) = fate {
                         b = b.delay(r, s, d, a);
@@ -699,8 +719,7 @@ pub fn early_decision_table(seeds: u32) -> Vec<EarlyDecisionRow> {
                 40,
                 u64::from(seed) * 7 + f as u64,
             );
-            let outcome =
-                run_schedule(&at_plus2_factory(at_config), &proposals(5), &schedule, 40);
+            let outcome = run_schedule(&at_plus2_factory(at_config), &proposals(5), &schedule, 40);
             outcome.check_consensus().expect("consensus holds");
             at_worst = at_worst.max(outcome.global_decision_round().expect("decided").get());
 

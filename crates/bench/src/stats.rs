@@ -71,11 +71,7 @@ impl RoundHistogram {
     /// The smallest recorded round.
     #[must_use]
     pub fn min(&self) -> Option<Round> {
-        self.counts
-            .iter()
-            .enumerate()
-            .find(|&(_, &c)| c > 0)
-            .map(|(i, _)| Round::new(i as u32))
+        self.counts.iter().enumerate().find(|&(_, &c)| c > 0).map(|(i, _)| Round::new(i as u32))
     }
 
     /// The largest recorded round.

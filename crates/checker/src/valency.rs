@@ -78,13 +78,8 @@ where
             .global_decision_round()
             .unwrap_or_else(|| panic!("serial extension did not decide: {schedule:?}"));
         let _ = round;
-        let value = outcome
-            .decisions
-            .iter()
-            .flatten()
-            .next()
-            .expect("decided run has a decision")
-            .value;
+        let value =
+            outcome.decisions.iter().flatten().next().expect("decided run has a decision").value;
         decisions.insert(value);
         ControlFlow::Continue(())
     });
@@ -157,8 +152,7 @@ where
 {
     let n = config.n();
     for bits in 0u64..(1 << n) {
-        let proposals: Vec<Value> =
-            (0..n).map(|i| Value::binary(bits & (1 << i) != 0)).collect();
+        let proposals: Vec<Value> = (0..n).map(|i| Value::binary(bits & (1 << i) != 0)).collect();
         if initial_valency(factory, config, kind, &proposals, params).is_bivalent() {
             return Some(proposals);
         }
@@ -231,10 +225,7 @@ mod tests {
         let f = factory(config());
         let zeros = vec![Value::ZERO; 3];
         let ones = vec![Value::ONE; 3];
-        assert_eq!(
-            initial_valency(&f, config(), ModelKind::Es, &zeros, params()),
-            Valency::Zero
-        );
+        assert_eq!(initial_valency(&f, config(), ModelKind::Es, &zeros, params()), Valency::Zero);
         assert_eq!(initial_valency(&f, config(), ModelKind::Es, &ones, params()), Valency::One);
     }
 
@@ -290,8 +281,7 @@ mod tests {
         // reachable via the second crash).
         let cfg5 = SystemConfig::majority(5, 2).unwrap();
         let f = factory(cfg5);
-        let proposals =
-            vec![Value::ONE, Value::ONE, Value::ONE, Value::ONE, Value::ZERO];
+        let proposals = vec![Value::ONE, Value::ONE, Value::ONE, Value::ONE, Value::ZERO];
         let p = ValencyParams { crash_horizon: 4, run_horizon: 40 };
         let prefix = find_bivalent_prefix(&f, &proposals, cfg5, ModelKind::Es, 1, p);
         assert!(prefix.is_some(), "a bivalent 1-round prefix must exist for t = 2");

@@ -83,10 +83,7 @@ where
     let _ = for_each_serial_schedule(config, kind, crash_horizon, |schedule| {
         let outcome = run_schedule(factory, proposals, schedule, run_horizon);
         if let Err(violation) = outcome.check_consensus() {
-            error = Some(CheckError::Violation {
-                violation,
-                schedule: Box::new(schedule.clone()),
-            });
+            error = Some(CheckError::Violation { violation, schedule: Box::new(schedule.clone()) });
             return ControlFlow::Break(());
         }
         let Some(round) = outcome.global_decision_round() else {
@@ -138,10 +135,15 @@ where
     let n = config.n();
     let mut overall: Option<WorstCaseReport> = None;
     for bits in 0u64..(1 << n) {
-        let proposals: Vec<Value> =
-            (0..n).map(|i| Value::binary(bits & (1 << i) != 0)).collect();
-        let report =
-            worst_case_decision_round(factory, config, kind, &proposals, crash_horizon, run_horizon)?;
+        let proposals: Vec<Value> = (0..n).map(|i| Value::binary(bits & (1 << i) != 0)).collect();
+        let report = worst_case_decision_round(
+            factory,
+            config,
+            kind,
+            &proposals,
+            crash_horizon,
+            run_horizon,
+        )?;
         overall = Some(match overall.take() {
             None => report,
             Some(mut o) => {
@@ -201,7 +203,7 @@ mod tests {
         let report =
             worst_case_over_binary_proposals(&factory, config, ModelKind::Es, 3, 30).unwrap();
         assert_eq!(report.worst_round, Round::new(3)); // t + 2 with t = 1
-        // 8 proposal vectors x 37 serial schedules each.
+                                                       // 8 proposal vectors x 37 serial schedules each.
         assert_eq!(report.runs, 8 * 37);
     }
 

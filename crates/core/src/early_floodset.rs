@@ -78,10 +78,8 @@ impl RoundProcess for EarlyFloodSet {
         let heard = delivery.current_senders();
         let quiescent = heard == self.prev_heard;
         // Decide one round after the first quiescent round, or at t + 1.
-        let due = self
-            .quiescent_at
-            .is_some_and(|q| round > q)
-            || round.get() > self.config.t() as u32;
+        let due =
+            self.quiescent_at.is_some_and(|q| round > q) || round.get() > self.config.t() as u32;
         if quiescent && self.quiescent_at.is_none() {
             self.quiescent_at = Some(round);
         }
@@ -198,8 +196,7 @@ mod tests {
                 12,
                 seed,
             );
-            let outcome =
-                run_schedule(&factory(config), &vals(&[6, 2, 8, 4, 7, 5]), &schedule, 12);
+            let outcome = run_schedule(&factory(config), &vals(&[6, 2, 8, 4, 7, 5]), &schedule, 12);
             outcome.check_consensus().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         }
     }

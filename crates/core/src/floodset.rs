@@ -28,11 +28,7 @@ impl FloodSet {
     /// Creates the automaton proposing `proposal` in system `config`.
     #[must_use]
     pub fn new(config: SystemConfig, proposal: Value) -> Self {
-        FloodSet {
-            decide_round: Round::new(config.t() as u32 + 1),
-            est: proposal,
-            decided: false,
-        }
+        FloodSet { decide_round: Round::new(config.t() as u32 + 1), est: proposal, decided: false }
     }
 
     /// Creates a FloodSet variant deciding at the end of `round` instead of

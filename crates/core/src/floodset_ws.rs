@@ -15,7 +15,9 @@
 //! demonstrated by the ablation test below and by `exp_baseline_comparison`.
 
 use indulgent_fd::{FailureDetector, Suspicion};
-use indulgent_model::{Delivery, ProcessId, ProcessSet, Round, RoundProcess, Step, SystemConfig, Value};
+use indulgent_model::{
+    Delivery, ProcessId, ProcessSet, Round, RoundProcess, Step, SystemConfig, Value,
+};
 
 /// The FloodSetWS automaton, generic over its suspicion source.
 ///
@@ -37,7 +39,12 @@ impl<D: FailureDetector> FloodSetWs<D> {
     /// Creates the automaton for process `id` proposing `proposal`, taking
     /// suspicions from `suspicion`.
     #[must_use]
-    pub fn new(config: SystemConfig, id: ProcessId, proposal: Value, suspicion: Suspicion<D>) -> Self {
+    pub fn new(
+        config: SystemConfig,
+        id: ProcessId,
+        proposal: Value,
+        suspicion: Suspicion<D>,
+    ) -> Self {
         FloodSetWs {
             id,
             n: config.n(),
@@ -112,10 +119,10 @@ mod tests {
         }
     }
 
-    fn derived_factory(config: SystemConfig) -> impl ProcessFactory<Process = FloodSetWs<NoDetector>> {
-        move |i: usize, v: Value| {
-            FloodSetWs::new(config, ProcessId::new(i), v, Suspicion::Derived)
-        }
+    fn derived_factory(
+        config: SystemConfig,
+    ) -> impl ProcessFactory<Process = FloodSetWs<NoDetector>> {
+        move |i: usize, v: Value| FloodSetWs::new(config, ProcessId::new(i), v, Suspicion::Derived)
     }
 
     #[test]
@@ -183,7 +190,8 @@ mod tests {
             .crash_delivering_only(ProcessId::new(1), Round::FIRST, [ProcessId::new(0)])
             .build(10)
             .unwrap();
-        let outcome = run_schedule(&derived_factory(config), &vals(&[6, 2, 8, 4, 7]), &schedule, 10);
+        let outcome =
+            run_schedule(&derived_factory(config), &vals(&[6, 2, 8, 4, 7]), &schedule, 10);
         outcome.check_consensus().unwrap();
     }
 }

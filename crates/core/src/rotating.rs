@@ -228,7 +228,9 @@ mod tests {
         SystemConfig::majority(5, 2).unwrap()
     }
 
-    fn factory(config: SystemConfig) -> impl ProcessFactory<Process = Standalone<RotatingCoordinator>> {
+    fn factory(
+        config: SystemConfig,
+    ) -> impl ProcessFactory<Process = Standalone<RotatingCoordinator>> {
         move |i: usize, v: Value| {
             Standalone::new(RotatingCoordinator::new(config, ProcessId::new(i)), v)
         }

@@ -212,7 +212,11 @@ mod tests {
             Round::new(5),
             vec![
                 // A real message sent at global 5 (local 3).
-                DeliveredMsg { sender: ProcessId::new(1), sent_round: Round::new(5), msg: Some(3u8) },
+                DeliveredMsg {
+                    sender: ProcessId::new(1),
+                    sent_round: Round::new(5),
+                    msg: Some(3u8),
+                },
                 // A silent-prefix message: must be dropped.
                 DeliveredMsg { sender: ProcessId::new(2), sent_round: Round::new(2), msg: None },
             ],

@@ -89,10 +89,7 @@ impl CrashInfo {
     /// The set of processes that crashed strictly before `round`.
     #[must_use]
     pub fn crashed_set(&self, round: Round) -> ProcessSet {
-        (0..self.n())
-            .map(ProcessId::new)
-            .filter(|&p| self.crashed_before(p, round))
-            .collect()
+        (0..self.n()).map(ProcessId::new).filter(|&p| self.crashed_before(p, round)).collect()
     }
 
     /// The faulty processes (those that crash at any round).
@@ -212,10 +209,7 @@ impl EventuallyStrongDetector {
         trusted: ProcessId,
         script: SuspicionScript,
     ) -> Self {
-        assert!(
-            !info.faulty().contains(trusted),
-            "the eventually trusted process must be correct"
-        );
+        assert!(!info.faulty().contains(trusted), "the eventually trusted process must be correct");
         EventuallyStrongDetector { info, accuracy_round, trusted, script }
     }
 }
@@ -266,7 +260,12 @@ impl<D: FailureDetector> Suspicion<D> {
     ///
     /// The result never contains `observer` itself (algorithm assumption 2
     /// of the paper: no process ever suspects itself).
-    pub fn suspects(&mut self, observer: ProcessId, round: Round, absent: ProcessSet) -> ProcessSet {
+    pub fn suspects(
+        &mut self,
+        observer: ProcessId,
+        round: Round,
+        absent: ProcessSet,
+    ) -> ProcessSet {
         let mut out = match self {
             Suspicion::Derived => absent,
             Suspicion::Detector(d) => d.suspects(observer, round).union(absent),

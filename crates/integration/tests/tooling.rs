@@ -9,9 +9,7 @@ use indulgent_sim::{
     run_schedule, run_traced, ModelKind, Schedule, ScheduleBuilder, ScheduleDetector,
 };
 
-fn at_factory(
-    config: SystemConfig,
-) -> impl Fn(usize, Value) -> AtPlus2<RotatingCoordinator> {
+fn at_factory(config: SystemConfig) -> impl Fn(usize, Value) -> AtPlus2<RotatingCoordinator> {
     move |i: usize, v: Value| {
         let id = ProcessId::new(i);
         AtPlus2::new(config, id, v, RotatingCoordinator::new(config, id))

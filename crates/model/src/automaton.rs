@@ -121,7 +121,11 @@ mod tests {
         assert_eq!(p.send(Round::FIRST), Value::new(7));
         let delivery = Delivery::new(
             Round::FIRST,
-            vec![DeliveredMsg { sender: ProcessId::new(0), sent_round: Round::FIRST, msg: Value::new(7) }],
+            vec![DeliveredMsg {
+                sender: ProcessId::new(0),
+                sent_round: Round::FIRST,
+                msg: Value::new(7),
+            }],
         );
         assert_eq!(p.deliver(Round::FIRST, &delivery), Step::Decide(Value::new(7)));
     }

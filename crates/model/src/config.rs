@@ -218,7 +218,11 @@ impl fmt::Display for ConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ConfigError::TooManyProcesses { n } => {
-                write!(f, "{n} processes exceed the supported maximum of {}", ProcessSet::MAX_PROCESSES)
+                write!(
+                    f,
+                    "{n} processes exceed the supported maximum of {}",
+                    ProcessSet::MAX_PROCESSES
+                )
             }
             ConfigError::TooFewProcesses { n, min } => {
                 write!(f, "{n} processes are fewer than the required minimum of {min}")
@@ -233,7 +237,10 @@ impl fmt::Display for ConfigError {
                 write!(f, "t = {t} with n = {n} violates t < n/3 required by A_f+2")
             }
             ConfigError::SynchronousResilience { n, t } => {
-                write!(f, "t = {t} with n = {n} violates t <= n - 2 required in the synchronous model")
+                write!(
+                    f,
+                    "t = {t} with n = {n} violates t <= n - 2 required in the synchronous model"
+                )
             }
         }
     }
@@ -270,7 +277,10 @@ mod tests {
 
     #[test]
     fn majority_rejects_tiny_system() {
-        assert_eq!(SystemConfig::majority(2, 1), Err(ConfigError::TooFewProcesses { n: 2, min: 3 }));
+        assert_eq!(
+            SystemConfig::majority(2, 1),
+            Err(ConfigError::TooFewProcesses { n: 2, min: 3 })
+        );
     }
 
     #[test]
@@ -309,7 +319,9 @@ mod tests {
         ] {
             let msg = err.to_string();
             assert!(!msg.is_empty());
-            assert!(msg.chars().next().unwrap().is_lowercase() || msg.starts_with(char::is_numeric));
+            assert!(
+                msg.chars().next().unwrap().is_lowercase() || msg.starts_with(char::is_numeric)
+            );
         }
     }
 

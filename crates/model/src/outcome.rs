@@ -112,8 +112,11 @@ impl RunOutcome {
     pub fn check_consensus(&self) -> Result<(), ConsensusViolation> {
         self.check_safety()?;
         if !self.all_correct_decided() {
-            let undecided =
-                self.correct().iter().find(|p| self.decision_of(*p).is_none()).expect("some undecided");
+            let undecided = self
+                .correct()
+                .iter()
+                .find(|p| self.decision_of(*p).is_none())
+                .expect("some undecided");
             return Err(ConsensusViolation::Termination { process: undecided });
         }
         Ok(())
@@ -194,7 +197,11 @@ impl std::error::Error for ConsensusViolation {}
 mod tests {
     use super::*;
 
-    fn outcome(proposals: Vec<u64>, decisions: Vec<Option<(u32, u64)>>, crashed: &[usize]) -> RunOutcome {
+    fn outcome(
+        proposals: Vec<u64>,
+        decisions: Vec<Option<(u32, u64)>>,
+        crashed: &[usize],
+    ) -> RunOutcome {
         RunOutcome {
             proposals: proposals.into_iter().map(Value::new).collect(),
             decisions: decisions

@@ -82,7 +82,9 @@ impl From<ProcessId> for usize {
 /// assert!(halt.contains(ProcessId::new(4)));
 /// assert!(!halt.contains(ProcessId::new(0)));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct ProcessSet(u64);
 
 impl ProcessSet {

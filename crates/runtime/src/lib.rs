@@ -201,7 +201,8 @@ where
     let quorum = config.quorum();
     let start = Instant::now();
 
-    let mut senders: Vec<Sender<Envelope<<F::Process as RoundProcess>::Msg>>> = Vec::with_capacity(n);
+    let mut senders: Vec<Sender<Envelope<<F::Process as RoundProcess>::Msg>>> =
+        Vec::with_capacity(n);
     #[allow(clippy::type_complexity)]
     let mut receivers: Vec<Option<Receiver<Envelope<<F::Process as RoundProcess>::Msg>>>> =
         Vec::with_capacity(n);
@@ -226,7 +227,16 @@ where
         let crash_round = net.crashes[i];
         handles.push(std::thread::spawn(move || {
             worker(
-                id, &mut process, rx, &senders, &done, crash_round, delays, grace, quorum, n,
+                id,
+                &mut process,
+                rx,
+                &senders,
+                &done,
+                crash_round,
+                delays,
+                grace,
+                quorum,
+                n,
                 max_rounds,
             )
         }));
@@ -240,17 +250,10 @@ where
         rounds_executed = rounds_executed.max(last_round);
     }
 
-    let crashed: ProcessSet = config
-        .processes()
-        .filter(|p| net.crashes[p.index()].is_some())
-        .collect();
+    let crashed: ProcessSet =
+        config.processes().filter(|p| net.crashes[p.index()].is_some()).collect();
     NetReport {
-        outcome: RunOutcome {
-            proposals: proposals.to_vec(),
-            decisions,
-            crashed,
-            rounds_executed,
-        },
+        outcome: RunOutcome { proposals: proposals.to_vec(), decisions, crashed, rounds_executed },
         elapsed: start.elapsed(),
     }
 }
@@ -431,8 +434,7 @@ mod tests {
     #[test]
     fn coordinator_echo_runs_on_the_network() {
         let config = cfg();
-        let factory =
-            move |i: usize, v: Value| CoordinatorEcho::new(config, ProcessId::new(i), v);
+        let factory = move |i: usize, v: Value| CoordinatorEcho::new(config, ProcessId::new(i), v);
         let net = NetworkConfig::synchronous(config);
         let report = run_network(config, &factory, &vals(&[6, 2, 8, 4, 7]), &net);
         report.outcome.check_consensus().unwrap();
@@ -451,7 +453,10 @@ mod tests {
         let b = m.delay_for(Round::new(2), ProcessId::new(1), ProcessId::new(3));
         assert_eq!(a, b);
         // After the synchrony round there are no delays.
-        assert_eq!(m.delay_for(Round::new(4), ProcessId::new(1), ProcessId::new(3)), Duration::ZERO);
+        assert_eq!(
+            m.delay_for(Round::new(4), ProcessId::new(1), ProcessId::new(3)),
+            Duration::ZERO
+        );
     }
 
     #[test]

@@ -111,7 +111,13 @@ impl ScheduleBuilder {
     /// proof (runs `a2`, `a1`, `a0` of Claim 5.1): crash-round messages may
     /// be delayed even in synchronous runs.
     #[must_use]
-    pub fn crash_delaying_to<I>(mut self, p: ProcessId, round: Round, delayed: I, arrival: Round) -> Self
+    pub fn crash_delaying_to<I>(
+        mut self,
+        p: ProcessId,
+        round: Round,
+        delayed: I,
+        arrival: Round,
+    ) -> Self
     where
         I: IntoIterator<Item = ProcessId>,
     {
@@ -125,7 +131,13 @@ impl ScheduleBuilder {
     /// Delays the round-`round` message from `sender` to `receiver` until
     /// `arrival` (a false suspicion of `sender` by `receiver` in `round`).
     #[must_use]
-    pub fn delay(mut self, round: Round, sender: ProcessId, receiver: ProcessId, arrival: Round) -> Self {
+    pub fn delay(
+        mut self,
+        round: Round,
+        sender: ProcessId,
+        receiver: ProcessId,
+        arrival: Round,
+    ) -> Self {
         self.overrides
             .insert((round.get(), sender.index(), receiver.index()), MessageFate::Delay(arrival));
         self
@@ -185,7 +197,10 @@ mod tests {
             .build(5)
             .unwrap();
         assert_eq!(s.crash_round(ProcessId::new(1)), Some(Round::new(3)));
-        assert_eq!(s.fate(Round::new(3), ProcessId::new(1), ProcessId::new(0)), MessageFate::Deliver);
+        assert_eq!(
+            s.fate(Round::new(3), ProcessId::new(1), ProcessId::new(0)),
+            MessageFate::Deliver
+        );
     }
 
     #[test]
@@ -205,7 +220,10 @@ mod tests {
             .crash_delivering_only(ProcessId::new(0), Round::new(1), [ProcessId::new(2)])
             .build(5)
             .unwrap();
-        assert_eq!(s.fate(Round::FIRST, ProcessId::new(0), ProcessId::new(2)), MessageFate::Deliver);
+        assert_eq!(
+            s.fate(Round::FIRST, ProcessId::new(0), ProcessId::new(2)),
+            MessageFate::Deliver
+        );
         assert_eq!(s.fate(Round::FIRST, ProcessId::new(0), ProcessId::new(1)), MessageFate::Lose);
     }
 

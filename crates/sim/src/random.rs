@@ -93,12 +93,11 @@ pub fn random_run(
 
     let mut overrides: BTreeMap<(u32, usize, usize), MessageFate> = BTreeMap::new();
 
-    let alive_entering = |crash_rounds: &Vec<Option<Round>>, p: ProcessId, k: u32| match crash_rounds
-        [p.index()]
-    {
-        None => true,
-        Some(r) => r.get() >= k,
-    };
+    let alive_entering =
+        |crash_rounds: &Vec<Option<Round>>, p: ProcessId, k: u32| match crash_rounds[p.index()] {
+            None => true,
+            Some(r) => r.get() >= k,
+        };
 
     // Crash-round fates.
     for sender in config.processes() {
@@ -108,7 +107,8 @@ pub fn random_run(
                     continue;
                 }
                 if rng.gen_bool(params.crash_loss_probability) {
-                    overrides.insert((cr.get(), sender.index(), receiver.index()), MessageFate::Lose);
+                    overrides
+                        .insert((cr.get(), sender.index(), receiver.index()), MessageFate::Lose);
                 }
             }
         }
@@ -165,9 +165,7 @@ pub fn random_run(
         overrides,
         Round::new(params.sync_from.max(1)),
     );
-    schedule
-        .validate(horizon)
-        .expect("random generator must produce legal schedules");
+    schedule.validate(horizon).expect("random generator must produce legal schedules");
     schedule
 }
 
@@ -206,8 +204,20 @@ mod tests {
 
     #[test]
     fn deterministic_in_seed() {
-        let a = random_run(cfg(), ModelKind::Es, RandomRunParams::eventually_synchronous(2, 4, 4), 8, 7);
-        let b = random_run(cfg(), ModelKind::Es, RandomRunParams::eventually_synchronous(2, 4, 4), 8, 7);
+        let a = random_run(
+            cfg(),
+            ModelKind::Es,
+            RandomRunParams::eventually_synchronous(2, 4, 4),
+            8,
+            7,
+        );
+        let b = random_run(
+            cfg(),
+            ModelKind::Es,
+            RandomRunParams::eventually_synchronous(2, 4, 4),
+            8,
+            7,
+        );
         assert_eq!(a, b);
     }
 

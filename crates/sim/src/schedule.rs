@@ -111,10 +111,7 @@ impl Schedule {
     /// The set of faulty processes (those that crash at some round).
     #[must_use]
     pub fn faulty(&self) -> ProcessSet {
-        self.config
-            .processes()
-            .filter(|p| self.crash_round(*p).is_some())
-            .collect()
+        self.config.processes().filter(|p| self.crash_round(*p).is_some()).collect()
     }
 
     /// Number of crashes in the schedule.
@@ -158,7 +155,9 @@ impl Schedule {
     }
 
     /// Iterates over all non-default message fates.
-    pub fn overrides(&self) -> impl Iterator<Item = (Round, ProcessId, ProcessId, MessageFate)> + '_ {
+    pub fn overrides(
+        &self,
+    ) -> impl Iterator<Item = (Round, ProcessId, ProcessId, MessageFate)> + '_ {
         self.overrides
             .iter()
             .map(|(&(r, s, d), &f)| (Round::new(r), ProcessId::new(s), ProcessId::new(d), f))
@@ -214,8 +213,8 @@ impl Schedule {
                     let sender_faulty = self.crash_round(sender).is_some();
                     let receiver_faulty = self.crash_round(receiver).is_some();
                     let async_period = self.kind == ModelKind::Es && round < self.sync_from;
-                    let allowed = sender_crashes_now
-                        || (async_period && (sender_faulty || receiver_faulty));
+                    let allowed =
+                        sender_crashes_now || (async_period && (sender_faulty || receiver_faulty));
                     if !allowed {
                         return Err(ScheduleError::IllegalLoss { sender, receiver, round });
                     }
@@ -257,7 +256,12 @@ impl Schedule {
                     })
                     .count();
                 if delivered < quorum {
-                    return Err(ScheduleError::NotTResilient { receiver, round, delivered, quorum });
+                    return Err(ScheduleError::NotTResilient {
+                        receiver,
+                        round,
+                        delivered,
+                        quorum,
+                    });
                 }
             }
         }
@@ -435,13 +439,7 @@ mod tests {
     fn loss_outside_crash_round_rejected_in_sync_run() {
         let mut overrides = BTreeMap::new();
         overrides.insert((1, 0, 1), MessageFate::Lose);
-        let s = Schedule::from_parts(
-            cfg(),
-            ModelKind::Es,
-            vec![None; 5],
-            overrides,
-            Round::FIRST,
-        );
+        let s = Schedule::from_parts(cfg(), ModelKind::Es, vec![None; 5], overrides, Round::FIRST);
         assert!(matches!(s.validate(5), Err(ScheduleError::IllegalLoss { .. })));
     }
 

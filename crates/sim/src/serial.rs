@@ -69,15 +69,14 @@ where
     F: FnMut(&Schedule) -> ControlFlow<()>,
 {
     let config = prefix.config();
-    let mut crash_rounds: Vec<Option<Round>> = config.processes().map(|p| prefix.crash_round(p)).collect();
+    let mut crash_rounds: Vec<Option<Round>> =
+        config.processes().map(|p| prefix.crash_round(p)).collect();
     assert!(
         crash_rounds.iter().flatten().all(|r| r.get() < from_round),
         "prefix crashes must be confined to rounds before the extension"
     );
-    let mut overrides: BTreeMap<(u32, usize, usize), MessageFate> = prefix
-        .overrides()
-        .map(|(r, s, d, f)| ((r.get(), s.index(), d.index()), f))
-        .collect();
+    let mut overrides: BTreeMap<(u32, usize, usize), MessageFate> =
+        prefix.overrides().map(|(r, s, d, f)| ((r.get(), s.index(), d.index()), f)).collect();
     let crashes = crash_rounds.iter().flatten().count();
     recurse(
         config,
@@ -196,10 +195,8 @@ mod tests {
         let cfg = SystemConfig::majority(5, 2).unwrap();
         let _ = for_each_serial_schedule(cfg, ModelKind::Es, 3, |s| {
             for k in 1..=3u32 {
-                let crashes_in_k = cfg
-                    .processes()
-                    .filter(|&p| s.crash_round(p) == Some(Round::new(k)))
-                    .count();
+                let crashes_in_k =
+                    cfg.processes().filter(|&p| s.crash_round(p) == Some(Round::new(k))).count();
                 assert!(crashes_in_k <= 1);
             }
             ControlFlow::Continue(())

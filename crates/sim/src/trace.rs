@@ -171,9 +171,10 @@ where
                         });
                     }
                     MessageFate::Delay(arrival) => {
-                        pending[receiver.index()].entry(arrival.get()).or_default().push(
-                            DeliveredMsg { sender, sent_round: round, msg: msg.clone() },
-                        );
+                        pending[receiver.index()]
+                            .entry(arrival.get())
+                            .or_default()
+                            .push(DeliveredMsg { sender, sent_round: round, msg: msg.clone() });
                     }
                     MessageFate::Lose => {}
                 }

@@ -6,7 +6,7 @@
 //! cargo run --example bivalency_explorer
 //! ```
 
-use indulgent_checker::{initial_valency, find_bivalent_prefix, Valency, ValencyParams};
+use indulgent_checker::{find_bivalent_prefix, initial_valency, Valency, ValencyParams};
 use indulgent_consensus::{AtPlus2, RotatingCoordinator};
 use indulgent_model::{ProcessId, SystemConfig, Value};
 use indulgent_sim::ModelKind;
@@ -62,8 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let id = ProcessId::new(i);
         AtPlus2::new(cfg5, id, v, RotatingCoordinator::new(cfg5, id))
     };
-    let proposals5: Vec<Value> =
-        vec![Value::ONE, Value::ONE, Value::ONE, Value::ONE, Value::ZERO];
+    let proposals5: Vec<Value> = vec![Value::ONE, Value::ONE, Value::ONE, Value::ONE, Value::ZERO];
     let params5 = ValencyParams { crash_horizon: 4, run_horizon: 40 };
     match find_bivalent_prefix(&factory5, &proposals5, cfg5, ModelKind::Es, 1, params5) {
         Some(prefix) => {

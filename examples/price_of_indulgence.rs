@@ -19,8 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // every serial run — exhaustively checked.
     let scs = SystemConfig::synchronous(4, 1)?;
     let floodset = move |_i: usize, v: Value| FloodSet::new(scs, v);
-    let scs_report =
-        worst_case_decision_round(&floodset, scs, ModelKind::Scs, &proposals, 2, 10)?;
+    let scs_report = worst_case_decision_round(&floodset, scs, ModelKind::Scs, &proposals, 2, 10)?;
     println!(
         "SCS  (n=4, t=1): FloodSet worst case over {} serial runs: round {}",
         scs_report.runs,

@@ -1,0 +1,162 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Builds in this workspace run without network access to crates.io, so the
+//! benches in `crates/bench/benches/` link against this minimal harness
+//! instead: same macro and builder surface (`criterion_group!`,
+//! `criterion_main!`, [`Criterion::benchmark_group`], `bench_function`,
+//! `bench_with_input`, `sample_size`, `throughput`, `iter`), but the
+//! implementation just times each closure over a fixed number of samples
+//! and prints the median per-iteration cost. No statistics, no plots, no
+//! CLI — swap the workspace manifest back to the real crate for those.
+//! `cargo bench --no-run` (what CI enforces) compiles the same sources
+//! either way.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimizing a benchmarked value away.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Entry point handed to every benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup { _criterion: self, sample_size: 30 }
+    }
+}
+
+/// Identifies one benchmark within a group, optionally parameterized.
+#[derive(Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark id `name/parameter`.
+    pub fn new<P: Display>(name: &str, parameter: P) -> Self {
+        BenchmarkId { id: format!("{name}/{parameter}") }
+    }
+}
+
+/// Throughput annotation for a benchmark (recorded, then ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares the per-iteration throughput (ignored by this stand-in).
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Times `f` and prints the median per-iteration cost.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(id, &mut f);
+        self
+    }
+
+    /// Times `f` with `input` and prints the median per-iteration cost.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(&id.id, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group (a no-op; kept for API compatibility).
+    pub fn finish(self) {}
+
+    fn run_one(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut bencher = Bencher { elapsed: Duration::ZERO, iterations: 0 };
+            f(&mut bencher);
+            if bencher.iterations > 0 {
+                samples.push(bencher.elapsed / bencher.iterations);
+            }
+        }
+        samples.sort_unstable();
+        match samples.get(samples.len() / 2) {
+            Some(median) => {
+                println!("  {id}: median {median:?}/iter over {} samples", samples.len())
+            }
+            None => println!("  {id}: no samples"),
+        }
+    }
+}
+
+/// Times closures on behalf of one benchmark sample.
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed: Duration,
+    iterations: u32,
+}
+
+impl Bencher {
+    /// Runs `f` once and accumulates its wall-clock cost.
+    ///
+    /// The real criterion auto-tunes the iteration count per sample; this
+    /// stand-in does one iteration per sample and relies on the group's
+    /// sample count instead.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let out = f();
+        self.elapsed += start.elapsed();
+        self.iterations += 1;
+        std_black_box(out);
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` function, mirroring criterion's macro.
+///
+/// `cargo bench` invokes the binary with harness flags such as `--bench`;
+/// they are ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

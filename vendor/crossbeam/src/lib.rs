@@ -1,0 +1,56 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Builds in this workspace run without network access to crates.io. The
+//! threaded runtime only uses unbounded MPSC channels — `unbounded()`,
+//! `Sender::send` (through a shared reference; `std::sync::mpsc::Sender` is
+//! `Sync` since Rust 1.72), `Receiver::recv_timeout`, and the
+//! [`channel::RecvTimeoutError`] variants — all of which the standard
+//! library provides under the same names. This facade re-exports them under
+//! crossbeam's paths; swap the workspace manifest back to the real crate
+//! for `select!` or bounded channels.
+
+/// Multi-producer single-consumer channels (crossbeam's `channel` module
+/// surface, backed by `std::sync::mpsc`).
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvTimeoutError, SendError, Sender};
+
+    /// Creates an unbounded channel.
+    #[must_use]
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvTimeoutError};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn send_through_shared_reference_across_threads() {
+        let (tx, rx) = unbounded::<u32>();
+        let tx = Arc::new(tx);
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let tx = Arc::clone(&tx);
+                std::thread::spawn(move || tx.send(i).unwrap())
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        drop(tx);
+        let mut got: Vec<u32> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn recv_timeout_reports_timeout_then_disconnect() {
+        let (tx, rx) = unbounded::<u32>();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Err(RecvTimeoutError::Timeout));
+        drop(tx);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Err(RecvTimeoutError::Disconnected));
+    }
+}

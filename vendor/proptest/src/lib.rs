@@ -1,0 +1,482 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Builds in this workspace run without network access to crates.io, so the
+//! property-based suites resolve against this facade. It keeps proptest's
+//! *interface* — the [`proptest!`] macro with `pattern in strategy`
+//! arguments and `#![proptest_config]`, the [`strategy::Strategy`] trait
+//! with `prop_map`, integer-range and tuple strategies,
+//! [`collection::vec`], [`arbitrary::any`], and the `prop_assert*` /
+//! `prop_assume!` macros — but replaces the engine: each test runs a fixed
+//! number of seeded random cases with **no shrinking** and no persisted
+//! failure regressions. Seeds derive deterministically from the test's
+//! module path and case index, so failures reproduce across runs and
+//! machines. Swap the workspace manifest back to the real crate to regain
+//! shrinking.
+
+/// Test-case execution: configuration, seeding, and failure signaling.
+pub mod test_runner {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Configuration accepted by `#![proptest_config(...)]`.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases each test runs.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A configuration running `cases` random cases per test.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Why a test case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The case's assumptions did not hold; it is skipped, not failed.
+        Reject(String),
+        /// An assertion failed.
+        Fail(String),
+    }
+
+    /// Deterministic per-case generator: a function of the test's identity
+    /// and the case index only, so failures reproduce across runs.
+    #[must_use]
+    pub fn case_rng(test: &str, case: u32) -> SmallRng {
+        let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in test.bytes() {
+            seed ^= u64::from(byte);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        SmallRng::seed_from_u64(seed ^ (u64::from(case) << 32 | u64::from(case)))
+    }
+}
+
+/// The [`Strategy`](strategy::Strategy) trait and combinators.
+pub mod strategy {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, RngCore};
+
+    /// A recipe for generating values of type `Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { source: self, map: f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        map: F,
+    }
+
+    impl<S, F, T> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T;
+
+        fn generate(&self, rng: &mut SmallRng) -> T {
+            (self.map)(self.source.generate(rng))
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut SmallRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut SmallRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut SmallRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+    }
+
+    /// Strategy for `bool` (used via [`crate::bool::ANY`]).
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut SmallRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// The [`any`](arbitrary::any) entry point for default strategies.
+pub mod arbitrary {
+    use core::marker::PhantomData;
+
+    use rand::rngs::SmallRng;
+    use rand::RngCore;
+
+    use crate::strategy::Strategy;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Generates an unconstrained value.
+        fn arbitrary(rng: &mut SmallRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+                fn arbitrary(rng: &mut SmallRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i32, i64);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut SmallRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyStrategy<A> {
+        _marker: PhantomData<A>,
+    }
+
+    impl<A: Arbitrary> Strategy for AnyStrategy<A> {
+        type Value = A;
+
+        fn generate(&self, rng: &mut SmallRng) -> A {
+            A::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `A`'s full domain.
+    #[must_use]
+    pub fn any<A: Arbitrary>() -> AnyStrategy<A> {
+        AnyStrategy { _marker: PhantomData }
+    }
+}
+
+/// Strategies for collections.
+pub mod collection {
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    use crate::strategy::Strategy;
+
+    /// Number of elements a collection strategy may generate.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            SizeRange { min: exact, max_inclusive: exact }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(range: core::ops::Range<usize>) -> Self {
+            assert!(range.start < range.end, "empty size range");
+            SizeRange { min: range.start, max_inclusive: range.end - 1 }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(range: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(range.start() <= range.end(), "empty size range");
+            SizeRange { min: *range.start(), max_inclusive: *range.end() }
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.min..=self.size.max_inclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A strategy for `Vec`s of `element` values with a length in `size`.
+    #[must_use]
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+/// Strategies for `bool`.
+pub mod bool {
+    /// Generates `true` and `false` with equal probability.
+    pub const ANY: crate::strategy::AnyBool = crate::strategy::AnyBool;
+}
+
+/// The glob-importable API surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares property-based tests.
+///
+/// Matches proptest's surface syntax: an optional
+/// `#![proptest_config(expr)]` header followed by `fn` items whose
+/// arguments are `pattern in strategy` pairs. Each generated `#[test]` runs
+/// [`Config::cases`](test_runner::Config) seeded random cases; a failed
+/// `prop_assert*` panics with the case index (there is no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($config:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_cases! { ($config) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_cases! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    ( ($config:expr) ) => {};
+    ( ($config:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($pat:pat in $strategy:expr),* $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::Config = $config;
+            let mut __accepted: u32 = 0;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_runner::case_rng(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                $(
+                    let $pat =
+                        $crate::strategy::Strategy::generate(&($strategy), &mut __rng);
+                )*
+                let __result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                match __result {
+                    ::core::result::Result::Ok(()) => {
+                        __accepted += 1;
+                    }
+                    ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject(_),
+                    ) => {}
+                    ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(__msg),
+                    ) => {
+                        panic!("proptest case #{} failed: {}", __case, __msg);
+                    }
+                }
+            }
+            // A property whose every case is rejected by `prop_assume!`
+            // asserted nothing; the real crate errors out in that
+            // situation too, so don't report a vacuous pass.
+            assert!(
+                __config.cases == 0 || __accepted > 0,
+                "proptest: all {} cases rejected by prop_assume!; property never checked",
+                __config.cases,
+            );
+        }
+        $crate::__proptest_cases! { ($config) $($rest)* }
+    };
+}
+
+/// `assert!` that reports failure to the proptest harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::string::ToString::to_string(concat!(
+                    "assertion failed: ",
+                    stringify!($cond)
+                )),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` that reports failure to the proptest harness.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&($left), &($right)) {
+            (__left, __right) => {
+                if !(*__left == *__right) {
+                    return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                        format!(
+                            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+                            __left, __right
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// `assert_ne!` that reports failure to the proptest harness.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&($left), &($right)) {
+            (__left, __right) => {
+                if *__left == *__right {
+                    return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                        format!(
+                            "assertion failed: `(left != right)`\n  left: `{:?}`\n right: `{:?}`",
+                            __left, __right
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Skips the current case when its assumptions do not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                ::std::string::ToString::to_string(stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn case_rng_is_deterministic() {
+        use rand::RngCore;
+        let mut a = crate::test_runner::case_rng("mod::test", 3);
+        let mut b = crate::test_runner::case_rng("mod::test", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn vec_strategy_respects_size() {
+        let strategy = crate::collection::vec(0u32..10, 0..5);
+        let mut rng = crate::test_runner::case_rng("vec", 0);
+        for _ in 0..100 {
+            let v = strategy.generate(&mut rng);
+            assert!(v.len() < 5);
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn generated_values_obey_strategies(
+            small in 0usize..8,
+            (lo, hi) in (0u32..5, 10u32..20),
+            flag in crate::bool::ANY,
+            wide in any::<u64>(),
+            mapped in (0u64..4).prop_map(|x| x * 2),
+        ) {
+            prop_assert!(small < 8);
+            prop_assert!(lo < 5 && (10..20).contains(&hi));
+            prop_assert!(usize::from(flag) <= 1);
+            prop_assume!(wide != 1);
+            prop_assert_ne!(wide, 1);
+            prop_assert_eq!(mapped % 2, 0);
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Offline stand-in for the `rand` crate (0.8 API surface).
+//!
+//! Builds in this workspace run without network access to crates.io, so the
+//! simulator's seeded adversaries resolve against this facade instead. It
+//! implements exactly the surface the workspace uses — [`rngs::SmallRng`],
+//! [`SeedableRng::seed_from_u64`], [`Rng::gen_range`] over (inclusive)
+//! integer ranges, [`Rng::gen_bool`], and [`seq::SliceRandom::shuffle`] —
+//! on top of a splitmix64 generator. Streams are deterministic functions of
+//! the seed, which is all the simulator requires; statistical quality
+//! beyond that is not a goal. Swap the workspace manifest back to the real
+//! `rand` when the registry is reachable.
+
+/// A source of random `u64`s.
+pub trait RngCore {
+    /// Returns the next value of the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a deterministic function of
+    /// `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling methods, implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples uniformly from `range`. Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        // The real crate panics on out-of-range p in all build profiles;
+        // match it so swapping back does not surface new panics.
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of range");
+        // 53 uniform mantissa bits, the same construction the real crate
+        // documents for unit-interval floats.
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, non-cryptographic generator (splitmix64).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            SmallRng { state: seed }
+        }
+    }
+}
+
+/// Uniform range sampling.
+pub mod distributions {
+    /// Uniform sampling over range types.
+    pub mod uniform {
+        use crate::RngCore;
+
+        /// Range types [`crate::Rng::gen_range`] accepts.
+        pub trait SampleRange<T> {
+            /// Samples one value uniformly from `self`.
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+        }
+
+        macro_rules! impl_sample_range {
+            ($($t:ty),*) => {$(
+                impl SampleRange<$t> for core::ops::Range<$t> {
+                    fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                        assert!(self.start < self.end, "gen_range: empty range");
+                        // Two's-complement subtraction in u64 yields the
+                        // width of any (signed or unsigned) 64-bit-or-
+                        // narrower range.
+                        let span = (self.end as u64).wrapping_sub(self.start as u64);
+                        self.start.wrapping_add((rng.next_u64() % span) as $t)
+                    }
+                }
+                impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+                    fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                        let (lo, hi) = (*self.start(), *self.end());
+                        assert!(lo <= hi, "gen_range: empty range");
+                        let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                        if span == 0 {
+                            // Full domain of a 64-bit type.
+                            return rng.next_u64() as $t;
+                        }
+                        lo.wrapping_add((rng.next_u64() % span) as $t)
+                    }
+                }
+            )*};
+        }
+
+        impl_sample_range!(u8, u16, u32, u64, usize, i32, i64);
+    }
+}
+
+/// Sequence-related extension traits.
+pub mod seq {
+    use crate::RngCore;
+
+    /// Extension methods on slices.
+    pub trait SliceRandom {
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u32..1000), b.gen_range(0u32..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(5u32..=9);
+            assert!((5..=9).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}

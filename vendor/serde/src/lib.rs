@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! Builds in this workspace run without network access to crates.io, so the
+//! handful of `#[derive(Serialize, Deserialize)]` annotations on model types
+//! resolve against this facade: two marker traits and derives that expand to
+//! nothing (`vendor/serde_derive`). No code in the workspace bounds on these
+//! traits or serializes values yet; when a real wire format lands, point the
+//! workspace manifest at the real `serde` and everything keeps compiling.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

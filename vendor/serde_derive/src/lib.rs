@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace vendors a minimal `serde` facade (see `vendor/serde`)
+//! because builds run without network access to crates.io. Nothing in the
+//! workspace serializes values yet — the `#[derive(Serialize, Deserialize)]`
+//! attributes on model types only declare intent — so these derive macros
+//! expand to nothing. Swap the vendored crates for the real ones in the
+//! workspace manifest when a wire format is actually needed.
+
+use proc_macro::TokenStream;
+
+/// Derive macro for `serde::Serialize`; expands to nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derive macro for `serde::Deserialize`; expands to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
