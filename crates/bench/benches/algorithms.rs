@@ -25,13 +25,13 @@ fn bench_algorithms(c: &mut Criterion) {
                 let id = ProcessId::new(i);
                 AtPlus2::new(config, id, v, RotatingCoordinator::new(config, id))
             };
-            run_schedule(&f, &props, &schedule, 40)
+            run_schedule(&f, &props, &schedule, 40).expect("one proposal per process")
         });
     });
     group.bench_function("coordinator_echo", |b| {
         b.iter(|| {
             let f = move |i: usize, v: Value| CoordinatorEcho::new(config, ProcessId::new(i), v);
-            run_schedule(&f, &props, &schedule, 40)
+            run_schedule(&f, &props, &schedule, 40).expect("one proposal per process")
         });
     });
     group.bench_function("rotating_coordinator", |b| {
@@ -39,7 +39,7 @@ fn bench_algorithms(c: &mut Criterion) {
             let f = move |i: usize, v: Value| {
                 Standalone::new(RotatingCoordinator::new(config, ProcessId::new(i)), v)
             };
-            run_schedule(&f, &props, &schedule, 40)
+            run_schedule(&f, &props, &schedule, 40).expect("one proposal per process")
         });
     });
 
@@ -47,13 +47,13 @@ fn bench_algorithms(c: &mut Criterion) {
     group.bench_function("af_plus2", |b| {
         b.iter(|| {
             let f = move |i: usize, v: Value| AfPlus2::new(third, ProcessId::new(i), v);
-            run_schedule(&f, &props, &schedule, 40)
+            run_schedule(&f, &props, &schedule, 40).expect("one proposal per process")
         });
     });
     group.bench_function("leader_echo", |b| {
         b.iter(|| {
             let f = move |i: usize, v: Value| LeaderEcho::new(third, ProcessId::new(i), v);
-            run_schedule(&f, &props, &schedule, 40)
+            run_schedule(&f, &props, &schedule, 40).expect("one proposal per process")
         });
     });
 
@@ -62,7 +62,7 @@ fn bench_algorithms(c: &mut Criterion) {
     group.bench_function("floodset_scs", |b| {
         b.iter(|| {
             let f = move |_i: usize, v: Value| FloodSet::new(scs, v);
-            run_schedule(&f, &props, &scs_schedule, 20)
+            run_schedule(&f, &props, &scs_schedule, 20).expect("one proposal per process")
         });
     });
     group.finish();

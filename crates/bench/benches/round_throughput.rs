@@ -25,7 +25,8 @@ fn bench_round_throughput(c: &mut Criterion) {
                     let id = ProcessId::new(i);
                     AtPlus2::new(config, id, v, RotatingCoordinator::new(config, id))
                 };
-                let outcome = run_schedule(&factory, &props, &schedule, 4 * rounds as u32);
+                let outcome = run_schedule(&factory, &props, &schedule, 4 * rounds as u32)
+                    .expect("one proposal per process");
                 assert!(outcome.all_correct_decided());
                 outcome
             });

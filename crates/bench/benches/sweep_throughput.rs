@@ -1,0 +1,58 @@
+//! B4 — sweep throughput: schedules/second of the exhaustive worst-case
+//! sweep (the checker's hot loop), serial versus the parallel batch-sweep
+//! engine at 2 and 4 workers.
+//!
+//! The swept space is the full `n = 5, t = 2` serial-run space with
+//! crashes in rounds `1..=4` (15 681 schedules per iteration); every
+//! backend produces the identical `WorstCaseReport`, so the timings are
+//! apples to apples. Criterion's throughput annotation is the schedule
+//! count, so the report reads directly in schedules/second.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use indulgent_checker::{worst_case_decision_round_with, SweepBackend};
+use indulgent_consensus::{AtPlus2, RotatingCoordinator};
+use indulgent_model::{ProcessId, SystemConfig, Value};
+use indulgent_sim::{count_serial_schedules, ModelKind};
+
+fn bench_sweep_throughput(c: &mut Criterion) {
+    let config = SystemConfig::majority(5, 2).expect("valid config");
+    let crash_horizon = 4;
+    let schedules = count_serial_schedules(config, crash_horizon);
+    let props: Vec<Value> = (0..5).map(|i| Value::new(i as u64 * 2 + 1)).collect();
+    let factory = move |i: usize, v: Value| {
+        let id = ProcessId::new(i);
+        AtPlus2::new(config, id, v, RotatingCoordinator::new(config, id))
+    };
+
+    let mut group = c.benchmark_group("sweep_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(schedules));
+    for (label, backend) in [
+        ("serial", SweepBackend::Serial),
+        ("parallel-2", SweepBackend::parallel(2)),
+        ("parallel-4", SweepBackend::parallel(4)),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("worst_case_n5_t2", label),
+            &backend,
+            |b, &backend| {
+                b.iter(|| {
+                    worst_case_decision_round_with(
+                        &factory,
+                        config,
+                        ModelKind::Es,
+                        &props,
+                        crash_horizon,
+                        30,
+                        backend,
+                    )
+                    .expect("A_t+2 satisfies consensus")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_throughput);
+criterion_main!(benches);

@@ -3,6 +3,8 @@
 //! so `cargo bench` exercises each end to end and times it.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use indulgent_sim::SweepBackend;
+
 use indulgent_bench::experiments::{
     asynchrony_table, baseline_comparison_table, diamond_s_table, early_decision_table,
     eventual_decision_table, failure_free_table, fast_decision_table, lower_bound_table,
@@ -14,7 +16,7 @@ fn bench_tables(c: &mut Criterion) {
     group.sample_size(10);
 
     group.bench_function("e1_lower_bound", |b| {
-        b.iter(|| lower_bound_table(&[(3, 1), (4, 1)]));
+        b.iter(|| lower_bound_table(&[(3, 1), (4, 1)], SweepBackend::Serial));
     });
     group.bench_function("e2_fast_decision", |b| {
         b.iter(|| fast_decision_table(&[5, 7], 50));
@@ -35,7 +37,7 @@ fn bench_tables(c: &mut Criterion) {
         b.iter(|| early_decision_table(50));
     });
     group.bench_function("e8_scs_contrast", |b| {
-        b.iter(|| scs_contrast_table(&[(3, 1), (4, 1)]));
+        b.iter(|| scs_contrast_table(&[(3, 1), (4, 1)], SweepBackend::Serial));
     });
     group.bench_function("e9_asynchrony", |b| {
         b.iter(|| asynchrony_table(&[1, 3, 5], 30));

@@ -5,7 +5,8 @@
 //! *shape*: who wins, by what factor, where the crossovers fall.
 
 use indulgent_checker::{
-    find_bivalent_initial, find_bivalent_prefix, worst_case_decision_round, ValencyParams,
+    find_bivalent_initial, find_bivalent_prefix, worst_case_decision_round_with, SweepBackend,
+    ValencyParams,
 };
 use indulgent_consensus::{
     AfPlus2, AtPlus2, CoordinatorEcho, EarlyFloodSet, FloodSet, FloodSetWs, LeaderEcho,
@@ -63,6 +64,9 @@ pub struct LowerBoundRow {
 /// E1: exhaustive worst-case decision rounds of the ES algorithms over all
 /// serial synchronous runs, plus the bivalency witnesses of the proof.
 ///
+/// The sweeps (worst case and valency) run on `backend`; the rows are
+/// identical for every backend and thread count.
+///
 /// Every ES consensus algorithm must have `worst_round >= t + 2`
 /// (Proposition 1); `A_{t+2}` attains exactly `t + 2`.
 ///
@@ -71,24 +75,25 @@ pub struct LowerBoundRow {
 /// Panics if a run violates consensus (would indicate an implementation
 /// bug).
 #[must_use]
-pub fn lower_bound_table(configs: &[(usize, usize)]) -> Vec<LowerBoundRow> {
+pub fn lower_bound_table(configs: &[(usize, usize)], backend: SweepBackend) -> Vec<LowerBoundRow> {
     let mut rows = Vec::new();
     for &(n, t) in configs {
         let config = SystemConfig::majority(n, t).expect("valid majority config");
         let crash_horizon = t as u32 + 2;
         let run_horizon = 12 * (t as u32 + 2);
         let props = proposals(n);
-        let vparams = ValencyParams { crash_horizon, run_horizon };
+        let vparams = ValencyParams::new(crash_horizon, run_horizon).with_backend(backend);
 
         // A_{t+2}.
         let f = at_plus2_factory(config);
-        let report = worst_case_decision_round(
+        let report = worst_case_decision_round_with(
             &f,
             config,
             ModelKind::Es,
             &props,
             crash_horizon,
             run_horizon,
+            backend,
         )
         .expect("A_t+2 satisfies consensus in all serial runs");
         let bivalent_initial = find_bivalent_initial(&f, config, ModelKind::Es, vparams).is_some();
@@ -111,13 +116,14 @@ pub fn lower_bound_table(configs: &[(usize, usize)]) -> Vec<LowerBoundRow> {
 
         // Hurfin–Raynal-style baseline.
         let f = move |i: usize, v: Value| CoordinatorEcho::new(config, ProcessId::new(i), v);
-        let report = worst_case_decision_round(
+        let report = worst_case_decision_round_with(
             &f,
             config,
             ModelKind::Es,
             &props,
             2 * t as u32 + 2,
             run_horizon,
+            backend,
         )
         .expect("CoordinatorEcho satisfies consensus in all serial runs");
         rows.push(LowerBoundRow {
@@ -186,7 +192,8 @@ pub fn fast_decision_table(ns: &[usize], runs_per_cell: u32) -> Vec<FastDecision
                         40,
                         u64::from(seed) * 31 + n as u64,
                     );
-                    let outcome = run_schedule(&at_plus2_factory(config), &props, &schedule, 40);
+                    let outcome = run_schedule(&at_plus2_factory(config), &props, &schedule, 40)
+                        .expect("one proposal per process");
                     outcome.check_consensus().expect("consensus holds");
                     max_round =
                         max_round.max(outcome.global_decision_round().expect("decided").get());
@@ -253,7 +260,8 @@ pub fn baseline_comparison_table(ts: &[usize]) -> Vec<BaselineRow> {
                 b = b.crash_before_send(ProcessId::new(p), Round::new(p as u32 + 1));
             }
             let schedule = b.build(horizon).expect("legal schedule");
-            let outcome = run_schedule(&at_plus2_factory(config), &props, &schedule, horizon);
+            let outcome = run_schedule(&at_plus2_factory(config), &props, &schedule, horizon)
+                .expect("one proposal per process");
             outcome.check_consensus().expect("consensus holds");
             at_worst = at_worst.max(outcome.global_decision_round().expect("decided").get());
         }
@@ -267,7 +275,8 @@ pub fn baseline_comparison_table(ts: &[usize]) -> Vec<BaselineRow> {
             }
             let schedule = b.build(horizon).expect("legal schedule");
             let f = move |i: usize, v: Value| CoordinatorEcho::new(config, ProcessId::new(i), v);
-            let outcome = run_schedule(&f, &props, &schedule, horizon);
+            let outcome =
+                run_schedule(&f, &props, &schedule, horizon).expect("one proposal per process");
             outcome.check_consensus().expect("consensus holds");
             outcome.global_decision_round().expect("decided").get()
         };
@@ -286,7 +295,8 @@ pub fn baseline_comparison_table(ts: &[usize]) -> Vec<BaselineRow> {
                     v,
                 )
             };
-            let outcome = run_schedule(&f, &props, &schedule, horizon);
+            let outcome =
+                run_schedule(&f, &props, &schedule, horizon).expect("one proposal per process");
             outcome.check_consensus().expect("consensus holds");
             outcome.global_decision_round().expect("decided").get()
         };
@@ -319,7 +329,8 @@ pub fn baseline_comparison_table(ts: &[usize]) -> Vec<BaselineRow> {
             // Give p1 the global minimum so isolation splits the estimates.
             let mut split_props = props.clone();
             split_props[1] = Value::new(0);
-            let outcome = run_schedule(&f, &split_props, &schedule, horizon);
+            let outcome = run_schedule(&f, &split_props, &schedule, horizon)
+                .expect("one proposal per process");
             outcome.check_safety().is_ok()
         };
 
@@ -400,7 +411,8 @@ pub fn diamond_s_table(configs: &[(usize, usize)], runs_per_cell: u32) -> Vec<Di
                     detector,
                 )
             };
-            let outcome = run_schedule(&f, &props, &schedule, horizon);
+            let outcome =
+                run_schedule(&f, &props, &schedule, horizon).expect("one proposal per process");
             outcome.check_consensus().expect("consensus holds");
             sync_max_round =
                 sync_max_round.max(outcome.global_decision_round().expect("decided").get());
@@ -434,7 +446,8 @@ pub fn diamond_s_table(configs: &[(usize, usize)], runs_per_cell: u32) -> Vec<Di
                 )
             };
             let schedule = Schedule::failure_free(config, ModelKind::Es);
-            let outcome = run_schedule(&f, &props, &schedule, horizon);
+            let outcome =
+                run_schedule(&f, &props, &schedule, horizon).expect("one proposal per process");
             outcome.check_consensus().expect("consensus holds");
             outcome.global_decision_round().expect("decided").get()
         };
@@ -522,7 +535,8 @@ pub fn failure_free_table(ns: &[usize]) -> Vec<FailureFreeRow> {
                 .with_failure_free_optimization()
         };
         let schedule = Schedule::failure_free(config, ModelKind::Es);
-        let outcome = run_schedule(&f, &props, &schedule, horizon);
+        let outcome =
+            run_schedule(&f, &props, &schedule, horizon).expect("one proposal per process");
         outcome.check_consensus().expect("consensus holds");
         let ff_round = outcome.global_decision_round().expect("decided").get();
         // Safety under adversarial ES runs.
@@ -535,7 +549,8 @@ pub fn failure_free_table(ns: &[usize]) -> Vec<FailureFreeRow> {
                 horizon,
                 seed,
             );
-            let outcome = run_schedule(&f, &props, &schedule, horizon);
+            let outcome =
+                run_schedule(&f, &props, &schedule, horizon).expect("one proposal per process");
             safe &= outcome.check_consensus().is_ok();
         }
         rows.push(FailureFreeRow {
@@ -548,7 +563,8 @@ pub fn failure_free_table(ns: &[usize]) -> Vec<FailureFreeRow> {
 
         // The unsound round-1 variant: fast but wrong.
         let f = move |_i: usize, v: Value| EagerMin { config, est: v, decided: false };
-        let outcome = run_schedule(&f, &props, &schedule, horizon);
+        let outcome =
+            run_schedule(&f, &props, &schedule, horizon).expect("one proposal per process");
         let eager_round = outcome.global_decision_round().expect("decided").get();
         // Adversarial ES run: p0 sees a complete round 1 and decides the
         // minimum; the minimum-holder's message to everyone else is delayed,
@@ -572,7 +588,8 @@ pub fn failure_free_table(ns: &[usize]) -> Vec<FailureFreeRow> {
             .crash_before_send(min_holder, Round::new(2))
             .crash_before_send(ProcessId::new(0), Round::new(2));
         let schedule = b.build(horizon).expect("legal schedule");
-        let outcome = run_schedule(&f, &props, &schedule, horizon);
+        let outcome =
+            run_schedule(&f, &props, &schedule, horizon).expect("one proposal per process");
         rows.push(FailureFreeRow {
             n,
             t,
@@ -650,12 +667,14 @@ pub fn eventual_decision_table(ks: &[u32], fs: &[usize], seeds: u32) -> Vec<Even
                 let schedule = b.build(horizon).expect("legal schedule");
 
                 let af = move |i: usize, v: Value| AfPlus2::new(config, ProcessId::new(i), v);
-                let outcome = run_schedule(&af, &props, &schedule, horizon);
+                let outcome = run_schedule(&af, &props, &schedule, horizon)
+                    .expect("one proposal per process");
                 outcome.check_consensus().expect("consensus holds");
                 af_worst = af_worst.max(outcome.global_decision_round().expect("decided").get());
 
                 let amr = move |i: usize, v: Value| LeaderEcho::new(config, ProcessId::new(i), v);
-                let outcome = run_schedule(&amr, &props, &schedule, horizon);
+                let outcome = run_schedule(&amr, &props, &schedule, horizon)
+                    .expect("one proposal per process");
                 outcome.check_consensus().expect("consensus holds");
                 amr_worst = amr_worst.max(outcome.global_decision_round().expect("decided").get());
             }
@@ -719,7 +738,8 @@ pub fn early_decision_table(seeds: u32) -> Vec<EarlyDecisionRow> {
                 40,
                 u64::from(seed) * 7 + f as u64,
             );
-            let outcome = run_schedule(&at_plus2_factory(at_config), &proposals(5), &schedule, 40);
+            let outcome = run_schedule(&at_plus2_factory(at_config), &proposals(5), &schedule, 40)
+                .expect("one proposal per process");
             outcome.check_consensus().expect("consensus holds");
             at_worst = at_worst.max(outcome.global_decision_round().expect("decided").get());
 
@@ -731,7 +751,8 @@ pub fn early_decision_table(seeds: u32) -> Vec<EarlyDecisionRow> {
                 u64::from(seed) * 11 + f as u64,
             );
             let af = move |i: usize, v: Value| AfPlus2::new(af_config, ProcessId::new(i), v);
-            let outcome = run_schedule(&af, &proposals(7), &schedule, 40);
+            let outcome =
+                run_schedule(&af, &proposals(7), &schedule, 40).expect("one proposal per process");
             outcome.check_consensus().expect("consensus holds");
             af_worst = af_worst.max(outcome.global_decision_round().expect("decided").get());
 
@@ -743,7 +764,8 @@ pub fn early_decision_table(seeds: u32) -> Vec<EarlyDecisionRow> {
                 u64::from(seed) * 19 + f as u64,
             );
             let early = move |_i: usize, v: Value| EarlyFloodSet::new(scs_config, v);
-            let outcome = run_schedule(&early, &proposals(5), &schedule, 40);
+            let outcome = run_schedule(&early, &proposals(5), &schedule, 40)
+                .expect("one proposal per process");
             outcome.check_consensus().expect("consensus holds");
             scs_worst = scs_worst.max(outcome.global_decision_round().expect("decided").get());
         }
@@ -782,36 +804,42 @@ pub struct ScsContrastRow {
 
 /// E8: the price of indulgence, head to head: FloodSet's exhaustive `t+1`
 /// in SCS against `A_{t+2}`'s exhaustive `t+2` in ES, plus the witness
-/// that deciding at round `t` in SCS is impossible.
+/// that deciding at round `t` in SCS is impossible. The exhaustive sweeps
+/// run on `backend`.
 ///
 /// # Panics
 ///
 /// Panics if FloodSet or `A_{t+2}` misbehave in any serial run.
 #[must_use]
-pub fn scs_contrast_table(configs: &[(usize, usize)]) -> Vec<ScsContrastRow> {
+pub fn scs_contrast_table(
+    configs: &[(usize, usize)],
+    backend: SweepBackend,
+) -> Vec<ScsContrastRow> {
     let mut rows = Vec::new();
     for &(n, t) in configs {
         let scs_config = SystemConfig::synchronous(n, t).expect("valid SCS config");
         let props = proposals(n);
         let fs = move |_i: usize, v: Value| FloodSet::new(scs_config, v);
-        let fs_report = worst_case_decision_round(
+        let fs_report = worst_case_decision_round_with(
             &fs,
             scs_config,
             ModelKind::Scs,
             &props,
             t as u32 + 1,
             t as u32 + 3,
+            backend,
         )
         .expect("FloodSet satisfies consensus in SCS");
 
         let es_worst = SystemConfig::majority(n, t).ok().map(|es_config| {
-            worst_case_decision_round(
+            worst_case_decision_round_with(
                 &at_plus2_factory(es_config),
                 es_config,
                 ModelKind::Es,
                 &props,
                 t as u32 + 2,
                 12 * (t as u32 + 2),
+                backend,
             )
             .expect("A_t+2 satisfies consensus in ES")
             .worst_round
@@ -821,13 +849,14 @@ pub fn scs_contrast_table(configs: &[(usize, usize)]) -> Vec<ScsContrastRow> {
         // Truncated FloodSet deciding at round t must be caught.
         let early = t as u32;
         let trunc = move |_i: usize, v: Value| FloodSet::deciding_at(Round::new(early), v);
-        let caught = worst_case_decision_round(
+        let caught = worst_case_decision_round_with(
             &trunc,
             scs_config,
             ModelKind::Scs,
             &props,
             t as u32 + 1,
             t as u32 + 3,
+            backend,
         )
         .is_err();
 
@@ -885,7 +914,8 @@ pub fn asynchrony_table(ks: &[u32], seeds: u32) -> Vec<AsynchronyRow> {
                 horizon,
                 u64::from(seed) * 3 + u64::from(k),
             );
-            let outcome = run_schedule(&at_plus2_factory(config), &props, &schedule, horizon);
+            let outcome = run_schedule(&at_plus2_factory(config), &props, &schedule, horizon)
+                .expect("one proposal per process");
             outcome.check_consensus().expect("consensus holds");
             hist.record(outcome.global_decision_round().expect("decided"));
         }
@@ -906,7 +936,7 @@ mod tests {
 
     #[test]
     fn e1_shape_holds_for_smallest_config() {
-        let rows = lower_bound_table(&[(3, 1)]);
+        let rows = lower_bound_table(&[(3, 1)], SweepBackend::parallel(2));
         let at = rows.iter().find(|r| r.algorithm == "A_t+2").unwrap();
         assert_eq!(at.worst_round, at.bound); // exactly t + 2
         assert!(at.bivalent_initial);

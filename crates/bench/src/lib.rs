@@ -14,6 +14,34 @@
 pub mod experiments;
 pub mod stats;
 
+use indulgent_sim::SweepBackend;
+
+/// Parses the common `--threads N` CLI flag of the `exp_*` binaries into a
+/// sweep backend: `--threads 1` is serial, `--threads N` a pooled parallel
+/// sweep, and no flag defers to `INDULGENT_SWEEP_BACKEND` (default serial).
+///
+/// # Panics
+///
+/// Panics with a usage message if `--threads` is present without a valid
+/// positive integer.
+pub fn sweep_backend_from_args<I: Iterator<Item = String>>(mut args: I) -> SweepBackend {
+    while let Some(arg) = args.next() {
+        if arg == "--threads" {
+            let threads: usize = args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .filter(|&v| v >= 1)
+                .expect("usage: --threads N (N >= 1)");
+            return if threads == 1 {
+                SweepBackend::Serial
+            } else {
+                SweepBackend::parallel(threads)
+            };
+        }
+    }
+    SweepBackend::from_env()
+}
+
 /// Renders a table: a header line, a separator, and one line per row.
 ///
 /// Purely cosmetic (fixed-width columns sized to content); used by all the

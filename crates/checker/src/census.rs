@@ -9,11 +9,10 @@
 //! the Hurfin–Raynal-style baseline spreads over `2..=2t+2`.
 
 use std::collections::BTreeMap;
-use std::ops::ControlFlow;
 
 use indulgent_model::{ProcessFactory, Round, SystemConfig, Value};
 use indulgent_sim::{
-    for_each_serial_schedule, random_run, run_schedule, ModelKind, RandomRunParams, Schedule,
+    random_run, run_schedule, sweep_schedules, ModelKind, RandomRunParams, Schedule, SweepBackend,
 };
 
 use crate::worst_case::CheckError;
@@ -50,10 +49,13 @@ impl Census {
 /// Runs `factory` under every serial schedule and tallies the
 /// global-decision rounds.
 ///
+/// The sweep backend comes from the environment
+/// ([`SweepBackend::from_env`]); use [`decision_round_census_with`] to
+/// pick it explicitly.
+///
 /// # Errors
 ///
-/// Returns [`CheckError`] on the first consensus violation or undecided
-/// run.
+/// Returns [`CheckError`] on a consensus violation or undecided run.
 pub fn decision_round_census<F>(
     factory: &F,
     config: SystemConfig,
@@ -63,29 +65,68 @@ pub fn decision_round_census<F>(
     run_horizon: u32,
 ) -> Result<Census, CheckError>
 where
-    F: ProcessFactory,
+    F: ProcessFactory + Sync,
 {
-    let mut counts: BTreeMap<u32, u64> = BTreeMap::new();
-    let mut runs = 0u64;
-    let mut error: Option<CheckError> = None;
-    let _ = for_each_serial_schedule(config, kind, crash_horizon, |schedule| {
-        let outcome = run_schedule(factory, proposals, schedule, run_horizon);
-        if let Err(violation) = outcome.check_consensus() {
-            error = Some(CheckError::Violation { violation, schedule: Box::new(schedule.clone()) });
-            return ControlFlow::Break(());
-        }
-        let Some(round) = outcome.global_decision_round() else {
-            error = Some(CheckError::NoDecision { schedule: Box::new(schedule.clone()) });
-            return ControlFlow::Break(());
-        };
-        *counts.entry(round.get()).or_default() += 1;
-        runs += 1;
-        ControlFlow::Continue(())
-    });
-    match error {
-        Some(e) => Err(e),
-        None => Ok(Census { counts, runs }),
-    }
+    decision_round_census_with(
+        factory,
+        config,
+        kind,
+        proposals,
+        crash_horizon,
+        run_horizon,
+        SweepBackend::from_env(),
+    )
+}
+
+/// [`decision_round_census`] with an explicit sweep backend.
+///
+/// The census is identical for every backend and thread count (round
+/// tallies are summed per work unit and merged in serial visit order).
+///
+/// # Errors
+///
+/// Returns [`CheckError`] on a consensus violation or undecided run.
+pub fn decision_round_census_with<F>(
+    factory: &F,
+    config: SystemConfig,
+    kind: ModelKind,
+    proposals: &[Value],
+    crash_horizon: u32,
+    run_horizon: u32,
+    backend: SweepBackend,
+) -> Result<Census, CheckError>
+where
+    F: ProcessFactory + Sync,
+{
+    sweep_schedules(
+        config,
+        kind,
+        crash_horizon,
+        backend,
+        || Census { counts: BTreeMap::new(), runs: 0 },
+        |census, schedule| {
+            let outcome = run_schedule(factory, proposals, schedule, run_horizon)?;
+            if let Err(violation) = outcome.check_consensus() {
+                return Err(CheckError::Violation {
+                    violation,
+                    schedule: Box::new(schedule.clone()),
+                });
+            }
+            let Some(round) = outcome.global_decision_round() else {
+                return Err(CheckError::NoDecision { schedule: Box::new(schedule.clone()) });
+            };
+            *census.counts.entry(round.get()).or_default() += 1;
+            census.runs += 1;
+            Ok(())
+        },
+        |mut left, right| {
+            for (round, count) in right.counts {
+                *left.counts.entry(round).or_default() += count;
+            }
+            left.runs += right.runs;
+            left
+        },
+    )
 }
 
 /// Samples `samples` random synchronous runs (up to `t` crashes each) and
@@ -121,7 +162,7 @@ where
             run_horizon,
             seed.wrapping_mul(0x9e37_79b9).wrapping_add(i),
         );
-        let outcome = run_schedule(factory, proposals, &schedule, run_horizon);
+        let outcome = run_schedule(factory, proposals, &schedule, run_horizon)?;
         if let Err(violation) = outcome.check_consensus() {
             return Err(CheckError::Violation { violation, schedule: Box::new(schedule) });
         }
@@ -170,6 +211,35 @@ mod tests {
         assert_eq!(census.best(), Some(Round::new(2)));
         assert_eq!(census.worst(), Some(Round::new(4))); // 2t + 2
         assert!(census.spread() >= 2);
+    }
+
+    #[test]
+    fn census_is_identical_across_backends() {
+        let config = SystemConfig::majority(3, 1).unwrap();
+        let factory = move |i: usize, v: Value| CoordinatorEcho::new(config, ProcessId::new(i), v);
+        let serial = decision_round_census_with(
+            &factory,
+            config,
+            ModelKind::Es,
+            &proposals(3),
+            4,
+            30,
+            SweepBackend::Serial,
+        )
+        .unwrap();
+        for threads in [2, 4] {
+            let parallel = decision_round_census_with(
+                &factory,
+                config,
+                ModelKind::Es,
+                &proposals(3),
+                4,
+                30,
+                SweepBackend::parallel(threads),
+            )
+            .unwrap();
+            assert_eq!(serial, parallel, "{threads}-thread census must match serial");
+        }
     }
 
     #[test]

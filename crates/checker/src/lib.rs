@@ -15,6 +15,14 @@
 //!   experiments exhibit the objects of the paper's Lemmas 3–5: bivalent
 //!   initial configurations and bivalent serial partial runs.
 //!
+//! Every sweep runs on the batch-sweep engine of `indulgent_sim`: the
+//! `*_with` entry points take an explicit [`SweepBackend`]
+//! (serial or a pooled worker count), the plain entry points read it from
+//! `INDULGENT_SWEEP_BACKEND` in the environment. Results are identical
+//! across backends and thread counts; the parallel pool makes exhaustive
+//! sweeps at `n = 7, t = 2` (~518k serial schedules per proposal vector)
+//! practical.
+//!
 //! # Example: the `t + 2` worst case, exhaustively
 //!
 //! ```
@@ -44,11 +52,15 @@ mod census;
 mod valency;
 mod worst_case;
 
-pub use census::{decision_round_census, randomized_worst_case, Census};
+pub use census::{
+    decision_round_census, decision_round_census_with, randomized_worst_case, Census,
+};
+pub use indulgent_sim::SweepBackend;
 pub use valency::{
     find_bivalent_initial, find_bivalent_prefix, initial_valency, reachable_decisions, valency,
     Valency, ValencyParams,
 };
 pub use worst_case::{
-    worst_case_decision_round, worst_case_over_binary_proposals, CheckError, WorstCaseReport,
+    worst_case_decision_round, worst_case_decision_round_with, worst_case_over_binary_proposals,
+    worst_case_over_binary_proposals_with, CheckError, WorstCaseReport,
 };

@@ -20,7 +20,9 @@ use std::collections::BTreeSet;
 use std::ops::ControlFlow;
 
 use indulgent_model::{ProcessFactory, SystemConfig, Value};
-use indulgent_sim::{for_each_serial_extension, run_schedule, ModelKind, Schedule};
+use indulgent_sim::{
+    for_each_serial_extension, run_schedule, sweep_extensions, ModelKind, Schedule, SweepBackend,
+};
 
 /// The valency of a partial run of a *binary* consensus algorithm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,6 +51,24 @@ pub struct ValencyParams {
     /// Each extension run executes at most this many rounds (must suffice
     /// for the algorithm to decide in every serial run).
     pub run_horizon: u32,
+    /// Sweep backend used to enumerate the serial extensions.
+    pub backend: SweepBackend,
+}
+
+impl ValencyParams {
+    /// Parameters with the backend taken from the environment
+    /// ([`SweepBackend::from_env`]).
+    #[must_use]
+    pub fn new(crash_horizon: u32, run_horizon: u32) -> Self {
+        ValencyParams { crash_horizon, run_horizon, backend: SweepBackend::from_env() }
+    }
+
+    /// Replaces the sweep backend.
+    #[must_use]
+    pub fn with_backend(mut self, backend: SweepBackend) -> Self {
+        self.backend = backend;
+        self
+    }
 }
 
 /// The set of decision values reachable in serial extensions of
@@ -69,21 +89,36 @@ pub fn reachable_decisions<F>(
     params: ValencyParams,
 ) -> BTreeSet<Value>
 where
-    F: ProcessFactory,
+    F: ProcessFactory + Sync,
 {
-    let mut decisions = BTreeSet::new();
-    let _ = for_each_serial_extension(prefix, from_round, params.crash_horizon, |schedule| {
-        let outcome = run_schedule(factory, proposals, schedule, params.run_horizon);
-        let round = outcome
-            .global_decision_round()
-            .unwrap_or_else(|| panic!("serial extension did not decide: {schedule:?}"));
-        let _ = round;
-        let value =
-            outcome.decisions.iter().flatten().next().expect("decided run has a decision").value;
-        decisions.insert(value);
-        ControlFlow::Continue(())
-    });
-    decisions
+    let swept: Result<BTreeSet<Value>, std::convert::Infallible> = sweep_extensions(
+        prefix,
+        from_round,
+        params.crash_horizon,
+        params.backend,
+        BTreeSet::new,
+        |decisions, schedule| {
+            let outcome = run_schedule(factory, proposals, schedule, params.run_horizon)
+                .expect("one proposal per process required");
+            outcome
+                .global_decision_round()
+                .unwrap_or_else(|| panic!("serial extension did not decide: {schedule:?}"));
+            let value = outcome
+                .decisions
+                .iter()
+                .flatten()
+                .next()
+                .expect("decided run has a decision")
+                .value;
+            decisions.insert(value);
+            Ok(())
+        },
+        |mut a, b| {
+            a.extend(b);
+            a
+        },
+    );
+    swept.expect("infallible sweep")
 }
 
 /// Computes the valency of a partial run of a binary consensus algorithm.
@@ -100,7 +135,7 @@ pub fn valency<F>(
     params: ValencyParams,
 ) -> Valency
 where
-    F: ProcessFactory,
+    F: ProcessFactory + Sync,
 {
     let decisions = reachable_decisions(factory, proposals, prefix, from_round, params);
     let zero = decisions.contains(&Value::ZERO);
@@ -127,7 +162,7 @@ pub fn initial_valency<F>(
     params: ValencyParams,
 ) -> Valency
 where
-    F: ProcessFactory,
+    F: ProcessFactory + Sync,
 {
     let prefix = Schedule::failure_free(config, kind);
     valency(factory, proposals, &prefix, 1, params)
@@ -148,7 +183,7 @@ pub fn find_bivalent_initial<F>(
     params: ValencyParams,
 ) -> Option<Vec<Value>>
 where
-    F: ProcessFactory,
+    F: ProcessFactory + Sync,
 {
     let n = config.n();
     for bits in 0u64..(1 << n) {
@@ -177,7 +212,7 @@ pub fn find_bivalent_prefix<F>(
     params: ValencyParams,
 ) -> Option<Schedule>
 where
-    F: ProcessFactory,
+    F: ProcessFactory + Sync,
 {
     let empty = Schedule::failure_free(config, kind);
     let mut found: Option<Schedule> = None;
@@ -217,7 +252,7 @@ mod tests {
 
     fn params() -> ValencyParams {
         // Crashes up to round t + 2 = 3; serial runs decide by then.
-        ValencyParams { crash_horizon: 3, run_horizon: 30 }
+        ValencyParams::new(3, 30)
     }
 
     #[test]
@@ -282,7 +317,7 @@ mod tests {
         let cfg5 = SystemConfig::majority(5, 2).unwrap();
         let f = factory(cfg5);
         let proposals = vec![Value::ONE, Value::ONE, Value::ONE, Value::ONE, Value::ZERO];
-        let p = ValencyParams { crash_horizon: 4, run_horizon: 40 };
+        let p = ValencyParams::new(4, 40);
         let prefix = find_bivalent_prefix(&f, &proposals, cfg5, ModelKind::Es, 1, p);
         assert!(prefix.is_some(), "a bivalent 1-round prefix must exist for t = 2");
     }

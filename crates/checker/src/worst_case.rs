@@ -6,14 +6,20 @@
 //! run class the lower-bound proof manipulates) is exhaustively enumerable,
 //! which lets us measure the exact worst case of every implemented
 //! algorithm and verify the consensus properties in every single run.
-
-use std::ops::ControlFlow;
+//!
+//! Sweeps run on the batch-sweep engine of `indulgent_sim`: pass
+//! [`SweepBackend::parallel`] to [`worst_case_decision_round_with`] (or set
+//! `INDULGENT_SWEEP_BACKEND=parallel[:N]` for the plain entry points) to
+//! fan the schedule space out over a worker pool. Reports are identical
+//! across backends and thread counts.
 
 use indulgent_model::{ConsensusViolation, ProcessFactory, Round, SystemConfig, Value};
-use indulgent_sim::{for_each_serial_schedule, run_schedule, ModelKind, Schedule};
+use indulgent_sim::{
+    run_schedule, sweep_schedules, ExecutorError, ModelKind, Schedule, SweepBackend,
+};
 
 /// Result of an exhaustive serial-run sweep.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WorstCaseReport {
     /// Number of serial runs executed.
     pub runs: u64,
@@ -21,7 +27,8 @@ pub struct WorstCaseReport {
     pub worst_round: Round,
     /// The best (smallest) global-decision round over all runs.
     pub best_round: Round,
-    /// A schedule attaining the worst round.
+    /// The first schedule (in serial enumeration order) attaining the
+    /// worst round.
     pub worst_schedule: Schedule,
 }
 
@@ -41,6 +48,14 @@ pub enum CheckError {
         /// The run that failed to decide.
         schedule: Box<Schedule>,
     },
+    /// The executor rejected the run inputs (wrong proposal arity).
+    Executor(ExecutorError),
+}
+
+impl From<ExecutorError> for CheckError {
+    fn from(error: ExecutorError) -> Self {
+        CheckError::Executor(error)
+    }
 }
 
 impl std::fmt::Display for CheckError {
@@ -48,24 +63,90 @@ impl std::fmt::Display for CheckError {
         match self {
             CheckError::Violation { violation, .. } => write!(f, "consensus violated: {violation}"),
             CheckError::NoDecision { .. } => write!(f, "no global decision within the horizon"),
+            CheckError::Executor(error) => write!(f, "executor rejected the run: {error}"),
         }
     }
 }
 
 impl std::error::Error for CheckError {}
 
+/// Folds one run outcome into a partial report; shared by the serial and
+/// parallel sweep paths so their semantics cannot drift.
+fn fold_run<F>(
+    report: &mut Option<WorstCaseReport>,
+    factory: &F,
+    proposals: &[Value],
+    schedule: &Schedule,
+    run_horizon: u32,
+) -> Result<(), CheckError>
+where
+    F: ProcessFactory + Sync,
+{
+    let outcome = run_schedule(factory, proposals, schedule, run_horizon)?;
+    if let Err(violation) = outcome.check_consensus() {
+        return Err(CheckError::Violation { violation, schedule: Box::new(schedule.clone()) });
+    }
+    let Some(round) = outcome.global_decision_round() else {
+        return Err(CheckError::NoDecision { schedule: Box::new(schedule.clone()) });
+    };
+    match report {
+        None => {
+            *report = Some(WorstCaseReport {
+                runs: 1,
+                worst_round: round,
+                best_round: round,
+                worst_schedule: schedule.clone(),
+            });
+        }
+        Some(r) => {
+            r.runs += 1;
+            if round > r.worst_round {
+                r.worst_round = round;
+                r.worst_schedule = schedule.clone();
+            }
+            r.best_round = r.best_round.min(round);
+        }
+    }
+    Ok(())
+}
+
+/// Merges two partial reports whose runs come from consecutive slices of
+/// the serial visit order (`left` strictly before `right`): the earlier
+/// witness wins ties, so the merged report equals the serial fold.
+fn merge_reports(
+    left: Option<WorstCaseReport>,
+    right: Option<WorstCaseReport>,
+) -> Option<WorstCaseReport> {
+    match (left, right) {
+        (None, r) => r,
+        (l, None) => l,
+        (Some(mut l), Some(r)) => {
+            if r.worst_round > l.worst_round {
+                l.worst_round = r.worst_round;
+                l.worst_schedule = r.worst_schedule;
+            }
+            l.best_round = l.best_round.min(r.best_round);
+            l.runs += r.runs;
+            Some(l)
+        }
+    }
+}
+
 /// Exhaustively runs `factory` under every serial schedule of `config`
 /// (crashes in rounds `1..=crash_horizon`), checking the consensus
 /// properties in each run and reporting the worst and best global-decision
 /// rounds.
 ///
-/// `run_horizon` bounds each run's execution; it must be generous enough
-/// for the algorithm to decide in every serial run (serial runs are
-/// synchronous, so for the paper's algorithms `t + 3` already suffices).
+/// The sweep backend comes from the environment
+/// ([`SweepBackend::from_env`]); use [`worst_case_decision_round_with`] to
+/// pick it explicitly. `run_horizon` bounds each run's execution; it must
+/// be generous enough for the algorithm to decide in every serial run
+/// (serial runs are synchronous, so for the paper's algorithms `t + 3`
+/// already suffices).
 ///
 /// # Errors
 ///
-/// Returns [`CheckError`] on the first property violation or undecided run.
+/// Returns [`CheckError`] on a property violation or undecided run.
 pub fn worst_case_decision_round<F>(
     factory: &F,
     config: SystemConfig,
@@ -75,44 +156,52 @@ pub fn worst_case_decision_round<F>(
     run_horizon: u32,
 ) -> Result<WorstCaseReport, CheckError>
 where
-    F: ProcessFactory,
+    F: ProcessFactory + Sync,
 {
-    let mut report: Option<WorstCaseReport> = None;
-    let mut runs = 0u64;
-    let mut error: Option<CheckError> = None;
-    let _ = for_each_serial_schedule(config, kind, crash_horizon, |schedule| {
-        let outcome = run_schedule(factory, proposals, schedule, run_horizon);
-        if let Err(violation) = outcome.check_consensus() {
-            error = Some(CheckError::Violation { violation, schedule: Box::new(schedule.clone()) });
-            return ControlFlow::Break(());
-        }
-        let Some(round) = outcome.global_decision_round() else {
-            error = Some(CheckError::NoDecision { schedule: Box::new(schedule.clone()) });
-            return ControlFlow::Break(());
-        };
-        runs += 1;
-        report = Some(match report.take() {
-            None => WorstCaseReport {
-                runs,
-                worst_round: round,
-                best_round: round,
-                worst_schedule: schedule.clone(),
-            },
-            Some(mut r) => {
-                if round > r.worst_round {
-                    r.worst_round = round;
-                    r.worst_schedule = schedule.clone();
-                }
-                r.best_round = r.best_round.min(round);
-                r.runs = runs;
-                r
-            }
-        });
-        ControlFlow::Continue(())
-    });
-    if let Some(e) = error {
-        return Err(e);
-    }
+    worst_case_decision_round_with(
+        factory,
+        config,
+        kind,
+        proposals,
+        crash_horizon,
+        run_horizon,
+        SweepBackend::from_env(),
+    )
+}
+
+/// [`worst_case_decision_round`] with an explicit sweep backend.
+///
+/// The returned report is identical for every backend and thread count
+/// (the engine merges per-unit partials in serial visit order).
+///
+/// # Errors
+///
+/// Returns [`CheckError`] on a property violation or undecided run. With a
+/// parallel backend the reported witness schedule may differ from the
+/// serial backend's (the sweep aborts early on the first failure a worker
+/// hits), but an error is reported if and only if the serial sweep would
+/// report one.
+pub fn worst_case_decision_round_with<F>(
+    factory: &F,
+    config: SystemConfig,
+    kind: ModelKind,
+    proposals: &[Value],
+    crash_horizon: u32,
+    run_horizon: u32,
+    backend: SweepBackend,
+) -> Result<WorstCaseReport, CheckError>
+where
+    F: ProcessFactory + Sync,
+{
+    let report = sweep_schedules(
+        config,
+        kind,
+        crash_horizon,
+        backend,
+        || None,
+        |report, schedule| fold_run(report, factory, proposals, schedule, run_horizon),
+        merge_reports,
+    )?;
     Ok(report.expect("serial enumeration visits at least the crash-free run"))
 }
 
@@ -130,32 +219,48 @@ pub fn worst_case_over_binary_proposals<F>(
     run_horizon: u32,
 ) -> Result<WorstCaseReport, CheckError>
 where
-    F: ProcessFactory,
+    F: ProcessFactory + Sync,
+{
+    worst_case_over_binary_proposals_with(
+        factory,
+        config,
+        kind,
+        crash_horizon,
+        run_horizon,
+        SweepBackend::from_env(),
+    )
+}
+
+/// [`worst_case_over_binary_proposals`] with an explicit sweep backend.
+///
+/// # Errors
+///
+/// Returns the first [`CheckError`] encountered.
+pub fn worst_case_over_binary_proposals_with<F>(
+    factory: &F,
+    config: SystemConfig,
+    kind: ModelKind,
+    crash_horizon: u32,
+    run_horizon: u32,
+    backend: SweepBackend,
+) -> Result<WorstCaseReport, CheckError>
+where
+    F: ProcessFactory + Sync,
 {
     let n = config.n();
     let mut overall: Option<WorstCaseReport> = None;
     for bits in 0u64..(1 << n) {
         let proposals: Vec<Value> = (0..n).map(|i| Value::binary(bits & (1 << i) != 0)).collect();
-        let report = worst_case_decision_round(
+        let report = worst_case_decision_round_with(
             factory,
             config,
             kind,
             &proposals,
             crash_horizon,
             run_horizon,
+            backend,
         )?;
-        overall = Some(match overall.take() {
-            None => report,
-            Some(mut o) => {
-                if report.worst_round > o.worst_round {
-                    o.worst_round = report.worst_round;
-                    o.worst_schedule = report.worst_schedule;
-                }
-                o.best_round = o.best_round.min(report.best_round);
-                o.runs += report.runs;
-                o
-            }
-        });
+        overall = merge_reports(overall, Some(report));
     }
     Ok(overall.expect("at least one proposal vector"))
 }
@@ -243,5 +348,54 @@ mod tests {
         let err = worst_case_decision_round(&factory, config, ModelKind::Scs, &proposals, 3, 10)
             .unwrap_err();
         assert!(matches!(err, CheckError::Violation { .. }));
+    }
+
+    #[test]
+    fn parallel_backend_reproduces_the_serial_report_exactly() {
+        let config = SystemConfig::majority(4, 1).unwrap();
+        let factory = move |i: usize, v: Value| {
+            let id = ProcessId::new(i);
+            AtPlus2::new(config, id, v, RotatingCoordinator::new(config, id))
+        };
+        let proposals: Vec<Value> = [5u64, 3, 8, 1].map(Value::new).to_vec();
+        let serial = worst_case_decision_round_with(
+            &factory,
+            config,
+            ModelKind::Es,
+            &proposals,
+            3,
+            30,
+            SweepBackend::Serial,
+        )
+        .unwrap();
+        for threads in [2, 4] {
+            let parallel = worst_case_decision_round_with(
+                &factory,
+                config,
+                ModelKind::Es,
+                &proposals,
+                3,
+                30,
+                SweepBackend::parallel(threads),
+            )
+            .unwrap();
+            assert_eq!(serial, parallel, "{threads}-thread report must match serial");
+        }
+    }
+
+    #[test]
+    fn proposal_arity_mismatch_is_a_typed_error() {
+        let config = SystemConfig::majority(4, 1).unwrap();
+        let factory = move |i: usize, v: Value| {
+            let id = ProcessId::new(i);
+            AtPlus2::new(config, id, v, RotatingCoordinator::new(config, id))
+        };
+        let short: Vec<Value> = [5u64, 3].map(Value::new).to_vec();
+        let err =
+            worst_case_decision_round(&factory, config, ModelKind::Es, &short, 3, 30).unwrap_err();
+        assert_eq!(
+            err,
+            CheckError::Executor(ExecutorError::ProposalCountMismatch { expected: 4, got: 2 })
+        );
     }
 }

@@ -166,7 +166,8 @@ mod tests {
     fn failure_free_synchronous_decides_by_round_two() {
         // f = 0, k = 0: global decision by round f + 2 = 2.
         let schedule = Schedule::failure_free(cfg(), ModelKind::Es);
-        let outcome = run_schedule(&factory(cfg()), &vals(&[4, 2, 7, 2, 9, 1, 3]), &schedule, 20);
+        let outcome = run_schedule(&factory(cfg()), &vals(&[4, 2, 7, 2, 9, 1, 3]), &schedule, 20)
+            .expect("one proposal per process");
         outcome.check_consensus().unwrap();
         assert!(outcome.global_decision_round().unwrap() <= Round::new(2));
     }
@@ -174,7 +175,8 @@ mod tests {
     #[test]
     fn identical_proposals_decide_in_round_one() {
         let schedule = Schedule::failure_free(cfg(), ModelKind::Es);
-        let outcome = run_schedule(&factory(cfg()), &vals(&[5; 7]), &schedule, 20);
+        let outcome = run_schedule(&factory(cfg()), &vals(&[5; 7]), &schedule, 20)
+            .expect("one proposal per process");
         outcome.check_consensus().unwrap();
         assert_eq!(outcome.global_decision_round(), Some(Round::FIRST));
     }
@@ -187,7 +189,8 @@ mod tests {
             .crash_before_send(ProcessId::new(1), Round::new(2))
             .build(20)
             .unwrap();
-        let outcome = run_schedule(&factory(cfg()), &vals(&[4, 2, 7, 2, 9, 1, 3]), &schedule, 20);
+        let outcome = run_schedule(&factory(cfg()), &vals(&[4, 2, 7, 2, 9, 1, 3]), &schedule, 20)
+            .expect("one proposal per process");
         outcome.check_consensus().unwrap();
         assert!(outcome.global_decision_round().unwrap() <= Round::new(4));
     }
@@ -203,7 +206,8 @@ mod tests {
             30,
             42,
         );
-        let outcome = run_schedule(&factory(cfg()), &vals(&[4, 2, 7, 2, 9, 1, 3]), &schedule, 30);
+        let outcome = run_schedule(&factory(cfg()), &vals(&[4, 2, 7, 2, 9, 1, 3]), &schedule, 30)
+            .expect("one proposal per process");
         outcome.check_consensus().unwrap();
         assert!(outcome.global_decision_round().unwrap() <= Round::new(5));
     }
@@ -215,7 +219,8 @@ mod tests {
         let config = SystemConfig::third(4, 1).unwrap();
         let mut checked = 0u32;
         let _ = indulgent_sim::for_each_serial_schedule(config, ModelKind::Es, 3, |schedule| {
-            let outcome = run_schedule(&factory(config), &vals(&[3, 1, 4, 1]), schedule, 20);
+            let outcome = run_schedule(&factory(config), &vals(&[3, 1, 4, 1]), schedule, 20)
+                .expect("one proposal per process");
             outcome.check_consensus().unwrap();
             let f = schedule.crash_count() as u32;
             assert!(
@@ -239,7 +244,8 @@ mod tests {
                 seed,
             );
             let outcome =
-                run_schedule(&factory(cfg()), &vals(&[4, 2, 7, 2, 9, 1, 3]), &schedule, 60);
+                run_schedule(&factory(cfg()), &vals(&[4, 2, 7, 2, 9, 1, 3]), &schedule, 60)
+                    .expect("one proposal per process");
             outcome.check_consensus().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         }
     }

@@ -358,7 +358,8 @@ mod tests {
     #[test]
     fn failure_free_synchronous_run_decides_at_t_plus_2() {
         let schedule = Schedule::failure_free(cfg(), ModelKind::Es);
-        let outcome = run_schedule(&factory(cfg()), &vals(&[6, 2, 8, 4, 7]), &schedule, 30);
+        let outcome = run_schedule(&factory(cfg()), &vals(&[6, 2, 8, 4, 7]), &schedule, 30)
+            .expect("one proposal per process");
         outcome.check_consensus().unwrap();
         assert_eq!(outcome.global_decision_round(), Some(Round::new(4))); // t + 2
         for d in outcome.decisions.iter().flatten() {
@@ -373,7 +374,8 @@ mod tests {
             .crash_before_send(ProcessId::new(2), Round::new(3))
             .build(30)
             .unwrap();
-        let outcome = run_schedule(&factory(cfg()), &vals(&[6, 2, 8, 4, 7]), &schedule, 30);
+        let outcome = run_schedule(&factory(cfg()), &vals(&[6, 2, 8, 4, 7]), &schedule, 30)
+            .expect("one proposal per process");
         outcome.check_consensus().unwrap();
         assert_eq!(outcome.global_decision_round(), Some(Round::new(4)));
     }
@@ -386,7 +388,8 @@ mod tests {
         let f = factory(config);
         let mut runs = 0;
         let _ = indulgent_sim::for_each_serial_schedule(config, ModelKind::Es, 3, |schedule| {
-            let outcome = run_schedule(&f, &vals(&[6, 2, 8, 4]), schedule, 30);
+            let outcome = run_schedule(&f, &vals(&[6, 2, 8, 4]), schedule, 30)
+                .expect("one proposal per process");
             outcome.check_consensus().unwrap();
             assert!(
                 outcome.global_decision_round().unwrap() <= Round::new(3),
@@ -412,7 +415,8 @@ mod tests {
             .crash_before_send(ProcessId::new(0), Round::new(2))
             .build(100)
             .unwrap();
-        let outcome = run_schedule(&f, &vals(&[6, 2, 8, 4, 7]), &schedule, 100);
+        let outcome = run_schedule(&f, &vals(&[6, 2, 8, 4, 7]), &schedule, 100)
+            .expect("one proposal per process");
         outcome.check_consensus().unwrap();
         assert_eq!(outcome.global_decision_round(), Some(Round::new(4)));
     }
@@ -435,7 +439,8 @@ mod tests {
             }
         }
         let schedule = builder.build(60).unwrap();
-        let outcome = run_schedule(&factory(config), &vals(&[6, 2, 8, 4, 7]), &schedule, 60);
+        let outcome = run_schedule(&factory(config), &vals(&[6, 2, 8, 4, 7]), &schedule, 60)
+            .expect("one proposal per process");
         outcome.check_consensus().unwrap();
         // With poisoned Phase 1 the decision comes from C, i.e. after t+2.
         assert!(outcome.global_decision_round().unwrap() > Round::new(4));
@@ -494,7 +499,8 @@ mod tests {
                 40,
                 seed,
             );
-            let outcome = run_schedule(&factory(config), &vals(&[6, 2, 8, 4, 7]), &schedule, 40);
+            let outcome = run_schedule(&factory(config), &vals(&[6, 2, 8, 4, 7]), &schedule, 40)
+                .expect("one proposal per process");
             outcome.check_consensus().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             assert!(
                 outcome.global_decision_round().unwrap() <= Round::new(4),
@@ -514,7 +520,8 @@ mod tests {
                 90,
                 seed,
             );
-            let outcome = run_schedule(&factory(config), &vals(&[6, 2, 8, 4, 7]), &schedule, 90);
+            let outcome = run_schedule(&factory(config), &vals(&[6, 2, 8, 4, 7]), &schedule, 90)
+                .expect("one proposal per process");
             outcome.check_consensus().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         }
     }
@@ -528,7 +535,8 @@ mod tests {
                 .with_failure_free_optimization()
         };
         let schedule = Schedule::failure_free(config, ModelKind::Es);
-        let outcome = run_schedule(&f, &vals(&[6, 2, 8, 4, 7]), &schedule, 30);
+        let outcome = run_schedule(&f, &vals(&[6, 2, 8, 4, 7]), &schedule, 30)
+            .expect("one proposal per process");
         outcome.check_consensus().unwrap();
         assert_eq!(outcome.global_decision_round(), Some(Round::new(2)));
         for d in outcome.decisions.iter().flatten() {
@@ -550,7 +558,8 @@ mod tests {
             .crash_delivering_only(ProcessId::new(4), Round::new(1), [ProcessId::new(0)])
             .build(30)
             .unwrap();
-        let outcome = run_schedule(&f, &vals(&[6, 2, 8, 4, 7]), &schedule, 30);
+        let outcome = run_schedule(&f, &vals(&[6, 2, 8, 4, 7]), &schedule, 30)
+            .expect("one proposal per process");
         outcome.check_consensus().unwrap();
         assert!(outcome.global_decision_round().unwrap() <= Round::new(4));
     }
@@ -571,7 +580,8 @@ mod tests {
                 90,
                 seed,
             );
-            let outcome = run_schedule(&f, &vals(&[6, 2, 8, 4, 7]), &schedule, 90);
+            let outcome = run_schedule(&f, &vals(&[6, 2, 8, 4, 7]), &schedule, 90)
+                .expect("one proposal per process");
             outcome.check_consensus().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         }
     }
@@ -595,7 +605,8 @@ mod tests {
             );
             AtPlus2::with_detector(config, id, v, RotatingCoordinator::new(config, id), detector)
         };
-        let outcome = run_schedule(&f, &vals(&[6, 2, 8, 4, 7]), &schedule, 30);
+        let outcome = run_schedule(&f, &vals(&[6, 2, 8, 4, 7]), &schedule, 30)
+            .expect("one proposal per process");
         outcome.check_consensus().unwrap();
         assert_eq!(outcome.global_decision_round(), Some(Round::new(4)));
     }
@@ -627,7 +638,8 @@ mod tests {
             AtPlus2::with_detector(config, id, v, RotatingCoordinator::new(config, id), detector)
         };
         let schedule = Schedule::failure_free(config, ModelKind::Es);
-        let outcome = run_schedule(&f, &vals(&[6, 2, 8, 4, 7]), &schedule, 60);
+        let outcome = run_schedule(&f, &vals(&[6, 2, 8, 4, 7]), &schedule, 60)
+            .expect("one proposal per process");
         outcome.check_consensus().unwrap();
     }
 }

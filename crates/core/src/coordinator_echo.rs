@@ -217,7 +217,8 @@ mod tests {
     #[test]
     fn failure_free_decides_at_round_two() {
         let schedule = Schedule::failure_free(cfg(), ModelKind::Es);
-        let outcome = run_schedule(&factory(cfg()), &vals(&[3, 1, 4, 1, 5]), &schedule, 20);
+        let outcome = run_schedule(&factory(cfg()), &vals(&[3, 1, 4, 1, 5]), &schedule, 20)
+            .expect("one proposal per process");
         outcome.check_consensus().unwrap();
         assert_eq!(outcome.global_decision_round(), Some(Round::new(2)));
         // Decision is the phase-1 coordinator's proposal.
@@ -235,7 +236,8 @@ mod tests {
             .crash_before_send(ProcessId::new(1), Round::new(3))
             .build(20)
             .unwrap();
-        let outcome = run_schedule(&factory(cfg()), &vals(&[3, 1, 4, 1, 5]), &schedule, 20);
+        let outcome = run_schedule(&factory(cfg()), &vals(&[3, 1, 4, 1, 5]), &schedule, 20)
+            .expect("one proposal per process");
         outcome.check_consensus().unwrap();
         assert_eq!(outcome.global_decision_round(), Some(Round::new(6)));
     }
@@ -246,7 +248,8 @@ mod tests {
             .crash_before_send(ProcessId::new(0), Round::new(1))
             .build(20)
             .unwrap();
-        let outcome = run_schedule(&factory(cfg()), &vals(&[3, 1, 4, 1, 5]), &schedule, 20);
+        let outcome = run_schedule(&factory(cfg()), &vals(&[3, 1, 4, 1, 5]), &schedule, 20)
+            .expect("one proposal per process");
         outcome.check_consensus().unwrap();
         assert_eq!(outcome.global_decision_round(), Some(Round::new(4)));
     }
@@ -261,7 +264,8 @@ mod tests {
             .delay(Round::new(1), ProcessId::new(0), ProcessId::new(4), Round::new(5))
             .build(30)
             .unwrap();
-        let outcome = run_schedule(&factory(cfg()), &vals(&[3, 1, 4, 1, 5]), &schedule, 30);
+        let outcome = run_schedule(&factory(cfg()), &vals(&[3, 1, 4, 1, 5]), &schedule, 30)
+            .expect("one proposal per process");
         outcome.check_consensus().unwrap();
     }
 
@@ -275,7 +279,8 @@ mod tests {
                 60,
                 seed,
             );
-            let outcome = run_schedule(&factory(cfg()), &vals(&[9, 2, 5, 2, 8]), &schedule, 60);
+            let outcome = run_schedule(&factory(cfg()), &vals(&[9, 2, 5, 2, 8]), &schedule, 60)
+                .expect("one proposal per process");
             outcome.check_consensus().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         }
     }
@@ -290,7 +295,8 @@ mod tests {
                 80,
                 seed,
             );
-            let outcome = run_schedule(&factory(cfg()), &vals(&[9, 2, 5, 2, 8]), &schedule, 80);
+            let outcome = run_schedule(&factory(cfg()), &vals(&[9, 2, 5, 2, 8]), &schedule, 80)
+                .expect("one proposal per process");
             outcome.check_consensus().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         }
     }

@@ -114,7 +114,8 @@ mod tests {
         // decision at round 2 = f + 2.
         let config = SystemConfig::synchronous(5, 3).unwrap();
         let schedule = Schedule::failure_free(config, ModelKind::Scs);
-        let outcome = run_schedule(&factory(config), &vals(&[6, 2, 8, 4, 7]), &schedule, 10);
+        let outcome = run_schedule(&factory(config), &vals(&[6, 2, 8, 4, 7]), &schedule, 10)
+            .expect("one proposal per process");
         outcome.check_consensus().unwrap();
         assert_eq!(outcome.global_decision_round(), Some(Round::new(2)));
     }
@@ -126,7 +127,8 @@ mod tests {
             .crash_before_send(ProcessId::new(1), Round::new(1))
             .build(10)
             .unwrap();
-        let outcome = run_schedule(&factory(config), &vals(&[6, 2, 8, 4, 7]), &schedule, 10);
+        let outcome = run_schedule(&factory(config), &vals(&[6, 2, 8, 4, 7]), &schedule, 10)
+            .expect("one proposal per process");
         outcome.check_consensus().unwrap();
         assert!(outcome.global_decision_round().unwrap() <= Round::new(3)); // f + 2
     }
@@ -142,7 +144,8 @@ mod tests {
             .crash_delivering_only(ProcessId::new(2), Round::new(3), [ProcessId::new(3)])
             .build(10)
             .unwrap();
-        let outcome = run_schedule(&factory(config), &vals(&[6, 2, 8, 4, 7]), &schedule, 10);
+        let outcome = run_schedule(&factory(config), &vals(&[6, 2, 8, 4, 7]), &schedule, 10)
+            .expect("one proposal per process");
         outcome.check_consensus().unwrap();
         assert!(outcome.global_decision_round().unwrap() <= Round::new(4)); // t + 1
     }
@@ -155,7 +158,8 @@ mod tests {
         let config = SystemConfig::synchronous(4, 2).unwrap();
         let mut runs = 0u32;
         let _ = indulgent_sim::for_each_serial_schedule(config, ModelKind::Scs, 3, |schedule| {
-            let outcome = run_schedule(&factory(config), &vals(&[6, 2, 8, 4]), schedule, 10);
+            let outcome = run_schedule(&factory(config), &vals(&[6, 2, 8, 4]), schedule, 10)
+                .expect("one proposal per process");
             outcome.check_consensus().unwrap_or_else(|e| panic!("{e} in {schedule:?}"));
             let f = schedule.crash_count() as u32;
             let bound = (f + 2).min(config.t() as u32 + 1);
@@ -174,7 +178,8 @@ mod tests {
     fn exhaustive_serial_runs_n5_t2() {
         let config = SystemConfig::synchronous(5, 2).unwrap();
         let _ = indulgent_sim::for_each_serial_schedule(config, ModelKind::Scs, 3, |schedule| {
-            let outcome = run_schedule(&factory(config), &vals(&[6, 2, 8, 4, 7]), schedule, 10);
+            let outcome = run_schedule(&factory(config), &vals(&[6, 2, 8, 4, 7]), schedule, 10)
+                .expect("one proposal per process");
             outcome.check_consensus().unwrap_or_else(|e| panic!("{e} in {schedule:?}"));
             let f = schedule.crash_count() as u32;
             let bound = (f + 2).min(config.t() as u32 + 1);
@@ -196,7 +201,8 @@ mod tests {
                 12,
                 seed,
             );
-            let outcome = run_schedule(&factory(config), &vals(&[6, 2, 8, 4, 7, 5]), &schedule, 12);
+            let outcome = run_schedule(&factory(config), &vals(&[6, 2, 8, 4, 7, 5]), &schedule, 12)
+                .expect("one proposal per process");
             outcome.check_consensus().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         }
     }

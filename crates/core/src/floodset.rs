@@ -92,7 +92,8 @@ mod tests {
     #[test]
     fn decides_min_at_t_plus_one_when_failure_free() {
         let schedule = Schedule::failure_free(cfg(), ModelKind::Scs);
-        let outcome = run_schedule(&factory(cfg()), &vals(&[6, 2, 8, 4]), &schedule, 10);
+        let outcome = run_schedule(&factory(cfg()), &vals(&[6, 2, 8, 4]), &schedule, 10)
+            .expect("one proposal per process");
         outcome.check_consensus().unwrap();
         assert_eq!(outcome.global_decision_round(), Some(Round::new(3))); // t + 1
         for d in outcome.decisions.iter().flatten() {
@@ -111,7 +112,8 @@ mod tests {
             .crash_delivering_only(ProcessId::new(0), Round::new(2), [ProcessId::new(2)])
             .build(10)
             .unwrap();
-        let outcome = run_schedule(&factory(cfg()), &vals(&[6, 2, 8, 4]), &schedule, 10);
+        let outcome = run_schedule(&factory(cfg()), &vals(&[6, 2, 8, 4]), &schedule, 10)
+            .expect("one proposal per process");
         outcome.check_consensus().unwrap();
         // p2 and p3 both decide 2: the value reached p2 via the chain and
         // p3 hears it from p2's round-3 flood.
@@ -127,7 +129,8 @@ mod tests {
             .crash_before_send(ProcessId::new(1), Round::new(1))
             .build(10)
             .unwrap();
-        let outcome = run_schedule(&factory(cfg()), &vals(&[6, 2, 8, 4]), &schedule, 10);
+        let outcome = run_schedule(&factory(cfg()), &vals(&[6, 2, 8, 4]), &schedule, 10)
+            .expect("one proposal per process");
         outcome.check_consensus().unwrap();
         for d in outcome.decisions.iter().flatten() {
             assert_eq!(d.value, Value::new(4));
@@ -141,7 +144,8 @@ mod tests {
         let config = cfg();
         let mut runs = 0u32;
         let _ = indulgent_sim::for_each_serial_schedule(config, ModelKind::Scs, 3, |schedule| {
-            let outcome = run_schedule(&factory(config), &vals(&[6, 2, 8, 4]), schedule, 10);
+            let outcome = run_schedule(&factory(config), &vals(&[6, 2, 8, 4]), schedule, 10)
+                .expect("one proposal per process");
             outcome.check_consensus().unwrap();
             assert_eq!(outcome.global_decision_round(), Some(Round::new(3)));
             runs += 1;

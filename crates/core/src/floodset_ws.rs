@@ -129,7 +129,8 @@ mod tests {
     fn with_perfect_detector_decides_at_t_plus_one() {
         let schedule = Schedule::failure_free(cfg(), ModelKind::Es);
         let factory = perfect_factory(cfg(), &schedule);
-        let outcome = run_schedule(&factory, &vals(&[6, 2, 8, 4, 7]), &schedule, 10);
+        let outcome = run_schedule(&factory, &vals(&[6, 2, 8, 4, 7]), &schedule, 10)
+            .expect("one proposal per process");
         outcome.check_consensus().unwrap();
         assert_eq!(outcome.global_decision_round(), Some(Round::new(3))); // t + 1
     }
@@ -140,7 +141,8 @@ mod tests {
         let mut runs = 0;
         let _ = indulgent_sim::for_each_serial_schedule(config, ModelKind::Es, 3, |schedule| {
             let factory = perfect_factory(config, schedule);
-            let outcome = run_schedule(&factory, &vals(&[6, 2, 8, 4, 7]), schedule, 10);
+            let outcome = run_schedule(&factory, &vals(&[6, 2, 8, 4, 7]), schedule, 10)
+                .expect("one proposal per process");
             outcome.check_consensus().unwrap();
             runs += 1;
             if runs > 3000 {
@@ -172,7 +174,8 @@ mod tests {
             );
         }
         let schedule = builder.build(10).unwrap();
-        let split = run_schedule(&derived_factory(config), &vals(&[6, 2, 8, 4, 7]), &schedule, 10);
+        let split = run_schedule(&derived_factory(config), &vals(&[6, 2, 8, 4, 7]), &schedule, 10)
+            .expect("one proposal per process");
         assert!(
             split.check_safety().is_err(),
             "derived-suspicion FloodSetWS should violate agreement: {split:?}"
@@ -191,7 +194,8 @@ mod tests {
             .build(10)
             .unwrap();
         let outcome =
-            run_schedule(&derived_factory(config), &vals(&[6, 2, 8, 4, 7]), &schedule, 10);
+            run_schedule(&derived_factory(config), &vals(&[6, 2, 8, 4, 7]), &schedule, 10)
+                .expect("one proposal per process");
         outcome.check_consensus().unwrap();
     }
 }

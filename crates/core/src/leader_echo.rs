@@ -213,7 +213,8 @@ mod tests {
     #[test]
     fn failure_free_decides_at_round_two() {
         let schedule = Schedule::failure_free(cfg(), ModelKind::Es);
-        let outcome = run_schedule(&factory(cfg()), &vals(&[4, 2, 7, 2, 9, 1, 3]), &schedule, 20);
+        let outcome = run_schedule(&factory(cfg()), &vals(&[4, 2, 7, 2, 9, 1, 3]), &schedule, 20)
+            .expect("one proposal per process");
         outcome.check_consensus().unwrap();
         assert_eq!(outcome.global_decision_round(), Some(Round::new(2)));
         // The initial leader p0's proposal wins.
@@ -231,7 +232,8 @@ mod tests {
             .crash_before_send(ProcessId::new(0), Round::new(1))
             .build(20)
             .unwrap();
-        let outcome = run_schedule(&factory(cfg()), &vals(&[4, 2, 7, 2, 9, 1, 3]), &schedule, 20);
+        let outcome = run_schedule(&factory(cfg()), &vals(&[4, 2, 7, 2, 9, 1, 3]), &schedule, 20)
+            .expect("one proposal per process");
         outcome.check_consensus().unwrap();
         assert_eq!(outcome.global_decision_round(), Some(Round::new(4)));
     }
@@ -243,7 +245,8 @@ mod tests {
             .crash_before_send(ProcessId::new(1), Round::new(3))
             .build(20)
             .unwrap();
-        let outcome = run_schedule(&factory(cfg()), &vals(&[4, 2, 7, 2, 9, 1, 3]), &schedule, 20);
+        let outcome = run_schedule(&factory(cfg()), &vals(&[4, 2, 7, 2, 9, 1, 3]), &schedule, 20)
+            .expect("one proposal per process");
         outcome.check_consensus().unwrap();
         // 2f + 2 with f = 2.
         assert_eq!(outcome.global_decision_round(), Some(Round::new(6)));
@@ -260,7 +263,8 @@ mod tests {
                 seed,
             );
             let outcome =
-                run_schedule(&factory(cfg()), &vals(&[4, 2, 7, 2, 9, 1, 3]), &schedule, 60);
+                run_schedule(&factory(cfg()), &vals(&[4, 2, 7, 2, 9, 1, 3]), &schedule, 60)
+                    .expect("one proposal per process");
             outcome.check_consensus().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         }
     }
@@ -276,7 +280,8 @@ mod tests {
                 seed,
             );
             let outcome =
-                run_schedule(&factory(cfg()), &vals(&[4, 2, 7, 2, 9, 1, 3]), &schedule, 80);
+                run_schedule(&factory(cfg()), &vals(&[4, 2, 7, 2, 9, 1, 3]), &schedule, 80)
+                    .expect("one proposal per process");
             outcome.check_consensus().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         }
     }

@@ -40,7 +40,7 @@
 //! };
 //! let proposals: Vec<Value> = [6, 2, 8, 4, 7].map(Value::new).to_vec();
 //! let schedule = Schedule::failure_free(cfg, ModelKind::Es);
-//! let outcome = run_schedule(&factory, &proposals, &schedule, 30);
+//! let outcome = run_schedule(&factory, &proposals, &schedule, 30)?;
 //!
 //! outcome.check_consensus()?;
 //! // Global decision at exactly t + 2 = 4 in this synchronous run.

@@ -260,7 +260,8 @@ mod tests {
     #[test]
     fn failure_free_run_decides_in_one_phase() {
         let schedule = Schedule::failure_free(cfg(), ModelKind::Es);
-        let outcome = run_schedule(&factory(cfg()), &vals(&[3, 1, 4, 1, 5]), &schedule, 30);
+        let outcome = run_schedule(&factory(cfg()), &vals(&[3, 1, 4, 1, 5]), &schedule, 30)
+            .expect("one proposal per process");
         outcome.check_consensus().unwrap();
         // Phase 1: everyone decides the coordinator's pick at round 3.
         assert_eq!(outcome.global_decision_round(), Some(Round::new(3)));
@@ -273,7 +274,8 @@ mod tests {
             .crash_before_send(ProcessId::new(0), Round::new(2))
             .build(30)
             .unwrap();
-        let outcome = run_schedule(&factory(cfg()), &vals(&[3, 1, 4, 1, 5]), &schedule, 30);
+        let outcome = run_schedule(&factory(cfg()), &vals(&[3, 1, 4, 1, 5]), &schedule, 30)
+            .expect("one proposal per process");
         outcome.check_consensus().unwrap();
         assert_eq!(outcome.global_decision_round(), Some(Round::new(6)));
     }
@@ -285,7 +287,8 @@ mod tests {
             .crash_before_send(ProcessId::new(1), Round::new(5))
             .build(30)
             .unwrap();
-        let outcome = run_schedule(&factory(cfg()), &vals(&[3, 1, 4, 1, 5]), &schedule, 30);
+        let outcome = run_schedule(&factory(cfg()), &vals(&[3, 1, 4, 1, 5]), &schedule, 30)
+            .expect("one proposal per process");
         outcome.check_consensus().unwrap();
         // 3t + 3 with t = 2 coordinator crashes.
         assert_eq!(outcome.global_decision_round(), Some(Round::new(9)));
@@ -294,7 +297,8 @@ mod tests {
     #[test]
     fn validity_holds_with_identical_proposals() {
         let schedule = Schedule::failure_free(cfg(), ModelKind::Es);
-        let outcome = run_schedule(&factory(cfg()), &vals(&[7, 7, 7, 7, 7]), &schedule, 30);
+        let outcome = run_schedule(&factory(cfg()), &vals(&[7, 7, 7, 7, 7]), &schedule, 30)
+            .expect("one proposal per process");
         outcome.check_consensus().unwrap();
         for d in outcome.decisions.iter().flatten() {
             assert_eq!(d.value, Value::new(7));
@@ -312,7 +316,8 @@ mod tests {
             .delay(Round::new(2), ProcessId::new(0), ProcessId::new(4), Round::new(4))
             .build(40)
             .unwrap();
-        let outcome = run_schedule(&factory(cfg()), &vals(&[3, 1, 4, 1, 5]), &schedule, 40);
+        let outcome = run_schedule(&factory(cfg()), &vals(&[3, 1, 4, 1, 5]), &schedule, 40)
+            .expect("one proposal per process");
         outcome.check_consensus().unwrap();
     }
 
@@ -326,7 +331,8 @@ mod tests {
                 60,
                 seed,
             );
-            let outcome = run_schedule(&factory(cfg()), &vals(&[3, 1, 4, 1, 5]), &schedule, 60);
+            let outcome = run_schedule(&factory(cfg()), &vals(&[3, 1, 4, 1, 5]), &schedule, 60)
+                .expect("one proposal per process");
             outcome.check_consensus().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         }
     }

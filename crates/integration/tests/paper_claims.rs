@@ -75,7 +75,8 @@ fn baseline_separation_grows_with_t() {
         }
         let hr_schedule = b.build(horizon).unwrap();
         let hr = move |i: usize, v: Value| CoordinatorEcho::new(config, ProcessId::new(i), v);
-        let outcome = run_schedule(&hr, &props, &hr_schedule, horizon);
+        let outcome =
+            run_schedule(&hr, &props, &hr_schedule, horizon).expect("one proposal per process");
         outcome.check_consensus().unwrap();
         assert_eq!(outcome.global_decision_round(), Some(Round::new(2 * t as u32 + 2)));
 
@@ -87,12 +88,14 @@ fn baseline_separation_grows_with_t() {
         let rc = move |i: usize, v: Value| {
             Standalone::new(RotatingCoordinator::new(config, ProcessId::new(i)), v)
         };
-        let outcome = run_schedule(&rc, &props, &rc_schedule, horizon);
+        let outcome =
+            run_schedule(&rc, &props, &rc_schedule, horizon).expect("one proposal per process");
         outcome.check_consensus().unwrap();
         assert_eq!(outcome.global_decision_round(), Some(Round::new(3 * t as u32 + 3)));
 
         // A_{t+2} under the HR-worst-case schedule still decides at t + 2.
-        let outcome = run_schedule(&at_plus2_factory(config), &props, &hr_schedule, horizon);
+        let outcome = run_schedule(&at_plus2_factory(config), &props, &hr_schedule, horizon)
+            .expect("one proposal per process");
         outcome.check_consensus().unwrap();
         assert_eq!(outcome.global_decision_round(), Some(Round::new(t as u32 + 2)));
     }
@@ -112,7 +115,7 @@ fn failure_free_optimization_meets_the_two_round_bound() {
         };
         let schedule = Schedule::failure_free(config, ModelKind::Es);
         let props = proposals(n);
-        let outcome = run_schedule(&f, &props, &schedule, 40);
+        let outcome = run_schedule(&f, &props, &schedule, 40).expect("one proposal per process");
         outcome.check_consensus().unwrap();
         assert_eq!(outcome.global_decision_round(), Some(Round::new(2)), "n={n}");
         let min = props.iter().copied().min().unwrap();
@@ -153,7 +156,8 @@ fn af_plus_2_meets_k_plus_f_plus_2() {
             }
             let schedule = b.build(horizon).unwrap();
             let factory = move |i: usize, v: Value| AfPlus2::new(config, ProcessId::new(i), v);
-            let outcome = run_schedule(&factory, &props, &schedule, horizon);
+            let outcome = run_schedule(&factory, &props, &schedule, horizon)
+                .expect("one proposal per process");
             outcome.check_consensus().unwrap();
             assert!(
                 outcome.global_decision_round().unwrap() <= Round::new(k + f as u32 + 2),

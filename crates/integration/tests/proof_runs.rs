@@ -36,7 +36,8 @@ fn s_runs_are_synchronous_and_decide_at_t_plus_2() {
         .unwrap();
     assert!(s1.is_synchronous());
     let proposals = [Value::ONE, Value::ONE, Value::ZERO];
-    let outcome = run_schedule(&factory(cfg), &proposals, &s1, 30);
+    let outcome =
+        run_schedule(&factory(cfg), &proposals, &s1, 30).expect("one proposal per process");
     outcome.check_consensus().unwrap();
     assert_eq!(outcome.global_decision_round(), Some(Round::new(3))); // t + 2
 
@@ -45,7 +46,8 @@ fn s_runs_are_synchronous_and_decide_at_t_plus_2() {
         .crash_after_send(ProcessId::new(0), Round::new(1))
         .build(30)
         .unwrap();
-    let outcome = run_schedule(&factory(cfg), &proposals, &s0, 30);
+    let outcome =
+        run_schedule(&factory(cfg), &proposals, &s0, 30).expect("one proposal per process");
     outcome.check_consensus().unwrap();
     assert_eq!(outcome.global_decision_round(), Some(Round::new(3)));
 }
@@ -69,7 +71,8 @@ fn a2_shaped_run_is_survived() {
         .build(30)
         .unwrap();
     let proposals = [Value::ONE, Value::ONE, Value::ZERO];
-    let outcome = run_schedule(&factory(cfg), &proposals, &a2, 30);
+    let outcome =
+        run_schedule(&factory(cfg), &proposals, &a2, 30).expect("one proposal per process");
     outcome.check_consensus().unwrap();
 }
 
@@ -93,7 +96,7 @@ fn a1_a0_shaped_runs_decide_the_same_value() {
         .crash_before_send(ProcessId::new(1), Round::new(3))
         .build(30)
         .unwrap();
-    let o1 = run_schedule(&factory(cfg), &proposals, &a1, 30);
+    let o1 = run_schedule(&factory(cfg), &proposals, &a1, 30).expect("one proposal per process");
     o1.check_consensus().unwrap();
 
     // a0: as a1 but without the round-1 false suspicion (p0's message
@@ -105,7 +108,7 @@ fn a1_a0_shaped_runs_decide_the_same_value() {
         .crash_before_send(ProcessId::new(1), Round::new(3))
         .build(30)
         .unwrap();
-    let o0 = run_schedule(&factory(cfg), &proposals, &a0, 30);
+    let o0 = run_schedule(&factory(cfg), &proposals, &a0, 30).expect("one proposal per process");
     o0.check_consensus().unwrap();
 
     // For the correct algorithm, both runs settle on a single value each;
@@ -130,7 +133,8 @@ fn crash_round_delay_in_synchronous_run() {
         .unwrap();
     assert!(schedule.is_synchronous());
     let proposals = [Value::ONE, Value::ONE, Value::ZERO];
-    let outcome = run_schedule(&factory(cfg), &proposals, &schedule, 30);
+    let outcome =
+        run_schedule(&factory(cfg), &proposals, &schedule, 30).expect("one proposal per process");
     outcome.check_consensus().unwrap();
     assert_eq!(outcome.global_decision_round(), Some(Round::new(3)));
 }

@@ -36,7 +36,7 @@ proptest! {
             let id = ProcessId::new(i);
             AtPlus2::new(config, id, v, RotatingCoordinator::new(config, id))
         };
-        let outcome = run_schedule(&factory, &props, &schedule, 90);
+        let outcome = run_schedule(&factory, &props, &schedule, 90).expect("one proposal per process");
         prop_assert!(outcome.check_consensus().is_ok(), "{:?}", outcome.check_consensus());
     }
 
@@ -60,7 +60,7 @@ proptest! {
             let id = ProcessId::new(i);
             AtPlus2::new(config, id, v, RotatingCoordinator::new(config, id))
         };
-        let outcome = run_schedule(&factory, &props, &schedule, 40);
+        let outcome = run_schedule(&factory, &props, &schedule, 40).expect("one proposal per process");
         prop_assert!(outcome.check_consensus().is_ok());
         prop_assert_eq!(outcome.global_decision_round(), Some(Round::new(4)));
         // Validity, strengthened: the decision is some process's proposal
@@ -94,7 +94,7 @@ proptest! {
             AtPlus2::new(config, id, v, RotatingCoordinator::new(config, id))
                 .with_failure_free_optimization()
         };
-        let outcome = run_schedule(&factory, &props, &schedule, 90);
+        let outcome = run_schedule(&factory, &props, &schedule, 90).expect("one proposal per process");
         prop_assert!(outcome.check_consensus().is_ok(), "{:?}", outcome.check_consensus());
     }
 
@@ -116,7 +116,7 @@ proptest! {
             seed,
         );
         let factory = move |i: usize, v: Value| CoordinatorEcho::new(config, ProcessId::new(i), v);
-        let outcome = run_schedule(&factory, &props, &schedule, 90);
+        let outcome = run_schedule(&factory, &props, &schedule, 90).expect("one proposal per process");
         prop_assert!(outcome.check_consensus().is_ok(), "{:?}", outcome.check_consensus());
     }
 
@@ -139,7 +139,7 @@ proptest! {
         let factory = move |i: usize, v: Value| {
             Standalone::new(RotatingCoordinator::new(config, ProcessId::new(i)), v)
         };
-        let outcome = run_schedule(&factory, &props, &schedule, 120);
+        let outcome = run_schedule(&factory, &props, &schedule, 120).expect("one proposal per process");
         prop_assert!(outcome.check_consensus().is_ok(), "{:?}", outcome.check_consensus());
     }
 
@@ -160,11 +160,11 @@ proptest! {
             seed,
         );
         let af = move |i: usize, v: Value| AfPlus2::new(config, ProcessId::new(i), v);
-        let outcome = run_schedule(&af, &props, &schedule, 90);
+        let outcome = run_schedule(&af, &props, &schedule, 90).expect("one proposal per process");
         prop_assert!(outcome.check_consensus().is_ok(), "AfPlus2: {:?}", outcome.check_consensus());
 
         let amr = move |i: usize, v: Value| LeaderEcho::new(config, ProcessId::new(i), v);
-        let outcome = run_schedule(&amr, &props, &schedule, 90);
+        let outcome = run_schedule(&amr, &props, &schedule, 90).expect("one proposal per process");
         prop_assert!(outcome.check_consensus().is_ok(), "LeaderEcho: {:?}", outcome.check_consensus());
     }
 

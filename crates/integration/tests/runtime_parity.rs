@@ -18,7 +18,8 @@ fn simulator_and_network_agree_on_synchronous_at_plus2() {
         AtPlus2::new(config, id, v, RotatingCoordinator::new(config, id))
     };
 
-    let sim = run_schedule(&factory, &props, &Schedule::failure_free(config, ModelKind::Es), 30);
+    let sim = run_schedule(&factory, &props, &Schedule::failure_free(config, ModelKind::Es), 30)
+        .expect("one proposal per process");
     sim.check_consensus().unwrap();
 
     let net = run_network(config, &factory, &props, &NetworkConfig::synchronous(config));
@@ -47,7 +48,7 @@ fn network_crash_matches_simulator_crash_semantics() {
         .crash_before_send(ProcessId::new(3), Round::new(2))
         .build(30)
         .unwrap();
-    let sim = run_schedule(&factory, &props, &schedule, 30);
+    let sim = run_schedule(&factory, &props, &schedule, 30).expect("one proposal per process");
     sim.check_consensus().unwrap();
 
     let net_cfg = NetworkConfig::synchronous(config).crash(ProcessId::new(3), Round::new(2));

@@ -26,7 +26,8 @@ fn trace_suspicions_mirror_crashes_in_synchronous_runs() {
         .crash_before_send(ProcessId::new(2), Round::new(2))
         .build(30)
         .unwrap();
-    let trace = run_traced(&at_factory(config), &proposals(5), &schedule, 30);
+    let trace = run_traced(&at_factory(config), &proposals(5), &schedule, 30)
+        .expect("one proposal per process");
     trace.outcome().check_consensus().unwrap();
     for rec in trace.records() {
         for suspected in rec.suspected.iter() {
@@ -50,7 +51,8 @@ fn trace_suspicions_mirror_crashes_in_synchronous_runs() {
 fn trace_render_is_complete() {
     let config = SystemConfig::majority(5, 2).unwrap();
     let schedule = Schedule::failure_free(config, ModelKind::Es);
-    let trace = run_traced(&at_factory(config), &proposals(5), &schedule, 30);
+    let trace = run_traced(&at_factory(config), &proposals(5), &schedule, 30)
+        .expect("one proposal per process");
     let art = trace.render();
     for i in 0..5 {
         assert!(art.contains(&format!("p{i}")), "missing row for p{i}:\n{art}");
@@ -117,7 +119,8 @@ fn section4_detector_equivalence_under_trace() {
         .unwrap();
     let props = proposals(5);
 
-    let derived = run_schedule(&at_factory(config), &props, &schedule, 30);
+    let derived =
+        run_schedule(&at_factory(config), &props, &schedule, 30).expect("one proposal per process");
     derived.check_consensus().unwrap();
 
     let sched = schedule.clone();
@@ -131,7 +134,8 @@ fn section4_detector_equivalence_under_trace() {
             ScheduleDetector::new(sched.clone()),
         )
     };
-    let simulated = run_schedule(&with_detector, &props, &schedule, 30);
+    let simulated =
+        run_schedule(&with_detector, &props, &schedule, 30).expect("one proposal per process");
     simulated.check_consensus().unwrap();
 
     assert_eq!(derived.decisions, simulated.decisions);

@@ -9,6 +9,7 @@
 //! tests rely on.
 
 use std::collections::BTreeMap;
+use std::fmt;
 
 use indulgent_model::{
     Decision, DeliveredMsg, Delivery, ProcessFactory, Round, RoundProcess, RunOutcome, Step, Value,
@@ -19,6 +20,41 @@ use crate::schedule::{MessageFate, Schedule};
 /// Per-receiver mailbox: arrival round -> messages arriving that round.
 type Mailbox<P> = BTreeMap<u32, Vec<DeliveredMsg<<P as RoundProcess>::Msg>>>;
 
+/// Error from the deterministic executors: the run inputs are inconsistent
+/// with the schedule's configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutorError {
+    /// The proposal vector's length differs from the configuration size
+    /// (one proposal per process is required).
+    ProposalCountMismatch {
+        /// The configuration size `n`.
+        expected: usize,
+        /// The number of proposals supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for ExecutorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecutorError::ProposalCountMismatch { expected, got } => {
+                write!(f, "one proposal per process required: config has {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecutorError {}
+
+/// Validates the run inputs shared by [`run_schedule`] and
+/// [`run_traced`](crate::run_traced).
+pub(crate) fn check_run_inputs(n: usize, proposals: &[Value]) -> Result<(), ExecutorError> {
+    if proposals.len() != n {
+        return Err(ExecutorError::ProposalCountMismatch { expected: n, got: proposals.len() });
+    }
+    Ok(())
+}
+
 /// Runs `factory`-built processes with `proposals` under `schedule` for at
 /// most `horizon` rounds.
 ///
@@ -26,24 +62,24 @@ type Mailbox<P> = BTreeMap<u32, Vec<DeliveredMsg<<P as RoundProcess>::Msg>>>;
 /// [`RunOutcome`] records each process's first decision, the crash set and
 /// the number of rounds executed.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `proposals.len()` differs from the schedule's configuration
-/// size. Schedule legality is the caller's concern: run
-/// [`Schedule::validate`] first (the builders and generators in this crate
-/// only produce validated schedules).
+/// Returns [`ExecutorError::ProposalCountMismatch`] if `proposals.len()`
+/// differs from the schedule's configuration size. Schedule legality is the
+/// caller's concern: run [`Schedule::validate`] first (the builders and
+/// generators in this crate only produce validated schedules).
 pub fn run_schedule<F>(
     factory: &F,
     proposals: &[Value],
     schedule: &Schedule,
     horizon: u32,
-) -> RunOutcome
+) -> Result<RunOutcome, ExecutorError>
 where
     F: ProcessFactory,
 {
     let config = schedule.config();
     let n = config.n();
-    assert_eq!(proposals.len(), n, "one proposal per process required");
+    check_run_inputs(n, proposals)?;
 
     let mut processes: Vec<F::Process> = (0..n).map(|i| factory.build(i, proposals[i])).collect();
     let mut decisions: Vec<Option<Decision>> = vec![None; n];
@@ -116,12 +152,12 @@ where
         }
     }
 
-    RunOutcome {
+    Ok(RunOutcome {
         proposals: proposals.to_vec(),
         decisions,
         crashed: schedule.faulty(),
         rounds_executed,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -177,7 +213,7 @@ mod tests {
     #[test]
     fn failure_free_run_floods_minimum() {
         let schedule = Schedule::failure_free(cfg(), ModelKind::Es);
-        let outcome = run_schedule(&factory(2), &proposals(&[5, 3, 9]), &schedule, 10);
+        let outcome = run_schedule(&factory(2), &proposals(&[5, 3, 9]), &schedule, 10).unwrap();
         assert!(outcome.check_consensus().is_ok());
         for d in outcome.decisions.iter().flatten() {
             assert_eq!(d.value, Value::new(3));
@@ -194,7 +230,7 @@ mod tests {
             .crash_before_send(ProcessId::new(1), Round::FIRST)
             .build(5)
             .unwrap();
-        let outcome = run_schedule(&factory(1), &proposals(&[5, 3, 9]), &schedule, 5);
+        let outcome = run_schedule(&factory(1), &proposals(&[5, 3, 9]), &schedule, 5).unwrap();
         assert_eq!(outcome.decision_of(ProcessId::new(0)).unwrap().value, Value::new(5));
         assert_eq!(outcome.decision_of(ProcessId::new(2)).unwrap().value, Value::new(5));
         assert_eq!(outcome.decision_of(ProcessId::new(1)), None);
@@ -210,7 +246,7 @@ mod tests {
             .crash_delivering_only(ProcessId::new(1), Round::FIRST, [ProcessId::new(0)])
             .build(5)
             .unwrap();
-        let outcome = run_schedule(&factory(1), &proposals(&[5, 3, 9]), &schedule, 5);
+        let outcome = run_schedule(&factory(1), &proposals(&[5, 3, 9]), &schedule, 5).unwrap();
         assert_eq!(outcome.decision_of(ProcessId::new(0)).unwrap().value, Value::new(3));
         assert_eq!(outcome.decision_of(ProcessId::new(2)).unwrap().value, Value::new(5));
         assert!(outcome.check_safety().is_err());
@@ -245,7 +281,7 @@ mod tests {
             .build(5)
             .unwrap();
         let factory = |_i: usize, v: Value| Recorder { est: v, delayed_seen: vec![] };
-        let outcome = run_schedule(&factory, &proposals(&[5, 3, 9]), &schedule, 5);
+        let outcome = run_schedule(&factory, &proposals(&[5, 3, 9]), &schedule, 5).unwrap();
         assert_eq!(outcome.rounds_executed, 3);
         // We cannot inspect the recorder after the run (owned by executor),
         // so assert via behaviour: the run terminates with decisions.
@@ -255,15 +291,16 @@ mod tests {
     #[test]
     fn early_exit_when_all_alive_decided() {
         let schedule = Schedule::failure_free(cfg(), ModelKind::Es);
-        let outcome = run_schedule(&factory(1), &proposals(&[1, 2, 3]), &schedule, 100);
+        let outcome = run_schedule(&factory(1), &proposals(&[1, 2, 3]), &schedule, 100).unwrap();
         assert_eq!(outcome.rounds_executed, 1);
     }
 
     #[test]
-    #[should_panic(expected = "one proposal per process")]
-    fn proposal_arity_checked() {
+    fn proposal_arity_reported_as_typed_error() {
         let schedule = Schedule::failure_free(cfg(), ModelKind::Es);
-        let _ = run_schedule(&factory(1), &proposals(&[1, 2]), &schedule, 5);
+        let err = run_schedule(&factory(1), &proposals(&[1, 2]), &schedule, 5).unwrap_err();
+        assert_eq!(err, ExecutorError::ProposalCountMismatch { expected: 3, got: 2 });
+        assert!(err.to_string().contains("one proposal per process"));
     }
 
     #[test]
@@ -286,7 +323,7 @@ mod tests {
             .build(5)
             .unwrap();
         let factory = |_i: usize, _v: Value| Eager;
-        let outcome = run_schedule(&factory, &proposals(&[0, 0, 0]), &schedule, 3);
+        let outcome = run_schedule(&factory, &proposals(&[0, 0, 0]), &schedule, 3).unwrap();
         assert_eq!(outcome.decision_of(ProcessId::new(0)).unwrap().round, Round::FIRST);
         assert_eq!(outcome.decision_of(ProcessId::new(0)).unwrap().value, Value::new(1));
     }

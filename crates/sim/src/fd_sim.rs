@@ -144,7 +144,7 @@ mod tests {
             let id = ProcessId::new(i);
             AtPlus2::new(config, id, v, RotatingCoordinator::new(config, id))
         };
-        let a = crate::run_schedule(&derived, &props, &schedule, 30);
+        let a = crate::run_schedule(&derived, &props, &schedule, 30).unwrap();
 
         let sched2 = schedule.clone();
         let with_detector = move |i: usize, v: Value| {
@@ -157,8 +157,119 @@ mod tests {
                 ScheduleDetector::new(sched2.clone()),
             )
         };
-        let b = crate::run_schedule(&with_detector, &props, &schedule, 30);
+        let b = crate::run_schedule(&with_detector, &props, &schedule, 30).unwrap();
         assert_eq!(a.decisions, b.decisions);
+    }
+
+    /// Sweeps a whole serial-schedule batch through the parallel engine
+    /// and checks the detector's ◇P properties in *every* schedule:
+    /// strong completeness (a crashed process is permanently suspected
+    /// from the round after its crash) and, since serial schedules are
+    /// synchronous, strong accuracy (a suspicion implies the sender's
+    /// message really did not arrive: it crashed by the current round).
+    #[test]
+    fn detector_properties_hold_over_a_swept_batch() {
+        use crate::parallel::{sweep_schedules, SweepBackend};
+
+        let config = SystemConfig::majority(5, 2).unwrap();
+        let horizon = 3u32;
+        let checked: Result<u64, String> = sweep_schedules(
+            config,
+            ModelKind::Es,
+            horizon,
+            SweepBackend::parallel(2),
+            || 0u64,
+            |count, schedule| {
+                let mut d = ScheduleDetector::new(schedule.clone());
+                for k in 1..=horizon + 2 {
+                    let round = Round::new(k);
+                    for observer in config.processes() {
+                        if !schedule.completes(observer, round) {
+                            continue;
+                        }
+                        let suspects = d.suspects(observer, round);
+                        for target in config.processes() {
+                            let crashed_by_now =
+                                schedule.crash_round(target).is_some_and(|r| r < round);
+                            if crashed_by_now && !suspects.contains(target) {
+                                return Err(format!(
+                                    "completeness: {observer} trusts crashed {target} at {round}"
+                                ));
+                            }
+                            let crashed_ever = schedule.crash_round(target).is_some();
+                            if suspects.contains(target) && !crashed_ever {
+                                return Err(format!(
+                                    "accuracy: {observer} suspects correct {target} at {round}"
+                                ));
+                            }
+                        }
+                    }
+                }
+                *count += 1;
+                Ok(())
+            },
+            |a, b| a + b,
+        );
+        let swept = checked.expect("detector properties hold in every serial schedule");
+        assert_eq!(swept, crate::serial::count_serial_schedules(config, horizon));
+    }
+
+    /// Eventual strong accuracy over a swept batch of *asynchronous*
+    /// prefixes: extensions of a delayed prefix (K = 3) may produce false
+    /// suspicions before K, but from K on every suspicion implies a crash.
+    #[test]
+    fn eventual_accuracy_holds_over_swept_extensions_of_a_delayed_prefix() {
+        use crate::parallel::{sweep_extensions, SweepBackend};
+
+        let config = SystemConfig::majority(5, 2).unwrap();
+        let sync_from = Round::new(3);
+        let horizon = 4u32;
+        let prefix = ScheduleBuilder::new(config, ModelKind::Es)
+            .sync_from(sync_from)
+            .delay(Round::new(1), ProcessId::new(1), ProcessId::new(0), Round::new(3))
+            .delay(Round::new(2), ProcessId::new(2), ProcessId::new(3), Round::new(4))
+            .build(horizon)
+            .unwrap();
+
+        let checked: Result<u64, String> = sweep_extensions(
+            &prefix,
+            sync_from.get(),
+            horizon,
+            SweepBackend::parallel(2),
+            || 0u64,
+            |count, schedule| {
+                assert_eq!(schedule.sync_from(), sync_from, "extensions must preserve K");
+                let mut d = ScheduleDetector::new(schedule.clone());
+                // False suspicion during the asynchronous prefix is real.
+                if !d.suspects(ProcessId::new(0), Round::new(1)).contains(ProcessId::new(1)) {
+                    return Err("expected a false suspicion before K".into());
+                }
+                // From K on: suspicion implies the target crashed.
+                for k in sync_from.get()..=horizon + 2 {
+                    let round = Round::new(k);
+                    for observer in config.processes() {
+                        if !schedule.completes(observer, round) {
+                            continue;
+                        }
+                        for target in d.suspects(observer, round).iter() {
+                            if schedule.crash_round(target).is_none() {
+                                return Err(format!(
+                                    "eventual accuracy: {observer} suspects correct {target} \
+                                     at {round} (K = {sync_from})"
+                                ));
+                            }
+                        }
+                    }
+                }
+                *count += 1;
+                Ok(())
+            },
+            |a, b| a + b,
+        );
+        let swept = checked.expect("eventual accuracy holds in every extension");
+        // Bare prefix + one or two crashes in rounds 3..=4 among 5 alive:
+        // the batch is non-trivial.
+        assert!(swept > 100, "swept only {swept} extensions");
     }
 
     #[test]

@@ -13,7 +13,13 @@
 //!   [`indulgent_model::RoundProcess`] through a schedule;
 //! * [`random`] — seeded random adversaries for statistical sweeps;
 //! * [`serial`] — exhaustive enumeration of serial runs (at most one crash
-//!   per round), the run class used by the lower-bound proof.
+//!   per round), the run class used by the lower-bound proof;
+//! * [`batch`] / [`parallel`] — the batch-sweep engine: the serial space
+//!   partitioned into independent work units by first crash, fanned out
+//!   over a scoped worker pool. [`SweepBackend`] selects serial or
+//!   parallel execution (`INDULGENT_SWEEP_BACKEND` in the environment
+//!   flips every default sweep); merged results are identical regardless
+//!   of thread count, which pushes exhaustive sweeps to `n = 7, t = 2`.
 //!
 //! # Example
 //!
@@ -38,7 +44,7 @@
 //!     &[Value::new(4), Value::new(2), Value::new(9)],
 //!     &schedule,
 //!     5,
-//! );
+//! )?;
 //! assert!(outcome.all_correct_decided());
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
@@ -47,17 +53,23 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+pub mod batch;
 mod builder;
 mod executor;
 pub mod fd_sim;
+pub mod parallel;
 pub mod random;
 mod schedule;
 pub mod serial;
 pub mod trace;
 
+pub use batch::{extension_work_units, work_units, WorkUnit};
 pub use builder::ScheduleBuilder;
-pub use executor::run_schedule;
+pub use executor::{run_schedule, ExecutorError};
 pub use fd_sim::ScheduleDetector;
+pub use parallel::{
+    sweep_count, sweep_extensions, sweep_schedules, SweepBackend, SWEEP_BACKEND_ENV,
+};
 pub use random::{random_run, RandomRunParams};
 pub use schedule::{MessageFate, ModelKind, Schedule, ScheduleError};
 pub use serial::{count_serial_schedules, for_each_serial_extension, for_each_serial_schedule};

@@ -163,6 +163,47 @@ impl Schedule {
             .map(|(&(r, s, d), &f)| (Round::new(r), ProcessId::new(s), ProcessId::new(d), f))
     }
 
+    /// A stable 64-bit fingerprint of the schedule's content (FNV-1a over
+    /// kind, crash rounds, message fates and the synchrony round).
+    ///
+    /// Equal schedules have equal fingerprints; distinct schedules collide
+    /// with probability `~2^-64`. The sweep engine's tests use fingerprints
+    /// to compare the schedule sets visited by different enumeration
+    /// strategies without materializing every schedule.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |x: u64| {
+            for byte in x.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        mix(match self.kind {
+            ModelKind::Scs => 1,
+            ModelKind::Es => 2,
+        });
+        mix(self.config.n() as u64);
+        mix(self.config.t() as u64);
+        for crash in &self.crash_rounds {
+            mix(crash.map_or(0, |r| u64::from(r.get())));
+        }
+        for (&(r, s, d), &fate) in &self.overrides {
+            mix(u64::from(r));
+            mix(s as u64);
+            mix(d as u64);
+            mix(match fate {
+                MessageFate::Deliver => 1,
+                MessageFate::Lose => 2,
+                MessageFate::Delay(a) => 3 | (u64::from(a.get()) << 8),
+            });
+        }
+        mix(u64::from(self.sync_from.get()));
+        h
+    }
+
     /// Validates the schedule against the model constraints, considering
     /// rounds `1..=horizon`.
     ///

@@ -29,8 +29,13 @@ use crate::schedule::{MessageFate, ModelKind, Schedule};
 /// in the round they are sent, so every enumerated schedule is a legal
 /// *synchronous* run of both SCS and ES.
 ///
-/// The number of schedules grows as `O((n · 2^(n-1) · horizon)^t)`; keep
-/// `n ≤ 6` and `t ≤ 2` for exhaustive sweeps.
+/// The number of schedules grows as `O((n · 2^(n-1) · horizon)^t)`. This
+/// single-threaded enumerator handles `n ≤ 6, t ≤ 2` comfortably; for
+/// larger spaces (up to `n = 7, t = 2`, roughly half a million schedules)
+/// use the parallel sweep engine in [`parallel`](crate::parallel), which
+/// partitions the same space into independent work units
+/// ([`batch`](crate::batch)) and fans them out over a worker pool while
+/// preserving this enumerator's visit semantics.
 pub fn for_each_serial_schedule<F>(
     config: SystemConfig,
     kind: ModelKind,
@@ -42,16 +47,26 @@ where
 {
     let mut crash_rounds: Vec<Option<Round>> = vec![None; config.n()];
     let mut overrides: BTreeMap<(u32, usize, usize), MessageFate> = BTreeMap::new();
-    recurse(config, kind, horizon, 1, 0, &mut crash_rounds, &mut overrides, &mut visit)
+    recurse(
+        config,
+        kind,
+        Round::FIRST,
+        horizon,
+        1,
+        0,
+        &mut crash_rounds,
+        &mut overrides,
+        &mut visit,
+    )
 }
 
 /// Enumerates every serial extension of `prefix` whose additional crashes
 /// happen in rounds `from_round..=horizon`, invoking `visit` on each.
 ///
 /// `prefix` must itself be a serial schedule with crashes confined to
-/// rounds `< from_round`; the enumeration preserves its crashes and message
-/// fates and adds at most one crash per round beyond, up to the resilience
-/// bound. This is the workhorse of the checker's valency computations: a
+/// rounds `< from_round`; the enumeration preserves its crashes, message
+/// fates and synchrony round `K` and adds at most one crash per round
+/// beyond, up to the resilience bound. This is the workhorse of the checker's valency computations: a
 /// *partial run* in the paper's sense is `(proposals, prefix, from_round)`,
 /// and its extensions are exactly what this function enumerates.
 ///
@@ -81,6 +96,7 @@ where
     recurse(
         config,
         prefix.kind(),
+        prefix.sync_from(),
         horizon,
         from_round,
         crashes,
@@ -105,6 +121,7 @@ pub fn count_serial_schedules(config: SystemConfig, horizon: u32) -> u64 {
 fn recurse<F>(
     config: SystemConfig,
     kind: ModelKind,
+    sync_from: Round,
     horizon: u32,
     round: u32,
     crashes: usize,
@@ -116,18 +133,13 @@ where
     F: FnMut(&Schedule) -> ControlFlow<()>,
 {
     if round > horizon {
-        let schedule = Schedule::from_parts(
-            config,
-            kind,
-            crash_rounds.clone(),
-            overrides.clone(),
-            Round::FIRST,
-        );
+        let schedule =
+            Schedule::from_parts(config, kind, crash_rounds.clone(), overrides.clone(), sync_from);
         return visit(&schedule);
     }
 
     // Option 1: no crash this round.
-    recurse(config, kind, horizon, round + 1, crashes, crash_rounds, overrides, visit)?;
+    recurse(config, kind, sync_from, horizon, round + 1, crashes, crash_rounds, overrides, visit)?;
 
     if crashes >= config.t() {
         return ControlFlow::Continue(());
@@ -152,7 +164,17 @@ where
                     overrides.insert((round, victim.index(), q.index()), MessageFate::Lose);
                 }
             }
-            recurse(config, kind, horizon, round + 1, crashes + 1, crash_rounds, overrides, visit)?;
+            recurse(
+                config,
+                kind,
+                sync_from,
+                horizon,
+                round + 1,
+                crashes + 1,
+                crash_rounds,
+                overrides,
+                visit,
+            )?;
             // Undo.
             crash_rounds[victim.index()] = None;
             for &q in &receivers {

@@ -16,6 +16,7 @@ use indulgent_model::{
     RunOutcome, Step, Value,
 };
 
+use crate::executor::ExecutorError;
 use crate::schedule::{MessageFate, Schedule};
 
 /// What one process experienced in one round.
@@ -125,21 +126,22 @@ impl RunTrace {
 /// Like [`run_schedule`](crate::run_schedule) but records a full
 /// [`RunTrace`].
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `proposals.len()` differs from the configuration size.
+/// Returns [`ExecutorError::ProposalCountMismatch`] if `proposals.len()`
+/// differs from the configuration size.
 pub fn run_traced<F>(
     factory: &F,
     proposals: &[Value],
     schedule: &Schedule,
     horizon: u32,
-) -> RunTrace
+) -> Result<RunTrace, ExecutorError>
 where
     F: ProcessFactory,
 {
     let config = schedule.config();
     let n = config.n();
-    assert_eq!(proposals.len(), n, "one proposal per process required");
+    crate::executor::check_run_inputs(n, proposals)?;
 
     let mut processes: Vec<F::Process> = (0..n).map(|i| factory.build(i, proposals[i])).collect();
     let mut decisions: Vec<Option<Decision>> = vec![None; n];
@@ -221,7 +223,7 @@ where
         }
     }
 
-    RunTrace {
+    Ok(RunTrace {
         n,
         records,
         crashes: config.processes().map(|p| schedule.crash_round(p)).collect(),
@@ -231,7 +233,7 @@ where
             crashed: schedule.faulty(),
             rounds_executed,
         },
-    }
+    })
 }
 
 #[cfg(test)]
@@ -288,7 +290,7 @@ mod tests {
             .crash_before_send(ProcessId::new(1), Round::FIRST)
             .build(10)
             .unwrap();
-        let trace = run_traced(&factory(), &vals(), &schedule, 10);
+        let trace = run_traced(&factory(), &vals(), &schedule, 10).unwrap();
         // p0 suspected p1 in round 1 (it crashed before sending).
         assert!(trace.suspected(Round::FIRST, ProcessId::new(0), ProcessId::new(1)));
         assert!(!trace.suspected(Round::FIRST, ProcessId::new(0), ProcessId::new(2)));
@@ -307,7 +309,7 @@ mod tests {
             .delay(Round::FIRST, ProcessId::new(1), ProcessId::new(0), Round::new(2))
             .build(10)
             .unwrap();
-        let trace = run_traced(&factory(), &vals(), &schedule, 10);
+        let trace = run_traced(&factory(), &vals(), &schedule, 10).unwrap();
         let r1 = trace.record(Round::FIRST, ProcessId::new(0)).unwrap();
         assert!(r1.suspected.contains(ProcessId::new(1)));
         let r2 = trace.record(Round::new(2), ProcessId::new(0)).unwrap();
@@ -320,8 +322,8 @@ mod tests {
             .crash_delivering_only(ProcessId::new(1), Round::FIRST, [ProcessId::new(0)])
             .build(10)
             .unwrap();
-        let traced = run_traced(&factory(), &vals(), &schedule, 10);
-        let plain = crate::run_schedule(&factory(), &vals(), &schedule, 10);
+        let traced = run_traced(&factory(), &vals(), &schedule, 10).unwrap();
+        let plain = crate::run_schedule(&factory(), &vals(), &schedule, 10).unwrap();
         assert_eq!(traced.outcome(), &plain);
     }
 
@@ -331,7 +333,7 @@ mod tests {
             .crash_before_send(ProcessId::new(1), Round::FIRST)
             .build(10)
             .unwrap();
-        let trace = run_traced(&factory(), &vals(), &schedule, 10);
+        let trace = run_traced(&factory(), &vals(), &schedule, 10).unwrap();
         let art = trace.render();
         assert!(art.contains('X'), "crash marker expected:\n{art}");
         assert!(art.contains('D'), "decision marker expected:\n{art}");
@@ -343,7 +345,7 @@ mod tests {
     #[test]
     fn records_iterate_in_round_process_order() {
         let schedule = Schedule::failure_free(cfg(), ModelKind::Es);
-        let trace = run_traced(&factory(), &vals(), &schedule, 10);
+        let trace = run_traced(&factory(), &vals(), &schedule, 10).unwrap();
         let keys: Vec<(u32, usize)> =
             trace.records().map(|r| (r.round.get(), r.process.index())).collect();
         let mut sorted = keys.clone();

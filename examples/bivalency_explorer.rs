@@ -17,7 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let id = ProcessId::new(i);
         AtPlus2::new(cfg, id, v, RotatingCoordinator::new(cfg, id))
     };
-    let params = ValencyParams { crash_horizon: 3, run_horizon: 30 };
+    let params = ValencyParams::new(3, 30);
 
     println!("valency of every binary initial configuration (n=3, t=1, A_t+2):\n");
     println!("  config      valency");
@@ -63,7 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         AtPlus2::new(cfg5, id, v, RotatingCoordinator::new(cfg5, id))
     };
     let proposals5: Vec<Value> = vec![Value::ONE, Value::ONE, Value::ONE, Value::ONE, Value::ZERO];
-    let params5 = ValencyParams { crash_horizon: 4, run_horizon: 40 };
+    let params5 = ValencyParams::new(4, 40);
     match find_bivalent_prefix(&factory5, &proposals5, cfg5, ModelKind::Es, 1, params5) {
         Some(prefix) => {
             println!("\nLemma 4 witness for n=5, t=2 — a bivalent 1-round serial partial run:");

@@ -31,7 +31,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             AtPlus2::with_detector(cfg, id, v, RotatingCoordinator::new(cfg, id), detector)
         }
     };
-    let outcome = run_schedule(&accurate, &proposals, &schedule, 60);
+    let outcome =
+        run_schedule(&accurate, &proposals, &schedule, 60).expect("one proposal per process");
     outcome.check_consensus()?;
     println!(
         "accurate diamond-S: global decision at {} (t + 2 = {})",
@@ -61,7 +62,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         AtPlus2::with_detector(cfg, id, v, RotatingCoordinator::new(cfg, id), detector)
     };
-    let outcome = run_schedule(&lying, &proposals, &schedule, 60);
+    let outcome =
+        run_schedule(&lying, &proposals, &schedule, 60).expect("one proposal per process");
     outcome.check_consensus()?;
     println!(
         "lying diamond-S:    global decision at {} (deferred to the fallback C, still safe)",

@@ -57,7 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         let schedule = b.build(40)?;
         let hr = move |i: usize, v: Value| CoordinatorEcho::new(cfg, ProcessId::new(i), v);
-        let outcome = run_schedule(&hr, &props, &schedule, 40);
+        let outcome = run_schedule(&hr, &props, &schedule, 40).expect("one proposal per process");
         outcome.check_consensus()?;
         println!(
             "HR-style baseline (n={n}, t={t}): adversarial synchronous run decides at round {} \

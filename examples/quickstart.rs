@@ -23,7 +23,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 1. The happy path: a failure-free synchronous run.
     let schedule = Schedule::failure_free(cfg, ModelKind::Es);
-    let outcome = run_schedule(&factory, &proposals, &schedule, 30);
+    let outcome =
+        run_schedule(&factory, &proposals, &schedule, 30).expect("one proposal per process");
     outcome.check_consensus()?;
     println!("\nfailure-free synchronous run:");
     for d in outcome.decisions.iter().flatten() {
@@ -44,7 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )
         .crash_before_send(ProcessId::new(2), Round::new(3))
         .build(30)?;
-    let trace = run_traced(&factory, &proposals, &schedule, 30);
+    let trace = run_traced(&factory, &proposals, &schedule, 30).expect("one proposal per process");
     trace.outcome().check_consensus()?;
     println!("\nsynchronous run with 2 crashes:");
     for d in trace.outcome().decisions.iter().flatten() {

@@ -1,39 +1,303 @@
 //! Offline stand-in for `crossbeam`.
 //!
-//! Builds in this workspace run without network access to crates.io. The
-//! threaded runtime only uses unbounded MPSC channels — `unbounded()`,
-//! `Sender::send` (through a shared reference; `std::sync::mpsc::Sender` is
-//! `Sync` since Rust 1.72), `Receiver::recv_timeout`, and the
-//! [`channel::RecvTimeoutError`] variants — all of which the standard
-//! library provides under the same names. This facade re-exports them under
-//! crossbeam's paths; swap the workspace manifest back to the real crate
-//! for `select!` or bounded channels.
+//! Builds in this workspace run without network access to crates.io, so the
+//! threaded runtime and the parallel sweep engine resolve against this
+//! facade instead of the real crate. It covers the two surfaces the
+//! workspace actually uses:
+//!
+//! * [`channel`] — unbounded multi-producer **multi-consumer** channels
+//!   (`unbounded()`, clonable `Sender`/`Receiver`, `send`, `recv`,
+//!   `try_recv`, `recv_timeout`, `iter`), semantically matching
+//!   `crossbeam-channel`: any number of workers may pull from the same
+//!   `Receiver`, which is what the sweep engine's work queue needs and what
+//!   `std::sync::mpsc` cannot provide. Implemented with a mutex-guarded
+//!   queue and a condvar — correct and simple rather than lock-free; swap
+//!   the workspace manifest back to the real crate for the lock-free
+//!   implementation, `select!`, or bounded channels.
+//! * [`thread`] — scoped threads (`thread::scope`, `Scope::spawn`),
+//!   backed by `std::thread::scope` (Rust >= 1.63). As in crossbeam, the
+//!   closure handed to [`thread::scope`] receives the scope so it can spawn
+//!   borrowing threads, and the call returns `Err` with the panic payload
+//!   if any unjoined spawned thread panicked.
 
-/// Multi-producer single-consumer channels (crossbeam's `channel` module
-/// surface, backed by `std::sync::mpsc`).
+/// Unbounded MPMC channels (the `crossbeam-channel` surface the workspace
+/// uses).
 pub mod channel {
-    pub use std::sync::mpsc::{Receiver, RecvTimeoutError, SendError, Sender};
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    /// The sending half of an unbounded channel. Clonable and shareable
+    /// across threads.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half of an unbounded channel. Clonable: multiple
+    /// workers may compete for messages from the same channel.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
 
     /// Creates an unbounded channel.
     #[must_use]
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        std::sync::mpsc::channel()
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+            ready: Condvar::new(),
+        });
+        (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone; the
+    /// unsent message is handed back.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `t`, failing only if every receiver has been dropped.
+        pub fn send(&self, t: T) -> Result<(), SendError<T>> {
+            let mut state = self.shared.state.lock().expect("channel lock poisoned");
+            if state.receivers == 0 {
+                return Err(SendError(t));
+            }
+            state.queue.push_back(t);
+            drop(state);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.state.lock().expect("channel lock poisoned").senders += 1;
+            Sender { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.state.lock().expect("channel lock poisoned");
+            state.senders -= 1;
+            let disconnected = state.senders == 0;
+            drop(state);
+            if disconnected {
+                // Receivers blocked in recv must observe the disconnect.
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.shared.state.lock().expect("channel lock poisoned");
+            loop {
+                if let Some(t) = state.queue.pop_front() {
+                    return Ok(t);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.shared.ready.wait(state).expect("channel lock poisoned");
+            }
+        }
+
+        /// Receives a message if one is immediately available.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = self.shared.state.lock().expect("channel lock poisoned");
+            match state.queue.pop_front() {
+                Some(t) => Ok(t),
+                None if state.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Blocks until a message arrives, every sender is gone, or
+        /// `timeout` elapses.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut state = self.shared.state.lock().expect("channel lock poisoned");
+            loop {
+                if let Some(t) = state.queue.pop_front() {
+                    return Ok(t);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                let Some(remaining) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
+                else {
+                    return Err(RecvTimeoutError::Timeout);
+                };
+                let (guard, result) = self
+                    .shared
+                    .ready
+                    .wait_timeout(state, remaining)
+                    .expect("channel lock poisoned");
+                state = guard;
+                if result.timed_out() && state.queue.is_empty() && state.senders > 0 {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+            }
+        }
+
+        /// Iterates over messages, ending when the channel is empty and
+        /// every sender is gone.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.state.lock().expect("channel lock poisoned").receivers += 1;
+            Receiver { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.state.lock().expect("channel lock poisoned").receivers -= 1;
+        }
+    }
+
+    /// Blocking iterator returned by [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+}
+
+/// Scoped threads (the `crossbeam::thread` surface the workspace uses).
+pub mod thread {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// A scope in which threads borrowing from the enclosing stack frame
+    /// can be spawned.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread; dropping it detaches the thread within
+    /// the scope (the scope still joins it before returning).
+    #[derive(Debug)]
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning its result or the
+        /// panic payload.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread that may borrow from outside the scope. As in
+        /// crossbeam, the closure receives the scope so it can spawn
+        /// further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle { inner: inner.spawn(move || f(Scope { inner })) }
+        }
+    }
+
+    /// Creates a scope, runs `f` in it, and joins every spawned thread
+    /// before returning. Returns `Err` with the panic payload if `f` or an
+    /// unjoined spawned thread panicked (crossbeam's contract).
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| std::thread::scope(|s| f(Scope { inner: s }))))
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::channel::{unbounded, RecvTimeoutError};
-    use std::sync::Arc;
+    use super::channel::{unbounded, RecvTimeoutError, TryRecvError};
+    use std::sync::atomic::{AtomicUsize, Ordering};
     use std::time::Duration;
 
     #[test]
     fn send_through_shared_reference_across_threads() {
         let (tx, rx) = unbounded::<u32>();
-        let tx = Arc::new(tx);
         let handles: Vec<_> = (0..4)
             .map(|i| {
-                let tx = Arc::clone(&tx);
+                let tx = tx.clone();
                 std::thread::spawn(move || tx.send(i).unwrap())
             })
             .collect();
@@ -52,5 +316,66 @@ mod tests {
         assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Err(RecvTimeoutError::Timeout));
         drop(tx);
         assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Err(RecvTimeoutError::Disconnected));
+    }
+
+    #[test]
+    fn multiple_consumers_partition_the_queue() {
+        let (tx, rx) = unbounded::<u64>();
+        for i in 0..1000 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let total: u64 = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let rx = rx.clone();
+                    s.spawn(move || rx.iter().sum::<u64>())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        // Every message consumed exactly once, across all consumers.
+        assert_eq!(total, 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn try_recv_distinguishes_empty_from_disconnected() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.send(7).unwrap();
+        assert_eq!(rx.try_recv(), Ok(7));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn send_fails_when_all_receivers_gone() {
+        use super::channel::SendError;
+        let (tx, rx) = unbounded::<u8>();
+        drop(rx);
+        assert_eq!(tx.send(3), Err(SendError(3)));
+    }
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let counter = AtomicUsize::new(0);
+        let result = super::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            42
+        });
+        assert_eq!(result.unwrap(), 42);
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn scope_reports_spawned_panics_as_err() {
+        let result = super::thread::scope(|s| {
+            s.spawn(|_| panic!("worker exploded"));
+        });
+        assert!(result.is_err());
     }
 }
