@@ -1,57 +1,222 @@
 //! B4 — sweep throughput: schedules/second of the exhaustive worst-case
-//! sweep (the checker's hot loop), serial versus the parallel batch-sweep
-//! engine at 2 and 4 workers.
+//! sweep (the checker's hot loop), across execution engines and backends:
+//!
+//! * `replay-serial` — the retired run-from-scratch baseline: every serial
+//!   schedule enumerated, then re-executed from round 1;
+//! * `incremental-serial` — the fork-on-branch engine: enumeration fused
+//!   with execution, each shared prefix executed once (an algorithmic
+//!   speedup independent of thread count);
+//! * `incremental-parallel-2/4` — the same engine with work units fanned
+//!   over the pooled workers.
 //!
 //! The swept space is the full `n = 5, t = 2` serial-run space with
 //! crashes in rounds `1..=4` (15 681 schedules per iteration); every
-//! backend produces the identical `WorstCaseReport`, so the timings are
+//! engine produces the identical `WorstCaseReport`, so the timings are
 //! apples to apples. Criterion's throughput annotation is the schedule
 //! count, so the report reads directly in schedules/second.
+//!
+//! Besides the criterion output, the bench emits a machine-readable
+//! `BENCH_sweep.json` (schedules/second per backend plus the
+//! incremental-over-replay speedup) into the working directory — CI
+//! uploads it as an artifact so the perf trajectory is tracked PR over
+//! PR. Set `BENCH_SWEEP_JSON` to redirect the file, or to `0` to skip it.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use indulgent_checker::{worst_case_decision_round_with, SweepBackend};
+use indulgent_checker::{
+    worst_case_decision_round_replay, worst_case_decision_round_with, SweepBackend, WorstCaseReport,
+};
 use indulgent_consensus::{AtPlus2, RotatingCoordinator};
 use indulgent_model::{ProcessId, SystemConfig, Value};
 use indulgent_sim::{count_serial_schedules, ModelKind};
 
+const CRASH_HORIZON: u32 = 4;
+const RUN_HORIZON: u32 = 30;
+
+/// One measured engine/backend combination.
+struct Variant {
+    name: &'static str,
+    engine: &'static str,
+    threads: usize,
+    run: fn(&Bench) -> WorstCaseReport,
+}
+
+struct Bench {
+    config: SystemConfig,
+    props: Vec<Value>,
+}
+
+impl Bench {
+    fn factory(&self) -> impl Fn(usize, Value) -> AtPlus2<RotatingCoordinator> + Sync + '_ {
+        let config = self.config;
+        move |i: usize, v: Value| {
+            let id = ProcessId::new(i);
+            AtPlus2::new(config, id, v, RotatingCoordinator::new(config, id))
+        }
+    }
+
+    fn replay(&self, backend: SweepBackend) -> WorstCaseReport {
+        worst_case_decision_round_replay(
+            &self.factory(),
+            self.config,
+            ModelKind::Es,
+            &self.props,
+            CRASH_HORIZON,
+            RUN_HORIZON,
+            backend,
+        )
+        .expect("A_t+2 satisfies consensus")
+    }
+
+    fn incremental(&self, backend: SweepBackend) -> WorstCaseReport {
+        worst_case_decision_round_with(
+            &self.factory(),
+            self.config,
+            ModelKind::Es,
+            &self.props,
+            CRASH_HORIZON,
+            RUN_HORIZON,
+            backend,
+        )
+        .expect("A_t+2 satisfies consensus")
+    }
+}
+
+const VARIANTS: &[Variant] = &[
+    Variant {
+        name: "replay-serial",
+        engine: "replay",
+        threads: 1,
+        run: |b| b.replay(SweepBackend::Serial),
+    },
+    Variant {
+        name: "incremental-serial",
+        engine: "incremental",
+        threads: 1,
+        run: |b| b.incremental(SweepBackend::Serial),
+    },
+    Variant {
+        name: "incremental-parallel-2",
+        engine: "incremental",
+        threads: 2,
+        run: |b| b.incremental(SweepBackend::parallel(2)),
+    },
+    Variant {
+        name: "incremental-parallel-4",
+        engine: "incremental",
+        threads: 4,
+        run: |b| b.incremental(SweepBackend::parallel(4)),
+    },
+];
+
 fn bench_sweep_throughput(c: &mut Criterion) {
-    let config = SystemConfig::majority(5, 2).expect("valid config");
-    let crash_horizon = 4;
-    let schedules = count_serial_schedules(config, crash_horizon);
-    let props: Vec<Value> = (0..5).map(|i| Value::new(i as u64 * 2 + 1)).collect();
-    let factory = move |i: usize, v: Value| {
-        let id = ProcessId::new(i);
-        AtPlus2::new(config, id, v, RotatingCoordinator::new(config, id))
+    let bench = Bench {
+        config: SystemConfig::majority(5, 2).expect("valid config"),
+        props: (0..5).map(|i| Value::new(i as u64 * 2 + 1)).collect(),
     };
+    let schedules = count_serial_schedules(bench.config, CRASH_HORIZON);
+
+    // Sanity: every variant computes the identical report before we time
+    // anything (the differential suite checks this exhaustively; the bench
+    // refuses to publish apples-to-oranges numbers). The replay-serial
+    // variant IS the reference, so only the others need comparing.
+    let reference = bench.replay(SweepBackend::Serial);
+    for variant in &VARIANTS[1..] {
+        assert_eq!((variant.run)(&bench), reference, "{} diverged", variant.name);
+    }
 
     let mut group = c.benchmark_group("sweep_throughput");
     group.sample_size(10);
     group.throughput(Throughput::Elements(schedules));
-    for (label, backend) in [
-        ("serial", SweepBackend::Serial),
-        ("parallel-2", SweepBackend::parallel(2)),
-        ("parallel-4", SweepBackend::parallel(4)),
-    ] {
+    for variant in VARIANTS {
         group.bench_with_input(
-            BenchmarkId::new("worst_case_n5_t2", label),
-            &backend,
-            |b, &backend| {
-                b.iter(|| {
-                    worst_case_decision_round_with(
-                        &factory,
-                        config,
-                        ModelKind::Es,
-                        &props,
-                        crash_horizon,
-                        30,
-                        backend,
-                    )
-                    .expect("A_t+2 satisfies consensus")
-                });
-            },
+            BenchmarkId::new("worst_case_n5_t2", variant.name),
+            variant,
+            |b, variant| b.iter(|| (variant.run)(&bench)),
         );
     }
     group.finish();
+
+    emit_json(&bench, schedules);
+}
+
+/// Times `f` and returns its best wall-clock duration over `iters` runs
+/// (after one warmup).
+fn best_of(iters: u32, mut f: impl FnMut()) -> Duration {
+    f();
+    (0..iters)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed()
+        })
+        .min()
+        .expect("at least one iteration")
+}
+
+/// Writes `BENCH_sweep.json`: schedules/second per engine/backend and the
+/// single-core incremental-over-replay speedup.
+///
+/// Cargo runs benches with the working directory set to the owning
+/// package (`crates/bench`), so the default path anchors at the workspace
+/// root via `CARGO_MANIFEST_DIR` — that is where CI picks the artifact up.
+fn emit_json(bench: &Bench, schedules: u64) {
+    let path = std::env::var("BENCH_SWEEP_JSON")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json").into());
+    if path == "0" {
+        return;
+    }
+    let mut rows = Vec::new();
+    for variant in VARIANTS {
+        let elapsed = best_of(3, || {
+            let _ = (variant.run)(bench);
+        });
+        let secs = elapsed.as_secs_f64();
+        rows.push((variant, secs, schedules as f64 / secs));
+    }
+    let replay_rate = rows
+        .iter()
+        .find(|(v, _, _)| v.name == "replay-serial")
+        .map(|&(_, _, rate)| rate)
+        .expect("replay baseline measured");
+    let incremental_rate = rows
+        .iter()
+        .find(|(v, _, _)| v.name == "incremental-serial")
+        .map(|&(_, _, rate)| rate)
+        .expect("incremental serial measured");
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"sweep_throughput\",\n");
+    json.push_str("  \"workload\": \"worst_case_n5_t2\",\n");
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"n\": 5, \"t\": 2, \"crash_horizon\": {CRASH_HORIZON}, \"run_horizon\": {RUN_HORIZON}}},"
+    );
+    let _ = writeln!(json, "  \"schedules_per_iter\": {schedules},");
+    let _ = writeln!(
+        json,
+        "  \"incremental_over_replay_single_core\": {:.3},",
+        incremental_rate / replay_rate
+    );
+    json.push_str("  \"backends\": [\n");
+    for (i, (variant, secs, rate)) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"engine\": \"{}\", \"threads\": {}, \"seconds_per_iter\": {:.6}, \"schedules_per_second\": {:.1}}}",
+            variant.name, variant.engine, variant.threads, secs, rate
+        );
+        json.push_str(if i + 1 == rows.len() { "\n" } else { ",\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+    print!("{json}");
 }
 
 criterion_group!(benches, bench_sweep_throughput);

@@ -17,7 +17,8 @@ use indulgent_model::{
     Delivery, ProcessFactory, ProcessId, Round, RoundProcess, Step, SystemConfig, Value,
 };
 use indulgent_sim::{
-    random_run, run_schedule, ModelKind, RandomRunParams, Schedule, ScheduleBuilder,
+    pooled_map_indexed, random_run, run_schedule, ModelKind, RandomRunParams, Schedule,
+    ScheduleBuilder,
 };
 
 /// Standard proposal vector: pairwise distinct odd values, with the
@@ -624,7 +625,9 @@ pub struct EventualDecisionRow {
 
 /// E6: decision latency after the network stabilizes: `A_{f+2}` meets
 /// `k + f + 2`; the AMR-style baseline pays two rounds per crashed leader
-/// (up to `k + 2f + 2`).
+/// (up to `k + 2f + 2`). Seeds run serially (or read
+/// `INDULGENT_SWEEP_BACKEND`); use [`eventual_decision_table_with`] to
+/// fan them over a worker pool.
 ///
 /// Runs use `n = 7, t = 2`: an asynchronous prefix of `k` rounds (seeded
 /// random delays), then `f` staggered crashes of the lowest-id processes
@@ -635,6 +638,24 @@ pub struct EventualDecisionRow {
 /// Panics if a run violates consensus.
 #[must_use]
 pub fn eventual_decision_table(ks: &[u32], fs: &[usize], seeds: u32) -> Vec<EventualDecisionRow> {
+    eventual_decision_table_with(ks, fs, seeds, SweepBackend::from_env())
+}
+
+/// [`eventual_decision_table`] with an explicit backend: the independent
+/// seeded runs of each `(k, f)` cell are mapped over the pool
+/// ([`pooled_map_indexed`]), and the per-seed maxima are reduced in seed
+/// order — rows are identical for every backend and thread count.
+///
+/// # Panics
+///
+/// Panics if a run violates consensus.
+#[must_use]
+pub fn eventual_decision_table_with(
+    ks: &[u32],
+    fs: &[usize],
+    seeds: u32,
+    backend: SweepBackend,
+) -> Vec<EventualDecisionRow> {
     let config = SystemConfig::third(7, 2).expect("valid config");
     let props = proposals(7);
     let mut rows = Vec::new();
@@ -642,9 +663,7 @@ pub fn eventual_decision_table(ks: &[u32], fs: &[usize], seeds: u32) -> Vec<Even
         for &f in fs {
             assert!(f <= config.t(), "f must be at most t");
             let horizon = k + 30;
-            let mut af_worst = 0;
-            let mut amr_worst = 0;
-            for seed in 0..seeds {
+            let per_seed = pooled_map_indexed(u64::from(seeds), backend, |seed| {
                 // Asynchronous prefix: random delays in rounds 1..=k; then
                 // staggered crashes at rounds k+1, k+2, ... (before send).
                 let base = random_run(
@@ -652,7 +671,7 @@ pub fn eventual_decision_table(ks: &[u32], fs: &[usize], seeds: u32) -> Vec<Even
                     ModelKind::Es,
                     RandomRunParams::eventually_synchronous(0, 1, k + 1),
                     horizon,
-                    u64::from(seed) * 13 + u64::from(k),
+                    seed * 13 + u64::from(k),
                 );
                 let mut b =
                     ScheduleBuilder::new(config, ModelKind::Es).sync_from(Round::new(k + 1));
@@ -670,14 +689,17 @@ pub fn eventual_decision_table(ks: &[u32], fs: &[usize], seeds: u32) -> Vec<Even
                 let outcome = run_schedule(&af, &props, &schedule, horizon)
                     .expect("one proposal per process");
                 outcome.check_consensus().expect("consensus holds");
-                af_worst = af_worst.max(outcome.global_decision_round().expect("decided").get());
+                let af_round = outcome.global_decision_round().expect("decided").get();
 
                 let amr = move |i: usize, v: Value| LeaderEcho::new(config, ProcessId::new(i), v);
                 let outcome = run_schedule(&amr, &props, &schedule, horizon)
                     .expect("one proposal per process");
                 outcome.check_consensus().expect("consensus holds");
-                amr_worst = amr_worst.max(outcome.global_decision_round().expect("decided").get());
-            }
+                let amr_round = outcome.global_decision_round().expect("decided").get();
+                (af_round, amr_round)
+            });
+            let af_worst = per_seed.iter().map(|&(af, _)| af).max().unwrap_or(0);
+            let amr_worst = per_seed.iter().map(|&(_, amr)| amr).max().unwrap_or(0);
             rows.push(EventualDecisionRow {
                 k,
                 f,
@@ -715,65 +737,77 @@ pub struct EarlyDecisionRow {
 /// E7: the `f + 2` early-decision bound in synchronous runs. `A_{t+2}`
 /// always pays `t + 2` regardless of the actual `f` (the paper notes
 /// early-decision tightness was open, resolved in [5]); `A_{f+2}` (when
-/// `t < n/3`) already meets `f + 2`.
+/// `t < n/3`) already meets `f + 2`. Seeds run serially (or read
+/// `INDULGENT_SWEEP_BACKEND`); use [`early_decision_table_with`] for a
+/// worker pool.
 ///
 /// # Panics
 ///
 /// Panics if a run violates consensus.
 #[must_use]
 pub fn early_decision_table(seeds: u32) -> Vec<EarlyDecisionRow> {
+    early_decision_table_with(seeds, SweepBackend::from_env())
+}
+
+/// [`early_decision_table`] with an explicit backend: seeds are mapped
+/// over the pool and their maxima reduced in seed order, so rows are
+/// identical for every backend and thread count.
+///
+/// # Panics
+///
+/// Panics if a run violates consensus.
+#[must_use]
+pub fn early_decision_table_with(seeds: u32, backend: SweepBackend) -> Vec<EarlyDecisionRow> {
     let at_config = SystemConfig::majority(5, 2).expect("valid config");
     let af_config = SystemConfig::third(7, 2).expect("valid config");
     let mut rows = Vec::new();
     let scs_config = SystemConfig::synchronous(5, 2).expect("valid config");
     for f in 0..=2usize {
-        let mut at_worst = 0;
-        let mut af_worst = 0;
-        let mut scs_worst = 0;
-        for seed in 0..seeds {
+        let per_seed = pooled_map_indexed(u64::from(seeds), backend, |seed| {
             let schedule = random_run(
                 at_config,
                 ModelKind::Es,
                 RandomRunParams::synchronous(f, 3),
                 40,
-                u64::from(seed) * 7 + f as u64,
+                seed * 7 + f as u64,
             );
             let outcome = run_schedule(&at_plus2_factory(at_config), &proposals(5), &schedule, 40)
                 .expect("one proposal per process");
             outcome.check_consensus().expect("consensus holds");
-            at_worst = at_worst.max(outcome.global_decision_round().expect("decided").get());
+            let at_round = outcome.global_decision_round().expect("decided").get();
 
             let schedule = random_run(
                 af_config,
                 ModelKind::Es,
                 RandomRunParams::synchronous(f, f.max(1) as u32),
                 40,
-                u64::from(seed) * 11 + f as u64,
+                seed * 11 + f as u64,
             );
             let af = move |i: usize, v: Value| AfPlus2::new(af_config, ProcessId::new(i), v);
             let outcome =
                 run_schedule(&af, &proposals(7), &schedule, 40).expect("one proposal per process");
             outcome.check_consensus().expect("consensus holds");
-            af_worst = af_worst.max(outcome.global_decision_round().expect("decided").get());
+            let af_round = outcome.global_decision_round().expect("decided").get();
 
             let schedule = random_run(
                 scs_config,
                 ModelKind::Scs,
                 RandomRunParams::synchronous(f, f.max(1) as u32),
                 40,
-                u64::from(seed) * 19 + f as u64,
+                seed * 19 + f as u64,
             );
             let early = move |_i: usize, v: Value| EarlyFloodSet::new(scs_config, v);
             let outcome = run_schedule(&early, &proposals(5), &schedule, 40)
                 .expect("one proposal per process");
             outcome.check_consensus().expect("consensus holds");
-            scs_worst = scs_worst.max(outcome.global_decision_round().expect("decided").get());
-        }
+            let scs_round = outcome.global_decision_round().expect("decided").get();
+            (at_round, af_round, scs_round)
+        });
         rows.push(EarlyDecisionRow {
             f,
-            at_plus2: at_worst,
-            af_plus2: af_worst,
-            early_scs: scs_worst,
+            at_plus2: per_seed.iter().map(|&(at, _, _)| at).max().unwrap_or(0),
+            af_plus2: per_seed.iter().map(|&(_, af, _)| af).max().unwrap_or(0),
+            early_scs: per_seed.iter().map(|&(_, _, scs)| scs).max().unwrap_or(0),
             bound: f as u32 + 2,
         });
     }
@@ -893,31 +927,48 @@ pub struct AsynchronyRow {
 /// E9: how `A_{t+2}`'s decision latency degrades with the length of the
 /// asynchronous prefix (`n = 5, t = 2`, seeded random delays, one crash).
 /// `K = 1` gives the synchronous `t + 2 = 4`; longer prefixes push
-/// decisions into the fallback consensus.
+/// decisions into the fallback consensus. Seeds run serially (or read
+/// `INDULGENT_SWEEP_BACKEND`); use [`asynchrony_table_with`] for a worker
+/// pool.
 ///
 /// # Panics
 ///
 /// Panics if a run violates consensus.
 #[must_use]
 pub fn asynchrony_table(ks: &[u32], seeds: u32) -> Vec<AsynchronyRow> {
+    asynchrony_table_with(ks, seeds, SweepBackend::from_env())
+}
+
+/// [`asynchrony_table`] with an explicit backend: seeds are mapped over
+/// the pool and tallied in seed order, so rows are identical for every
+/// backend and thread count.
+///
+/// # Panics
+///
+/// Panics if a run violates consensus.
+#[must_use]
+pub fn asynchrony_table_with(ks: &[u32], seeds: u32, backend: SweepBackend) -> Vec<AsynchronyRow> {
     let config = SystemConfig::majority(5, 2).expect("valid config");
     let props = proposals(5);
     let mut rows = Vec::new();
     for &k in ks {
         let horizon = k + 40;
-        let mut hist = crate::stats::RoundHistogram::new();
-        for seed in 0..seeds {
+        let rounds = pooled_map_indexed(u64::from(seeds), backend, |seed| {
             let schedule = random_run(
                 config,
                 ModelKind::Es,
                 RandomRunParams::eventually_synchronous(1, k.max(1), k),
                 horizon,
-                u64::from(seed) * 3 + u64::from(k),
+                seed * 3 + u64::from(k),
             );
             let outcome = run_schedule(&at_plus2_factory(config), &props, &schedule, horizon)
                 .expect("one proposal per process");
             outcome.check_consensus().expect("consensus holds");
-            hist.record(outcome.global_decision_round().expect("decided"));
+            outcome.global_decision_round().expect("decided")
+        });
+        let mut hist = crate::stats::RoundHistogram::new();
+        for round in rounds {
+            hist.record(round);
         }
         rows.push(AsynchronyRow {
             k,
@@ -990,5 +1041,24 @@ mod tests {
     fn e9_synchronous_baseline() {
         let rows = asynchrony_table(&[1], 10);
         assert_eq!(rows[0].max_round, 4); // t + 2
+    }
+
+    #[test]
+    fn seeded_tables_identical_across_backends() {
+        // The pooled seed map returns results in seed order, so every
+        // seeded table is bit-identical for any thread count.
+        let serial = format!(
+            "{:?} {:?} {:?}",
+            early_decision_table_with(8, SweepBackend::Serial),
+            eventual_decision_table_with(&[0, 2], &[0, 1], 6, SweepBackend::Serial),
+            asynchrony_table_with(&[1, 3], 8, SweepBackend::Serial),
+        );
+        let pooled = format!(
+            "{:?} {:?} {:?}",
+            early_decision_table_with(8, SweepBackend::parallel(3)),
+            eventual_decision_table_with(&[0, 2], &[0, 1], 6, SweepBackend::parallel(3)),
+            asynchrony_table_with(&[1, 3], 8, SweepBackend::parallel(3)),
+        );
+        assert_eq!(serial, pooled);
     }
 }

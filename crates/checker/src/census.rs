@@ -10,9 +10,10 @@
 
 use std::collections::BTreeMap;
 
-use indulgent_model::{ProcessFactory, Round, SystemConfig, Value};
+use indulgent_model::{ProcessFactory, Round, RunOutcome, SystemConfig, Value};
 use indulgent_sim::{
-    random_run, run_schedule, sweep_schedules, ModelKind, RandomRunParams, Schedule, SweepBackend,
+    random_run, run_schedule, sweep_runs, sweep_schedules, ModelKind, RandomRunParams, Schedule,
+    SweepBackend,
 };
 
 use crate::worst_case::CheckError;
@@ -78,15 +79,77 @@ where
     )
 }
 
-/// [`decision_round_census`] with an explicit sweep backend.
+/// Folds one executed run into a census; shared by the incremental and
+/// replay paths.
+fn fold_census(
+    census: &mut Census,
+    schedule: &Schedule,
+    outcome: &RunOutcome,
+) -> Result<(), CheckError> {
+    if let Err(violation) = outcome.check_consensus() {
+        return Err(CheckError::Violation { violation, schedule: Box::new(schedule.clone()) });
+    }
+    let Some(round) = outcome.global_decision_round() else {
+        return Err(CheckError::NoDecision { schedule: Box::new(schedule.clone()) });
+    };
+    *census.counts.entry(round.get()).or_default() += 1;
+    census.runs += 1;
+    Ok(())
+}
+
+fn merge_censuses(mut left: Census, right: Census) -> Census {
+    for (round, count) in right.counts {
+        *left.counts.entry(round).or_default() += count;
+    }
+    left.runs += right.runs;
+    left
+}
+
+/// [`decision_round_census`] with an explicit sweep backend; runs on the
+/// incremental prefix-sharing engine.
 ///
 /// The census is identical for every backend and thread count (round
-/// tallies are summed per work unit and merged in serial visit order).
+/// tallies are summed per work unit and merged in serial visit order),
+/// and identical to the run-from-scratch
+/// [`decision_round_census_replay`].
 ///
 /// # Errors
 ///
 /// Returns [`CheckError`] on a consensus violation or undecided run.
 pub fn decision_round_census_with<F>(
+    factory: &F,
+    config: SystemConfig,
+    kind: ModelKind,
+    proposals: &[Value],
+    crash_horizon: u32,
+    run_horizon: u32,
+    backend: SweepBackend,
+) -> Result<Census, CheckError>
+where
+    F: ProcessFactory + Sync,
+{
+    sweep_runs(
+        factory,
+        proposals,
+        config,
+        kind,
+        crash_horizon,
+        run_horizon,
+        backend,
+        || Census { counts: BTreeMap::new(), runs: 0 },
+        fold_census,
+        merge_censuses,
+    )
+}
+
+/// The retired run-from-scratch census, kept as the reference
+/// implementation for the differential suite; identical result to
+/// [`decision_round_census_with`].
+///
+/// # Errors
+///
+/// Returns [`CheckError`] on a consensus violation or undecided run.
+pub fn decision_round_census_replay<F>(
     factory: &F,
     config: SystemConfig,
     kind: ModelKind,
@@ -106,26 +169,9 @@ where
         || Census { counts: BTreeMap::new(), runs: 0 },
         |census, schedule| {
             let outcome = run_schedule(factory, proposals, schedule, run_horizon)?;
-            if let Err(violation) = outcome.check_consensus() {
-                return Err(CheckError::Violation {
-                    violation,
-                    schedule: Box::new(schedule.clone()),
-                });
-            }
-            let Some(round) = outcome.global_decision_round() else {
-                return Err(CheckError::NoDecision { schedule: Box::new(schedule.clone()) });
-            };
-            *census.counts.entry(round.get()).or_default() += 1;
-            census.runs += 1;
-            Ok(())
+            fold_census(census, schedule, &outcome)
         },
-        |mut left, right| {
-            for (round, count) in right.counts {
-                *left.counts.entry(round).or_default() += count;
-            }
-            left.runs += right.runs;
-            left
-        },
+        merge_censuses,
     )
 }
 

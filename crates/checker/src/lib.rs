@@ -15,13 +15,22 @@
 //!   experiments exhibit the objects of the paper's Lemmas 3–5: bivalent
 //!   initial configurations and bivalent serial partial runs.
 //!
-//! Every sweep runs on the batch-sweep engine of `indulgent_sim`: the
-//! `*_with` entry points take an explicit [`SweepBackend`]
-//! (serial or a pooled worker count), the plain entry points read it from
-//! `INDULGENT_SWEEP_BACKEND` in the environment. Results are identical
-//! across backends and thread counts; the parallel pool makes exhaustive
-//! sweeps at `n = 7, t = 2` (~518k serial schedules per proposal vector)
-//! practical.
+//! Every sweep runs on the **incremental prefix-sharing engine** of
+//! `indulgent_sim` (`sweep_runs`): enumeration is fused with execution, so
+//! each shared schedule prefix in the serial-run tree is executed exactly
+//! once and the automaton state is forked at branch points — an
+//! algorithmic speedup over replaying every schedule from round 1 that
+//! compounds with thread count. The `*_with` entry points take an explicit
+//! [`SweepBackend`] (serial or a pooled worker count), the plain entry
+//! points read it from `INDULGENT_SWEEP_BACKEND` in the environment.
+//! Results are identical across backends and thread counts *and* identical
+//! to the retired run-from-scratch sweep (kept as
+//! [`worst_case_decision_round_replay`] /
+//! [`decision_round_census_replay`] for the differential suite and the
+//! throughput benchmark); the engine makes exhaustive sweeps at
+//! `n = 7, t = 2` (~518k serial schedules per proposal vector) practical.
+//! Random-adversary searches ([`randomized_worst_case`]) have no prefix
+//! structure to share and keep the run-from-scratch executor.
 //!
 //! # Example: the `t + 2` worst case, exhaustively
 //!
@@ -53,7 +62,8 @@ mod valency;
 mod worst_case;
 
 pub use census::{
-    decision_round_census, decision_round_census_with, randomized_worst_case, Census,
+    decision_round_census, decision_round_census_replay, decision_round_census_with,
+    randomized_worst_case, Census,
 };
 pub use indulgent_sim::SweepBackend;
 pub use valency::{
@@ -61,6 +71,7 @@ pub use valency::{
     Valency, ValencyParams,
 };
 pub use worst_case::{
-    worst_case_decision_round, worst_case_decision_round_with, worst_case_over_binary_proposals,
-    worst_case_over_binary_proposals_with, CheckError, WorstCaseReport,
+    worst_case_decision_round, worst_case_decision_round_replay, worst_case_decision_round_with,
+    worst_case_over_binary_proposals, worst_case_over_binary_proposals_with, CheckError,
+    WorstCaseReport,
 };

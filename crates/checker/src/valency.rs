@@ -21,7 +21,8 @@ use std::ops::ControlFlow;
 
 use indulgent_model::{ProcessFactory, SystemConfig, Value};
 use indulgent_sim::{
-    for_each_serial_extension, run_schedule, sweep_extensions, ModelKind, Schedule, SweepBackend,
+    for_each_serial_extension, sweep_run_extensions, ExecutorError, ModelKind, Schedule,
+    SweepBackend,
 };
 
 /// The valency of a partial run of a *binary* consensus algorithm.
@@ -75,9 +76,15 @@ impl ValencyParams {
 /// `(proposals, prefix)` with further crashes confined to
 /// `from_round..=params.crash_horizon`.
 ///
+/// Runs on the incremental prefix-sharing engine: the partial run
+/// `(proposals, prefix)` is executed once and its snapshot forked across
+/// the extension tree — exactly the object the paper's valency arguments
+/// manipulate.
+///
 /// # Panics
 ///
-/// Panics if some serial extension fails to reach a decision within
+/// Panics if `proposals` does not match the configuration size, or if
+/// some serial extension fails to reach a decision within
 /// `params.run_horizon` — valency is undefined for non-deciding runs, so
 /// the caller must size the horizon to the algorithm.
 #[must_use]
@@ -91,15 +98,16 @@ pub fn reachable_decisions<F>(
 where
     F: ProcessFactory + Sync,
 {
-    let swept: Result<BTreeSet<Value>, std::convert::Infallible> = sweep_extensions(
+    let swept: Result<BTreeSet<Value>, ExecutorError> = sweep_run_extensions(
+        factory,
+        proposals,
         prefix,
         from_round,
         params.crash_horizon,
+        params.run_horizon,
         params.backend,
         BTreeSet::new,
-        |decisions, schedule| {
-            let outcome = run_schedule(factory, proposals, schedule, params.run_horizon)
-                .expect("one proposal per process required");
+        |decisions, schedule, outcome| {
             outcome
                 .global_decision_round()
                 .unwrap_or_else(|| panic!("serial extension did not decide: {schedule:?}"));
@@ -118,7 +126,7 @@ where
             a
         },
     );
-    swept.expect("infallible sweep")
+    swept.expect("one proposal per process required")
 }
 
 /// Computes the valency of a partial run of a binary consensus algorithm.

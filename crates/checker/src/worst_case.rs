@@ -7,15 +7,21 @@
 //! which lets us measure the exact worst case of every implemented
 //! algorithm and verify the consensus properties in every single run.
 //!
-//! Sweeps run on the batch-sweep engine of `indulgent_sim`: pass
+//! Sweeps run on the **incremental prefix-sharing engine** of
+//! `indulgent_sim` ([`sweep_runs`]): the serial-schedule tree is executed
+//! once per shared prefix, with automaton snapshots forked at branch
+//! points, instead of replaying every schedule from round 1. Pass
 //! [`SweepBackend::parallel`] to [`worst_case_decision_round_with`] (or set
 //! `INDULGENT_SWEEP_BACKEND=parallel[:N]` for the plain entry points) to
-//! fan the schedule space out over a worker pool. Reports are identical
-//! across backends and thread counts.
+//! additionally fan the work units out over a worker pool. Reports are
+//! identical across backends and thread counts, and identical to the
+//! retired run-from-scratch sweep — [`worst_case_decision_round_replay`]
+//! keeps that baseline alive for the differential suite and the
+//! `sweep_throughput` benchmark.
 
-use indulgent_model::{ConsensusViolation, ProcessFactory, Round, SystemConfig, Value};
+use indulgent_model::{ConsensusViolation, ProcessFactory, Round, RunOutcome, SystemConfig, Value};
 use indulgent_sim::{
-    run_schedule, sweep_schedules, ExecutorError, ModelKind, Schedule, SweepBackend,
+    run_schedule, sweep_runs, sweep_schedules, ExecutorError, ModelKind, Schedule, SweepBackend,
 };
 
 /// Result of an exhaustive serial-run sweep.
@@ -70,19 +76,14 @@ impl std::fmt::Display for CheckError {
 
 impl std::error::Error for CheckError {}
 
-/// Folds one run outcome into a partial report; shared by the serial and
-/// parallel sweep paths so their semantics cannot drift.
-fn fold_run<F>(
+/// Folds one run outcome into a partial report; shared by the incremental
+/// and the replay sweep paths (and every backend of each) so their
+/// semantics cannot drift.
+fn fold_run(
     report: &mut Option<WorstCaseReport>,
-    factory: &F,
-    proposals: &[Value],
     schedule: &Schedule,
-    run_horizon: u32,
-) -> Result<(), CheckError>
-where
-    F: ProcessFactory + Sync,
-{
-    let outcome = run_schedule(factory, proposals, schedule, run_horizon)?;
+    outcome: &RunOutcome,
+) -> Result<(), CheckError> {
     if let Err(violation) = outcome.check_consensus() {
         return Err(CheckError::Violation { violation, schedule: Box::new(schedule.clone()) });
     }
@@ -172,7 +173,9 @@ where
 /// [`worst_case_decision_round`] with an explicit sweep backend.
 ///
 /// The returned report is identical for every backend and thread count
-/// (the engine merges per-unit partials in serial visit order).
+/// (the engine merges per-unit partials in serial visit order), and
+/// identical to [`worst_case_decision_round_replay`] — the incremental
+/// engine changes how runs are executed, never what they compute.
 ///
 /// # Errors
 ///
@@ -193,13 +196,55 @@ pub fn worst_case_decision_round_with<F>(
 where
     F: ProcessFactory + Sync,
 {
+    let report = sweep_runs(
+        factory,
+        proposals,
+        config,
+        kind,
+        crash_horizon,
+        run_horizon,
+        backend,
+        || None,
+        fold_run,
+        merge_reports,
+    )?;
+    Ok(report.expect("serial enumeration visits at least the crash-free run"))
+}
+
+/// The retired run-from-scratch sweep: identical report to
+/// [`worst_case_decision_round_with`], but every schedule is replayed from
+/// round 1 by [`run_schedule`] instead of sharing prefix execution.
+///
+/// Kept as the reference implementation for the differential conformance
+/// suite (replay vs incremental must stay bit-identical) and as the
+/// baseline of the `sweep_throughput` benchmark; new callers should use
+/// the incremental entry points.
+///
+/// # Errors
+///
+/// Returns [`CheckError`] on a property violation or undecided run.
+pub fn worst_case_decision_round_replay<F>(
+    factory: &F,
+    config: SystemConfig,
+    kind: ModelKind,
+    proposals: &[Value],
+    crash_horizon: u32,
+    run_horizon: u32,
+    backend: SweepBackend,
+) -> Result<WorstCaseReport, CheckError>
+where
+    F: ProcessFactory + Sync,
+{
     let report = sweep_schedules(
         config,
         kind,
         crash_horizon,
         backend,
         || None,
-        |report, schedule| fold_run(report, factory, proposals, schedule, run_horizon),
+        |report, schedule| {
+            let outcome = run_schedule(factory, proposals, schedule, run_horizon)?;
+            fold_run(report, schedule, &outcome)
+        },
         merge_reports,
     )?;
     Ok(report.expect("serial enumeration visits at least the crash-free run"))
@@ -380,6 +425,39 @@ mod tests {
             )
             .unwrap();
             assert_eq!(serial, parallel, "{threads}-thread report must match serial");
+        }
+    }
+
+    #[test]
+    fn incremental_report_equals_replay_report() {
+        let config = SystemConfig::majority(5, 2).unwrap();
+        let factory = move |i: usize, v: Value| {
+            let id = ProcessId::new(i);
+            AtPlus2::new(config, id, v, RotatingCoordinator::new(config, id))
+        };
+        let proposals: Vec<Value> = [5u64, 3, 8, 1, 9].map(Value::new).to_vec();
+        let replay = worst_case_decision_round_replay(
+            &factory,
+            config,
+            ModelKind::Es,
+            &proposals,
+            4,
+            30,
+            SweepBackend::Serial,
+        )
+        .unwrap();
+        for backend in [SweepBackend::Serial, SweepBackend::parallel(4)] {
+            let incremental = worst_case_decision_round_with(
+                &factory,
+                config,
+                ModelKind::Es,
+                &proposals,
+                4,
+                30,
+                backend,
+            )
+            .unwrap();
+            assert_eq!(replay, incremental, "incremental {backend:?} must equal replay");
         }
     }
 

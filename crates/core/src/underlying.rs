@@ -21,7 +21,11 @@ use indulgent_model::{DeliveredMsg, Delivery, Round, RoundProcess, Step, Value};
 /// first `deliver` returning `Some(v)` is the decision; afterwards the
 /// algorithm keeps participating (relaying its decision) but further
 /// returns are ignored by callers.
-pub trait UnderlyingConsensus {
+///
+/// Like [`RoundProcess`], an underlying consensus must be [`Clone`]: it is
+/// embedded in `A_{t+2}`'s automaton state, which the incremental sweep
+/// engine snapshots and forks at schedule branch points.
+pub trait UnderlyingConsensus: Clone {
     /// The message type exchanged by this algorithm.
     type Msg: Clone + std::fmt::Debug;
 

@@ -34,7 +34,13 @@ use indulgent_model::{ProcessId, ProcessSet, Round};
 /// Determinism requirement: the output may depend only on `(observer,
 /// round)` and the detector's construction parameters, so that simulator
 /// runs are reproducible.
-pub trait FailureDetector {
+///
+/// Detectors must also be [`Clone`]: a detector rides inside the automaton
+/// state of algorithms like `A_◇S`, and the incremental sweep engine forks
+/// that state mid-run (see `indulgent_model::RoundProcess`). Cloned
+/// detectors must keep answering identically for identical `(observer,
+/// round)` queries, which the determinism requirement already guarantees.
+pub trait FailureDetector: Clone {
     /// The set of processes `observer`'s local module suspects in `round`.
     fn suspects(&mut self, observer: ProcessId, round: Round) -> ProcessSet;
 }

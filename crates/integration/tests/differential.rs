@@ -1,13 +1,17 @@
-//! Differential conformance harness for the batch-sweep engine.
+//! Differential conformance harness for the sweep engines.
 //!
-//! Runs identical schedule batches through the three executors the
-//! workspace has — the serial sweep, the parallel sweep (2 and 4 workers),
-//! and, for sampled schedules, the threaded `indulgent_runtime` — and
-//! asserts outcome-for-outcome equality:
+//! Runs identical schedule batches through the executors the workspace
+//! has — the serial replay sweep, the incremental fork-on-branch sweep
+//! (serial and pooled), and, for sampled schedules, the threaded
+//! `indulgent_runtime` — and asserts outcome-for-outcome equality:
 //!
 //! * worst-case reports, censuses and valency sets are **bit-identical**
 //!   across backends and thread counts (the engine's determinism
 //!   guarantee);
+//! * the incremental prefix-sharing engine reproduces the run-from-scratch
+//!   replay reports byte for byte, up to the exhaustive `n = 6, t = 2`
+//!   space (the fork-on-branch executor changes how runs execute, never
+//!   what they compute);
 //! * consensus violations are detected by every backend;
 //! * schedules expressible on the real network (crash-before-send) produce
 //!   the same decisions under the deterministic simulator and the
@@ -19,8 +23,8 @@ use std::collections::BTreeSet;
 use std::ops::ControlFlow;
 
 use indulgent_checker::{
-    decision_round_census_with, reachable_decisions, worst_case_decision_round_with, SweepBackend,
-    ValencyParams,
+    decision_round_census_replay, decision_round_census_with, reachable_decisions,
+    worst_case_decision_round_replay, worst_case_decision_round_with, SweepBackend, ValencyParams,
 };
 use indulgent_consensus::{AtPlus2, CoordinatorEcho, FloodSet, RotatingCoordinator};
 use indulgent_integration::proposals;
@@ -219,6 +223,69 @@ fn runtime_spot_checks_match_the_swept_schedules() {
             );
         }
         assert_eq!(sim.crashed, net.outcome.crashed);
+    }
+}
+
+/// The tentpole differential: the incremental fork-on-branch engine
+/// (serial and 4-worker pooled) against the serial run-from-scratch
+/// replay, on the exhaustive `n = 6, t = 2` sweep (~93k serial runs) —
+/// reports must be **bit-identical**, including the witness schedule.
+#[test]
+fn incremental_engine_matches_serial_replay_on_n6_t2() {
+    let config = SystemConfig::majority(6, 2).unwrap();
+    let factory = at_plus2_factory(config);
+    let props = proposals(6);
+    let crash_horizon = 4; // t + 2
+    let replay = worst_case_decision_round_replay(
+        &factory,
+        config,
+        ModelKind::Es,
+        &props,
+        crash_horizon,
+        30,
+        SweepBackend::Serial,
+    )
+    .unwrap();
+    assert_eq!(replay.worst_round, Round::new(4), "k_ES = t + 2");
+    for backend in [SweepBackend::Serial, SweepBackend::parallel(4)] {
+        let incremental = worst_case_decision_round_with(
+            &factory,
+            config,
+            ModelKind::Es,
+            &props,
+            crash_horizon,
+            30,
+            backend,
+        )
+        .unwrap();
+        assert_eq!(
+            replay, incremental,
+            "incremental report ({backend:?}) must be bit-identical to serial replay"
+        );
+    }
+}
+
+/// Census differential: incremental vs replay, every tally equal.
+#[test]
+fn incremental_census_matches_replay() {
+    let config = SystemConfig::majority(5, 2).unwrap();
+    let factory = move |i: usize, v: Value| CoordinatorEcho::new(config, ProcessId::new(i), v);
+    let props = proposals(5);
+    let replay = decision_round_census_replay(
+        &factory,
+        config,
+        ModelKind::Es,
+        &props,
+        4,
+        30,
+        SweepBackend::Serial,
+    )
+    .unwrap();
+    for backend in [SweepBackend::Serial, SweepBackend::parallel(4)] {
+        let incremental =
+            decision_round_census_with(&factory, config, ModelKind::Es, &props, 4, 30, backend)
+                .unwrap();
+        assert_eq!(replay, incremental, "census ({backend:?}) must equal replay");
     }
 }
 

@@ -1,0 +1,192 @@
+//! Snapshot semantics of the fork-on-branch executor (proptest): for every
+//! algorithm in `indulgent-consensus`, forking a run mid-flight — cloning
+//! its [`RunState`] at some round `k` — and resuming the fork produces a
+//! `RunOutcome` bit-identical to a fresh run of the full schedule, and
+//! leaves the original snapshot unaffected.
+//!
+//! This is the contract the incremental prefix-sharing sweep engine
+//! (`indulgent_sim::incremental`) rests on: automatons are plain `Clone`
+//! values with no hidden shared state, so a mid-run snapshot *is* the run.
+
+use indulgent_consensus::{
+    AfPlus2, AtPlus2, CoordinatorEcho, EarlyFloodSet, FloodSet, FloodSetWs, LeaderEcho,
+    RotatingCoordinator, Standalone,
+};
+use indulgent_fd::{CrashInfo, EventuallyStrongDetector, NoDetector, Suspicion, SuspicionScript};
+use indulgent_integration::proposals;
+use indulgent_model::{ProcessFactory, ProcessId, Round, SystemConfig, Value};
+use indulgent_sim::{random_run, run_schedule, ModelKind, RandomRunParams, RunState, Schedule};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+/// Asserts the snapshot contract for one (factory, schedule) pair:
+/// `fork(snapshot at k) + resume == fresh run`, and the donor snapshot,
+/// resumed afterwards, reaches the same outcome (forks are independent).
+fn assert_fork_parity<F>(
+    factory: &F,
+    config: SystemConfig,
+    schedule: &Schedule,
+    props: &[Value],
+    fork_at: u32,
+    horizon: u32,
+) -> Result<(), TestCaseError>
+where
+    F: ProcessFactory,
+{
+    let fresh = run_schedule(factory, props, schedule, horizon).expect("valid inputs");
+    let mut donor: RunState<F::Process> =
+        RunState::new(factory, props, config.n()).expect("valid inputs");
+    donor.run_to(schedule, fork_at.min(horizon));
+    let mut fork = donor.clone();
+    fork.run_to(schedule, horizon);
+    // Fork at round `fork_at`, resumed: must equal the fresh run.
+    prop_assert_eq!(&fork.outcome(props, schedule), &fresh);
+    // The donor, resumed after forking, is unaffected by the fork.
+    donor.run_to(schedule, horizon);
+    prop_assert_eq!(&donor.outcome(props, schedule), &fresh);
+    Ok(())
+}
+
+/// A random synchronous ES schedule with up to `crashes` crashes.
+fn es_schedule(config: SystemConfig, crashes: usize, horizon: u32, seed: u64) -> Schedule {
+    random_run(
+        config,
+        ModelKind::Es,
+        RandomRunParams::synchronous(crashes, config.t() as u32 + 2),
+        horizon,
+        seed,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `A_{t+2}` (paper Fig. 2).
+    #[test]
+    fn at_plus2_fork_parity(seed in any::<u64>(), crashes in 0usize..=2, fork_at in 0u32..6) {
+        let config = SystemConfig::majority(5, 2).unwrap();
+        let factory = move |i: usize, v: Value| {
+            let id = ProcessId::new(i);
+            AtPlus2::new(config, id, v, RotatingCoordinator::new(config, id))
+        };
+        let schedule = es_schedule(config, crashes, 40, seed);
+        assert_fork_parity(&factory, config, &schedule, &proposals(5), fork_at, 40)?;
+    }
+
+    /// `A_◇S` (paper Fig. 3): the detector snapshot forks with the
+    /// automaton.
+    #[test]
+    fn a_diamond_s_fork_parity(seed in any::<u64>(), crashes in 0usize..=2, fork_at in 0u32..6) {
+        let config = SystemConfig::majority(5, 2).unwrap();
+        let schedule = es_schedule(config, crashes, 40, seed);
+        let info = CrashInfo::new(config.processes().map(|p| schedule.crash_round(p)).collect());
+        let trusted = config
+            .processes()
+            .find(|p| schedule.crash_round(*p).is_none())
+            .expect("some correct process");
+        let factory = move |i: usize, v: Value| {
+            let id = ProcessId::new(i);
+            let detector = EventuallyStrongDetector::new(
+                info.clone(),
+                Round::FIRST,
+                trusted,
+                SuspicionScript::new(),
+            );
+            AtPlus2::with_detector(config, id, v, RotatingCoordinator::new(config, id), detector)
+        };
+        assert_fork_parity(&factory, config, &schedule, &proposals(5), fork_at, 40)?;
+    }
+
+    /// The Fig. 4 failure-free optimization of `A_{t+2}`.
+    #[test]
+    fn at_plus2_ff_optimized_fork_parity(seed in any::<u64>(), fork_at in 0u32..5) {
+        let config = SystemConfig::majority(5, 2).unwrap();
+        let factory = move |i: usize, v: Value| {
+            let id = ProcessId::new(i);
+            AtPlus2::new(config, id, v, RotatingCoordinator::new(config, id))
+                .with_failure_free_optimization()
+        };
+        let schedule = es_schedule(config, 1, 40, seed);
+        assert_fork_parity(&factory, config, &schedule, &proposals(5), fork_at, 40)?;
+    }
+
+    /// `A_{f+2}` (paper Fig. 5, `t < n/3`).
+    #[test]
+    fn af_plus2_fork_parity(seed in any::<u64>(), crashes in 0usize..=2, fork_at in 0u32..6) {
+        let config = SystemConfig::third(7, 2).unwrap();
+        let factory = move |i: usize, v: Value| AfPlus2::new(config, ProcessId::new(i), v);
+        let schedule = es_schedule(config, crashes, 40, seed);
+        assert_fork_parity(&factory, config, &schedule, &proposals(7), fork_at, 40)?;
+    }
+
+    /// FloodSet in SCS (the `t + 1` contrast algorithm).
+    #[test]
+    fn floodset_fork_parity(seed in any::<u64>(), crashes in 0usize..=2, fork_at in 0u32..4) {
+        let config = SystemConfig::synchronous(5, 2).unwrap();
+        let factory = move |_i: usize, v: Value| FloodSet::new(config, v);
+        let schedule = random_run(
+            config,
+            ModelKind::Scs,
+            RandomRunParams::synchronous(crashes, 3),
+            10,
+            seed,
+        );
+        assert_fork_parity(&factory, config, &schedule, &proposals(5), fork_at, 10)?;
+    }
+
+    /// Early-deciding FloodSet in SCS (`min(f + 2, t + 1)`).
+    #[test]
+    fn early_floodset_fork_parity(seed in any::<u64>(), crashes in 0usize..=2, fork_at in 0u32..4) {
+        let config = SystemConfig::synchronous(5, 2).unwrap();
+        let factory = move |_i: usize, v: Value| EarlyFloodSet::new(config, v);
+        let schedule = random_run(
+            config,
+            ModelKind::Scs,
+            RandomRunParams::synchronous(crashes, 3),
+            10,
+            seed,
+        );
+        assert_fork_parity(&factory, config, &schedule, &proposals(5), fork_at, 10)?;
+    }
+
+    /// FloodSetWS on derived suspicions (the ablation strawman — fork
+    /// parity is about determinism, not safety).
+    #[test]
+    fn floodset_ws_fork_parity(seed in any::<u64>(), crashes in 0usize..=1, fork_at in 0u32..4) {
+        let config = SystemConfig::majority(5, 2).unwrap();
+        let factory = move |i: usize, v: Value| {
+            FloodSetWs::<NoDetector>::new(config, ProcessId::new(i), v, Suspicion::Derived)
+        };
+        let schedule = es_schedule(config, crashes, 12, seed);
+        assert_fork_parity(&factory, config, &schedule, &proposals(5), fork_at, 12)?;
+    }
+
+    /// The Hurfin–Raynal-style coordinator-echo baseline (`2t + 2`).
+    #[test]
+    fn coordinator_echo_fork_parity(seed in any::<u64>(), crashes in 0usize..=2, fork_at in 0u32..7) {
+        let config = SystemConfig::majority(5, 2).unwrap();
+        let factory = move |i: usize, v: Value| CoordinatorEcho::new(config, ProcessId::new(i), v);
+        let schedule = es_schedule(config, crashes, 40, seed);
+        assert_fork_parity(&factory, config, &schedule, &proposals(5), fork_at, 40)?;
+    }
+
+    /// The Mostefaoui–Raynal-style leader-echo baseline (`t < n/3`).
+    #[test]
+    fn leader_echo_fork_parity(seed in any::<u64>(), crashes in 0usize..=2, fork_at in 0u32..7) {
+        let config = SystemConfig::third(7, 2).unwrap();
+        let factory = move |i: usize, v: Value| LeaderEcho::new(config, ProcessId::new(i), v);
+        let schedule = es_schedule(config, crashes, 40, seed);
+        assert_fork_parity(&factory, config, &schedule, &proposals(7), fork_at, 40)?;
+    }
+
+    /// The standalone rotating-coordinator fallback (`3t + 3`).
+    #[test]
+    fn rotating_coordinator_fork_parity(seed in any::<u64>(), crashes in 0usize..=2, fork_at in 0u32..9) {
+        let config = SystemConfig::majority(5, 2).unwrap();
+        let factory = move |i: usize, v: Value| {
+            Standalone::new(RotatingCoordinator::new(config, ProcessId::new(i)), v)
+        };
+        let schedule = es_schedule(config, crashes, 60, seed);
+        assert_fork_parity(&factory, config, &schedule, &proposals(5), fork_at, 60)?;
+    }
+}

@@ -47,7 +47,18 @@ impl Step {
 /// that delivery guarantees hold, and all paper algorithms relay `DECIDE`
 /// messages after deciding. Implementations typically switch to broadcasting
 /// their decision.
-pub trait RoundProcess {
+///
+/// # Snapshotability
+///
+/// `RoundProcess` requires [`Clone`]: an automaton's state must be a plain
+/// snapshotable value. Cloning a process (together with its pending
+/// mailboxes) forks the run — both copies evolve identically under
+/// identical subsequent inputs, because automatons are deterministic and
+/// hold no hidden shared state. The incremental prefix-sharing sweep engine
+/// (`indulgent-sim`'s fork-on-branch executor) relies on exactly this:
+/// it executes each shared schedule prefix once and clones the mid-run
+/// state at every branch point instead of replaying from round 1.
+pub trait RoundProcess: Clone {
     /// The message type broadcast each round.
     type Msg: Clone + std::fmt::Debug;
 
@@ -92,6 +103,7 @@ mod tests {
     use crate::process::ProcessId;
 
     /// A trivial automaton deciding its own proposal in round 1.
+    #[derive(Clone)]
     struct Trivial {
         proposal: Value,
     }

@@ -41,6 +41,7 @@
 //! use indulgent_model::{Delivery, Round, RoundProcess, Step, SystemConfig, Value};
 //!
 //! /// A (non-fault-tolerant!) automaton deciding the minimum of round-1 values.
+//! #[derive(Clone)]
 //! struct MinOnce {
 //!     proposal: Value,
 //! }

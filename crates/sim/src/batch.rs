@@ -15,8 +15,11 @@
 //! round, so its earliest crash is unique) and their union is exactly the
 //! set of schedules [`for_each_serial_schedule`] visits. Concatenating the
 //! units' enumerations in the order [`work_units`] returns them reproduces
-//! the serial visit order *exactly* — the property the parallel engine's
-//! deterministic merge relies on, and one the partition tests assert.
+//! the serial visit order *exactly* — the property the deterministic
+//! merges of both sweep engines (the replay pool in
+//! [`parallel`](crate::parallel) and the incremental fork-on-branch DFS in
+//! [`incremental`](crate::incremental)) rely on, and one the partition
+//! tests assert.
 //!
 //! [`for_each_serial_schedule`]: crate::for_each_serial_schedule
 

@@ -1,12 +1,25 @@
-//! The deterministic round executor.
+//! The deterministic round executor and its snapshotable stepper.
 //!
-//! [`run_schedule`] drives `n` [`RoundProcess`] automatons through the rounds
-//! of a [`Schedule`]: the send phase broadcasts each alive process's message
-//! and applies the adversary's per-receiver fates; the receive phase hands
-//! every process the messages arriving that round (current and delayed) and
-//! records decisions. Execution is completely deterministic: identical
-//! inputs produce identical outcomes, which the checker and the property
-//! tests rely on.
+//! [`RunState`] holds everything a run accumulates — the `n`
+//! [`RoundProcess`] automatons, first decisions, pending mailboxes — and
+//! [`RunState::step`] executes exactly one round of a [`Schedule`]: the
+//! send phase broadcasts each alive process's message and applies the
+//! adversary's per-receiver fates; the receive phase hands every process
+//! the messages arriving that round (current and delayed) and records
+//! decisions. Execution is completely deterministic: identical inputs
+//! produce identical outcomes, which the checker and the property tests
+//! rely on.
+//!
+//! Because [`RoundProcess`] requires `Clone`, a `RunState` is a *snapshot*:
+//! cloning it forks the run, and both copies evolve identically under
+//! identical subsequent rounds. The incremental prefix-sharing sweep
+//! ([`incremental`](crate::incremental)) exploits this to execute each
+//! shared schedule prefix exactly once, forking at branch points instead
+//! of replaying whole schedules. [`run_schedule`] is the classic
+//! run-from-scratch entry point, now a thin wrapper over the stepper; the
+//! traced executor ([`run_traced`](crate::run_traced)) drives the same
+//! stepper through the [`RoundObserver`] hook, so there is a single
+//! send/receive-phase implementation in the workspace.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -18,7 +31,7 @@ use indulgent_model::{
 use crate::schedule::{MessageFate, Schedule};
 
 /// Per-receiver mailbox: arrival round -> messages arriving that round.
-type Mailbox<P> = BTreeMap<u32, Vec<DeliveredMsg<<P as RoundProcess>::Msg>>>;
+type Mailbox<M> = BTreeMap<u32, Vec<DeliveredMsg<M>>>;
 
 /// Error from the deterministic executors: the run inputs are inconsistent
 /// with the schedule's configuration.
@@ -46,13 +59,236 @@ impl fmt::Display for ExecutorError {
 
 impl std::error::Error for ExecutorError {}
 
-/// Validates the run inputs shared by [`run_schedule`] and
-/// [`run_traced`](crate::run_traced).
+/// Validates the run inputs shared by every executor entry point.
 pub(crate) fn check_run_inputs(n: usize, proposals: &[Value]) -> Result<(), ExecutorError> {
     if proposals.len() != n {
         return Err(ExecutorError::ProposalCountMismatch { expected: n, got: proposals.len() });
     }
     Ok(())
+}
+
+/// Observer of a round's receive phase, for executors that record more
+/// than the outcome (the traced executor builds its per-round records
+/// here). The plain executors use the no-op `()` implementation.
+pub trait RoundObserver<M> {
+    /// Called once per process completing `round`, after its `deliver`:
+    /// `delivery` is what the process received, `decision` the value
+    /// recorded this round (`None` if it continued or had decided before).
+    fn on_receive(
+        &mut self,
+        round: Round,
+        process: indulgent_model::ProcessId,
+        delivery: &Delivery<M>,
+        decision: Option<Value>,
+    );
+}
+
+impl<M> RoundObserver<M> for () {
+    fn on_receive(
+        &mut self,
+        _round: Round,
+        _process: indulgent_model::ProcessId,
+        _delivery: &Delivery<M>,
+        _decision: Option<Value>,
+    ) {
+    }
+}
+
+/// The complete mid-run state of a deterministic execution: a snapshot.
+///
+/// A `RunState` is created from a factory and proposals, then driven round
+/// by round against a [`Schedule`] with [`step`](RunState::step) or to a
+/// horizon with [`run_to`](RunState::run_to). Cloning forks the run: the
+/// clone and the original evolve identically when driven by identical
+/// schedules — the property the fork-on-branch sweep engine
+/// ([`incremental`](crate::incremental)) is built on and the snapshot
+/// proptests assert for every algorithm in the workspace.
+///
+/// A `RunState` may be driven by *different* schedules as long as they
+/// agree on all rounds already executed (e.g. serial extensions of a
+/// common prefix); the executed prefix is baked into the state, and only
+/// future rounds consult the schedule.
+#[derive(Debug)]
+pub struct RunState<P: RoundProcess> {
+    processes: Vec<P>,
+    decisions: Vec<Option<Decision>>,
+    /// pending[r] -> messages arriving at round key for receiver r.
+    pending: Vec<Mailbox<P::Msg>>,
+    rounds_executed: u32,
+    /// Latched once every process completing the last executed round had
+    /// decided — the executor's early-exit condition.
+    halted: bool,
+}
+
+impl<P: RoundProcess> Clone for RunState<P> {
+    fn clone(&self) -> Self {
+        RunState {
+            processes: self.processes.clone(),
+            decisions: self.decisions.clone(),
+            pending: self.pending.clone(),
+            rounds_executed: self.rounds_executed,
+            halted: self.halted,
+        }
+    }
+
+    /// Overwrites `self` with `source`, reusing existing allocations —
+    /// the fork-on-branch DFS forks thousands of snapshots per sweep and
+    /// recycles per-depth scratch states through this.
+    fn clone_from(&mut self, source: &Self) {
+        self.processes.clone_from(&source.processes);
+        self.decisions.clone_from(&source.decisions);
+        self.pending.clone_from(&source.pending);
+        self.rounds_executed = source.rounds_executed;
+        self.halted = source.halted;
+    }
+}
+
+impl<P: RoundProcess> RunState<P> {
+    /// Builds the initial state (round 0, nothing executed) for `n`
+    /// processes from `factory` and `proposals`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecutorError::ProposalCountMismatch`] if
+    /// `proposals.len() != n`.
+    pub fn new<F>(factory: &F, proposals: &[Value], n: usize) -> Result<Self, ExecutorError>
+    where
+        F: ProcessFactory<Process = P>,
+    {
+        check_run_inputs(n, proposals)?;
+        Ok(RunState {
+            processes: (0..n).map(|i| factory.build(i, proposals[i])).collect(),
+            decisions: vec![None; n],
+            pending: vec![BTreeMap::new(); n],
+            rounds_executed: 0,
+            halted: false,
+        })
+    }
+
+    /// Number of rounds executed so far.
+    #[must_use]
+    pub fn rounds_executed(&self) -> u32 {
+        self.rounds_executed
+    }
+
+    /// Returns `true` once every process completing the last executed
+    /// round has decided. Executing further rounds cannot change any
+    /// decision; [`run_to`](RunState::run_to) stops here, mirroring the
+    /// classic executor's early exit.
+    #[must_use]
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Executes one round — the next after [`rounds_executed`] — of
+    /// `schedule`, feeding the receive phases to `observer`.
+    ///
+    /// The schedule only needs to be defined (and stable) for rounds up to
+    /// the one being executed; later rounds are never consulted.
+    pub fn step_observed<O>(&mut self, schedule: &Schedule, observer: &mut O)
+    where
+        O: RoundObserver<P::Msg>,
+    {
+        let config = schedule.config();
+        let k = self.rounds_executed + 1;
+        let round = Round::new(k);
+        self.rounds_executed = k;
+
+        // Send phase: every process alive *entering* the round sends; the
+        // adversary decides each copy's fate. Crashing processes send the
+        // subset the schedule dictates. The message is cloned once per
+        // receiving mailbox except the last, which takes it by move; if
+        // every copy's fate is `Lose` the message is dropped without any
+        // clone at all.
+        // (receiver, arrival round) of every surviving copy; one scratch
+        // buffer reused across senders.
+        let mut fates: Vec<(usize, u32)> = Vec::with_capacity(config.n());
+        for sender in config.processes() {
+            if !schedule.alive_entering(sender, round) {
+                continue;
+            }
+            let msg = self.processes[sender.index()].send(round);
+            fates.clear();
+            for receiver in config.processes() {
+                // Deliveries to processes that crashed strictly before this
+                // round are irrelevant.
+                if !schedule.alive_entering(receiver, round) {
+                    continue;
+                }
+                match schedule.fate(round, sender, receiver) {
+                    MessageFate::Deliver => fates.push((receiver.index(), k)),
+                    MessageFate::Delay(arrival) => fates.push((receiver.index(), arrival.get())),
+                    MessageFate::Lose => {}
+                }
+            }
+            let mut msg = Some(msg);
+            let last = fates.len().checked_sub(1);
+            for (i, &(receiver, arrival)) in fates.iter().enumerate() {
+                let copy = if Some(i) == last {
+                    msg.take().expect("message moved at most once")
+                } else {
+                    msg.as_ref().expect("message present until the final receiver").clone()
+                };
+                self.pending[receiver].entry(arrival).or_default().push(DeliveredMsg {
+                    sender,
+                    sent_round: round,
+                    msg: copy,
+                });
+            }
+        }
+
+        // Receive phase: only processes completing the round receive.
+        for receiver in config.processes() {
+            if !schedule.completes(receiver, round) {
+                continue;
+            }
+            let mut arrived = self.pending[receiver.index()].remove(&k).unwrap_or_default();
+            // Deterministic presentation order: by sent round, then sender.
+            arrived.sort_by_key(|m| (m.sent_round, m.sender));
+            let delivery = Delivery::new(round, arrived);
+            let step = self.processes[receiver.index()].deliver(round, &delivery);
+            let mut decided_now = None;
+            if let Step::Decide(value) = step {
+                if self.decisions[receiver.index()].is_none() {
+                    self.decisions[receiver.index()] =
+                        Some(Decision { process: receiver, round, value });
+                    decided_now = Some(value);
+                }
+            }
+            observer.on_receive(round, receiver, &delivery, decided_now);
+        }
+
+        // Early-exit latch: everyone still alive has decided.
+        self.halted = config
+            .processes()
+            .filter(|&p| schedule.completes(p, round))
+            .all(|p| self.decisions[p.index()].is_some());
+    }
+
+    /// Executes one round of `schedule` without observation.
+    pub fn step(&mut self, schedule: &Schedule) {
+        self.step_observed(schedule, &mut ());
+    }
+
+    /// Drives the run forward until `horizon` rounds have executed or the
+    /// run halts (every alive process decided), whichever comes first.
+    pub fn run_to(&mut self, schedule: &Schedule, horizon: u32) {
+        while self.rounds_executed < horizon && !self.halted {
+            self.step(schedule);
+        }
+    }
+
+    /// The outcome of the run so far under `schedule` (whose crash set
+    /// determines the reported `crashed` processes).
+    #[must_use]
+    pub fn outcome(&self, proposals: &[Value], schedule: &Schedule) -> RunOutcome {
+        RunOutcome {
+            proposals: proposals.to_vec(),
+            decisions: self.decisions.clone(),
+            crashed: schedule.faulty(),
+            rounds_executed: self.rounds_executed,
+        }
+    }
 }
 
 /// Runs `factory`-built processes with `proposals` under `schedule` for at
@@ -77,87 +313,9 @@ pub fn run_schedule<F>(
 where
     F: ProcessFactory,
 {
-    let config = schedule.config();
-    let n = config.n();
-    check_run_inputs(n, proposals)?;
-
-    let mut processes: Vec<F::Process> = (0..n).map(|i| factory.build(i, proposals[i])).collect();
-    let mut decisions: Vec<Option<Decision>> = vec![None; n];
-    // pending[r] -> messages arriving at round key for receiver r.
-    let mut pending: Vec<Mailbox<F::Process>> = vec![BTreeMap::new(); n];
-    let mut rounds_executed = 0;
-
-    for k in 1..=horizon {
-        let round = Round::new(k);
-        rounds_executed = k;
-
-        // Send phase: every process alive *entering* the round sends; the
-        // adversary decides each copy's fate. Crashing processes send the
-        // subset the schedule dictates.
-        for sender in config.processes() {
-            if !schedule.alive_entering(sender, round) {
-                continue;
-            }
-            let msg = processes[sender.index()].send(round);
-            for receiver in config.processes() {
-                // Deliveries to processes that crashed strictly before this
-                // round are irrelevant.
-                if !schedule.alive_entering(receiver, round) {
-                    continue;
-                }
-                match schedule.fate(round, sender, receiver) {
-                    MessageFate::Deliver => {
-                        pending[receiver.index()].entry(k).or_default().push(DeliveredMsg {
-                            sender,
-                            sent_round: round,
-                            msg: msg.clone(),
-                        });
-                    }
-                    MessageFate::Delay(arrival) => {
-                        pending[receiver.index()]
-                            .entry(arrival.get())
-                            .or_default()
-                            .push(DeliveredMsg { sender, sent_round: round, msg: msg.clone() });
-                    }
-                    MessageFate::Lose => {}
-                }
-            }
-        }
-
-        // Receive phase: only processes completing the round receive.
-        for receiver in config.processes() {
-            if !schedule.completes(receiver, round) {
-                continue;
-            }
-            let mut arrived = pending[receiver.index()].remove(&k).unwrap_or_default();
-            // Deterministic presentation order: by sent round, then sender.
-            arrived.sort_by_key(|m| (m.sent_round, m.sender));
-            let delivery = Delivery::new(round, arrived);
-            let step = processes[receiver.index()].deliver(round, &delivery);
-            if let Step::Decide(value) = step {
-                if decisions[receiver.index()].is_none() {
-                    decisions[receiver.index()] =
-                        Some(Decision { process: receiver, round, value });
-                }
-            }
-        }
-
-        // Early exit: everyone still alive has decided.
-        let all_alive_decided = config
-            .processes()
-            .filter(|&p| schedule.completes(p, round))
-            .all(|p| decisions[p.index()].is_some());
-        if all_alive_decided {
-            break;
-        }
-    }
-
-    Ok(RunOutcome {
-        proposals: proposals.to_vec(),
-        decisions,
-        crashed: schedule.faulty(),
-        rounds_executed,
-    })
+    let mut state = RunState::new(factory, proposals, schedule.config().n())?;
+    state.run_to(schedule, horizon);
+    Ok(state.outcome(proposals, schedule))
 }
 
 #[cfg(test)]
@@ -171,7 +329,7 @@ mod tests {
     /// Broadcasts its estimate every round; decides the minimum seen at the
     /// end of round `rounds`. (A FloodSet skeleton for executor testing —
     /// not fault-tolerant reasoning, just deterministic plumbing.)
-    #[derive(Debug)]
+    #[derive(Debug, Clone)]
     struct MinAfter {
         est: Value,
         rounds: u32,
@@ -254,7 +412,7 @@ mod tests {
 
     #[test]
     fn delayed_message_arrives_later_and_is_tagged() {
-        #[derive(Debug)]
+        #[derive(Debug, Clone)]
         struct Recorder {
             est: Value,
             delayed_seen: Vec<(u32, u32)>, // (arrival, sent)
@@ -308,7 +466,7 @@ mod tests {
         // MinAfter never decides twice, so emulate with a custom automaton
         // that (incorrectly) decides every round; the executor must keep the
         // first decision only.
-        #[derive(Debug)]
+        #[derive(Debug, Clone)]
         struct Eager;
         impl RoundProcess for Eager {
             type Msg = ();
@@ -326,5 +484,54 @@ mod tests {
         let outcome = run_schedule(&factory, &proposals(&[0, 0, 0]), &schedule, 3).unwrap();
         assert_eq!(outcome.decision_of(ProcessId::new(0)).unwrap().round, Round::FIRST);
         assert_eq!(outcome.decision_of(ProcessId::new(0)).unwrap().value, Value::new(1));
+    }
+
+    #[test]
+    fn forked_state_resumes_to_the_same_outcome() {
+        // Snapshot after round 1, fork, finish both: identical outcomes,
+        // and identical to the one-shot executor.
+        let schedule = ScheduleBuilder::new(cfg(), ModelKind::Es)
+            .crash_delivering_only(ProcessId::new(1), Round::FIRST, [ProcessId::new(0)])
+            .build(5)
+            .unwrap();
+        let props = proposals(&[5, 3, 9]);
+        let mut state = RunState::new(&factory(2), &props, 3).unwrap();
+        state.step(&schedule);
+        let mut fork = state.clone();
+        state.run_to(&schedule, 5);
+        fork.run_to(&schedule, 5);
+        let reference = run_schedule(&factory(2), &props, &schedule, 5).unwrap();
+        assert_eq!(state.outcome(&props, &schedule), reference);
+        assert_eq!(fork.outcome(&props, &schedule), reference);
+    }
+
+    #[test]
+    fn halted_latch_matches_early_exit() {
+        let schedule = Schedule::failure_free(cfg(), ModelKind::Es);
+        let props = proposals(&[1, 2, 3]);
+        let mut state = RunState::new(&factory(1), &props, 3).unwrap();
+        assert!(!state.halted());
+        state.step(&schedule);
+        assert!(state.halted());
+        assert_eq!(state.rounds_executed(), 1);
+        // run_to after halt is a no-op.
+        state.run_to(&schedule, 100);
+        assert_eq!(state.rounds_executed(), 1);
+    }
+
+    #[test]
+    fn all_lose_round_materializes_no_copies_but_still_sends() {
+        // p0 crashes in round 1 delivering to nobody: its `send` must still
+        // run (state parity with the paper's model), but no peer mailbox
+        // materializes a copy. Behaviour is asserted through the outcome:
+        // nobody ever sees p0's minimum value 0.
+        let schedule = ScheduleBuilder::new(cfg(), ModelKind::Es)
+            .crash_before_send(ProcessId::new(0), Round::FIRST)
+            .build(5)
+            .unwrap();
+        let outcome = run_schedule(&factory(2), &proposals(&[0, 3, 9]), &schedule, 5).unwrap();
+        for p in [1, 2] {
+            assert_eq!(outcome.decision_of(ProcessId::new(p)).unwrap().value, Value::new(3));
+        }
     }
 }

@@ -9,9 +9,14 @@
 //!   (t-resilience, reliable channels, eventual synchrony);
 //! * [`ScheduleBuilder`] — fluent construction of hand-crafted runs, e.g.
 //!   the `s1/s0/a2/a1/a0` runs of the paper's Claim 5.1;
-//! * [`run_schedule`] — the deterministic executor driving any
-//!   [`indulgent_model::RoundProcess`] through a schedule;
-//! * [`random`] — seeded random adversaries for statistical sweeps;
+//! * [`run_schedule`] — the deterministic run-from-scratch executor
+//!   driving any [`indulgent_model::RoundProcess`] through a schedule;
+//!   [`RunState`] is its step-wise core: a snapshotable mid-run state
+//!   (processes, decisions, mailboxes) advanced one round at a time, which
+//!   both the plain and the traced executor drive;
+//! * [`random`] — seeded random adversaries for statistical sweeps (these
+//!   runs have no prefix structure to share and always replay from
+//!   scratch);
 //! * [`serial`] — exhaustive enumeration of serial runs (at most one crash
 //!   per round), the run class used by the lower-bound proof;
 //! * [`batch`] / [`parallel`] — the batch-sweep engine: the serial space
@@ -19,7 +24,13 @@
 //!   over a scoped worker pool. [`SweepBackend`] selects serial or
 //!   parallel execution (`INDULGENT_SWEEP_BACKEND` in the environment
 //!   flips every default sweep); merged results are identical regardless
-//!   of thread count, which pushes exhaustive sweeps to `n = 7, t = 2`.
+//!   of thread count, which pushes exhaustive sweeps to `n = 7, t = 2`;
+//! * [`incremental`] — the prefix-sharing sweep: enumeration fused with
+//!   execution. [`for_each_serial_run`] walks the serial-schedule tree
+//!   executing each shared prefix exactly once, forking [`RunState`]
+//!   snapshots at branch points; [`sweep_runs`] folds outcomes over any
+//!   [`SweepBackend`], bit-identical to replaying every schedule but
+//!   algorithmically faster independent of thread count.
 //!
 //! # Example
 //!
@@ -27,6 +38,7 @@
 //! use indulgent_model::{Delivery, Round, RoundProcess, Step, SystemConfig, Value};
 //! use indulgent_sim::{run_schedule, ModelKind, Schedule};
 //!
+//! #[derive(Clone)]
 //! struct Echo(Value);
 //! impl RoundProcess for Echo {
 //!     type Msg = Value;
@@ -57,6 +69,7 @@ pub mod batch;
 mod builder;
 mod executor;
 pub mod fd_sim;
+pub mod incremental;
 pub mod parallel;
 pub mod random;
 mod schedule;
@@ -65,10 +78,14 @@ pub mod trace;
 
 pub use batch::{extension_work_units, work_units, WorkUnit};
 pub use builder::ScheduleBuilder;
-pub use executor::{run_schedule, ExecutorError};
+pub use executor::{run_schedule, ExecutorError, RoundObserver, RunState};
 pub use fd_sim::ScheduleDetector;
+pub use incremental::{
+    for_each_serial_run, for_each_serial_run_extension, sweep_run_extensions, sweep_runs,
+};
 pub use parallel::{
-    sweep_count, sweep_extensions, sweep_schedules, SweepBackend, SWEEP_BACKEND_ENV,
+    pooled_map_indexed, sweep_count, sweep_extensions, sweep_schedules, SweepBackend,
+    SWEEP_BACKEND_ENV,
 };
 pub use random::{random_run, RandomRunParams};
 pub use schedule::{MessageFate, ModelKind, Schedule, ScheduleError};

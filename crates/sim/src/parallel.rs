@@ -17,6 +17,13 @@
 //!   merged **in unit order** — which equals serial visit order — so the
 //!   result is bit-identical regardless of thread count.
 //!
+//! These folds visit *schedules*; when each schedule is also executed,
+//! the incremental engine ([`incremental`](crate::incremental)) runs on
+//! the same pool but shares prefix execution across the tree —
+//! `sweep_runs` there supersedes "`sweep_schedules` + `run_schedule` per
+//! schedule" for exhaustive run sweeps. [`pooled_map_indexed`] exposes
+//! the pool for structureless index/seed fan-outs.
+//!
 //! # Determinism
 //!
 //! For a sweep that completes without error, the merged accumulator equals
@@ -99,16 +106,107 @@ impl SweepBackend {
     }
 }
 
-/// What a worker reports for one work unit.
-enum UnitResult<Acc, E> {
-    /// The unit was swept completely.
+/// What a worker reports for one work item.
+pub(crate) enum UnitResult<Acc, E> {
+    /// The item was swept completely.
     Complete(Acc),
-    /// `step` failed on a schedule in this unit (the first one, in unit
+    /// `step` failed on a schedule in this item (the first one, in visit
     /// order).
     Failed(E),
-    /// The sweep was aborted mid-unit (another worker failed); the partial
+    /// The sweep was aborted mid-item (another worker failed); the partial
     /// accumulator is discarded.
     Aborted,
+}
+
+/// The shared worker pool behind every parallel fan-out: distributes
+/// `items` over `threads` scoped workers, processes each with
+/// `sweep_item` (which should poll `abort` and report
+/// [`UnitResult::Aborted`] when it fires), and merges completed
+/// accumulators **in item order** — the property that makes parallel
+/// folds bit-identical to serial ones. The replay sweeps
+/// ([`sweep_extensions`]), the incremental fork-on-branch sweeps
+/// ([`incremental`](crate::incremental)) and the seeded index maps
+/// ([`pooled_map_indexed`]) all run on this pool.
+///
+/// A panicking `sweep_item` sets the abort flag (stopping the other
+/// workers) and the panic is resumed after the scope joins.
+pub(crate) fn pooled_fold<T, Acc, E, U, I, M>(
+    items: &[T],
+    threads: NonZeroUsize,
+    sweep_item: &U,
+    init: &I,
+    merge: M,
+) -> Result<Acc, E>
+where
+    T: Sync,
+    Acc: Send,
+    E: Send,
+    U: Fn(&T, &AtomicBool) -> UnitResult<Acc, E> + Sync,
+    I: Fn() -> Acc,
+    M: Fn(Acc, Acc) -> Acc,
+{
+    let workers = threads.get().min(items.len()).max(1);
+    let abort = AtomicBool::new(false);
+    let (work_tx, work_rx) = unbounded::<usize>();
+    for idx in 0..items.len() {
+        work_tx.send(idx).expect("work receiver alive");
+    }
+    drop(work_tx);
+    let (result_tx, result_rx) = unbounded::<(usize, UnitResult<Acc, E>)>();
+
+    let pool = cb_thread::scope(|scope| {
+        for _ in 0..workers {
+            let work_rx = work_rx.clone();
+            let result_tx = result_tx.clone();
+            let (items, abort) = (&items, &abort);
+            scope.spawn(move |_| {
+                while let Ok(idx) = work_rx.recv() {
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let outcome = {
+                        let _panic_guard = AbortOnPanic(abort);
+                        sweep_item(&items[idx], abort)
+                    };
+                    let failed = matches!(outcome, UnitResult::Failed(_));
+                    if failed {
+                        abort.store(true, Ordering::Relaxed);
+                    }
+                    let _ = result_tx.send((idx, outcome));
+                    if failed {
+                        break;
+                    }
+                }
+            });
+        }
+    });
+    if let Err(panic) = pool {
+        std::panic::resume_unwind(panic);
+    }
+    drop(result_tx);
+
+    let mut partials: Vec<(usize, UnitResult<Acc, E>)> = result_rx.iter().collect();
+    partials.sort_by_key(|(idx, _)| *idx);
+    let mut merged: Option<Acc> = None;
+    let mut first_failure: Option<E> = None;
+    for (_, outcome) in partials {
+        match outcome {
+            UnitResult::Complete(acc) => {
+                merged = Some(match merged.take() {
+                    None => acc,
+                    Some(m) => merge(m, acc),
+                });
+            }
+            UnitResult::Failed(e) => {
+                first_failure.get_or_insert(e);
+            }
+            UnitResult::Aborted => {}
+        }
+    }
+    match first_failure {
+        Some(e) => Err(e),
+        None => Ok(merged.unwrap_or_else(init)),
+    }
 }
 
 /// Folds `step` over every serial extension of `prefix` (additional
@@ -169,65 +267,13 @@ where
         }
         SweepBackend::Parallel(threads) => {
             let units = extension_work_units(prefix, from_round, horizon);
-            let workers = threads.get().min(units.len()).max(1);
-            let abort = AtomicBool::new(false);
-            let (work_tx, work_rx) = unbounded::<usize>();
-            for idx in 0..units.len() {
-                work_tx.send(idx).expect("work receiver alive");
-            }
-            drop(work_tx);
-            let (result_tx, result_rx) = unbounded::<(usize, UnitResult<Acc, E>)>();
-
-            let pool = cb_thread::scope(|scope| {
-                for _ in 0..workers {
-                    let work_rx = work_rx.clone();
-                    let result_tx = result_tx.clone();
-                    let (units, abort, init, step) = (&units, &abort, &init, &step);
-                    scope.spawn(move |_| {
-                        while let Ok(idx) = work_rx.recv() {
-                            if abort.load(Ordering::Relaxed) {
-                                break;
-                            }
-                            let outcome = sweep_one_unit(&units[idx], abort, init, step);
-                            let failed = matches!(outcome, UnitResult::Failed(_));
-                            if failed {
-                                abort.store(true, Ordering::Relaxed);
-                            }
-                            let _ = result_tx.send((idx, outcome));
-                            if failed {
-                                break;
-                            }
-                        }
-                    });
-                }
-            });
-            if let Err(panic) = pool {
-                std::panic::resume_unwind(panic);
-            }
-            drop(result_tx);
-
-            let mut partials: Vec<(usize, UnitResult<Acc, E>)> = result_rx.iter().collect();
-            partials.sort_by_key(|(idx, _)| *idx);
-            let mut merged: Option<Acc> = None;
-            let mut first_failure: Option<E> = None;
-            for (_, outcome) in partials {
-                match outcome {
-                    UnitResult::Complete(acc) => {
-                        merged = Some(match merged.take() {
-                            None => acc,
-                            Some(m) => merge(m, acc),
-                        });
-                    }
-                    UnitResult::Failed(e) => {
-                        first_failure.get_or_insert(e);
-                    }
-                    UnitResult::Aborted => {}
-                }
-            }
-            match first_failure {
-                Some(e) => Err(e),
-                None => Ok(merged.unwrap_or_else(init)),
-            }
+            pooled_fold(
+                &units,
+                threads,
+                &|unit, abort| sweep_one_unit(unit, abort, &init, &step),
+                &init,
+                merge,
+            )
         }
     }
 }
@@ -287,6 +333,48 @@ pub fn sweep_count(
     counted.expect("counting never fails")
 }
 
+/// Maps `f` over the index range `0..count` on `backend`'s worker pool,
+/// returning the results **in index order** regardless of thread count.
+///
+/// This is the engine's escape hatch for workloads without serial-tree
+/// structure to share — the seeded random-adversary experiments
+/// (`exp_early_decision`, `exp_eventual_decision`, `exp_asynchrony` and
+/// friends) map independent seeds through it, so their `--threads N` flag
+/// rides the same [`SweepBackend`] as the exhaustive sweeps. Each index is
+/// computed exactly once; determinism is the caller's business (seeded
+/// computations are).
+///
+/// # Panics
+///
+/// Panics (resuming the worker's panic) if `f` panics on any index.
+#[must_use]
+pub fn pooled_map_indexed<T, F>(count: u64, backend: SweepBackend, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    match backend {
+        SweepBackend::Serial => (0..count).map(f).collect(),
+        SweepBackend::Parallel(threads) => {
+            let indices: Vec<u64> = (0..count).collect();
+            let mapped: Result<Vec<T>, std::convert::Infallible> = pooled_fold(
+                &indices,
+                threads,
+                &|&idx, _abort| UnitResult::Complete(vec![f(idx)]),
+                &Vec::new,
+                |mut a, b| {
+                    a.extend(b);
+                    a
+                },
+            );
+            match mapped {
+                Ok(values) => values,
+                Err(never) => match never {},
+            }
+        }
+    }
+}
+
 /// Sets the abort flag if dropped while panicking, so a panicking `step`
 /// stops the other workers just like a failing one (the panic itself is
 /// re-raised by the pool after the scope joins).
@@ -310,7 +398,6 @@ where
     I: Fn() -> Acc,
     S: Fn(&mut Acc, &Schedule) -> Result<(), E>,
 {
-    let _panic_guard = AbortOnPanic(abort);
     let mut acc = init();
     let mut failure = None;
     let mut aborted = false;
@@ -472,6 +559,16 @@ mod tests {
             Some(value) => std::env::set_var(SWEEP_BACKEND_ENV, value),
             None => std::env::remove_var(SWEEP_BACKEND_ENV),
         }
+    }
+
+    #[test]
+    fn pooled_map_returns_in_index_order_for_every_backend() {
+        let expected: Vec<u64> = (0..100).map(|i| i * i).collect();
+        for backend in [SweepBackend::Serial, SweepBackend::parallel(3), SweepBackend::parallel(7)]
+        {
+            assert_eq!(pooled_map_indexed(100, backend, |i| i * i), expected, "{backend:?}");
+        }
+        assert!(pooled_map_indexed(0, SweepBackend::parallel(2), |i| i).is_empty());
     }
 
     #[test]

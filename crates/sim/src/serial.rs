@@ -35,7 +35,11 @@ use crate::schedule::{MessageFate, ModelKind, Schedule};
 /// use the parallel sweep engine in [`parallel`](crate::parallel), which
 /// partitions the same space into independent work units
 /// ([`batch`](crate::batch)) and fans them out over a worker pool while
-/// preserving this enumerator's visit semantics.
+/// preserving this enumerator's visit semantics. When every visited
+/// schedule is also *executed*, prefer the incremental engine in
+/// [`incremental`](crate::incremental): it fuses this enumeration with
+/// execution, running each shared schedule prefix once instead of once
+/// per schedule.
 pub fn for_each_serial_schedule<F>(
     config: SystemConfig,
     kind: ModelKind,

@@ -11,13 +11,10 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-use indulgent_model::{
-    Decision, DeliveredMsg, Delivery, ProcessFactory, ProcessId, ProcessSet, Round, RoundProcess,
-    RunOutcome, Step, Value,
-};
+use indulgent_model::{Delivery, ProcessFactory, ProcessId, ProcessSet, Round, RunOutcome, Value};
 
-use crate::executor::ExecutorError;
-use crate::schedule::{MessageFate, Schedule};
+use crate::executor::{ExecutorError, RoundObserver, RunState};
+use crate::schedule::Schedule;
 
 /// What one process experienced in one round.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -123,8 +120,39 @@ impl RunTrace {
     }
 }
 
+/// Observer assembling [`RoundRecord`]s from the stepper's receive phases.
+#[derive(Debug, Default)]
+struct TraceObserver {
+    n: usize,
+    records: BTreeMap<(u32, usize), RoundRecord>,
+}
+
+impl<M> RoundObserver<M> for TraceObserver {
+    fn on_receive(
+        &mut self,
+        round: Round,
+        process: ProcessId,
+        delivery: &Delivery<M>,
+        decision: Option<Value>,
+    ) {
+        let heard = delivery.current_senders();
+        self.records.insert(
+            (round.get(), process.index()),
+            RoundRecord {
+                round,
+                process,
+                heard,
+                suspected: heard.complement(self.n).difference(ProcessSet::from_ids([process])),
+                delayed_arrivals: delivery.delayed().count(),
+                decision,
+            },
+        );
+    }
+}
+
 /// Like [`run_schedule`](crate::run_schedule) but records a full
-/// [`RunTrace`].
+/// [`RunTrace`]. Both executors drive the same [`RunState`] stepper, so a
+/// traced run's outcome is bit-identical to the plain executor's.
 ///
 /// # Errors
 ///
@@ -141,111 +169,29 @@ where
 {
     let config = schedule.config();
     let n = config.n();
-    crate::executor::check_run_inputs(n, proposals)?;
-
-    let mut processes: Vec<F::Process> = (0..n).map(|i| factory.build(i, proposals[i])).collect();
-    let mut decisions: Vec<Option<Decision>> = vec![None; n];
-    #[allow(clippy::type_complexity)]
-    let mut pending: Vec<BTreeMap<u32, Vec<DeliveredMsg<<F::Process as RoundProcess>::Msg>>>> =
-        vec![BTreeMap::new(); n];
-    let mut records = BTreeMap::new();
-    let mut rounds_executed = 0;
-
-    for k in 1..=horizon {
-        let round = Round::new(k);
-        rounds_executed = k;
-
-        for sender in config.processes() {
-            if !schedule.alive_entering(sender, round) {
-                continue;
-            }
-            let msg = processes[sender.index()].send(round);
-            for receiver in config.processes() {
-                if !schedule.alive_entering(receiver, round) {
-                    continue;
-                }
-                match schedule.fate(round, sender, receiver) {
-                    MessageFate::Deliver => {
-                        pending[receiver.index()].entry(k).or_default().push(DeliveredMsg {
-                            sender,
-                            sent_round: round,
-                            msg: msg.clone(),
-                        });
-                    }
-                    MessageFate::Delay(arrival) => {
-                        pending[receiver.index()]
-                            .entry(arrival.get())
-                            .or_default()
-                            .push(DeliveredMsg { sender, sent_round: round, msg: msg.clone() });
-                    }
-                    MessageFate::Lose => {}
-                }
-            }
-        }
-
-        for receiver in config.processes() {
-            if !schedule.completes(receiver, round) {
-                continue;
-            }
-            let mut arrived = pending[receiver.index()].remove(&k).unwrap_or_default();
-            arrived.sort_by_key(|m| (m.sent_round, m.sender));
-            let delivery = Delivery::new(round, arrived);
-            let heard = delivery.current_senders();
-            let delayed_arrivals = delivery.delayed().count();
-            let step = processes[receiver.index()].deliver(round, &delivery);
-            let mut decision_value = None;
-            if let Step::Decide(value) = step {
-                if decisions[receiver.index()].is_none() {
-                    decisions[receiver.index()] =
-                        Some(Decision { process: receiver, round, value });
-                    decision_value = Some(value);
-                }
-            }
-            records.insert(
-                (k, receiver.index()),
-                RoundRecord {
-                    round,
-                    process: receiver,
-                    heard,
-                    suspected: heard.complement(n).difference(ProcessSet::from_ids([receiver])),
-                    delayed_arrivals,
-                    decision: decision_value,
-                },
-            );
-        }
-
-        let all_alive_decided = config
-            .processes()
-            .filter(|&p| schedule.completes(p, round))
-            .all(|p| decisions[p.index()].is_some());
-        if all_alive_decided {
-            break;
-        }
+    let mut state: RunState<F::Process> = RunState::new(factory, proposals, n)?;
+    let mut observer = TraceObserver { n, records: BTreeMap::new() };
+    while state.rounds_executed() < horizon && !state.halted() {
+        state.step_observed(schedule, &mut observer);
     }
-
     Ok(RunTrace {
         n,
-        records,
+        records: observer.records,
         crashes: config.processes().map(|p| schedule.crash_round(p)).collect(),
-        outcome: RunOutcome {
-            proposals: proposals.to_vec(),
-            decisions,
-            crashed: schedule.faulty(),
-            rounds_executed,
-        },
+        outcome: state.outcome(proposals, schedule),
     })
 }
 
 #[cfg(test)]
 mod tests {
-    use indulgent_model::{SystemConfig, Value};
+    use indulgent_model::{RoundProcess, Step, SystemConfig, Value};
 
     use super::*;
     use crate::builder::ScheduleBuilder;
     use crate::schedule::ModelKind;
 
     /// Minimal flooding automaton for trace tests.
-    #[derive(Debug)]
+    #[derive(Debug, Clone)]
     struct Flood {
         est: Value,
         decide_at: u32,

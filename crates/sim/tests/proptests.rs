@@ -11,7 +11,7 @@ use indulgent_sim::{
 use proptest::prelude::*;
 
 /// Deterministic flooding automaton used as a probe.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Probe {
     est: Value,
     decide_at: u32,
