@@ -16,10 +16,13 @@
 //! count, so the report reads directly in schedules/second.
 //!
 //! Besides the criterion output, the bench emits a machine-readable
-//! `BENCH_sweep.json` (schedules/second per backend plus the
-//! incremental-over-replay speedup) into the working directory — CI
-//! uploads it as an artifact so the perf trajectory is tracked PR over
-//! PR. Set `BENCH_SWEEP_JSON` to redirect the file, or to `0` to skip it.
+//! `BENCH_sweep.json` (schedules/second per backend, the
+//! incremental-over-replay speedup, and the engine counters of one
+//! incremental-serial sweep — rounds stepped, shared-broadcast fast-path
+//! hits, deliveries built, payload clones, snapshot forks) into the
+//! working directory — CI uploads it as an artifact and diffs it against
+//! the committed baseline so the perf trajectory is tracked PR over PR.
+//! Set `BENCH_SWEEP_JSON` to redirect the file, or to `0` to skip it.
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
@@ -30,7 +33,7 @@ use indulgent_checker::{
 };
 use indulgent_consensus::{AtPlus2, RotatingCoordinator};
 use indulgent_model::{ProcessId, SystemConfig, Value};
-use indulgent_sim::{count_serial_schedules, ModelKind};
+use indulgent_sim::{count_serial_schedules, engine_counters, ModelKind};
 
 const CRASH_HORIZON: u32 = 4;
 const RUN_HORIZON: u32 = 30;
@@ -187,6 +190,13 @@ fn emit_json(bench: &Bench, schedules: u64) {
         .map(|&(_, _, rate)| rate)
         .expect("incremental serial measured");
 
+    // Engine counters over exactly one incremental-serial sweep: *what*
+    // the engine did, alongside how fast it did it. The counters are
+    // process-wide, so measure while nothing else runs.
+    let before = engine_counters().snapshot();
+    let _ = bench.incremental(SweepBackend::Serial);
+    let counters = engine_counters().snapshot().since(&before);
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"sweep_throughput\",\n");
@@ -200,6 +210,15 @@ fn emit_json(bench: &Bench, schedules: u64) {
         json,
         "  \"incremental_over_replay_single_core\": {:.3},",
         incremental_rate / replay_rate
+    );
+    let _ = writeln!(
+        json,
+        "  \"incremental_serial_counters\": {{\"rounds_stepped\": {}, \"fast_path_rounds\": {}, \"deliveries_built\": {}, \"messages_cloned\": {}, \"forks\": {}}},",
+        counters.rounds_stepped,
+        counters.fast_path_rounds,
+        counters.deliveries_built,
+        counters.messages_cloned,
+        counters.forks
     );
     json.push_str("  \"backends\": [\n");
     for (i, (variant, secs, rate)) in rows.iter().enumerate() {

@@ -72,7 +72,10 @@ pub enum AtMsg<U> {
 
 /// The `A_{t+2}` automaton (see module docs).
 #[derive(Debug, Clone)]
-pub struct AtPlus2<C, D = NoDetector> {
+pub struct AtPlus2<C, D = NoDetector>
+where
+    C: UnderlyingConsensus,
+{
     config: SystemConfig,
     id: ProcessId,
     est: Value,
@@ -85,6 +88,11 @@ pub struct AtPlus2<C, D = NoDetector> {
     optimize_ff: bool,
     decided: Option<Value>,
     reported: bool,
+    /// Pooled buffer for the re-timestamped delivery handed to `C` in
+    /// rounds `> t + 2`; rebuilt in place each round and left empty in
+    /// between, so the per-round hot path allocates nothing once warm
+    /// (and snapshots fork without copying stale scratch).
+    sub_scratch: Delivery<C::Msg>,
 }
 
 impl<C: UnderlyingConsensus> AtPlus2<C, NoDetector> {
@@ -133,6 +141,7 @@ impl<C: UnderlyingConsensus, D: FailureDetector> AtPlus2<C, D> {
             optimize_ff: false,
             decided: None,
             reported: false,
+            sub_scratch: Delivery::empty(Round::FIRST),
         }
     }
 
@@ -213,19 +222,21 @@ impl<C: UnderlyingConsensus, D: FailureDetector> AtPlus2<C, D> {
 
     /// The Fig. 4 failure-free optimization, applied in round 2: returns a
     /// decision step if round 1 was globally complete and suspicion-free.
+    /// One allocation-free pass over the current messages.
     fn failure_free_check(&mut self, delivery: &Delivery<AtMsg<C::Msg>>) -> Option<Value> {
-        let estimates: Vec<(ProcessSet, Value)> = delivery
-            .current()
-            .filter_map(|m| match &m.msg {
-                AtMsg::Estimate { est, halt } => Some((*halt, *est)),
-                _ => None,
-            })
-            .collect();
-        if estimates.iter().any(|(halt, _)| !halt.is_empty()) {
-            return None;
+        let mut estimates = 0usize;
+        let mut min: Option<Value> = None;
+        for m in delivery.current() {
+            if let AtMsg::Estimate { est, halt } = &m.msg {
+                if !halt.is_empty() {
+                    return None;
+                }
+                estimates += 1;
+                min = Some(min.map_or(*est, |v| v.min(*est)));
+            }
         }
-        let min = estimates.iter().map(|&(_, v)| v).min()?;
-        if estimates.len() == self.config.n() {
+        let min = min?;
+        if estimates == self.config.n() {
             // A complete, suspicion-free first round: decide now. All
             // estimates necessarily equal the global minimum.
             Some(min)
@@ -285,18 +296,24 @@ impl<C: UnderlyingConsensus, D: FailureDetector> RoundProcess for AtPlus2<C, D> 
             }
             Step::Continue
         } else if k == self.ne_round() {
-            let nes: Vec<Option<Value>> = delivery
-                .current()
-                .filter_map(|m| match &m.msg {
-                    AtMsg::NewEstimate { ne } => Some(*ne),
-                    _ => None,
-                })
-                .collect();
-            if !nes.is_empty() && nes.iter().all(Option::is_some) {
-                let v = nes.iter().flatten().copied().min().expect("nonempty");
-                return self.decide(v);
+            // One allocation-free pass: did any NEWESTIMATE arrive, were
+            // they all non-⊥, and what is the minimum non-⊥ value?
+            let mut any = false;
+            let mut all_non_bottom = true;
+            let mut min: Option<Value> = None;
+            for m in delivery.current() {
+                if let AtMsg::NewEstimate { ne } = &m.msg {
+                    any = true;
+                    match ne {
+                        Some(v) => min = Some(min.map_or(*v, |w| w.min(*v))),
+                        None => all_non_bottom = false,
+                    }
+                }
             }
-            if let Some(v) = nes.iter().flatten().copied().min() {
+            if any && all_non_bottom {
+                return self.decide(min.expect("all-non-⊥ implies a minimum"));
+            }
+            if let Some(v) = min {
                 // Elimination guarantees all non-⊥ values coincide.
                 self.vc = v;
             }
@@ -304,24 +321,26 @@ impl<C: UnderlyingConsensus, D: FailureDetector> RoundProcess for AtPlus2<C, D> 
         } else {
             // Rounds t + 3 and later: run the underlying consensus on the
             // `Underlying` messages (current and delayed), with rounds
-            // translated to its local clock.
+            // translated to its local clock. The sub-delivery is rebuilt
+            // in the pooled scratch buffer, cleared again after use so
+            // snapshot forks never copy stale messages.
             let local = self.local_round(round);
-            let messages: Vec<DeliveredMsg<C::Msg>> = delivery
-                .messages()
-                .iter()
-                .filter_map(|m| match &m.msg {
-                    AtMsg::Underlying(u) if m.sent_round.get() > self.ne_round() => {
-                        Some(DeliveredMsg {
+            let ne_round = self.ne_round();
+            self.sub_scratch.reset(local);
+            for m in delivery.messages() {
+                if let AtMsg::Underlying(u) = &m.msg {
+                    if m.sent_round.get() > ne_round {
+                        self.sub_scratch.push(DeliveredMsg {
                             sender: m.sender,
-                            sent_round: Round::new(m.sent_round.get() - self.ne_round()),
+                            sent_round: Round::new(m.sent_round.get() - ne_round),
                             msg: u.clone(),
-                        })
+                        });
                     }
-                    _ => None,
-                })
-                .collect();
-            let sub_delivery = Delivery::new(local, messages);
-            match self.underlying.deliver(local, &sub_delivery) {
+                }
+            }
+            let decision = self.underlying.deliver(local, &self.sub_scratch);
+            self.sub_scratch.reset(local);
+            match decision {
                 Some(v) => self.decide(v),
                 None => Step::Continue,
             }

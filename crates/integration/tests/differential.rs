@@ -265,12 +265,15 @@ fn incremental_engine_matches_serial_replay_on_n6_t2() {
     }
 }
 
-/// Census differential: incremental vs replay, every tally equal.
+/// Census differential: incremental (pooled ring-mailbox engine, serial
+/// and 4-worker) vs run-from-scratch replay on the exhaustive
+/// `n = 6, t = 2` space (~93k serial runs) — every tally and witness
+/// bit-identical.
 #[test]
-fn incremental_census_matches_replay() {
-    let config = SystemConfig::majority(5, 2).unwrap();
+fn incremental_census_matches_replay_on_n6_t2() {
+    let config = SystemConfig::majority(6, 2).unwrap();
     let factory = move |i: usize, v: Value| CoordinatorEcho::new(config, ProcessId::new(i), v);
-    let props = proposals(5);
+    let props = proposals(6);
     let replay = decision_round_census_replay(
         &factory,
         config,

@@ -1,0 +1,164 @@
+//! Allocation-regression guard for the round engine.
+//!
+//! The executor's steady state is advertised as allocation-free: flat
+//! ring mailboxes, pooled deliveries and the shared-broadcast fast path
+//! mean that once the buffers are warm, [`RunState::step`] touches the
+//! heap zero times per round. This test binary installs a counting
+//! global allocator and asserts exactly that — any future change that
+//! sneaks a per-round `Vec`, `BTreeMap` node or payload box back into
+//! the hot loop fails here before it shows up as a throughput
+//! regression in `BENCH_sweep.json`.
+//!
+//! The counter is thread-local, so the harness's own threads don't
+//! perturb the measurement; this file deliberately contains few tests
+//! (each runs on its own thread with its own tally).
+//!
+//! [`RunState::step`]: indulgent_sim::RunState
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use indulgent_consensus::{AtPlus2, RotatingCoordinator};
+use indulgent_model::{Delivery, ProcessId, Round, RoundProcess, Step, SystemConfig, Value};
+use indulgent_sim::{ModelKind, RunState, Schedule, ScheduleBuilder};
+
+thread_local! {
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Counts this thread's heap acquisitions (alloc/realloc); frees are not
+/// counted — dropping into a warm buffer is fine, acquiring is not.
+struct CountingAllocator;
+
+fn bump() {
+    // `try_with` so allocations during TLS teardown stay safe.
+    let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+}
+
+// SAFETY: delegates every operation to `System` unchanged; the wrapper
+// only increments a thread-local counter.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        bump();
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+/// Allocations performed by `f` on this thread.
+fn allocations_in(f: impl FnOnce()) -> u64 {
+    let before = ALLOCATIONS.with(Cell::get);
+    f();
+    ALLOCATIONS.with(Cell::get) - before
+}
+
+/// Flooding probe that never decides — keeps the run live so steady-state
+/// rounds can be measured indefinitely.
+#[derive(Debug, Clone)]
+struct Flood {
+    est: Value,
+}
+
+impl RoundProcess for Flood {
+    type Msg = Value;
+
+    fn send(&mut self, _round: Round) -> Value {
+        self.est
+    }
+
+    fn deliver(&mut self, _round: Round, delivery: &Delivery<Value>) -> Step {
+        for m in delivery.current() {
+            self.est = self.est.min(m.msg);
+        }
+        Step::Continue
+    }
+}
+
+fn props(n: usize) -> Vec<Value> {
+    (0..n).map(|i| Value::new(i as u64 + 1)).collect()
+}
+
+#[test]
+fn steady_state_step_is_allocation_free_on_failure_free_schedule() {
+    let config = SystemConfig::majority(5, 2).unwrap();
+    let schedule = Schedule::failure_free(config, ModelKind::Es);
+    let proposals = props(5);
+    let factory = |_i: usize, v: Value| Flood { est: v };
+    let mut state = RunState::new(&factory, &proposals, 5).unwrap();
+
+    // Warm-up: the first rounds grow the pooled delivery and ring buffers
+    // to their working size.
+    state.run_to(&schedule, 3);
+
+    let allocs = allocations_in(|| {
+        for _ in 0..100 {
+            state.step(&schedule);
+        }
+    });
+    assert_eq!(allocs, 0, "steady-state step must not allocate on the shared-broadcast fast path");
+    assert_eq!(state.rounds_executed(), 103);
+}
+
+#[test]
+fn steady_state_step_is_allocation_free_after_crashes() {
+    // Crash rounds take the general path (which may warm new buffers);
+    // the post-crash-horizon tail of the run — the steady state of every
+    // serial schedule — must be allocation-free again.
+    let config = SystemConfig::majority(5, 2).unwrap();
+    let schedule = ScheduleBuilder::new(config, ModelKind::Es)
+        .crash_delivering_only(ProcessId::new(1), Round::new(1), [ProcessId::new(0)])
+        .crash_before_send(ProcessId::new(3), Round::new(2))
+        .build(200)
+        .unwrap();
+    let proposals = props(5);
+    let factory = |_i: usize, v: Value| Flood { est: v };
+    let mut state = RunState::new(&factory, &proposals, 5).unwrap();
+    state.run_to(&schedule, 4);
+
+    let allocs = allocations_in(|| {
+        for _ in 0..100 {
+            state.step(&schedule);
+        }
+    });
+    assert_eq!(allocs, 0, "post-crash steady state must not allocate");
+}
+
+#[test]
+fn at_plus2_phase1_steps_are_allocation_free_when_warm() {
+    // The dominant algorithm itself must not allocate per round either:
+    // Phase 1 of A_{t+2} (flood ESTIMATE, update Halt/est) over a clean
+    // round runs entirely in pooled buffers. Warm up with round 1, then
+    // measure the remaining Phase 1 rounds (t = 4 stretches Phase 1 to
+    // round 5).
+    let config = SystemConfig::majority(9, 4).unwrap();
+    let factory = move |i: usize, v: Value| {
+        let id = ProcessId::new(i);
+        AtPlus2::new(config, id, v, RotatingCoordinator::new(config, id))
+    };
+    let schedule = Schedule::failure_free(config, ModelKind::Es);
+    let proposals = props(9);
+    let mut state = RunState::new(&factory, &proposals, 9).unwrap();
+    state.step(&schedule); // warm-up: round 1
+
+    let allocs = allocations_in(|| {
+        state.run_to(&schedule, 4); // rounds 2..=4, all Phase 1
+    });
+    assert_eq!(allocs, 0, "warm Phase 1 rounds of A_t+2 must not allocate");
+    assert_eq!(state.rounds_executed(), 4);
+}

@@ -68,6 +68,47 @@ impl<M> Delivery<M> {
         Delivery { round, messages, current_senders }
     }
 
+    /// Builds an empty delivery for `round`, with no buffer allocated.
+    ///
+    /// Together with [`reset`](Delivery::reset), [`push`](Delivery::push)
+    /// and [`append`](Delivery::append) this is the *pooled* construction
+    /// path: an executor keeps one `Delivery` alive across rounds and
+    /// rebuilds it in place each receive phase, so the steady-state hot
+    /// loop allocates nothing once the buffer has grown to its working
+    /// size.
+    #[must_use]
+    pub fn empty(round: Round) -> Self {
+        Delivery { round, messages: Vec::new(), current_senders: ProcessSet::empty() }
+    }
+
+    /// Clears the delivery and retargets it to `round`, keeping the
+    /// message buffer's capacity for reuse.
+    pub fn reset(&mut self, round: Round) {
+        self.round = round;
+        self.messages.clear();
+        self.current_senders = ProcessSet::empty();
+    }
+
+    /// Appends one message, maintaining the current-sender bookkeeping.
+    pub fn push(&mut self, m: DeliveredMsg<M>) {
+        if m.sent_round == self.round {
+            self.current_senders.insert(m.sender);
+        }
+        self.messages.push(m);
+    }
+
+    /// Moves every message out of `buf` into the delivery (in order),
+    /// leaving `buf` empty but with its capacity intact — the zero-copy
+    /// hand-off from a mailbox buffer to the pooled delivery.
+    pub fn append(&mut self, buf: &mut Vec<DeliveredMsg<M>>) {
+        for m in buf.iter() {
+            if m.sent_round == self.round {
+                self.current_senders.insert(m.sender);
+            }
+        }
+        self.messages.append(buf);
+    }
+
     /// The round this delivery belongs to.
     #[must_use]
     pub fn round(&self) -> Round {
@@ -110,8 +151,17 @@ impl<M> Delivery<M> {
     }
 
     /// The current-round message from `sender`, if it arrived.
+    ///
+    /// Absence is answered in O(1) from the
+    /// [`current_senders`](Delivery::current_senders) bitmask; a hit costs one O(`len`) scan
+    /// for the payload. Algorithms call this inside per-sender loops
+    /// (e.g. the coordinator lookup of the rotating-coordinator and echo
+    /// baselines), where the common case in crash-prone rounds is a miss.
     #[must_use]
     pub fn current_from(&self, sender: ProcessId) -> Option<&M> {
+        if !self.current_senders.contains(sender) {
+            return None;
+        }
         self.current().find(|m| m.sender == sender).map(|m| &m.msg)
     }
 
@@ -185,6 +235,42 @@ mod tests {
         let d: Delivery<()> = Delivery::new(Round::FIRST, vec![]);
         assert!(d.is_empty());
         assert_eq!(d.suspected(3).len(), 3);
+    }
+
+    #[test]
+    fn pooled_rebuild_matches_fresh_construction() {
+        let fresh = sample();
+        let mut pooled: Delivery<&'static str> = Delivery::empty(Round::FIRST);
+        // Fill once, then reset and rebuild — the second generation must be
+        // indistinguishable from a freshly constructed delivery.
+        pooled.push(DeliveredMsg { sender: ProcessId::new(3), sent_round: Round::FIRST, msg: "z" });
+        pooled.reset(Round::new(3));
+        for m in fresh.messages() {
+            pooled.push(m.clone());
+        }
+        assert_eq!(pooled, fresh);
+        assert_eq!(pooled.current_senders(), fresh.current_senders());
+    }
+
+    #[test]
+    fn append_drains_buffer_and_tracks_senders() {
+        let fresh = sample();
+        let mut buf: Vec<DeliveredMsg<&'static str>> = fresh.messages().to_vec();
+        let mut pooled: Delivery<&'static str> = Delivery::empty(Round::new(3));
+        pooled.append(&mut buf);
+        assert!(buf.is_empty());
+        assert_eq!(pooled, fresh);
+        assert_eq!(pooled.suspected(4), fresh.suspected(4));
+    }
+
+    #[test]
+    fn reset_clears_messages_and_senders() {
+        let mut d = sample();
+        d.reset(Round::new(4));
+        assert!(d.is_empty());
+        assert_eq!(d.round(), Round::new(4));
+        assert!(d.current_senders().is_empty());
+        assert_eq!(d.current_from(ProcessId::new(0)), None);
     }
 
     #[test]

@@ -41,11 +41,19 @@
 //! Random-adversary runs (delays, arbitrary crash patterns outside the
 //! serial tree) have no shared prefix structure to exploit and keep using
 //! the run-from-scratch executor.
+//!
+//! The DFS is tuned for the executor's zero-allocation steady state
+//! ([`executor`](crate::executor)): per-depth scratch snapshots are
+//! recycled with `clone_from` (rewriting process states and the flat
+//! ring mailboxes in place), the alive/receiver sets of the crash
+//! branches are walked as bitmasks, and each fork is tallied in the
+//! global engine counters ([`stats`](crate::stats)) alongside the
+//! executor's round, fast-path and clone counts.
 
 use std::collections::BTreeMap;
 use std::ops::ControlFlow;
 
-use indulgent_model::{ProcessFactory, ProcessId, Round, RunOutcome, SystemConfig, Value};
+use indulgent_model::{ProcessFactory, Round, RunOutcome, SystemConfig, Value};
 
 use crate::batch::extension_work_units;
 use crate::executor::{check_run_inputs, ExecutorError, RunState};
@@ -156,11 +164,15 @@ where
 }
 
 /// Fills `slot` with a copy of `src` (reusing the slot's allocations when
-/// it already holds a state) and returns it.
+/// it already holds a state) and returns it. Every call is one fork of
+/// the DFS, tallied in the engine counters; the recycled case rewrites
+/// the slot's process states, ring mailboxes and buffers in place, so a
+/// warm sweep forks without allocating.
 fn clone_into<'a, P: indulgent_model::RoundProcess>(
     slot: &'a mut Option<RunState<P>>,
     src: &RunState<P>,
 ) -> &'a mut RunState<P> {
+    crate::stats::engine_counters().record_fork();
     match slot {
         Some(state) => {
             state.clone_from(src);
@@ -258,24 +270,38 @@ where
 
     // Option 2: crash one alive process, choosing the receiver subset that
     // still gets its message among the processes alive entering this
-    // round. Identical choice order to the serial enumerator.
-    let alive: Vec<ProcessId> = ctx
-        .config
-        .processes()
-        .filter(|p| match crash_rounds[p.index()] {
+    // round. Identical choice order to the serial enumerator (victims by
+    // ascending id, keep-masks ascending over receivers by ascending id);
+    // the alive/receiver sets are walked as bitmasks so the enumeration
+    // itself allocates nothing per node (`ProcessSet` guarantees
+    // `n <= 64`).
+    let mut alive_mask = 0u64;
+    for p in ctx.config.processes() {
+        let alive = match crash_rounds[p.index()] {
             None => true,
             Some(r) => r.get() >= round,
-        })
-        .collect();
-    for &victim in &alive {
-        let receivers: Vec<ProcessId> = alive.iter().copied().filter(|&q| q != victim).collect();
-        let m = receivers.len();
+        };
+        if alive {
+            alive_mask |= 1 << p.index();
+        }
+    }
+    let mut victims = alive_mask;
+    while victims != 0 {
+        let victim_idx = victims.trailing_zeros() as usize;
+        victims &= victims - 1;
+        let receivers_mask = alive_mask & !(1u64 << victim_idx);
+        let m = receivers_mask.count_ones();
         for keep_mask in 0u32..(1 << m) {
-            crash_rounds[victim.index()] = Some(Round::new(round));
-            for (bit, &q) in receivers.iter().enumerate() {
+            crash_rounds[victim_idx] = Some(Round::new(round));
+            let mut rs = receivers_mask;
+            let mut bit = 0u32;
+            while rs != 0 {
+                let q = rs.trailing_zeros() as usize;
+                rs &= rs - 1;
                 if keep_mask & (1 << bit) == 0 {
-                    overrides.insert((round, victim.index(), q.index()), MessageFate::Lose);
+                    overrides.insert((round, victim_idx, q), MessageFate::Lose);
                 }
+                bit += 1;
             }
             let branched = Schedule::from_parts(
                 ctx.config,
@@ -314,9 +340,12 @@ where
                 )?;
             }
             // Undo.
-            crash_rounds[victim.index()] = None;
-            for &q in &receivers {
-                overrides.remove(&(round, victim.index(), q.index()));
+            crash_rounds[victim_idx] = None;
+            let mut rs = receivers_mask;
+            while rs != 0 {
+                let q = rs.trailing_zeros() as usize;
+                rs &= rs - 1;
+                overrides.remove(&(round, victim_idx, q));
             }
         }
     }
@@ -488,7 +517,7 @@ where
 
 #[cfg(test)]
 mod tests {
-    use indulgent_model::{Delivery, RoundProcess, Step};
+    use indulgent_model::{Delivery, ProcessId, RoundProcess, Step};
 
     use super::*;
     use crate::builder::ScheduleBuilder;

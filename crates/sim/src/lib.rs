@@ -74,6 +74,7 @@ pub mod parallel;
 pub mod random;
 mod schedule;
 pub mod serial;
+pub mod stats;
 pub mod trace;
 
 pub use batch::{extension_work_units, work_units, WorkUnit};
@@ -90,4 +91,5 @@ pub use parallel::{
 pub use random::{random_run, RandomRunParams};
 pub use schedule::{MessageFate, ModelKind, Schedule, ScheduleError};
 pub use serial::{count_serial_schedules, for_each_serial_extension, for_each_serial_schedule};
+pub use stats::{engine_counters, EngineCounters, EngineSnapshot};
 pub use trace::{run_traced, RoundRecord, RunTrace};

@@ -24,6 +24,11 @@
 //! schedule" for exhaustive run sweeps. [`pooled_map_indexed`] exposes
 //! the pool for structureless index/seed fan-outs.
 //!
+//! The engine counters ([`stats`](crate::stats)) are process-wide relaxed
+//! atomics, so a pooled sweep's workers aggregate into the same tallies a
+//! serial sweep writes — `rounds_stepped`, fast-path hits, forks and
+//! clone counts are totals across every worker thread.
+//!
 //! # Determinism
 //!
 //! For a sweep that completes without error, the merged accumulator equals

@@ -53,6 +53,18 @@ pub struct Schedule {
     /// The eventual-synchrony round `K`: from this round on, delivery is
     /// synchronous. `K = 1` makes the run synchronous.
     sync_from: Round,
+    /// Bit `k` set (for rounds `k <= 63`) when round `k` has a crash or a
+    /// fate override. Derived from the fields above at construction; the
+    /// executor's per-round clean test is one mask probe instead of a
+    /// crash-vector scan plus an ordered-map seek (rounds `>= 64` fall
+    /// back to the scan). With the real `serde` this field would carry
+    /// `#[serde(skip)]` and be recomputed on deserialize; the vendored
+    /// derive serializes nothing.
+    dirty_rounds: u64,
+    /// Bit `k` set (for rounds `k <= 63`) when round `k` has at least one
+    /// fate override — the O(1) front door of the per-sender override
+    /// lookup.
+    override_rounds: u64,
 }
 
 impl Schedule {
@@ -65,6 +77,8 @@ impl Schedule {
             crash_rounds: vec![None; config.n()],
             overrides: BTreeMap::new(),
             sync_from: Round::FIRST,
+            dirty_rounds: 0,
+            override_rounds: 0,
         }
     }
 
@@ -75,7 +89,20 @@ impl Schedule {
         overrides: BTreeMap<(u32, usize, usize), MessageFate>,
         sync_from: Round,
     ) -> Self {
-        Schedule { config, kind, crash_rounds, overrides, sync_from }
+        let mut dirty_rounds = 0u64;
+        let mut override_rounds = 0u64;
+        for r in crash_rounds.iter().flatten() {
+            if r.get() < 64 {
+                dirty_rounds |= 1 << r.get();
+            }
+        }
+        for &(r, _, _) in overrides.keys() {
+            if r < 64 {
+                override_rounds |= 1 << r;
+            }
+        }
+        dirty_rounds |= override_rounds;
+        Schedule { config, kind, crash_rounds, overrides, sync_from, dirty_rounds, override_rounds }
     }
 
     /// The system configuration this schedule was built for.
@@ -140,12 +167,56 @@ impl Schedule {
         }
     }
 
+    /// Returns `true` when round `k` is *clean*: no process crashes in `k`
+    /// and no message sent in `k` has a non-default fate, i.e. every
+    /// process alive entering `k` completes it and every copy of every
+    /// message is delivered in `k` itself.
+    ///
+    /// Clean rounds are the executor's shared-broadcast fast path: all
+    /// completing receivers observe the identical message multiset, so one
+    /// pooled delivery serves every receiver. In serial schedules every
+    /// round other than the (at most `t`) crash rounds is clean, which is
+    /// what makes the fast path the steady state of exhaustive sweeps.
+    ///
+    /// One bitmask probe for rounds `< 64`; O(n) crash scan plus one
+    /// ordered-map seek beyond the mask. Allocation-free either way.
+    #[must_use]
+    pub fn round_is_clean(&self, k: Round) -> bool {
+        if k.get() < 64 {
+            return self.dirty_rounds & (1 << k.get()) == 0;
+        }
+        self.crash_rounds.iter().all(|r| *r != Some(k))
+            && self
+                .overrides
+                .range((k.get(), 0, 0)..=(k.get(), usize::MAX, usize::MAX))
+                .next()
+                .is_none()
+    }
+
+    /// Returns `true` when some message sent by `sender` in round `k` has
+    /// a non-default fate. One bitmask probe when the round has no
+    /// override at all, one ordered-map seek otherwise; the executor uses
+    /// it to skip the per-receiver [`fate`](Schedule::fate) lookups for
+    /// the senders of a dirty round that broadcast normally (in a serial
+    /// schedule that is everyone but the round's crash victim).
+    #[must_use]
+    pub fn sender_has_overrides(&self, k: Round, sender: ProcessId) -> bool {
+        if k.get() < 64 && self.override_rounds & (1 << k.get()) == 0 {
+            return false;
+        }
+        self.overrides
+            .range((k.get(), sender.index(), 0)..=(k.get(), sender.index(), usize::MAX))
+            .next()
+            .is_some()
+    }
+
     /// The fate of the message sent by `sender` to `receiver` in round `k`.
     ///
     /// Self-addressed messages are always delivered in the same round.
+    /// Rounds without any override answer in O(1) off the round bitmask.
     #[must_use]
     pub fn fate(&self, k: Round, sender: ProcessId, receiver: ProcessId) -> MessageFate {
-        if sender == receiver {
+        if sender == receiver || (k.get() < 64 && self.override_rounds & (1 << k.get()) == 0) {
             return MessageFate::Deliver;
         }
         self.overrides
@@ -632,6 +703,30 @@ mod tests {
         overrides.insert((1, 0, 0), MessageFate::Lose);
         let s = Schedule::from_parts(cfg(), ModelKind::Es, vec![None; 5], overrides, Round::FIRST);
         assert!(matches!(s.validate(5), Err(ScheduleError::SelfEdge { .. })));
+    }
+
+    #[test]
+    fn round_cleanliness_tracks_crashes_and_overrides() {
+        let mut overrides = BTreeMap::new();
+        overrides.insert((2, 0, 1), MessageFate::Lose);
+        let s = Schedule::from_parts(
+            cfg(),
+            ModelKind::Es,
+            vec![Some(Round::new(2)), None, None, Some(Round::new(4)), None],
+            overrides,
+            Round::FIRST,
+        );
+        assert!(s.round_is_clean(Round::FIRST));
+        assert!(!s.round_is_clean(Round::new(2))); // crash + override
+        assert!(s.round_is_clean(Round::new(3)));
+        assert!(!s.round_is_clean(Round::new(4))); // crash only
+        assert!(s.round_is_clean(Round::new(5)));
+        // A pure-override round (no crash) is dirty too.
+        let mut overrides = BTreeMap::new();
+        overrides.insert((3, 1, 2), MessageFate::Delay(Round::new(5)));
+        let s = Schedule::from_parts(cfg(), ModelKind::Es, vec![None; 5], overrides, Round::new(4));
+        assert!(!s.round_is_clean(Round::new(3)));
+        assert!(s.round_is_clean(Round::new(2)));
     }
 
     #[test]

@@ -152,7 +152,11 @@ impl<M> RoundObserver<M> for TraceObserver {
 
 /// Like [`run_schedule`](crate::run_schedule) but records a full
 /// [`RunTrace`]. Both executors drive the same [`RunState`] stepper, so a
-/// traced run's outcome is bit-identical to the plain executor's.
+/// traced run's outcome is bit-identical to the plain executor's — the
+/// observer sees every receive phase whether the stepper took the
+/// shared-broadcast fast path (one pooled delivery handed to all
+/// receivers of a clean round) or the general per-receiver path, and the
+/// recorded rounds are indistinguishable.
 ///
 /// # Errors
 ///

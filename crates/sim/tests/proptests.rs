@@ -1,12 +1,18 @@
 //! Property-based tests of the simulator: schedule legality, executor
-//! determinism, and enumeration invariants.
+//! determinism, enumeration invariants, and a differential reference for
+//! the flat-ring message plumbing.
 
+use std::collections::BTreeMap;
 use std::ops::ControlFlow;
 
-use indulgent_model::{Delivery, ProcessId, Round, RoundProcess, Step, SystemConfig, Value};
+use indulgent_model::{
+    Decision, DeliveredMsg, Delivery, ProcessFactory, ProcessId, Round, RoundProcess, RunOutcome,
+    Step, SystemConfig, Value,
+};
 use indulgent_sim::{
     count_serial_schedules, for_each_serial_schedule, random_run, run_schedule, run_traced,
-    sweep_count, work_units, ModelKind, RandomRunParams, ScheduleBuilder, SweepBackend,
+    sweep_count, work_units, MessageFate, ModelKind, RandomRunParams, Schedule, ScheduleBuilder,
+    SweepBackend,
 };
 use proptest::prelude::*;
 
@@ -40,6 +46,83 @@ impl RoundProcess for Probe {
 
 fn probe_factory(decide_at: u32) -> impl Fn(usize, Value) -> Probe {
     move |_i, v| Probe { est: v, decide_at, decided: false }
+}
+
+/// Reference executor: the executor semantics spelled out with the
+/// pre-optimization data structures — `BTreeMap` mailboxes keyed by
+/// arrival round, a fresh `Delivery` per process-round, an explicit
+/// (sent round, sender) sort, no fast path. The production engine
+/// (flat ring mailboxes, pooled deliveries, shared-broadcast rounds)
+/// must be outcome-identical to this on *every* schedule, delays and
+/// ring wrap-arounds included.
+fn reference_run<F>(
+    factory: &F,
+    proposals: &[Value],
+    schedule: &Schedule,
+    horizon: u32,
+) -> RunOutcome
+where
+    F: ProcessFactory,
+{
+    type Mailbox<M> = BTreeMap<u32, Vec<DeliveredMsg<M>>>;
+    let config = schedule.config();
+    let n = config.n();
+    let mut processes: Vec<F::Process> = (0..n).map(|i| factory.build(i, proposals[i])).collect();
+    let mut decisions: Vec<Option<Decision>> = vec![None; n];
+    let mut pending: Vec<Mailbox<<F::Process as RoundProcess>::Msg>> = vec![BTreeMap::new(); n];
+    let mut rounds_executed = 0;
+    for k in 1..=horizon {
+        let round = Round::new(k);
+        rounds_executed = k;
+        for sender in config.processes() {
+            if !schedule.alive_entering(sender, round) {
+                continue;
+            }
+            let msg = processes[sender.index()].send(round);
+            for receiver in config.processes() {
+                if !schedule.alive_entering(receiver, round) {
+                    continue;
+                }
+                let arrival = match schedule.fate(round, sender, receiver) {
+                    MessageFate::Deliver => k,
+                    MessageFate::Delay(a) => a.get(),
+                    MessageFate::Lose => continue,
+                };
+                pending[receiver.index()].entry(arrival).or_default().push(DeliveredMsg {
+                    sender,
+                    sent_round: round,
+                    msg: msg.clone(),
+                });
+            }
+        }
+        for receiver in config.processes() {
+            if !schedule.completes(receiver, round) {
+                continue;
+            }
+            let mut arrived = pending[receiver.index()].remove(&k).unwrap_or_default();
+            arrived.sort_by_key(|m| (m.sent_round, m.sender));
+            let delivery = Delivery::new(round, arrived);
+            if let Step::Decide(value) = processes[receiver.index()].deliver(round, &delivery) {
+                if decisions[receiver.index()].is_none() {
+                    decisions[receiver.index()] =
+                        Some(Decision { process: receiver, round, value });
+                }
+            }
+        }
+        let halted = config
+            .processes()
+            .filter(|&p| schedule.completes(p, round))
+            .all(|p| decisions[p.index()].is_some());
+        if halted {
+            break;
+        }
+    }
+    RunOutcome {
+        proposals: proposals.to_vec(),
+        decisions,
+        crashed: schedule.faulty(),
+        rounds_executed,
+    }
 }
 
 proptest! {
@@ -123,6 +206,67 @@ proptest! {
             assert!(seen.insert(format!("{s:?}")), "duplicate schedule");
             ControlFlow::Continue(())
         });
+    }
+
+    /// The flat-ring engine is outcome-identical to the reference
+    /// `BTreeMap`-mailbox executor on random eventually-synchronous
+    /// schedules — crashes, losses and delayed arrivals included.
+    #[test]
+    fn ring_engine_matches_reference_on_delayed_schedules(
+        seed in any::<u64>(),
+        n in 3usize..8,
+        crash_frac in 0usize..3,
+        sync_from in 2u32..11,
+        props in proptest::collection::vec(0u64..50, 8),
+    ) {
+        let t = (n - 1) / 2;
+        prop_assume!(t >= 1);
+        let config = SystemConfig::majority(n, t).unwrap();
+        let proposals: Vec<Value> = props[..n].iter().copied().map(Value::new).collect();
+        let schedule = random_run(
+            config,
+            ModelKind::Es,
+            RandomRunParams::eventually_synchronous(crash_frac.min(t), 5, sync_from),
+            40,
+            seed,
+        );
+        let factory = probe_factory(sync_from + 2);
+        let engine = run_schedule(&factory, &proposals, &schedule, 40).unwrap();
+        let reference = reference_run(&factory, &proposals, &schedule, 40);
+        prop_assert_eq!(engine, reference);
+    }
+
+    /// Long delay spans force the ring mailbox to grow and its head to
+    /// lap the buffer repeatedly; arrivals across the wrap boundary must
+    /// land exactly where the reference executor lands them.
+    #[test]
+    fn ring_engine_matches_reference_across_wrap_boundary(
+        span in 2u32..12,
+        target in 0usize..4,
+        stride in 1usize..4,
+        props in proptest::collection::vec(0u64..50, 4),
+    ) {
+        let config = SystemConfig::majority(4, 1).unwrap();
+        let proposals: Vec<Value> = props.iter().copied().map(Value::new).collect();
+        let mut builder =
+            ScheduleBuilder::new(config, ModelKind::Es).sync_from(Round::new(14));
+        // One delayed message per round 1..=12 toward `target`, arriving
+        // `span` rounds later: the 1-slot ring grows once, then wraps
+        // every lap while fresh delays keep landing ahead of the head.
+        for k in 1..=12u32 {
+            let sender = (target + 1 + (k as usize * stride) % 3) % 4;
+            builder = builder.delay(
+                Round::new(k),
+                ProcessId::new(sender),
+                ProcessId::new(target),
+                Round::new(k + span),
+            );
+        }
+        let schedule = builder.build(40).unwrap();
+        let factory = probe_factory(30);
+        let engine = run_schedule(&factory, &proposals, &schedule, 40).unwrap();
+        let reference = reference_run(&factory, &proposals, &schedule, 40);
+        prop_assert_eq!(engine, reference);
     }
 
     /// Schedules built via the fluent builder round-trip their crash

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Warn (non-fatally) when sweep throughput regresses against the baseline.
+
+Usage: perf_guard.py BASELINE.json FRESH.json [--threshold 0.15]
+
+Compares the `incremental-serial` schedules/second of a freshly measured
+`BENCH_sweep.json` against the committed baseline. A drop larger than the
+threshold emits a GitHub Actions `::warning::` annotation (and a plain
+line for local runs) but always exits 0: CI runners' throughput is noisy,
+so the guard flags trajectories for a human instead of failing builds.
+"""
+
+import json
+import sys
+
+
+def rate(path: str, backend: str = "incremental-serial") -> float:
+    with open(path, encoding="utf-8") as f:
+        data = json.load(f)
+    for row in data["backends"]:
+        if row["name"] == backend:
+            return float(row["schedules_per_second"])
+    raise KeyError(f"{path}: no backend named {backend!r}")
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    baseline_path, fresh_path = argv[1], argv[2]
+    threshold = 0.15
+    if "--threshold" in argv:
+        threshold = float(argv[argv.index("--threshold") + 1])
+
+    baseline = rate(baseline_path)
+    fresh = rate(fresh_path)
+    change = (fresh - baseline) / baseline
+    verdict = "improved" if change >= 0 else "regressed"
+    print(
+        f"incremental-serial: baseline {baseline:,.0f} -> fresh {fresh:,.0f} "
+        f"schedules/s ({verdict} {abs(change):.1%}, warn threshold {threshold:.0%})"
+    )
+    if change < -threshold:
+        print(
+            f"::warning title=sweep throughput regression::incremental-serial "
+            f"dropped {abs(change):.1%} vs the committed BENCH_sweep.json "
+            f"({baseline:,.0f} -> {fresh:,.0f} schedules/s). Runner noise is "
+            f"common; investigate if this persists across runs."
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
