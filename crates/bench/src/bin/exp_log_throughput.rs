@@ -1,0 +1,290 @@
+//! L1 — replicated-log throughput: commands/second of the
+//! `indulgent-log` service over the threaded session substrate, across
+//! batch size × pipeline depth × crash/asynchrony scenarios.
+//!
+//! Each slot runs `A_{t+2}` with the Fig. 4 failure-free optimization, so
+//! a healthy instance decides globally at round 2; the network applies a
+//! uniform per-message latency, making rounds latency-bound — the regime
+//! where batching (more commands per instance) and pipelining
+//! (overlapping instance rounds) pay off as real wall-clock throughput.
+//!
+//! Before anything is timed, the harness refuses to publish numbers for a
+//! broken log (mirroring `sweep_throughput`'s identical-report gate):
+//!
+//! * every scenario — including the crash and asynchronous-prefix chaos
+//!   runs — must satisfy the full log invariant suite (per-slot
+//!   agreement/validity, identical decided logs on all correct replicas,
+//!   exactly-once commands);
+//! * a crash scenario executed on both substrates must yield the *same*
+//!   decided log on the threaded runtime as on the deterministic
+//!   simulator;
+//! * a sweep of seeded chaos scenarios (fanned over the worker pool with
+//!   `--threads N`) must pass the invariants on the simulator substrate.
+//!
+//! Emits machine-readable `BENCH_log.json` (override the path with
+//! `BENCH_LOG_JSON`, `0` skips the file) with per-scenario
+//! commands/second plus the batching and pipelining speedups over the
+//! `batch=1, depth=1` baseline; CI uploads it and the warn-only perf
+//! guard diffs it against the committed baseline.
+//!
+//! ```text
+//! cargo run --release --bin exp_log_throughput -- --instances 200 --threads 4
+//! ```
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use indulgent_bench::{render_table, sweep_backend_from_args};
+use indulgent_log::{
+    run_log_session, run_log_sim, AsyncPrefix, ClientFrontend, IntakePolicy, LogConfig, LogReport,
+    LogScenario, NetProfile,
+};
+use indulgent_model::{Round, SystemConfig};
+use indulgent_sim::pooled_map_indexed;
+
+/// One measured batching/pipelining/chaos combination.
+struct Scenario {
+    name: &'static str,
+    batch_size: usize,
+    depth: u64,
+    kind: Kind,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Kind {
+    FailureFree,
+    Crash,
+    AsyncPrefix,
+}
+
+const SCENARIOS: &[Scenario] = &[
+    Scenario { name: "batch1-depth1", batch_size: 1, depth: 1, kind: Kind::FailureFree },
+    Scenario { name: "batch8-depth1", batch_size: 8, depth: 1, kind: Kind::FailureFree },
+    Scenario { name: "batch1-depth4", batch_size: 1, depth: 4, kind: Kind::FailureFree },
+    Scenario { name: "batch8-depth4", batch_size: 8, depth: 4, kind: Kind::FailureFree },
+    Scenario { name: "batch8-depth4-crash", batch_size: 8, depth: 4, kind: Kind::Crash },
+    Scenario { name: "batch8-depth4-async", batch_size: 8, depth: 4, kind: Kind::AsyncPrefix },
+];
+
+fn scenario_of(kind: Kind, n: usize, instances: u64) -> LogScenario {
+    match kind {
+        Kind::FailureFree => LogScenario::failure_free(n),
+        // Two permanent crashes (t = 2): one mid-protocol, one mid-run.
+        Kind::Crash => LogScenario::failure_free(n).crash(1, 2, Round::new(2)).crash(
+            3,
+            (instances / 2).max(1),
+            Round::FIRST,
+        ),
+        Kind::AsyncPrefix => LogScenario::failure_free(n).with_asynchrony(AsyncPrefix {
+            until_instance: (instances / 4).max(2),
+            sync_from: 4,
+            probability: 0.3,
+            seed: 42,
+        }),
+    }
+}
+
+fn workload(n: usize, batch_size: usize, instances: u64) -> ClientFrontend {
+    let mut frontend = ClientFrontend::new(n, batch_size).with_intake(IntakePolicy::Shared);
+    frontend.submit_all(0..instances * batch_size as u64);
+    frontend
+}
+
+fn run_scenario(config: SystemConfig, s: &Scenario, instances: u64, net: NetProfile) -> LogReport {
+    let log_config =
+        LogConfig::sequential(instances).with_batch_size(s.batch_size).with_pipeline_depth(s.depth);
+    run_log_session(
+        config,
+        log_config,
+        scenario_of(s.kind, config.n(), instances),
+        workload(config.n(), s.batch_size, instances),
+        net,
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let backend = sweep_backend_from_args(args.iter().cloned());
+    let instances = args
+        .iter()
+        .position(|a| a == "--instances")
+        .map(|i| args[i + 1].parse::<u64>().expect("usage: --instances N (N >= 1)"))
+        .unwrap_or(60)
+        .max(1);
+
+    let config = SystemConfig::majority(5, 2).expect("valid config");
+    let net = NetProfile {
+        grace: Duration::from_millis(2),
+        base_delays: indulgent_runtime::DelayModel::Instant,
+        chaos_delay: Duration::from_millis(8),
+    }
+    .with_uniform_latency(Duration::from_micros(500));
+
+    // ── Validation gate (nothing is timed until all of this passes) ──
+    // 1. Every scenario satisfies the log invariants end to end.
+    for s in SCENARIOS {
+        let report = run_scenario(config, s, instances, net);
+        report.check().unwrap_or_else(|e| panic!("{}: log invariants violated: {e}", s.name));
+        if s.kind == Kind::FailureFree {
+            assert_eq!(
+                report.committed_commands,
+                instances * s.batch_size as u64,
+                "{}: a failure-free shared-intake run commits everything",
+                s.name
+            );
+        }
+    }
+    // 2. Crash chaos is value-identical across the two substrates.
+    {
+        let diff_instances = instances.min(24);
+        let s = &SCENARIOS[4];
+        let log_config = LogConfig::sequential(diff_instances)
+            .with_batch_size(s.batch_size)
+            .with_pipeline_depth(s.depth);
+        let scenario = scenario_of(Kind::Crash, config.n(), diff_instances);
+        let sim = run_log_sim(
+            config,
+            log_config,
+            scenario.clone(),
+            workload(config.n(), s.batch_size, diff_instances),
+        );
+        let session = run_log_session(
+            config,
+            log_config,
+            scenario,
+            workload(config.n(), s.batch_size, diff_instances),
+            net,
+        );
+        assert_eq!(
+            sim.decided_values, session.decided_values,
+            "runtime log decisions diverged from the simulator on the crash scenario"
+        );
+        assert_eq!(sim.canonical, session.canonical, "applied logs diverged across substrates");
+    }
+    // 3. Seeded chaos sweep on the simulator substrate (pooled workers).
+    let chaos_seeds = 8u64;
+    let violations: u64 = pooled_map_indexed(chaos_seeds, backend, |seed| {
+        let scenario = LogScenario::failure_free(config.n())
+            .crash((seed % 5) as usize, seed % 3 + 1, Round::new((seed % 2 + 1) as u32))
+            .with_asynchrony(AsyncPrefix {
+                until_instance: 4,
+                sync_from: 4,
+                probability: 0.35,
+                seed,
+            });
+        let report = run_log_sim(
+            config,
+            LogConfig::sequential(10).with_batch_size(2).with_pipeline_depth(2),
+            scenario,
+            workload(config.n(), 2, 10),
+        );
+        u64::from(report.check().is_err())
+    })
+    .into_iter()
+    .sum();
+    assert_eq!(violations, 0, "seeded chaos sweep violated the log invariants");
+    println!(
+        "validation gate passed: {} scenarios, cross-substrate crash differential, {chaos_seeds} chaos seeds\n",
+        SCENARIOS.len()
+    );
+
+    // ── Timed runs ──
+    let mut rows = Vec::new();
+    for s in SCENARIOS {
+        let mut best: Option<(Duration, u64)> = None;
+        for _ in 0..3 {
+            let start = Instant::now();
+            let report = run_scenario(config, s, instances, net);
+            let elapsed = start.elapsed();
+            report.check().expect("timed run stays invariant-clean");
+            if best.is_none_or(|(b, _)| elapsed < b) {
+                best = Some((elapsed, report.committed_commands));
+            }
+        }
+        let (elapsed, committed) = best.expect("three timed runs");
+        let rate = committed as f64 / elapsed.as_secs_f64();
+        rows.push((s, elapsed, committed, rate));
+    }
+
+    let rate_of = |name: &str| {
+        rows.iter().find(|(s, ..)| s.name == name).map(|&(_, _, _, r)| r).expect("scenario timed")
+    };
+    let baseline = rate_of("batch1-depth1");
+    let batching_speedup = rate_of("batch8-depth1") / baseline;
+    let pipelining_speedup = rate_of("batch1-depth4") / baseline;
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(s, elapsed, committed, rate)| {
+            vec![
+                s.name.to_owned(),
+                s.batch_size.to_string(),
+                s.depth.to_string(),
+                committed.to_string(),
+                format!("{:.1}", elapsed.as_secs_f64() * 1e3),
+                format!("{rate:.0}"),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &format!("L1 — replicated-log throughput (n=5, t=2, {instances} instances)"),
+            &["scenario", "batch", "depth", "committed", "ms", "commands/s"],
+            &table,
+        )
+    );
+    println!("batching speedup (batch 8 vs 1): {batching_speedup:.2}x");
+    println!("pipelining speedup (depth 4 vs 1): {pipelining_speedup:.2}x");
+    assert!(batching_speedup > 1.0, "batching must improve commands/s over the baseline");
+    assert!(pipelining_speedup > 1.0, "pipelining must improve commands/s over the baseline");
+
+    emit_json(instances, &rows, batching_speedup, pipelining_speedup);
+}
+
+/// Writes `BENCH_log.json` at the workspace root (like
+/// `sweep_throughput`'s `BENCH_sweep.json`); `BENCH_LOG_JSON` overrides
+/// the path, `0` skips the file.
+#[allow(clippy::type_complexity)]
+fn emit_json(
+    instances: u64,
+    rows: &[(&Scenario, Duration, u64, f64)],
+    batching_speedup: f64,
+    pipelining_speedup: f64,
+) {
+    let path = std::env::var("BENCH_LOG_JSON")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_log.json").into());
+    if path == "0" {
+        return;
+    }
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"log_throughput\",\n");
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"n\": 5, \"t\": 2, \"instances\": {instances}, \"max_rounds\": 60}},"
+    );
+    let _ = writeln!(json, "  \"batching_speedup\": {batching_speedup:.3},");
+    let _ = writeln!(json, "  \"pipelining_speedup\": {pipelining_speedup:.3},");
+    json.push_str("  \"scenarios\": [\n");
+    for (i, (s, elapsed, committed, rate)) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"batch_size\": {}, \"pipeline_depth\": {}, \"committed_commands\": {}, \"seconds\": {:.6}, \"commands_per_second\": {:.1}}}",
+            s.name,
+            s.batch_size,
+            s.depth,
+            committed,
+            elapsed.as_secs_f64(),
+            rate
+        );
+        json.push_str(if i + 1 == rows.len() { "\n" } else { ",\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+    print!("{json}");
+}

@@ -60,6 +60,15 @@ impl AfPlus2 {
         self.est
     }
 
+    /// Rewinds the automaton for the next consensus instance of a
+    /// multi-shot (replicated-log) execution: a fresh run proposing
+    /// `proposal`.
+    pub fn reset_instance(&mut self, proposal: Value) {
+        self.est = proposal;
+        self.decided = None;
+        self.reported = false;
+    }
+
     fn decide(&mut self, v: Value) -> Step {
         if self.decided.is_none() {
             self.decided = Some(v);

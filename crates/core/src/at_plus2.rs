@@ -153,6 +153,27 @@ impl<C: UnderlyingConsensus, D: FailureDetector> AtPlus2<C, D> {
         self
     }
 
+    /// Rewinds the automaton for the next consensus instance of a
+    /// multi-shot (replicated-log) execution: a fresh run proposing
+    /// `proposal`, with every per-instance field cleared but all buffer
+    /// capacity (the pooled sub-delivery scratch) retained.
+    ///
+    /// The suspicion source is kept as-is: message-absence (`Derived`)
+    /// suspicions are stateless, which is what the log drivers use. The
+    /// `optimize_ff` flag survives the reset, so a log chaining
+    /// failure-free-optimized instances keeps the round-2 fast decision in
+    /// every instance.
+    pub fn reset_instance(&mut self, proposal: Value) {
+        self.est = proposal;
+        self.halt = ProcessSet::empty();
+        self.vc = proposal;
+        self.underlying.reset();
+        self.underlying_proposed = false;
+        self.decided = None;
+        self.reported = false;
+        self.sub_scratch.reset(Round::FIRST);
+    }
+
     /// The current `Halt` set (processes involved in suspicions with this
     /// process).
     #[must_use]

@@ -137,6 +137,15 @@ impl UnderlyingConsensus for RotatingCoordinator {
         self.ts = 0;
     }
 
+    fn reset(&mut self) {
+        self.est = Value::ZERO;
+        self.ts = 0;
+        self.pick = None;
+        self.adopted = None;
+        self.decided = None;
+        self.reported = false;
+    }
+
     fn send(&mut self, round: Round) -> RcMsg {
         if let Some(v) = self.decided {
             return RcMsg::Decide(v);

@@ -29,8 +29,19 @@ pub trait UnderlyingConsensus: Clone {
     /// The message type exchanged by this algorithm.
     type Msg: Clone + std::fmt::Debug;
 
-    /// Fixes the proposal. Called exactly once, before the first `send`.
+    /// Fixes the proposal. Called exactly once, before the first `send`
+    /// (or once per instance after a [`reset`](UnderlyingConsensus::reset)).
     fn propose(&mut self, value: Value);
+
+    /// Rewinds the algorithm to its pre-[`propose`](UnderlyingConsensus::propose)
+    /// state, keeping configuration (and any buffer capacity) intact.
+    ///
+    /// This is the *instance-reset hook* used by the multi-shot replicated
+    /// log: chaining consensus instances reuses one automaton per process
+    /// instead of rebuilding it, so per-instance startup allocates nothing.
+    /// After `reset`, the lifecycle restarts: one `propose`, then rounds
+    /// from local round 1.
+    fn reset(&mut self);
 
     /// The message broadcast in local round `round`.
     fn send(&mut self, round: Round) -> Self::Msg;
@@ -122,6 +133,10 @@ impl<C: UnderlyingConsensus> UnderlyingConsensus for Delayed<C> {
         self.inner.propose(value);
     }
 
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+
     fn send(&mut self, round: Round) -> Option<C::Msg> {
         if round.get() <= self.delay {
             None
@@ -172,6 +187,10 @@ mod tests {
 
         fn propose(&mut self, value: Value) {
             self.value = Some(value);
+        }
+
+        fn reset(&mut self) {
+            self.value = None;
         }
 
         fn send(&mut self, round: Round) -> u8 {

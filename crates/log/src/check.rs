@@ -1,0 +1,310 @@
+//! The total-order invariant checker for completed log runs.
+//!
+//! A replicated log owes its clients four guarantees, checked here
+//! directly on a [`LogReport`]:
+//!
+//! 1. **Per-slot agreement** — no two replicas decide a slot differently
+//!    (uniform: crashed replicas' decisions count);
+//! 2. **Per-slot validity** — every decided value was proposed for that
+//!    slot;
+//! 3. **Total order / identical logs** — every correct replica decided
+//!    every slot, and all correct replicas' applied logs are identical
+//!    (and equal to the driver's canonical log);
+//! 4. **Exactly-once commands** — no duplication (no batch applied
+//!    twice, no `Duplicate` entry at all under the driver's proposal
+//!    policy) and no loss of acknowledged commands (every applied batch
+//!    is known to the dissemination layer, and every command of an
+//!    applied batch is committed exactly once).
+
+use std::collections::HashSet;
+use std::fmt;
+
+use indulgent_model::{AppliedEntry, BatchId, CommandId, Decision, ProcessId};
+
+use crate::driver::LogReport;
+
+/// A violated log invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogViolation {
+    /// Two replicas decided slot `instance` differently.
+    Agreement {
+        /// The slot (1-based instance id).
+        instance: u64,
+        /// One decision.
+        a: Decision,
+        /// A conflicting decision.
+        b: Decision,
+    },
+    /// A slot decided a value nobody proposed for it.
+    Validity {
+        /// The slot.
+        instance: u64,
+        /// The offending decision.
+        decision: Decision,
+    },
+    /// A correct replica never decided a slot.
+    Termination {
+        /// The slot.
+        instance: u64,
+        /// The undecided correct replica.
+        replica: ProcessId,
+    },
+    /// A correct replica's applied log differs from the canonical log.
+    LogMismatch {
+        /// The diverging replica.
+        replica: ProcessId,
+    },
+    /// A slot applied a batch already applied earlier (the proposal
+    /// policy must make this impossible).
+    Duplicate {
+        /// 0-based slot offset in the canonical log.
+        slot: usize,
+        /// The twice-chosen batch.
+        batch: BatchId,
+    },
+    /// An applied batch is unknown to the dissemination layer.
+    UnknownBatch {
+        /// The unknown batch id.
+        batch: BatchId,
+    },
+    /// A command was acknowledged more than once across applied batches.
+    DuplicatedCommand {
+        /// The twice-committed command.
+        command: CommandId,
+    },
+    /// The report's committed-command count disagrees with the applied
+    /// batches.
+    CommittedCountMismatch {
+        /// Count claimed by the report.
+        reported: u64,
+        /// Count recomputed from the applied batches.
+        recomputed: u64,
+    },
+}
+
+impl fmt::Display for LogViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogViolation::Agreement { instance, a, b } => write!(
+                f,
+                "slot {instance}: {} decided {} but {} decided {}",
+                a.process, a.value, b.process, b.value
+            ),
+            LogViolation::Validity { instance, decision } => write!(
+                f,
+                "slot {instance}: {} decided unproposed value {}",
+                decision.process, decision.value
+            ),
+            LogViolation::Termination { instance, replica } => {
+                write!(f, "slot {instance}: correct replica {replica} never decided")
+            }
+            LogViolation::LogMismatch { replica } => {
+                write!(f, "correct replica {replica}'s applied log diverges from the canonical log")
+            }
+            LogViolation::Duplicate { slot, batch } => {
+                write!(f, "canonical slot offset {slot} re-applied batch {batch}")
+            }
+            LogViolation::UnknownBatch { batch } => {
+                write!(f, "applied batch {batch} is unknown to the dissemination layer")
+            }
+            LogViolation::DuplicatedCommand { command } => {
+                write!(f, "command {command} committed more than once")
+            }
+            LogViolation::CommittedCountMismatch { reported, recomputed } => {
+                write!(f, "report claims {reported} committed commands, applied batches hold {recomputed}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LogViolation {}
+
+impl LogReport {
+    /// Checks every log invariant (see the module docs); returns the
+    /// first violation found.
+    ///
+    /// # Errors
+    ///
+    /// The violated invariant.
+    pub fn check(&self) -> Result<(), LogViolation> {
+        let n = self.logs.len();
+        // 1 + 2: per-slot agreement and validity.
+        for (idx, row) in self.decisions.iter().enumerate() {
+            let instance = idx as u64 + 1;
+            let mut deciders = row.iter().flatten();
+            if let Some(first) = deciders.next() {
+                for d in deciders {
+                    if d.value != first.value {
+                        return Err(LogViolation::Agreement { instance, a: *first, b: *d });
+                    }
+                }
+            }
+            for d in row.iter().flatten() {
+                if !self.proposals[idx].contains(&d.value) {
+                    return Err(LogViolation::Validity { instance, decision: *d });
+                }
+            }
+        }
+
+        // 3: every correct replica decided every slot, and applied the
+        // canonical log.
+        for r in 0..n {
+            let replica = ProcessId::new(r);
+            if self.crashed.contains(replica) {
+                continue;
+            }
+            for (idx, row) in self.decisions.iter().enumerate() {
+                if row[r].is_none() {
+                    return Err(LogViolation::Termination { instance: idx as u64 + 1, replica });
+                }
+            }
+            if self.logs[r] != self.canonical {
+                return Err(LogViolation::LogMismatch { replica });
+            }
+        }
+
+        // 4: exactly-once commands.
+        for (slot, entry) in self.canonical.entries().iter().enumerate() {
+            if let AppliedEntry::Duplicate(batch) = entry {
+                return Err(LogViolation::Duplicate { slot, batch: *batch });
+            }
+        }
+        let mut committed: u64 = 0;
+        let mut seen = HashSet::new();
+        for batch in self.canonical.applied_batches() {
+            let Some(content) = self.frontend.batch(batch) else {
+                return Err(LogViolation::UnknownBatch { batch });
+            };
+            for c in &content.commands {
+                if !seen.insert(c.id) {
+                    return Err(LogViolation::DuplicatedCommand { command: c.id });
+                }
+                committed += 1;
+            }
+        }
+        if committed != self.committed_commands {
+            return Err(LogViolation::CommittedCountMismatch {
+                reported: self.committed_commands,
+                recomputed: committed,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use indulgent_model::{Round, Value};
+
+    use super::*;
+    use crate::driver::{DecidedLog, LogConfig};
+    use crate::frontend::ClientFrontend;
+
+    /// A hand-built healthy 2-slot report for 3 replicas.
+    fn healthy() -> LogReport {
+        let mut frontend = ClientFrontend::new(3, 1);
+        frontend.submit_all(0..2);
+        let d = |r: usize, v: u64| {
+            Some(Decision {
+                process: ProcessId::new(r),
+                round: Round::new(2),
+                value: Value::new(v),
+            })
+        };
+        let mut canonical = DecidedLog::new();
+        canonical.apply(BatchId(0));
+        canonical.apply(BatchId(1));
+        LogReport {
+            config: LogConfig::sequential(2),
+            proposals: vec![
+                vec![Value::new(0), Value::new(1), Value::new(2)],
+                vec![Value::new(3), Value::new(1), Value::new(2)],
+            ],
+            decisions: vec![vec![d(0, 0), d(1, 0), d(2, 0)], vec![d(0, 1), d(1, 1), d(2, 1)]],
+            decided_values: vec![Some(Value::new(0)), Some(Value::new(1))],
+            logs: vec![canonical.clone(), canonical.clone(), canonical.clone()],
+            canonical,
+            committed_commands: 2,
+            noop_slots: 0,
+            duplicate_slots: 0,
+            crashed: indulgent_model::ProcessSet::empty(),
+            frontend,
+        }
+    }
+
+    #[test]
+    fn healthy_report_passes() {
+        healthy().check().unwrap();
+    }
+
+    #[test]
+    fn agreement_violation_detected() {
+        let mut report = healthy();
+        report.decisions[1][2] = Some(Decision {
+            process: ProcessId::new(2),
+            round: Round::new(2),
+            value: Value::new(2),
+        });
+        assert!(matches!(report.check(), Err(LogViolation::Agreement { instance: 2, .. })));
+    }
+
+    #[test]
+    fn validity_violation_detected() {
+        let mut report = healthy();
+        report.proposals[0] = vec![Value::new(9), Value::new(9), Value::new(9)];
+        assert!(matches!(report.check(), Err(LogViolation::Validity { instance: 1, .. })));
+    }
+
+    #[test]
+    fn termination_violation_detected() {
+        let mut report = healthy();
+        report.decisions[0][1] = None;
+        assert_eq!(
+            report.check(),
+            Err(LogViolation::Termination { instance: 1, replica: ProcessId::new(1) })
+        );
+        // Unless the replica crashed, in which case the hole is fine —
+        // but its log then diverges, so drop its log comparison too.
+        report.crashed.insert(ProcessId::new(1));
+        report.logs[1] = DecidedLog::new();
+        report.check().unwrap();
+    }
+
+    #[test]
+    fn log_mismatch_detected() {
+        let mut report = healthy();
+        report.logs[2] = DecidedLog::new();
+        assert_eq!(report.check(), Err(LogViolation::LogMismatch { replica: ProcessId::new(2) }));
+    }
+
+    #[test]
+    fn duplicate_slot_detected() {
+        let mut report = healthy();
+        // Force a duplicate into the canonical log and mirror it in every
+        // replica's log so the mismatch check does not fire first.
+        report.canonical.apply(BatchId(0));
+        report.proposals.push(vec![Value::new(0); 3]);
+        report.decisions.push(report.decisions[0].clone());
+        for log in &mut report.logs {
+            log.apply(BatchId(0));
+        }
+        assert_eq!(report.check(), Err(LogViolation::Duplicate { slot: 2, batch: BatchId(0) }));
+    }
+
+    #[test]
+    fn unknown_batch_detected() {
+        let mut report = healthy();
+        report.frontend = ClientFrontend::new(3, 1); // forget the batches
+        assert_eq!(report.check(), Err(LogViolation::UnknownBatch { batch: BatchId(0) }));
+    }
+
+    #[test]
+    fn committed_count_mismatch_detected() {
+        let mut report = healthy();
+        report.committed_commands = 5;
+        assert_eq!(
+            report.check(),
+            Err(LogViolation::CommittedCountMismatch { reported: 5, recomputed: 2 })
+        );
+    }
+}

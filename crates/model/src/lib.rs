@@ -11,7 +11,10 @@
 //! * [`Delivery`] and [`RoundProcess`] — the send/receive round automaton
 //!   interface every algorithm implements;
 //! * [`RunOutcome`] — executor-independent run results with checking of the
-//!   consensus properties (validity, uniform agreement, termination).
+//!   consensus properties (validity, uniform agreement, termination);
+//! * [`Command`], [`Batch`], [`AppliedEntry`] — the multi-shot vocabulary
+//!   of the `indulgent-log` replicated-log subsystem, which chains
+//!   consensus instances into an agreed sequence of command batches.
 //!
 //! # The two models
 //!
@@ -69,6 +72,7 @@
 #![forbid(unsafe_code)]
 
 mod automaton;
+mod command;
 mod config;
 mod message;
 mod outcome;
@@ -77,6 +81,7 @@ mod round;
 mod value;
 
 pub use automaton::{ProcessFactory, RoundProcess, Step};
+pub use command::{AppliedEntry, Batch, BatchId, Command, CommandId, LogIndex};
 pub use config::{ConfigError, Resilience, SystemConfig};
 pub use message::{DeliveredMsg, Delivery};
 pub use outcome::{ConsensusViolation, Decision, RunOutcome};

@@ -14,8 +14,40 @@
 //! simulator run here unchanged, which is the point: `quickstart` decisions
 //! in the simulator carry over to a racing, multi-threaded execution. Use
 //! [`DelayModel::AsyncUntil`] to inject an asynchronous prefix (false
-//! suspicions) and [`NetworkConfig::crash`] to crash processes at chosen
+//! suspicions) and [`InstanceSpec::crash`] to crash processes at chosen
 //! rounds.
+//!
+//! # Sessions: reusable threads, pipelined instances
+//!
+//! The runtime's unit of reuse is a [`Session`]: `n` worker threads and
+//! their channels, spawned **once** and kept alive across any number of
+//! consensus instances. [`Session::start_instance`] hands each worker an
+//! automaton and a per-instance [`InstanceSpec`] (crash rounds, delay
+//! model, round budget); results stream back per replica as
+//! [`ReplicaResult`]s. Multiple instances may be in flight at once — every
+//! message is tagged with its instance, and each worker interleaves the
+//! round protocols of all its active instances in one event loop. This is
+//! the substrate of the `indulgent-log` replicated-log subsystem: a
+//! pipelined log keeps a window of instances running concurrently and
+//! pays thread/channel setup exactly once, instead of per decision the
+//! way the old one-shot entry point did.
+//!
+//! [`run_network`] survives as the one-shot convenience wrapper: a fresh
+//! session, one instance, a [`NetReport`].
+//!
+//! # Crash semantics
+//!
+//! Crashes are *logical*, defined against the per-instance round clock: a
+//! spec entry `crash at round r` means the worker participates in rounds
+//! `< r` of that instance and is silent from round `r` on — exactly the
+//! simulator's `crash_before_send`. With pipelined instances a permanent
+//! replica crash is expressed by crashing the replica at its chosen
+//! `(instance, round)` and at round 1 of every later instance; because
+//! the crash point of each instance is fixed logically rather than by
+//! wall-clock coincidence, crash-only log executions remain
+//! deterministically comparable to the simulator's multi-shot executor at
+//! any pipeline depth (the `indulgent-log` differential tests rely on
+//! this).
 //!
 //! This substrate replaces the tokio-style network harness a reproduction
 //! might otherwise reach for: round-based algorithms need no async I/O, so
@@ -26,12 +58,12 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
-use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use indulgent_model::{
     Decision, DeliveredMsg, Delivery, ProcessFactory, ProcessId, ProcessSet, Round, RoundProcess,
     RunOutcome, Step, SystemConfig, Value,
@@ -41,6 +73,7 @@ use indulgent_model::{
 #[derive(Debug, Clone)]
 struct Envelope<M> {
     sender: ProcessId,
+    instance: u64,
     sent_round: Round,
     deliver_at: Instant,
     msg: M,
@@ -51,6 +84,15 @@ struct Envelope<M> {
 pub enum DelayModel {
     /// Deliver instantly (a synchronous network).
     Instant,
+    /// Every message between distinct processes takes `delay` to arrive —
+    /// a uniform network RTT. Rounds become latency-bound (nobody is
+    /// suspected: all messages arrive together, within the quorum wait),
+    /// which is the regime where pipelining consensus instances pays:
+    /// the log throughput bench uses this as its realistic network.
+    Uniform {
+        /// One-way latency applied to every non-self message.
+        delay: Duration,
+    },
     /// Before `until_round`, each message is independently delayed by
     /// `delay` with probability `probability` (deterministically derived
     /// from `seed` and the message coordinates); from `until_round` on the
@@ -73,21 +115,12 @@ impl DelayModel {
     fn delay_for(&self, round: Round, from: ProcessId, to: ProcessId) -> Duration {
         match *self {
             DelayModel::Instant => Duration::ZERO,
+            DelayModel::Uniform { delay } => delay,
             DelayModel::AsyncUntil { until_round, delay, probability, seed } => {
                 if round.get() >= until_round {
                     return Duration::ZERO;
                 }
-                // Deterministic per-edge coin flip (splitmix64).
-                let mut x = seed
-                    ^ (u64::from(round.get()) << 32)
-                    ^ ((from.index() as u64) << 16)
-                    ^ (to.index() as u64);
-                x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
-                x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-                x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-                x ^= x >> 31;
-                let unit = (x >> 11) as f64 / (1u64 << 53) as f64;
-                if unit < probability {
+                if edge_coin(seed, round.get(), from, to) < probability {
                     delay
                 } else {
                     Duration::ZERO
@@ -97,7 +130,25 @@ impl DelayModel {
     }
 }
 
-/// Configuration of a networked run.
+/// Deterministic per-edge coin in `[0, 1)` (splitmix64) over a message's
+/// `(seed, round, sender, receiver)` coordinates.
+///
+/// This is the randomness source of [`DelayModel::AsyncUntil`], exported
+/// so other adversaries built on the same coordinates (e.g. the
+/// `indulgent-log` simulator substrate's seeded delay schedules) share
+/// one construction instead of drifting copies.
+#[must_use]
+pub fn edge_coin(seed: u64, round: u32, from: ProcessId, to: ProcessId) -> f64 {
+    let mut x =
+        seed ^ (u64::from(round) << 32) ^ ((from.index() as u64) << 16) ^ (to.index() as u64);
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Configuration of a one-shot networked run (see [`run_network`]).
 #[derive(Debug, Clone)]
 pub struct NetworkConfig {
     /// Grace period waited for stragglers after the `n - t` quorum of
@@ -141,7 +192,55 @@ impl NetworkConfig {
     }
 }
 
-/// Outcome of a networked run.
+/// Per-instance parameters handed to [`Session::start_instance`].
+#[derive(Debug, Clone)]
+pub struct InstanceSpec {
+    /// Crash round per replica for *this* instance (`Round::FIRST` =
+    /// crashed from the start; `None` = correct throughout). Logical
+    /// semantics: the replica is silent in this instance from its crash
+    /// round on, matching the simulator's `crash_before_send`.
+    pub crashes: Vec<Option<Round>>,
+    /// The delay model for this instance's messages.
+    pub delays: DelayModel,
+    /// Hard bound on rounds executed per replica; a replica reaching it
+    /// undecided reports `None`.
+    pub max_rounds: u32,
+}
+
+impl InstanceSpec {
+    /// A synchronous, crash-free instance for `config`.
+    #[must_use]
+    pub fn synchronous(config: SystemConfig) -> Self {
+        InstanceSpec {
+            crashes: vec![None; config.n()],
+            delays: DelayModel::Instant,
+            max_rounds: 200,
+        }
+    }
+
+    /// Crashes `process` at the start of `round` of this instance.
+    #[must_use]
+    pub fn crash(mut self, process: ProcessId, round: Round) -> Self {
+        self.crashes[process.index()] = Some(round);
+        self
+    }
+
+    /// Sets the delay model.
+    #[must_use]
+    pub fn with_delays(mut self, delays: DelayModel) -> Self {
+        self.delays = delays;
+        self
+    }
+
+    /// Sets the per-replica round budget.
+    #[must_use]
+    pub fn with_max_rounds(mut self, max_rounds: u32) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+}
+
+/// Outcome of a one-shot networked run.
 #[derive(Debug, Clone)]
 pub struct NetReport {
     /// The consensus outcome (decisions are tagged with the *round* in
@@ -151,29 +250,649 @@ pub struct NetReport {
     pub elapsed: Duration,
 }
 
-/// Tracks which processes have finished (decided or crashed); everyone
-/// keeps relaying until the mask is full so no process is stranded.
+/// One replica's terminal report for one instance, streamed back to the
+/// session owner: its first decision (or `None` if it crashed or ran out
+/// of rounds undecided) and the last round it executed.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplicaResult {
+    /// The instance this result belongs to.
+    pub instance: u64,
+    /// The reporting replica.
+    pub replica: ProcessId,
+    /// The replica's first decision, if it reached one.
+    pub decision: Option<Decision>,
+    /// The last round the replica executed when it reported.
+    pub last_round: u32,
+}
+
+/// All `n` replica results of one instance, assembled by
+/// [`Session::wait_instance`].
+#[derive(Debug, Clone)]
+pub struct InstanceReport {
+    /// The instance id.
+    pub instance: u64,
+    /// First decision per replica (index = replica id).
+    pub decisions: Vec<Option<Decision>>,
+    /// Highest round any replica executed before reporting.
+    pub rounds_executed: u32,
+}
+
+/// Tracks, per instance, which replicas have finished (decided, crashed,
+/// or exhausted their round budget); workers retire an instance — and
+/// stop relaying its decisions — once every replica is accounted for.
+///
+/// Entries are evicted once every worker has *observed* the full mask
+/// (one retire acknowledgement per worker), so a long-lived session's
+/// registry stays bounded by the in-flight window instead of growing
+/// with every instance ever run.
 #[derive(Debug)]
-struct DoneMask {
-    bits: AtomicU64,
+struct DoneRegistry {
+    n: usize,
     full: u64,
+    /// instance -> (finished-replica mask, retire acknowledgements).
+    masks: Mutex<HashMap<u64, (u64, usize)>>,
 }
 
-impl DoneMask {
+impl DoneRegistry {
     fn new(n: usize) -> Self {
-        DoneMask { bits: AtomicU64::new(0), full: if n == 64 { u64::MAX } else { (1 << n) - 1 } }
+        DoneRegistry {
+            n,
+            full: if n == 64 { u64::MAX } else { (1 << n) - 1 },
+            masks: Mutex::new(HashMap::new()),
+        }
     }
 
-    fn mark(&self, p: ProcessId) {
-        self.bits.fetch_or(1 << p.index(), Ordering::SeqCst);
+    fn mark(&self, instance: u64, p: ProcessId) {
+        let mut masks = self.masks.lock().expect("registry poisoned");
+        masks.entry(instance).or_insert((0, 0)).0 |= 1 << p.index();
     }
 
-    fn all_done(&self) -> bool {
-        self.bits.load(Ordering::SeqCst) == self.full
+    /// Whether every replica finished `instance`; a `true` answer counts
+    /// as the calling worker's retire acknowledgement (each worker asks
+    /// again only until it gets `true`), and the n-th acknowledgement
+    /// evicts the entry. A worker's own `mark` precedes its
+    /// acknowledgement, so eviction cannot race a late finisher.
+    fn is_done_ack(&self, instance: u64) -> bool {
+        let mut masks = self.masks.lock().expect("registry poisoned");
+        let Some(entry) = masks.get_mut(&instance) else { return false };
+        if entry.0 != self.full {
+            return false;
+        }
+        entry.1 += 1;
+        if entry.1 == self.n {
+            masks.remove(&instance);
+        }
+        true
     }
 }
 
-/// Runs `factory`-built automatons over real threads and channels.
+/// A worker's set of locally retired instances, bounded by the
+/// out-of-order retirement window: a watermark covers the dense prefix
+/// (instance ids are handed out from 1), a small set holds the gaps.
+#[derive(Debug, Default)]
+struct RetiredSet {
+    /// Every instance `<= below` is retired.
+    below: u64,
+    /// Retired instances above the watermark.
+    above: HashSet<u64>,
+}
+
+impl RetiredSet {
+    fn insert(&mut self, instance: u64) {
+        self.above.insert(instance);
+        while self.above.remove(&(self.below + 1)) {
+            self.below += 1;
+        }
+    }
+
+    fn contains(&self, instance: u64) -> bool {
+        instance <= self.below || self.above.contains(&instance)
+    }
+}
+
+/// What a worker streams back to the session owner: replica results in
+/// the normal case, a poison marker if the worker thread panics (sent
+/// from the sentinel's unwind path so waiters fail loudly instead of
+/// blocking forever).
+#[derive(Debug)]
+enum WorkerEvent {
+    Result(ReplicaResult),
+    Panicked(ProcessId),
+}
+
+/// Reports a worker panic to the session owner on unwind.
+struct PanicSentinel {
+    id: ProcessId,
+    events_tx: Sender<WorkerEvent>,
+}
+
+impl Drop for PanicSentinel {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            let _ = self.events_tx.send(WorkerEvent::Panicked(self.id));
+        }
+    }
+}
+
+/// The per-instance job handed to a worker thread.
+struct Job<P> {
+    instance: u64,
+    process: P,
+    crash_round: Option<Round>,
+    delays: DelayModel,
+    max_rounds: u32,
+}
+
+impl<P> std::fmt::Debug for Job<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Job").field("instance", &self.instance).finish_non_exhaustive()
+    }
+}
+
+/// A pool of `n` replica threads and their channels, reusable across any
+/// number of (possibly concurrent) consensus instances.
+///
+/// Spawning threads and channels is the expensive part of a networked
+/// run; a `Session` pays it once. Instances are started with
+/// [`start_instance`](Session::start_instance) and complete independently;
+/// results stream back through [`next_result`](Session::next_result) /
+/// [`wait_instance`](Session::wait_instance) /
+/// [`wait_decision`](Session::wait_decision). Dropping the session shuts
+/// the workers down and joins them.
+///
+/// # Examples
+///
+/// ```
+/// use indulgent_consensus::{AtPlus2, RotatingCoordinator};
+/// use indulgent_model::{ProcessId, Round, SystemConfig, Value};
+/// use indulgent_runtime::{InstanceSpec, Session};
+///
+/// let cfg = SystemConfig::majority(5, 2)?;
+/// let mut session = Session::new(cfg);
+/// let spec = InstanceSpec::synchronous(cfg);
+/// // Two back-to-back instances on the same threads.
+/// for proposals in [[6u64, 2, 8, 4, 7], [9, 9, 1, 9, 9]] {
+///     let processes = (0..5)
+///         .map(|i| {
+///             let id = ProcessId::new(i);
+///             AtPlus2::new(cfg, id, Value::new(proposals[i]), RotatingCoordinator::new(cfg, id))
+///         })
+///         .collect();
+///     let instance = session.start_instance(processes, &spec);
+///     let report = session.wait_instance(instance);
+///     assert!(report.decisions.iter().all(Option::is_some));
+/// }
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Session<P: RoundProcess> {
+    config: SystemConfig,
+    job_txs: Vec<Sender<Job<P>>>,
+    results_rx: Receiver<WorkerEvent>,
+    shutdown: Arc<AtomicBool>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    next_instance: u64,
+    /// Results received but not yet consumed, grouped by instance.
+    collected: HashMap<u64, Vec<ReplicaResult>>,
+}
+
+impl<P> Session<P>
+where
+    P: RoundProcess + Send + 'static,
+    P::Msg: Send + 'static,
+{
+    /// Spawns the session's `n` worker threads with the default grace
+    /// window of [`NetworkConfig::synchronous`].
+    #[must_use]
+    pub fn new(config: SystemConfig) -> Self {
+        Self::with_grace(config, Duration::from_millis(4))
+    }
+
+    /// Spawns the session's worker threads with an explicit straggler
+    /// grace window (see [`NetworkConfig::grace`]).
+    #[must_use]
+    pub fn with_grace(config: SystemConfig, grace: Duration) -> Self {
+        let n = config.n();
+        let quorum = config.quorum();
+        let mut peer_txs = Vec::with_capacity(n);
+        let mut peer_rxs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            peer_txs.push(tx);
+            peer_rxs.push(Some(rx));
+        }
+        let peer_txs = Arc::new(peer_txs);
+        let registry = Arc::new(DoneRegistry::new(n));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (results_tx, results_rx) = unbounded();
+
+        let mut job_txs = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for (i, peer_rx) in peer_rxs.iter_mut().enumerate() {
+            let (job_tx, job_rx) = unbounded();
+            job_txs.push(job_tx);
+            let ctx = WorkerCtx {
+                id: ProcessId::new(i),
+                job_rx,
+                peer_rx: peer_rx.take().expect("receiver taken once"),
+                peer_txs: Arc::clone(&peer_txs),
+                results_tx: results_tx.clone(),
+                registry: Arc::clone(&registry),
+                shutdown: Arc::clone(&shutdown),
+                grace,
+                quorum,
+                n,
+            };
+            handles.push(std::thread::spawn(move || worker(ctx)));
+        }
+
+        Session {
+            config,
+            job_txs,
+            results_rx,
+            shutdown,
+            handles,
+            next_instance: 1,
+            collected: HashMap::new(),
+        }
+    }
+
+    /// The session's system configuration.
+    #[must_use]
+    pub fn config(&self) -> SystemConfig {
+        self.config
+    }
+
+    /// Starts the next consensus instance: one automaton per replica plus
+    /// the instance's crash/delay/budget spec. Returns the instance id
+    /// (monotonic from 1). The call never blocks; any number of instances
+    /// may be in flight concurrently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `processes.len() != n` or a worker thread has exited.
+    pub fn start_instance(&mut self, processes: Vec<P>, spec: &InstanceSpec) -> u64 {
+        assert_eq!(processes.len(), self.config.n(), "one automaton per replica required");
+        assert_eq!(spec.crashes.len(), self.config.n(), "one crash slot per replica required");
+        let instance = self.next_instance;
+        self.next_instance += 1;
+        for (i, process) in processes.into_iter().enumerate() {
+            let job = Job {
+                instance,
+                process,
+                crash_round: spec.crashes[i],
+                delays: spec.delays,
+                max_rounds: spec.max_rounds,
+            };
+            self.job_txs[i].send(job).expect("worker thread exited");
+        }
+        instance
+    }
+
+    /// Receives one worker event, propagating worker panics to the
+    /// session owner (mirroring the old joined-thread behavior).
+    fn recv_result(&mut self) -> ReplicaResult {
+        match self.results_rx.recv() {
+            Ok(WorkerEvent::Result(r)) => r,
+            Ok(WorkerEvent::Panicked(id)) => panic!("worker thread {id} panicked"),
+            Err(_) => panic!("workers exited with results outstanding"),
+        }
+    }
+
+    /// Receives the next replica result from any in-flight instance,
+    /// blocking until one arrives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panicked, or if every worker exited with
+    /// results still outstanding.
+    pub fn next_result(&mut self) -> ReplicaResult {
+        self.recv_result()
+    }
+
+    /// Blocks until the first *decision* of `instance` is known and
+    /// returns it, buffering results of other instances. Returns `None`
+    /// only if all `n` replicas reported without any deciding (crashes +
+    /// exhausted budgets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panicked.
+    pub fn wait_decision(&mut self, instance: u64) -> Option<Decision> {
+        loop {
+            let results = self.collected.entry(instance).or_default();
+            if let Some(d) = results.iter().find_map(|r| r.decision) {
+                return Some(d);
+            }
+            if results.len() == self.config.n() {
+                return None;
+            }
+            let r = self.recv_result();
+            self.collected.entry(r.instance).or_default().push(r);
+        }
+    }
+
+    /// Blocks until all `n` replicas of `instance` have reported and
+    /// assembles the instance report, buffering results of other
+    /// instances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panicked.
+    pub fn wait_instance(&mut self, instance: u64) -> InstanceReport {
+        loop {
+            if self.collected.get(&instance).is_some_and(|rs| rs.len() == self.config.n()) {
+                let results = self.collected.remove(&instance).expect("present");
+                let mut decisions = vec![None; self.config.n()];
+                let mut rounds_executed = 0;
+                for r in &results {
+                    decisions[r.replica.index()] = r.decision;
+                    rounds_executed = rounds_executed.max(r.last_round);
+                }
+                return InstanceReport { instance, decisions, rounds_executed };
+            }
+            let r = self.recv_result();
+            self.collected.entry(r.instance).or_default().push(r);
+        }
+    }
+}
+
+impl<P: RoundProcess> Drop for Session<P> {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.job_txs.clear(); // disconnect the job channels
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Everything a worker thread owns.
+struct WorkerCtx<P: RoundProcess> {
+    id: ProcessId,
+    job_rx: Receiver<Job<P>>,
+    peer_rx: Receiver<Envelope<P::Msg>>,
+    peer_txs: Arc<Vec<Sender<Envelope<P::Msg>>>>,
+    results_tx: Sender<WorkerEvent>,
+    registry: Arc<DoneRegistry>,
+    shutdown: Arc<AtomicBool>,
+    grace: Duration,
+    quorum: usize,
+    n: usize,
+}
+
+impl<P: RoundProcess> std::fmt::Debug for WorkerCtx<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerCtx").field("id", &self.id).finish_non_exhaustive()
+    }
+}
+
+/// One instance's protocol state inside a worker: a small state machine
+/// advanced opportunistically by the event loop.
+struct ActiveInstance<P: RoundProcess> {
+    instance: u64,
+    process: P,
+    crash_round: Option<Round>,
+    delays: DelayModel,
+    max_rounds: u32,
+    /// Round currently executing.
+    round: u32,
+    /// Whether this round's send phase has run.
+    sent: bool,
+    /// When the `n - t` quorum for the current round was first observed.
+    quorum_at: Option<Instant>,
+    decision: Option<Decision>,
+    /// Result sent to the session owner.
+    reported: bool,
+    /// Stopped participating (crashed or budget exhausted); waiting for
+    /// the instance to retire globally.
+    halted: bool,
+    last_round: u32,
+}
+
+type Mailbox<M> = BTreeMap<u32, Vec<DeliveredMsg<M>>>;
+
+fn activate<P: RoundProcess>(job: Job<P>) -> ActiveInstance<P> {
+    ActiveInstance {
+        instance: job.instance,
+        process: job.process,
+        crash_round: job.crash_round,
+        delays: job.delays,
+        max_rounds: job.max_rounds,
+        round: 1,
+        sent: false,
+        quorum_at: None,
+        decision: None,
+        reported: false,
+        halted: false,
+        last_round: 0,
+    }
+}
+
+fn worker<P: RoundProcess>(ctx: WorkerCtx<P>) {
+    // If anything below panics, tell the session owner on unwind so its
+    // blocking waits fail loudly instead of hanging.
+    let _sentinel = PanicSentinel { id: ctx.id, events_tx: ctx.results_tx.clone() };
+    let mut active: Vec<ActiveInstance<P>> = Vec::new();
+    // Messages whose injected delay has not elapsed yet (any instance).
+    let mut in_flight: Vec<Envelope<P::Msg>> = Vec::new();
+    // Arrived messages, keyed by instance then by the round they were
+    // sent in. Entries may exist before the instance's job arrives (a
+    // faster peer started it first).
+    let mut mailboxes: HashMap<u64, Mailbox<P::Msg>> = HashMap::new();
+    // Instances this worker has fully retired; stragglers are dropped.
+    let mut retired = RetiredSet::default();
+    let mut jobs_closed = false;
+
+    loop {
+        if ctx.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+
+        // Accept new instances.
+        loop {
+            match ctx.job_rx.try_recv() {
+                Ok(job) => active.push(activate(job)),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    jobs_closed = true;
+                    break;
+                }
+            }
+        }
+
+        // Promote ripe in-flight messages into the mailboxes.
+        let now = Instant::now();
+        let mut i = 0;
+        while i < in_flight.len() {
+            if in_flight[i].deliver_at <= now {
+                let e = in_flight.swap_remove(i);
+                if !retired.contains(e.instance) {
+                    mailboxes
+                        .entry(e.instance)
+                        .or_default()
+                        .entry(e.sent_round.get())
+                        .or_default()
+                        .push(DeliveredMsg {
+                            sender: e.sender,
+                            sent_round: e.sent_round,
+                            msg: e.msg,
+                        });
+                }
+            } else {
+                i += 1;
+            }
+        }
+
+        // Advance every active instance as far as it can go.
+        for inst in &mut active {
+            advance_instance(&ctx, inst, mailboxes.entry(inst.instance).or_default());
+        }
+
+        // Retire instances that are globally done (or locally halted and
+        // globally done): free their mailboxes and drop future
+        // stragglers. The registry lock is only taken for instances this
+        // worker has already finished locally.
+        active.retain(|inst| {
+            let gone =
+                (inst.halted || inst.decision.is_some()) && ctx.registry.is_done_ack(inst.instance);
+            if gone {
+                mailboxes.remove(&inst.instance);
+                retired.insert(inst.instance);
+            }
+            !gone
+        });
+
+        if jobs_closed && active.is_empty() {
+            return;
+        }
+
+        if active.is_empty() && in_flight.is_empty() {
+            // Idle: nothing can progress until the next job (peer
+            // messages for not-yet-started instances simply queue in the
+            // channel). Park on the job channel instead of spinning on
+            // the wire; a new job wakes the worker immediately, the
+            // timeout only bounds how long a shutdown goes unnoticed.
+            match ctx.job_rx.recv_timeout(Duration::from_millis(25)) {
+                Ok(job) => active.push(activate(job)),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => jobs_closed = true,
+            }
+            continue;
+        }
+
+        // Pull from the wire (or idle briefly).
+        match ctx.peer_rx.recv_timeout(Duration::from_micros(300)) {
+            Ok(e) => {
+                if e.deliver_at <= Instant::now() {
+                    if !retired.contains(e.instance) {
+                        mailboxes
+                            .entry(e.instance)
+                            .or_default()
+                            .entry(e.sent_round.get())
+                            .or_default()
+                            .push(DeliveredMsg {
+                                sender: e.sender,
+                                sent_round: e.sent_round,
+                                msg: e.msg,
+                            });
+                    }
+                } else {
+                    in_flight.push(e);
+                }
+            }
+            Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => {}
+        }
+    }
+}
+
+/// Runs one instance's protocol forward: send if due, deliver every round
+/// whose quorum-plus-grace condition is met, repeat until the instance
+/// blocks on the network (or halts).
+fn advance_instance<P: RoundProcess>(
+    ctx: &WorkerCtx<P>,
+    inst: &mut ActiveInstance<P>,
+    mailbox: &mut Mailbox<P::Msg>,
+) {
+    while !inst.halted {
+        let k = inst.round;
+        if !inst.sent {
+            // Logical crash: silent in this instance from the crash round
+            // on (the simulator's `crash_before_send`).
+            if inst.crash_round.is_some_and(|c| k >= c.get()) {
+                halt_and_report(ctx, inst);
+                return;
+            }
+            if k > inst.max_rounds {
+                halt_and_report(ctx, inst);
+                return;
+            }
+            let round = Round::new(k);
+            let msg = inst.process.send(round);
+            let now = Instant::now();
+            for (j, tx) in ctx.peer_txs.iter().enumerate() {
+                let to = ProcessId::new(j);
+                let delay = if to == ctx.id {
+                    Duration::ZERO
+                } else {
+                    inst.delays.delay_for(round, ctx.id, to)
+                };
+                // Receivers may have exited; ignore closed channels.
+                let _ = tx.send(Envelope {
+                    sender: ctx.id,
+                    instance: inst.instance,
+                    sent_round: round,
+                    deliver_at: now + delay,
+                    msg: msg.clone(),
+                });
+            }
+            inst.sent = true;
+            inst.quorum_at = None;
+        }
+
+        // Receive phase: the round completes once all `n` current-round
+        // messages arrived, or the `n - t` quorum plus the grace window.
+        let current = mailbox.get(&k).map_or(0, Vec::len);
+        let ready = if current >= ctx.n {
+            true
+        } else if current >= ctx.quorum {
+            let entered = *inst.quorum_at.get_or_insert_with(Instant::now);
+            entered.elapsed() >= ctx.grace
+        } else {
+            false
+        };
+        if !ready {
+            return;
+        }
+
+        // Deliver everything sent in rounds <= k that has arrived.
+        let round = Round::new(k);
+        let ready_rounds: Vec<u32> = mailbox.range(..=k).map(|(&r, _)| r).collect();
+        let mut batch: Vec<DeliveredMsg<P::Msg>> = Vec::new();
+        for r in ready_rounds {
+            batch.extend(mailbox.remove(&r).unwrap_or_default());
+        }
+        batch.sort_by_key(|m| (m.sent_round, m.sender));
+        let delivery = Delivery::new(round, batch);
+        let step = inst.process.deliver(round, &delivery);
+        inst.last_round = k;
+        if let Step::Decide(value) = step {
+            if inst.decision.is_none() {
+                inst.decision = Some(Decision { process: ctx.id, round, value });
+                ctx.registry.mark(inst.instance, ctx.id);
+                report(ctx, inst);
+            }
+        }
+        inst.round += 1;
+        inst.sent = false;
+    }
+}
+
+/// Stops the instance locally (crash or exhausted budget), reporting its
+/// terminal state if it has not reported yet.
+fn halt_and_report<P: RoundProcess>(ctx: &WorkerCtx<P>, inst: &mut ActiveInstance<P>) {
+    inst.halted = true;
+    ctx.registry.mark(inst.instance, ctx.id);
+    report(ctx, inst);
+}
+
+/// Sends the replica's result for this instance to the session owner
+/// (at most once).
+fn report<P: RoundProcess>(ctx: &WorkerCtx<P>, inst: &mut ActiveInstance<P>) {
+    if inst.reported {
+        return;
+    }
+    inst.reported = true;
+    let _ = ctx.results_tx.send(WorkerEvent::Result(ReplicaResult {
+        instance: inst.instance,
+        replica: ctx.id,
+        decision: inst.decision,
+        last_round: inst.last_round,
+    }));
+}
+
+/// Runs `factory`-built automatons over real threads and channels: a
+/// fresh [`Session`], one instance, joined on completion.
 ///
 /// Every process broadcasts one message per round (including to itself,
 /// instantly), waits for the `n - t` quorum of current-round messages plus
@@ -197,176 +916,29 @@ where
     F::Process: Send + 'static,
 {
     assert_eq!(proposals.len(), config.n(), "one proposal per process required");
-    let n = config.n();
-    let quorum = config.quorum();
     let start = Instant::now();
-
-    let mut senders: Vec<Sender<Envelope<<F::Process as RoundProcess>::Msg>>> =
-        Vec::with_capacity(n);
-    #[allow(clippy::type_complexity)]
-    let mut receivers: Vec<Option<Receiver<Envelope<<F::Process as RoundProcess>::Msg>>>> =
-        Vec::with_capacity(n);
-    for _ in 0..n {
-        let (tx, rx) = unbounded();
-        senders.push(tx);
-        receivers.push(Some(rx));
-    }
-    let senders = Arc::new(senders);
-    let done = Arc::new(DoneMask::new(n));
-    let delays = net.delays;
-    let grace = net.grace;
-    let max_rounds = net.max_rounds;
-
-    let mut handles = Vec::with_capacity(n);
-    for i in 0..n {
-        let id = ProcessId::new(i);
-        let mut process = factory.build(i, proposals[i]);
-        let rx = receivers[i].take().expect("receiver taken once");
-        let senders = Arc::clone(&senders);
-        let done = Arc::clone(&done);
-        let crash_round = net.crashes[i];
-        handles.push(std::thread::spawn(move || {
-            worker(
-                id,
-                &mut process,
-                rx,
-                &senders,
-                &done,
-                crash_round,
-                delays,
-                grace,
-                quorum,
-                n,
-                max_rounds,
-            )
-        }));
-    }
-
-    let mut decisions: Vec<Option<Decision>> = vec![None; n];
-    let mut rounds_executed = 0;
-    for (i, h) in handles.into_iter().enumerate() {
-        let (decision, last_round) = h.join().expect("worker thread panicked");
-        decisions[i] = decision;
-        rounds_executed = rounds_executed.max(last_round);
-    }
+    let mut session = Session::with_grace(config, net.grace);
+    let processes: Vec<F::Process> =
+        (0..config.n()).map(|i| factory.build(i, proposals[i])).collect();
+    let spec = InstanceSpec {
+        crashes: net.crashes.clone(),
+        delays: net.delays,
+        max_rounds: net.max_rounds,
+    };
+    let instance = session.start_instance(processes, &spec);
+    let report = session.wait_instance(instance);
 
     let crashed: ProcessSet =
         config.processes().filter(|p| net.crashes[p.index()].is_some()).collect();
     NetReport {
-        outcome: RunOutcome { proposals: proposals.to_vec(), decisions, crashed, rounds_executed },
+        outcome: RunOutcome {
+            proposals: proposals.to_vec(),
+            decisions: report.decisions,
+            crashed,
+            rounds_executed: report.rounds_executed,
+        },
         elapsed: start.elapsed(),
     }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn worker<P: RoundProcess>(
-    id: ProcessId,
-    process: &mut P,
-    rx: Receiver<Envelope<P::Msg>>,
-    senders: &[Sender<Envelope<P::Msg>>],
-    done: &DoneMask,
-    crash_round: Option<Round>,
-    delays: DelayModel,
-    grace: Duration,
-    quorum: usize,
-    n: usize,
-    max_rounds: u32,
-) -> (Option<Decision>, u32) {
-    // Messages that have "arrived" (deliver_at reached), keyed by the round
-    // they were sent in; delivered to the automaton once the local round
-    // reaches them.
-    let mut arrived: BTreeMap<u32, Vec<DeliveredMsg<P::Msg>>> = BTreeMap::new();
-    // Messages whose injected delay has not elapsed yet.
-    let mut in_flight: Vec<Envelope<P::Msg>> = Vec::new();
-    let mut decision: Option<Decision> = None;
-    let mut last_round = 0;
-
-    for k in 1..=max_rounds {
-        let round = Round::new(k);
-        if crash_round == Some(round) {
-            done.mark(id);
-            return (decision, last_round);
-        }
-        last_round = k;
-
-        // Send phase: broadcast (self-delivery is instantaneous).
-        let msg = process.send(round);
-        let now = Instant::now();
-        for (j, tx) in senders.iter().enumerate() {
-            let to = ProcessId::new(j);
-            let delay = if to == id { Duration::ZERO } else { delays.delay_for(round, id, to) };
-            // Receivers may have exited; ignore closed channels.
-            let _ = tx.send(Envelope {
-                sender: id,
-                sent_round: round,
-                deliver_at: now + delay,
-                msg: msg.clone(),
-            });
-        }
-
-        // Receive phase: wait for the quorum of round-k messages, then the
-        // grace window.
-        let mut quorum_at: Option<Instant> = None;
-        loop {
-            let now = Instant::now();
-            // Promote ripe in-flight messages.
-            let mut i = 0;
-            while i < in_flight.len() {
-                if in_flight[i].deliver_at <= now {
-                    let e = in_flight.swap_remove(i);
-                    arrived.entry(e.sent_round.get()).or_default().push(DeliveredMsg {
-                        sender: e.sender,
-                        sent_round: e.sent_round,
-                        msg: e.msg,
-                    });
-                } else {
-                    i += 1;
-                }
-            }
-            let current = arrived.get(&k).map_or(0, Vec::len);
-            if current >= n {
-                break;
-            }
-            if current >= quorum {
-                let entered = *quorum_at.get_or_insert(now);
-                if now.duration_since(entered) >= grace {
-                    break;
-                }
-            }
-            // Pull from the wire.
-            match rx.recv_timeout(Duration::from_micros(300)) {
-                Ok(e) => in_flight.push(e),
-                Err(RecvTimeoutError::Timeout) => {
-                    // If everyone is done we may be waiting for ghosts.
-                    if done.all_done() {
-                        break;
-                    }
-                }
-                Err(RecvTimeoutError::Disconnected) => break,
-            }
-        }
-
-        // Deliver everything sent in rounds <= k that has arrived.
-        let ready_rounds: Vec<u32> = arrived.range(..=k).map(|(&r, _)| r).collect();
-        let mut batch: Vec<DeliveredMsg<P::Msg>> = Vec::new();
-        for r in ready_rounds {
-            batch.extend(arrived.remove(&r).unwrap_or_default());
-        }
-        batch.sort_by_key(|m| (m.sent_round, m.sender));
-        let delivery = Delivery::new(round, batch);
-        if let Step::Decide(value) = process.deliver(round, &delivery) {
-            if decision.is_none() {
-                decision = Some(Decision { process: id, round, value });
-                done.mark(id);
-            }
-        }
-
-        if done.all_done() {
-            break;
-        }
-    }
-    done.mark(id); // In case we hit max_rounds undecided.
-    (decision, last_round)
 }
 
 #[cfg(test)]
@@ -460,10 +1032,150 @@ mod tests {
     }
 
     #[test]
+    fn uniform_delay_applies_to_every_round() {
+        let m = DelayModel::Uniform { delay: Duration::from_millis(3) };
+        for k in [1u32, 7, 100] {
+            assert_eq!(
+                m.delay_for(Round::new(k), ProcessId::new(0), ProcessId::new(1)),
+                Duration::from_millis(3)
+            );
+        }
+    }
+
+    #[test]
     fn wall_clock_is_reported() {
         let config = cfg();
         let net = NetworkConfig::synchronous(config);
         let report = run_network(config, &at_factory(config), &vals(&[1, 1, 1, 1, 1]), &net);
         assert!(report.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn session_reuses_threads_across_instances() {
+        let config = cfg();
+        let mut session = Session::new(config);
+        let spec = InstanceSpec::synchronous(config);
+        for (expected, proposals) in
+            [(2u64, [6u64, 2, 8, 4, 7]), (1, [9, 9, 1, 9, 9]), (3, [3, 5, 7, 9, 11])]
+        {
+            let processes = (0..config.n())
+                .map(|i| {
+                    let id = ProcessId::new(i);
+                    AtPlus2::new(
+                        config,
+                        id,
+                        Value::new(proposals[i]),
+                        RotatingCoordinator::new(config, id),
+                    )
+                })
+                .collect();
+            let instance = session.start_instance(processes, &spec);
+            let report = session.wait_instance(instance);
+            for d in report.decisions.iter() {
+                assert_eq!(d.expect("decided").value, Value::new(expected));
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_instances_complete_concurrently() {
+        let config = cfg();
+        let mut session = Session::new(config);
+        let spec = InstanceSpec::synchronous(config);
+        let mut ids = Vec::new();
+        for base in 0..4u64 {
+            let processes = (0..config.n())
+                .map(|i| {
+                    let id = ProcessId::new(i);
+                    AtPlus2::new(
+                        config,
+                        id,
+                        Value::new(base * 10 + i as u64),
+                        RotatingCoordinator::new(config, id),
+                    )
+                })
+                .collect();
+            ids.push(session.start_instance(processes, &spec));
+        }
+        // Instances decide independently; each decides its own minimum.
+        for (base, id) in ids.into_iter().enumerate() {
+            let d = session.wait_decision(id).expect("decided");
+            assert_eq!(d.value, Value::new(base as u64 * 10));
+            let report = session.wait_instance(id);
+            for d in report.decisions.iter().flatten() {
+                assert_eq!(d.value, Value::new(base as u64 * 10));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "worker thread p2 panicked")]
+    fn worker_panic_propagates_to_waiters() {
+        // An automaton that panics mid-protocol must not hang the
+        // session's blocking waits; the poison marker surfaces it.
+        #[derive(Debug, Clone)]
+        struct Bomb(ProcessId);
+        impl RoundProcess for Bomb {
+            type Msg = ();
+            fn send(&mut self, _round: Round) {}
+            fn deliver(&mut self, _round: Round, _delivery: &Delivery<()>) -> Step {
+                assert_ne!(self.0, ProcessId::new(2), "boom");
+                Step::Continue
+            }
+        }
+        let config = cfg();
+        let mut session = Session::new(config);
+        let processes = (0..config.n()).map(|i| Bomb(ProcessId::new(i))).collect();
+        let spec = InstanceSpec::synchronous(config).with_max_rounds(5);
+        let instance = session.start_instance(processes, &spec);
+        let _ = session.wait_instance(instance);
+    }
+
+    #[test]
+    fn retired_set_watermark_absorbs_in_order_and_gaps() {
+        let mut r = RetiredSet::default();
+        r.insert(2);
+        assert!(r.contains(2));
+        assert!(!r.contains(1));
+        r.insert(1);
+        assert_eq!(r.below, 2);
+        assert!(r.above.is_empty(), "dense prefix collapses into the watermark");
+        r.insert(4);
+        r.insert(3);
+        assert_eq!(r.below, 4);
+        assert!(r.contains(3) && r.contains(4) && !r.contains(5));
+    }
+
+    #[test]
+    fn per_instance_crashes_are_isolated() {
+        // The same replica crashes in instance 1 but participates fully in
+        // instance 2 — crash scope is the instance, not the session.
+        let config = cfg();
+        let mut session = Session::new(config);
+        let build = |proposals: [u64; 5]| {
+            (0..config.n())
+                .map(|i| {
+                    let id = ProcessId::new(i);
+                    AtPlus2::new(
+                        config,
+                        id,
+                        Value::new(proposals[i]),
+                        RotatingCoordinator::new(config, id),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        let crashing = InstanceSpec::synchronous(config).crash(ProcessId::new(1), Round::new(2));
+        let first = session.start_instance(build([6, 2, 8, 4, 7]), &crashing);
+        let clean = InstanceSpec::synchronous(config);
+        let second = session.start_instance(build([6, 2, 8, 4, 7]), &clean);
+
+        let r1 = session.wait_instance(first);
+        assert!(r1.decisions[1].is_none(), "crashed replica must not decide");
+        for d in r1.decisions.iter().flatten() {
+            assert_eq!(d.value, Value::new(2));
+        }
+        let r2 = session.wait_instance(second);
+        assert!(r2.decisions.iter().all(Option::is_some), "instance 2 is crash-free");
     }
 }

@@ -115,6 +115,16 @@ impl<M> RingMailbox<M> {
         self.head = (self.head + 1) % self.slots.len();
     }
 
+    /// Empties every slot, keeping the ring's span and each buffer's
+    /// capacity — the multi-shot instance reset: the next instance starts
+    /// with clean mailboxes but a warm ring.
+    fn clear_all(&mut self) {
+        for slot in &mut self.slots {
+            slot.clear();
+        }
+        self.head = 0;
+    }
+
     /// Re-bases the ring at `head = 0` with at least `min_slots` slots,
     /// preserving every buffer (and its capacity) at its logical offset.
     fn grow(&mut self, min_slots: usize) {
@@ -350,6 +360,39 @@ impl<P: RoundProcess> RunState<P> {
     #[must_use]
     pub fn rounds_executed(&self) -> u32 {
         self.rounds_executed
+    }
+
+    /// Rewinds the state to round 0 for the next instance of a multi-shot
+    /// execution, keeping every allocation warm: mailbox rings keep their
+    /// span and buffer capacity, the step scratch stays hot, and the
+    /// automatons are re-fitted in place by `reset` (typically an
+    /// instance-reset hook such as `AtPlus2::reset_instance`) instead of
+    /// being rebuilt. After the call the state is indistinguishable — up
+    /// to buffer capacity — from a fresh [`RunState::new`] whose factory
+    /// produced the reset automatons.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecutorError::ProposalCountMismatch`] if
+    /// `proposals.len()` differs from the state's process count.
+    pub fn reset_instance(
+        &mut self,
+        proposals: &[Value],
+        mut reset: impl FnMut(usize, &mut P, Value),
+    ) -> Result<(), ExecutorError> {
+        check_run_inputs(self.processes.len(), proposals)?;
+        for (i, p) in self.processes.iter_mut().enumerate() {
+            reset(i, p, proposals[i]);
+        }
+        for d in &mut self.decisions {
+            *d = None;
+        }
+        for ring in &mut self.pending {
+            ring.clear_all();
+        }
+        self.rounds_executed = 0;
+        self.halted = false;
+        Ok(())
     }
 
     /// Returns `true` once every process completing the last executed

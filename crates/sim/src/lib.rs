@@ -25,6 +25,10 @@
 //!   parallel execution (`INDULGENT_SWEEP_BACKEND` in the environment
 //!   flips every default sweep); merged results are identical regardless
 //!   of thread count, which pushes exhaustive sweeps to `n = 7, t = 2`;
+//! * [`multishot`] — the multi-shot executor: chained consensus instances
+//!   on one recycled [`RunState`] (instance-reset hooks instead of
+//!   rebuilds), the simulator substrate of the `indulgent-log`
+//!   replicated-log subsystem;
 //! * [`incremental`] — the prefix-sharing sweep: enumeration fused with
 //!   execution. [`for_each_serial_run`] walks the serial-schedule tree
 //!   executing each shared prefix exactly once, forking [`RunState`]
@@ -70,6 +74,7 @@ mod builder;
 mod executor;
 pub mod fd_sim;
 pub mod incremental;
+pub mod multishot;
 pub mod parallel;
 pub mod random;
 mod schedule;
@@ -84,6 +89,7 @@ pub use fd_sim::ScheduleDetector;
 pub use incremental::{
     for_each_serial_run, for_each_serial_run_extension, sweep_run_extensions, sweep_runs,
 };
+pub use multishot::MultiShotRunner;
 pub use parallel::{
     pooled_map_indexed, sweep_count, sweep_extensions, sweep_schedules, SweepBackend,
     SWEEP_BACKEND_ENV,

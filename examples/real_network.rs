@@ -1,62 +1,115 @@
-//! Run `A_{t+2}` over real threads and channels: a synchronous network
-//! first, then one with an asynchronous prefix causing false suspicions.
-//! The same automaton code that runs under the deterministic simulator
-//! races here against wall-clock timeouts.
+//! Run `A_{t+2}` over real threads and channels — a manual chaos probe.
+//!
+//! One reusable [`Session`] (threads and channels spawned once) runs
+//! three consensus instances back to back: a synchronous network, one
+//! with a mid-protocol crash, and one with an asynchronous prefix causing
+//! false suspicions. The same automaton code that runs under the
+//! deterministic simulator races here against wall-clock timeouts.
+//!
+//! Flags make it a probe for arbitrary configurations:
 //!
 //! ```text
-//! cargo run --example real_network
+//! cargo run --release --example real_network -- --n 7 --t 3 --async-until 6 --seed 11
 //! ```
+//!
+//! * `--n N` / `--t T` — system size and resilience (`t < n/2`);
+//! * `--async-until R` — the asynchronous prefix lasts until round `R`;
+//! * `--seed S` — seed for the prefix's delay coin flips.
 
 use std::time::Duration;
 
 use indulgent_consensus::{AtPlus2, RotatingCoordinator};
 use indulgent_model::{ProcessId, Round, SystemConfig, Value};
-use indulgent_runtime::{run_network, DelayModel, NetworkConfig};
+use indulgent_runtime::{DelayModel, InstanceSpec, Session};
+
+fn flag(args: &[String], name: &str, default: u64) -> u64 {
+    args.iter()
+        .position(|a| a == name)
+        .map(|i| {
+            args.get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("usage: {name} <integer>"))
+        })
+        .unwrap_or(default)
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let cfg = SystemConfig::majority(5, 2)?;
-    let proposals: Vec<Value> = [6u64, 2, 8, 4, 7].map(Value::new).to_vec();
-    let factory = move |i: usize, v: Value| {
-        let id = ProcessId::new(i);
-        AtPlus2::new(cfg, id, v, RotatingCoordinator::new(cfg, id))
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n = flag(&args, "--n", 5) as usize;
+    let t = flag(&args, "--t", 2) as usize;
+    let async_until = flag(&args, "--async-until", 5) as u32;
+    let seed = flag(&args, "--seed", 7);
+
+    let cfg = SystemConfig::majority(n, t)?;
+    // Distinct proposals; the minimum (value 1, at p_{n-1}) must win.
+    let proposals: Vec<Value> = (0..n).map(|i| Value::new((((i * 7) % n) + 1) as u64)).collect();
+    let expected = *proposals.iter().min().expect("nonempty");
+    let build = |cfg: SystemConfig, proposals: &[Value]| {
+        proposals
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                let id = ProcessId::new(i);
+                AtPlus2::new(cfg, id, v, RotatingCoordinator::new(cfg, id))
+            })
+            .collect::<Vec<_>>()
     };
 
-    // 1. A synchronous network: decisions at round t + 2 = 4, in real time.
-    let net = NetworkConfig::synchronous(cfg);
-    let report = run_network(cfg, &factory, &proposals, &net);
-    report.outcome.check_consensus()?;
-    println!("synchronous network ({}ms):", report.elapsed.as_millis());
-    for d in report.outcome.decisions.iter().flatten() {
+    // The session is spawned once; all three instances reuse its threads
+    // and channels.
+    let mut session = Session::new(cfg);
+    let overall = std::time::Instant::now();
+
+    // 1. A synchronous network: decisions at round t + 2, in real time.
+    let started = std::time::Instant::now();
+    let instance = session.start_instance(build(cfg, &proposals), &InstanceSpec::synchronous(cfg));
+    let report = session.wait_instance(instance);
+    println!("synchronous network ({:?}):", started.elapsed());
+    for d in report.decisions.iter().flatten() {
+        assert_eq!(d.value, expected);
         println!("  {} decided {} at {}", d.process, d.value, d.round);
     }
 
-    // 2. Crash one process mid-protocol.
-    let net = NetworkConfig::synchronous(cfg).crash(ProcessId::new(1), Round::new(2));
-    let report = run_network(cfg, &factory, &proposals, &net);
-    report.outcome.check_consensus()?;
+    // 2. Crash one process mid-protocol (same threads, next instance).
+    let started = std::time::Instant::now();
+    let spec = InstanceSpec::synchronous(cfg).crash(ProcessId::new(1), Round::new(2));
+    let instance = session.start_instance(build(cfg, &proposals), &spec);
+    let report = session.wait_instance(instance);
+    for d in report.decisions.iter().flatten() {
+        assert_eq!(d.value, expected, "agreement under the crash");
+    }
+    let decided = report.decisions.iter().flatten().map(|d| d.round).max().expect("decided");
     println!(
-        "\nwith p1 crashing at round 2 ({}ms): global decision at {}",
-        report.elapsed.as_millis(),
-        report.outcome.global_decision_round().expect("decided")
+        "\nwith p1 crashing at round 2 ({:?}): global decision at {decided}",
+        started.elapsed()
     );
 
-    // 3. An asynchronous prefix: messages randomly delayed beyond the grace
-    // window for the first 4 rounds, causing false suspicions; the
-    // algorithm falls back to its underlying consensus where needed and
-    // still agrees.
-    let net = NetworkConfig::synchronous(cfg).with_delays(DelayModel::AsyncUntil {
-        until_round: 5,
+    // 3. An asynchronous prefix: messages randomly delayed beyond the
+    // grace window until round `async_until`, causing false suspicions;
+    // the algorithm falls back to its underlying consensus where needed
+    // and still agrees.
+    let started = std::time::Instant::now();
+    let spec = InstanceSpec::synchronous(cfg).with_delays(DelayModel::AsyncUntil {
+        until_round: async_until,
         delay: Duration::from_millis(40),
         probability: 0.3,
-        seed: 7,
+        seed,
     });
-    let report = run_network(cfg, &factory, &proposals, &net);
-    report.outcome.check_consensus()?;
+    let instance = session.start_instance(build(cfg, &proposals), &spec);
+    let report = session.wait_instance(instance);
+    let decided = report.decisions.iter().flatten().map(|d| d.round).max().expect("decided");
     println!(
-        "\nasynchronous prefix until round 5 ({}ms): global decision at {}",
-        report.elapsed.as_millis(),
-        report.outcome.global_decision_round().expect("decided")
+        "\nasynchronous prefix until round {async_until} ({:?}): global decision at {decided}",
+        started.elapsed()
     );
-    println!("uniform agreement held in all three executions");
+
+    // Uniform agreement across every instance.
+    for d in report.decisions.iter().flatten() {
+        assert_eq!(d.value, expected, "agreement under asynchrony");
+    }
+    println!(
+        "\nuniform agreement held in all three executions (n={n}, t={t}, total {:?}, one thread pool)",
+        overall.elapsed()
+    );
     Ok(())
 }

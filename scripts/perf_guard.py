@@ -1,52 +1,87 @@
 #!/usr/bin/env python3
-"""Warn (non-fatally) when sweep throughput regresses against the baseline.
+"""Warn (non-fatally) when benchmark metrics regress against baselines.
 
-Usage: perf_guard.py BASELINE.json FRESH.json [--threshold 0.15]
+Usage:
+    perf_guard.py BASELINE.json FRESH.json [METRIC] [BASELINE FRESH METRIC ...]
+                  [--threshold 0.15]
 
-Compares the `incremental-serial` schedules/second of a freshly measured
-`BENCH_sweep.json` against the committed baseline. A drop larger than the
-threshold emits a GitHub Actions `::warning::` annotation (and a plain
-line for local runs) but always exits 0: CI runners' throughput is noisy,
-so the guard flags trajectories for a human instead of failing builds.
+Takes one or more (baseline-json, fresh-json, metric) triples and compares
+the metric value of each freshly measured bench JSON against its committed
+baseline. The metric is a dotted path into the JSON, where a path segment
+may filter a list of objects with `[key=value]`:
+
+    backends[name=incremental-serial].schedules_per_second   (BENCH_sweep.json)
+    scenarios[name=batch8-depth4].commands_per_second        (BENCH_log.json)
+
+For backward compatibility, a lone BASELINE FRESH pair defaults to the
+sweep metric above. A drop larger than the threshold emits a GitHub
+Actions `::warning::` annotation (and a plain line for local runs) but
+always exits 0: CI runners' throughput is noisy, so the guard flags
+trajectories for a human instead of failing builds.
 """
 
 import json
+import re
 import sys
 
+DEFAULT_METRIC = "backends[name=incremental-serial].schedules_per_second"
+SEGMENT = re.compile(r"^(?P<key>[^\[\]]+)(?:\[(?P<fk>[^=\]]+)=(?P<fv>[^\]]+)\])?$")
 
-def rate(path: str, backend: str = "incremental-serial") -> float:
+
+def select(data, metric: str, path: str) -> float:
+    """Resolves a dotted metric path, with `[key=value]` list filters."""
+    node = data
+    for raw in metric.split("."):
+        m = SEGMENT.match(raw)
+        if not m:
+            raise KeyError(f"{path}: malformed metric segment {raw!r}")
+        node = node[m.group("key")]
+        if m.group("fk") is not None:
+            fk, fv = m.group("fk"), m.group("fv")
+            matches = [row for row in node if str(row.get(fk)) == fv]
+            if not matches:
+                raise KeyError(f"{path}: no entry with {fk}={fv} under {m.group('key')!r}")
+            node = matches[0]
+    return float(node)
+
+
+def value(path: str, metric: str) -> float:
     with open(path, encoding="utf-8") as f:
-        data = json.load(f)
-    for row in data["backends"]:
-        if row["name"] == backend:
-            return float(row["schedules_per_second"])
-    raise KeyError(f"{path}: no backend named {backend!r}")
+        return select(json.load(f), metric, path)
 
 
 def main(argv: list[str]) -> int:
-    if len(argv) < 3:
+    args = list(argv[1:])
+    threshold = 0.15
+    if "--threshold" in args:
+        i = args.index("--threshold")
+        threshold = float(args[i + 1])
+        del args[i : i + 2]
+    if not args:
         print(__doc__, file=sys.stderr)
         return 2
-    baseline_path, fresh_path = argv[1], argv[2]
-    threshold = 0.15
-    if "--threshold" in argv:
-        threshold = float(argv[argv.index("--threshold") + 1])
+    if len(args) == 2:  # legacy form: baseline + fresh, sweep metric
+        args.append(DEFAULT_METRIC)
+    if len(args) % 3 != 0:
+        print(__doc__, file=sys.stderr)
+        return 2
 
-    baseline = rate(baseline_path)
-    fresh = rate(fresh_path)
-    change = (fresh - baseline) / baseline
-    verdict = "improved" if change >= 0 else "regressed"
-    print(
-        f"incremental-serial: baseline {baseline:,.0f} -> fresh {fresh:,.0f} "
-        f"schedules/s ({verdict} {abs(change):.1%}, warn threshold {threshold:.0%})"
-    )
-    if change < -threshold:
+    for baseline_path, fresh_path, metric in zip(args[0::3], args[1::3], args[2::3]):
+        baseline = value(baseline_path, metric)
+        fresh = value(fresh_path, metric)
+        change = (fresh - baseline) / baseline
+        verdict = "improved" if change >= 0 else "regressed"
         print(
-            f"::warning title=sweep throughput regression::incremental-serial "
-            f"dropped {abs(change):.1%} vs the committed BENCH_sweep.json "
-            f"({baseline:,.0f} -> {fresh:,.0f} schedules/s). Runner noise is "
-            f"common; investigate if this persists across runs."
+            f"{metric}: baseline {baseline:,.0f} -> fresh {fresh:,.0f} "
+            f"({verdict} {abs(change):.1%}, warn threshold {threshold:.0%})"
         )
+        if change < -threshold:
+            print(
+                f"::warning title={metric} regression::{metric} dropped "
+                f"{abs(change):.1%} vs the committed {baseline_path} "
+                f"({baseline:,.0f} -> {fresh:,.0f}). Runner noise is "
+                f"common; investigate if this persists across runs."
+            )
     return 0
 
 
