@@ -1,0 +1,327 @@
+//! S1 — networked-service load: open-loop client fleets against the
+//! `indulgent-server` replicated-KV service over real TCP sockets.
+//!
+//! The generator is *open loop*: every connection sends its requests on
+//! a fixed arrival schedule (global rate `--rate`) regardless of when
+//! acknowledgements come back, so measured latency reflects the service
+//! under sustained load rather than a closed feedback loop that slows
+//! down whenever the service does.
+//!
+//! Nothing is timed until the correctness gate passes (mirroring
+//! `exp_log_throughput`'s refuse-to-publish discipline):
+//!
+//! * a scripted workload run over the in-process [`LocalKv`] layer and
+//!   over the framed-TCP [`RemoteKv`] layer must produce *identical*
+//!   responses — the transport adds no semantics;
+//! * duplicate request ids (same-connection retries and kill-the-client
+//!   reconnects) must be applied exactly once and replay byte-identical
+//!   acknowledgements;
+//! * a concurrent warm-up fleet must pass the full server-side
+//!   [`ServiceAudit::check`] — per-slot replica agreement, exactly-once
+//!   applies, and linearizability-by-replay of every acknowledgement —
+//!   plus the client-side checks (every request acked once, ack slots
+//!   monotone per connection).
+//!
+//! The timed fleet re-asserts all of that, then reports commands/s and
+//! p50/p99 ack latency. Emits `BENCH_server.json` (`BENCH_SERVER_JSON`
+//! overrides the path, `0` skips); CI uploads it and the warn-only perf
+//! guard diffs `commands_per_second` against the committed baseline.
+//!
+//! ```text
+//! cargo run --release --bin exp_server_load -- --conns 256 --commands 8000 --rate 4000
+//! ```
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::net::SocketAddr;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use indulgent_model::{ClientId, RequestId};
+use indulgent_server::{
+    EngineConfig, KvOp, KvServer, KvService, LocalKv, Outcome, PipeClient, RemoteKv, Response,
+    ServiceAudit,
+};
+
+/// Deterministic op mix: connection `c`'s `i`-th request alternates puts
+/// and gets over a shared 512-key space, so fleets contend on keys and
+/// gets observe other connections' writes.
+fn op_for(c: u64, i: u64) -> KvOp {
+    let key = ((c * 31 + i * 7) % 512) as u16;
+    if (c + i).is_multiple_of(2) {
+        KvOp::Put { key, value: (c * 100_000 + i) as u32 }
+    } else {
+        KvOp::Get { key }
+    }
+}
+
+/// What one connection's worker observed during a fleet run.
+struct ConnReport {
+    /// Ack latency per request (actual send -> matching ack).
+    latencies: Vec<Duration>,
+}
+
+/// Drives `conns` open-loop connections of `per_conn` requests each at a
+/// global arrival rate of `rate` requests/second. Panics on any
+/// client-side invariant violation: a request acked zero or multiple
+/// times, an ack for an unknown request, or per-connection ack slots
+/// going backwards (the engine applies slots in order and TCP preserves
+/// it, so non-monotone slots mean the service reordered acks).
+fn run_fleet(addr: SocketAddr, conns: u64, per_conn: u64, rate: f64) -> (Vec<Duration>, Duration) {
+    let barrier = Arc::new(Barrier::new(usize::try_from(conns).expect("conns fits usize") + 1));
+    let mut workers = Vec::new();
+    for c in 0..conns {
+        let barrier = Arc::clone(&barrier);
+        workers.push(std::thread::spawn(move || -> ConnReport {
+            let mut client =
+                PipeClient::connect(addr, ClientId(c), Duration::from_millis(1)).expect("connect");
+            barrier.wait();
+            let start = Instant::now();
+            // Global request k is due at start + k/rate; connection c
+            // owns requests c, c + conns, c + 2·conns, ...
+            let due = |i: u64| start + Duration::from_secs_f64((c + i * conns) as f64 / rate);
+            let mut sent = 0u64;
+            let mut acked = 0u64;
+            let mut in_flight: HashMap<RequestId, Instant> = HashMap::new();
+            let mut latencies = Vec::with_capacity(per_conn as usize);
+            let mut last_slot = 0u64;
+            let deadline = Instant::now() + Duration::from_secs(120);
+            while acked < per_conn {
+                assert!(
+                    Instant::now() < deadline,
+                    "conn {c}: fleet run wedged ({acked}/{per_conn} acked)"
+                );
+                while sent < per_conn && Instant::now() >= due(sent) {
+                    let id = RequestId(sent);
+                    client.send(id, op_for(c, sent)).expect("open-loop send");
+                    in_flight.insert(id, Instant::now());
+                    sent += 1;
+                }
+                for ack in client.drain_acks().expect("drain acks") {
+                    let sent_at = in_flight
+                        .remove(&ack.request)
+                        .unwrap_or_else(|| panic!("conn {c}: unknown or duplicate ack {:?}", ack));
+                    latencies.push(sent_at.elapsed());
+                    let slot = ack.outcome.slot();
+                    assert!(
+                        slot >= last_slot,
+                        "conn {c}: ack slots went backwards ({slot} after {last_slot})"
+                    );
+                    last_slot = slot;
+                    acked += 1;
+                }
+            }
+            assert!(in_flight.is_empty(), "conn {c}: {} requests never acked", in_flight.len());
+            ConnReport { latencies }
+        }));
+    }
+    barrier.wait();
+    let start = Instant::now();
+    let mut all = Vec::with_capacity((conns * per_conn) as usize);
+    for w in workers {
+        all.extend(w.join().expect("connection worker panicked").latencies);
+    }
+    (all, start.elapsed())
+}
+
+/// Audits a finished server run against the fleet that drove it.
+fn check_audit(audit: &ServiceAudit, expected_commands: u64, label: &str) {
+    audit.check().unwrap_or_else(|e| panic!("{label}: service audit failed: {e}"));
+    assert_eq!(
+        audit.committed_commands, expected_commands,
+        "{label}: every submitted command commits exactly once"
+    );
+}
+
+/// Gate 1 — layered differential: the same scripted workload through the
+/// in-process layer and through framed TCP yields identical responses.
+fn gate_differential() {
+    // Batch size 1 makes sequencing deterministic for sequential calls:
+    // both layers must produce byte-identical responses, slots included.
+    let script: Vec<KvOp> = (0..40).map(|i| op_for(3, i)).collect();
+
+    let run = |responses: &mut Vec<Response>, mut call: Box<dyn FnMut(KvOp) -> Response>| {
+        for op in &script {
+            responses.push(call(*op));
+        }
+    };
+
+    let local_server = KvServer::bind("127.0.0.1:0", gate_config()).expect("bind");
+    let mut local = LocalKv::connect(&local_server.engine(), ClientId(3));
+    let mut local_responses = Vec::new();
+    run(&mut local_responses, Box::new(move |op| dispatch(&mut local, op)));
+    check_audit(&local_server.shutdown(), script.len() as u64, "differential/local");
+
+    let remote_server = KvServer::bind("127.0.0.1:0", gate_config()).expect("bind");
+    let mut remote = RemoteKv::connect(remote_server.addr(), ClientId(3)).expect("connect");
+    let mut remote_responses = Vec::new();
+    run(&mut remote_responses, Box::new(move |op| dispatch(&mut remote, op)));
+    check_audit(&remote_server.shutdown(), script.len() as u64, "differential/remote");
+
+    assert_eq!(
+        local_responses, remote_responses,
+        "the TCP layer must answer identically to the in-process layer"
+    );
+}
+
+fn dispatch<S: KvService>(s: &mut S, op: KvOp) -> Response {
+    match op {
+        KvOp::Put { key, value } => s.put(key, value).expect("put acked"),
+        KvOp::Get { key } => s.get(key).expect("get acked"),
+    }
+}
+
+fn gate_config() -> EngineConfig {
+    EngineConfig::default_5().with_batch_size(1).with_pipeline_depth(2)
+}
+
+/// Gate 2 — exactly-once: same-connection duplicate ids and a client
+/// killed mid-request that reconnects and replays.
+fn gate_exactly_once() {
+    let server = KvServer::bind("127.0.0.1:0", gate_config()).expect("bind");
+    let addr = server.addr();
+
+    // Same connection, same request id sent twice: one slot, identical acks.
+    let mut kv = RemoteKv::connect(addr, ClientId(900)).expect("connect");
+    let first = kv.call_with(RequestId(0), KvOp::Put { key: 9, value: 1 }).expect("acked");
+    let retry = kv.call_with(RequestId(0), KvOp::Put { key: 9, value: 1 }).expect("acked");
+    assert_eq!(first, retry, "a same-connection retry replays the original ack");
+
+    // Kill a client mid-request: send, drop the socket without reading
+    // the ack, reconnect with the same session, replay the same id.
+    let mut doomed =
+        PipeClient::connect(addr, ClientId(901), Duration::from_millis(1)).expect("connect");
+    doomed.send(RequestId(0), KvOp::Put { key: 10, value: 77 }).expect("send");
+    drop(doomed); // socket closes; the command may or may not be batched yet
+
+    let mut revived = RemoteKv::connect_from(addr, ClientId(901), RequestId(0)).expect("reconnect");
+    let ack = revived.call_with(RequestId(0), KvOp::Put { key: 10, value: 77 }).expect("acked");
+    match ack.outcome {
+        Outcome::Put { .. } => {}
+        other => panic!("unexpected outcome {other:?}"),
+    }
+    // And the session keeps working past the replayed request.
+    let read = revived.get(10).expect("get acked");
+    match read.outcome {
+        Outcome::Get { value, .. } => assert_eq!(value, Some(77)),
+        other => panic!("unexpected outcome {other:?}"),
+    }
+
+    let audit = server.shutdown();
+    audit.check().expect("exactly-once gate audit");
+    // 2 distinct commands from client 900's pair of sends is 1, plus the
+    // killed client's put (applied once no matter when it died) and the
+    // follow-up get.
+    assert_eq!(audit.committed_commands, 3, "duplicates and replays apply exactly once");
+    assert!(audit.dedup_hits >= 1, "the dedup layer absorbed at least the same-conn retry");
+}
+
+/// Gate 3 — a concurrent warm-up fleet passes the full audit.
+fn gate_concurrent(batch: usize, depth: u64) {
+    let config = EngineConfig::default_5().with_batch_size(batch).with_pipeline_depth(depth);
+    let server = KvServer::bind("127.0.0.1:0", config).expect("bind");
+    let (latencies, _) = run_fleet(server.addr(), 16, 8, 2_000.0);
+    assert_eq!(latencies.len(), 16 * 8);
+    check_audit(&server.shutdown(), 16 * 8, "concurrent gate");
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let arg = |name: &str, default: u64| {
+        args.iter()
+            .position(|a| a == name)
+            .map(|i| args[i + 1].parse::<u64>().unwrap_or_else(|_| panic!("usage: {name} N")))
+            .unwrap_or(default)
+    };
+    let conns = arg("--conns", 256).max(1);
+    let commands = arg("--commands", 8_000).max(conns);
+    let rate = arg("--rate", 4_000).max(1) as f64;
+    let batch = usize::try_from(arg("--batch", 8).max(1)).expect("batch fits usize");
+    let depth = arg("--depth", 4).max(1);
+    let per_conn = commands / conns;
+    let total = per_conn * conns; // divisibility remainder dropped
+
+    // ── Correctness gate: nothing is timed until all of this passes ──
+    gate_differential();
+    gate_exactly_once();
+    gate_concurrent(batch, depth);
+    println!(
+        "validation gate passed: local/remote differential, exactly-once retries + reconnect, concurrent audit\n"
+    );
+
+    // ── Timed open-loop fleet ──
+    let config = EngineConfig::default_5().with_batch_size(batch).with_pipeline_depth(depth);
+    let server = KvServer::bind("127.0.0.1:0", config).expect("bind");
+    let (mut latencies, elapsed) = run_fleet(server.addr(), conns, per_conn, rate);
+    let audit = server.shutdown();
+    check_audit(&audit, total, "timed fleet");
+
+    latencies.sort_unstable();
+    let p50 = percentile(&latencies, 0.50);
+    let p99 = percentile(&latencies, 0.99);
+    let max = *latencies.last().expect("non-empty fleet");
+    let rate_measured = total as f64 / elapsed.as_secs_f64();
+
+    println!(
+        "S1 — networked-service load (n=5, t=2, batch {batch}, depth {depth})\n\
+         conns {conns}, commands {total}, offered rate {rate:.0}/s\n\
+         elapsed {:.2}s, acked rate {rate_measured:.0} commands/s\n\
+         ack latency p50 {:.2}ms, p99 {:.2}ms, max {:.2}ms\n\
+         dedup hits {}, duplicate applies {}",
+        elapsed.as_secs_f64(),
+        p50.as_secs_f64() * 1e3,
+        p99.as_secs_f64() * 1e3,
+        max.as_secs_f64() * 1e3,
+        audit.dedup_hits,
+        audit.duplicate_applies,
+    );
+
+    emit_json(conns, total, rate, batch, depth, rate_measured, p50, p99, max);
+}
+
+/// Writes `BENCH_server.json` at the workspace root; `BENCH_SERVER_JSON`
+/// overrides the path, `0` skips the file.
+#[allow(clippy::too_many_arguments)]
+fn emit_json(
+    conns: u64,
+    commands: u64,
+    offered_rate: f64,
+    batch: usize,
+    depth: u64,
+    commands_per_second: f64,
+    p50: Duration,
+    p99: Duration,
+    max: Duration,
+) {
+    let path = std::env::var("BENCH_SERVER_JSON")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json").into());
+    if path == "0" {
+        return;
+    }
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"server_load\",\n");
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"n\": 5, \"t\": 2, \"conns\": {conns}, \"commands\": {commands}, \"offered_rate\": {offered_rate:.0}, \"batch_size\": {batch}, \"pipeline_depth\": {depth}}},"
+    );
+    let _ = writeln!(json, "  \"commands_per_second\": {commands_per_second:.1},");
+    let _ = writeln!(
+        json,
+        "  \"latency_ms\": {{\"p50\": {:.3}, \"p99\": {:.3}, \"max\": {:.3}}}",
+        p50.as_secs_f64() * 1e3,
+        p99.as_secs_f64() * 1e3,
+        max.as_secs_f64() * 1e3
+    );
+    json.push_str("}\n");
+
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+    print!("{json}");
+}

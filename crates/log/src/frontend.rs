@@ -60,6 +60,9 @@ pub struct ClientFrontend {
     batches: Vec<Batch>,
     /// Outstanding batch ids per home replica, oldest first.
     queues: Vec<VecDeque<BatchId>>,
+    /// Live-intake cursor: sealed batches below this id have been handed
+    /// out via [`ClientFrontend::pop_sealed`].
+    sealed_cursor: u64,
 }
 
 impl ClientFrontend {
@@ -81,6 +84,7 @@ impl ClientFrontend {
             next_command: 0,
             batches: Vec::new(),
             queues: vec![VecDeque::new(); n],
+            sealed_cursor: 0,
         }
     }
 
@@ -176,6 +180,34 @@ impl ClientFrontend {
     pub fn take_queues(&mut self) -> Vec<VecDeque<BatchId>> {
         std::mem::replace(&mut self.queues, vec![VecDeque::new(); self.n])
     }
+
+    /// Commands in the open (not yet sealed) batch.
+    ///
+    /// A live service uses this with [`flush`](ClientFrontend::flush) to
+    /// seal a lingering partial batch instead of waiting for it to fill.
+    #[must_use]
+    pub fn open_len(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Live-intake cursor: hands out the oldest sealed batch not yet
+    /// popped, or `None` when intake has caught up with sealing.
+    ///
+    /// This is the intake path of a *service* with one in-process
+    /// sequencer (the `indulgent-server` engine): batches are proposed in
+    /// seal order as they become available, independent of the per-replica
+    /// policy queues a [`LogDriver`](crate::LogDriver) workload starts
+    /// from. The cursor never hands a batch out twice, which is what makes
+    /// the engine's shared proposals double-choose-free by construction.
+    pub fn pop_sealed(&mut self) -> Option<BatchId> {
+        if self.sealed_cursor < self.next_batch {
+            let id = BatchId(self.sealed_cursor);
+            self.sealed_cursor += 1;
+            Some(id)
+        } else {
+            None
+        }
+    }
 }
 
 #[cfg(test)]
@@ -208,6 +240,23 @@ mod tests {
         // Double flush is a no-op.
         f.flush();
         assert_eq!(f.batches_sealed(), 1);
+    }
+
+    #[test]
+    fn live_intake_cursor_tracks_sealing() {
+        let mut f = ClientFrontend::new(2, 2).with_intake(IntakePolicy::Shared);
+        assert_eq!(f.pop_sealed(), None);
+        f.submit(1);
+        assert_eq!(f.open_len(), 1);
+        assert_eq!(f.pop_sealed(), None, "open batches are not handed out");
+        f.submit(2); // seals batch 0
+        assert_eq!(f.open_len(), 0);
+        assert_eq!(f.pop_sealed(), Some(BatchId(0)));
+        assert_eq!(f.pop_sealed(), None, "a batch pops exactly once");
+        f.submit(3);
+        f.flush(); // seals the partial batch 1
+        assert_eq!(f.pop_sealed(), Some(BatchId(1)));
+        assert_eq!(f.pop_sealed(), None);
     }
 
     #[test]

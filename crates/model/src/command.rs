@@ -36,6 +36,51 @@ impl fmt::Display for CommandId {
     }
 }
 
+/// Identifier of a client *session* talking to the replicated service.
+///
+/// Where [`CommandId`] names a command inside one workload, a `ClientId`
+/// names the session that submitted it: the networked service layer
+/// (`indulgent-server`) keys its exactly-once bookkeeping by
+/// `(ClientId, RequestId)`, so a client that retries a request — on the
+/// same connection or after reconnecting — is recognized and answered
+/// with the original acknowledgement instead of a second apply.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ClientId(pub u64);
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "client{}", self.0)
+    }
+}
+
+/// Per-client monotonic request number.
+///
+/// A client session assigns strictly increasing `RequestId`s to its
+/// requests; the pair `(ClientId, RequestId)` is the service-wide
+/// exactly-once key. Ids need not be dense — only monotonic — so a
+/// client may skip numbers, but reusing one *is* the retry protocol:
+/// the service deduplicates it against the decided log.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct RequestId(pub u64);
+
+impl RequestId {
+    /// The next request id in the session's monotonic sequence.
+    #[must_use]
+    pub fn next(self) -> RequestId {
+        RequestId(self.0 + 1)
+    }
+}
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
 /// A client command: an opaque payload tagged with a unique id.
 ///
 /// The payload is a `u64` for the same reason [`Value`] is: the
@@ -188,8 +233,18 @@ mod tests {
     }
 
     #[test]
+    fn request_ids_are_monotonic() {
+        let r = RequestId(3);
+        assert_eq!(r.next(), RequestId(4));
+        assert!(r < r.next());
+        assert_eq!(RequestId::default(), RequestId(0));
+    }
+
+    #[test]
     fn display_formats() {
         assert_eq!(CommandId(7).to_string(), "c7");
+        assert_eq!(ClientId(7).to_string(), "client7");
+        assert_eq!(RequestId(7).to_string(), "r7");
         assert_eq!(BatchId(7).to_string(), "b7");
         assert_eq!(BatchId::NOOP.to_string(), "b⊥");
         assert_eq!(LogIndex(2).to_string(), "slot 2");

@@ -81,7 +81,9 @@ mod round;
 mod value;
 
 pub use automaton::{ProcessFactory, RoundProcess, Step};
-pub use command::{AppliedEntry, Batch, BatchId, Command, CommandId, LogIndex};
+pub use command::{
+    AppliedEntry, Batch, BatchId, ClientId, Command, CommandId, LogIndex, RequestId,
+};
 pub use config::{ConfigError, Resilience, SystemConfig};
 pub use message::{DeliveredMsg, Delivery};
 pub use outcome::{ConsensusViolation, Decision, RunOutcome};

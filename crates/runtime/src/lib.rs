@@ -550,6 +550,43 @@ where
         self.recv_result()
     }
 
+    /// Receives the next replica result if one is already queued, without
+    /// blocking — the pump an *event loop* layered over a session uses
+    /// (the `indulgent-server` engine interleaves socket intake, batch
+    /// sealing and decision application on one thread, so it must never
+    /// park on the session).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panicked.
+    pub fn try_next_result(&mut self) -> Option<ReplicaResult> {
+        match self.results_rx.try_recv() {
+            Ok(WorkerEvent::Result(r)) => Some(r),
+            Ok(WorkerEvent::Panicked(id)) => panic!("worker thread {id} panicked"),
+            Err(TryRecvError::Empty) => None,
+            Err(TryRecvError::Disconnected) => panic!("workers exited with the session alive"),
+        }
+    }
+
+    /// Receives the next replica result, waiting at most `timeout`;
+    /// `None` on timeout. The bounded-blocking variant of
+    /// [`try_next_result`](Session::try_next_result) for event loops that
+    /// want to sleep when idle without missing a result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panicked.
+    pub fn next_result_timeout(&mut self, timeout: Duration) -> Option<ReplicaResult> {
+        match self.results_rx.recv_timeout(timeout) {
+            Ok(WorkerEvent::Result(r)) => Some(r),
+            Ok(WorkerEvent::Panicked(id)) => panic!("worker thread {id} panicked"),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => {
+                panic!("workers exited with the session alive")
+            }
+        }
+    }
+
     /// Blocks until the first *decision* of `instance` is known and
     /// returns it, buffering results of other instances. Returns `None`
     /// only if all `n` replicas reported without any deciding (crashes +
@@ -1106,6 +1143,40 @@ mod tests {
                 assert_eq!(d.value, Value::new(base as u64 * 10));
             }
         }
+    }
+
+    #[test]
+    fn non_blocking_result_pump_drains_an_instance() {
+        let config = cfg();
+        let mut session = Session::new(config);
+        let spec = InstanceSpec::synchronous(config);
+        assert!(session.try_next_result().is_none(), "nothing in flight yet");
+        let processes = (0..config.n())
+            .map(|i| {
+                let id = ProcessId::new(i);
+                AtPlus2::new(
+                    config,
+                    id,
+                    Value::new(i as u64 + 1),
+                    RotatingCoordinator::new(config, id),
+                )
+            })
+            .collect();
+        let instance = session.start_instance(processes, &spec);
+        // Pump with the bounded-wait variant until all n replicas report.
+        let mut results = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while results.len() < config.n() {
+            assert!(Instant::now() < deadline, "instance must complete");
+            if let Some(r) = session.next_result_timeout(Duration::from_millis(5)) {
+                assert_eq!(r.instance, instance);
+                results.push(r);
+            }
+        }
+        for r in &results {
+            assert_eq!(r.decision.expect("decided").value, Value::new(1));
+        }
+        assert!(session.try_next_result().is_none(), "exactly n results per instance");
     }
 
     #[test]

@@ -1,0 +1,34 @@
+//! Standalone service entry point: bind the replicated-KV server on an
+//! address and serve until killed (SIGINT/SIGTERM terminate the
+//! process; replicas live in-process, so nothing needs cleanup beyond
+//! the OS reclaiming the sockets).
+//!
+//! ```text
+//! indulgent_server [ADDR] [BATCH] [DEPTH]
+//! ```
+//!
+//! * `ADDR`  — listen address (default `127.0.0.1:7171`; port 0 picks an
+//!   ephemeral port and prints it)
+//! * `BATCH` — commands per batch (default 8)
+//! * `DEPTH` — pipeline depth (default 4)
+
+use std::time::Duration;
+
+use indulgent_server::{EngineConfig, KvServer};
+
+fn main() {
+    let mut argv = std::env::args().skip(1);
+    let addr = argv.next().unwrap_or_else(|| "127.0.0.1:7171".to_string());
+    let batch: usize = argv.next().map_or(8, |s| s.parse().expect("BATCH must be an integer"));
+    let depth: u64 = argv.next().map_or(4, |s| s.parse().expect("DEPTH must be an integer"));
+
+    let config = EngineConfig::default_5().with_batch_size(batch).with_pipeline_depth(depth);
+    let server = KvServer::bind(&addr, config).expect("bind listener");
+    println!(
+        "indulgent_server listening on {} (n=5 t=2, batch {batch}, pipeline depth {depth})",
+        server.addr()
+    );
+    loop {
+        std::thread::sleep(Duration::from_secs(60));
+    }
+}

@@ -1,0 +1,72 @@
+//! `indulgent-server`: the replicated key-value log as a networked
+//! service.
+//!
+//! This crate promotes the repo's replicated-KV example into a real
+//! service: a TCP server hosting an `n`-replica group running the
+//! paper's indulgent consensus (`A_{t+2}` with the failure-free round-2
+//! fast path) behind a length-framed wire protocol. The pieces, bottom
+//! to top:
+//!
+//! * [`wire`] — the vendored length-framed codec. 4-byte little-endian
+//!   length header, [`MAX_FRAME`](wire::MAX_FRAME) bound enforced before
+//!   buffering, chunking-independent incremental decoding.
+//! * [`proto`] — the request/response vocabulary. Requests carry the
+//!   `(ClientId, RequestId)` exactly-once key; responses carry the log
+//!   slot the command was sequenced at (its linearization point).
+//! * [`engine`] — the service core: batches intake through the log
+//!   crate's `ClientFrontend`, pipelines consensus instances on one
+//!   reusable replica session, applies decided slots in order, and
+//!   deduplicates retries against the decided log so every request is
+//!   applied exactly once no matter how often it is sent. Produces a
+//!   [`ServiceAudit`] whose [`check`](engine::ServiceAudit::check)
+//!   replays the log with independent code and re-derives every
+//!   acknowledgement.
+//! * [`service`] — the layered client interface: [`KvService`]
+//!   implemented by [`LocalKv`] (in-process, the reference layer) and
+//!   [`RemoteKv`] (framed TCP). The integration suite runs the same
+//!   workload against both and asserts identical results, so the
+//!   transport provably adds no semantics.
+//! * [`server`] — the TCP front door bridging sockets to the engine.
+//!
+//! # The exactly-once session contract
+//!
+//! A client session is a [`ClientId`](indulgent_model::ClientId) plus a
+//! monotonic [`RequestId`](indulgent_model::RequestId) counter. Sending
+//! the same `(client, request)` pair again — a timeout retry on the same
+//! connection, or a replay after reconnecting — never re-applies the
+//! command: if it already sits in the decided log the service replays
+//! the original acknowledgement from its cache, and if it is still in
+//! flight the retry merely re-targets where the ack will be delivered.
+//! Acknowledgements carry log slots, and because *reads are sequenced
+//! too*, matching the audit's log replay is a linearizability proof, not
+//! a heuristic.
+//!
+//! # Running the service
+//!
+//! ```text
+//! cargo run --release -p indulgent-server --bin indulgent_server -- 127.0.0.1:7171
+//! ```
+//!
+//! and drive it with [`RemoteKv`] from any process, or run the load
+//! generator (`cargo run --release -p indulgent-bench --bin
+//! exp_server_load`), which refuses to time anything until the
+//! linearizability and exactly-once gates pass.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod proto;
+pub mod server;
+pub mod service;
+pub mod wire;
+
+pub use engine::{
+    AckRecord, AuditViolation, ConnId, EngineConfig, EngineHandle, KvEngine, ServiceAudit,
+    SlotRecord, SubmitHandle,
+};
+pub use proto::{KvOp, Outcome, ProtoError, Request, Response};
+pub use server::KvServer;
+pub use service::{KvService, LocalKv, PipeClient, RemoteKv, ServiceError};
+pub use wire::{FrameDecoder, FrameReader, WireError, MAX_FRAME};

@@ -1,0 +1,345 @@
+//! The request/response protocol riding the framed transport.
+//!
+//! One frame carries one message. Requests name their submitter: a
+//! `(ClientId, RequestId)` pair is the service-wide exactly-once key
+//! (see [`crate::engine`]), so the protocol's retry story is simply
+//! "send the same request again" — same pair, same frame — and the
+//! service answers with the original acknowledgement.
+//!
+//! Responses carry the *log slot* the command was sequenced at. Slots
+//! are the service's linearization points: acknowledgements with slots
+//! let a client (and the load generator's gate) audit that its session
+//! order was respected — on one connection, ack slots never decrease.
+//!
+//! Serialization is a fixed-layout little-endian byte format written by
+//! hand: the messages are a handful of integers, and the vendored serde
+//! facade intentionally has no byte format, so the service owns its wire
+//! surface end to end (matching [`crate::wire`]'s vendored framing).
+
+use std::fmt;
+
+use indulgent_model::{ClientId, RequestId};
+
+/// A key-value operation.
+///
+/// Both reads and writes are *sequenced through the replicated log*:
+/// a `Get` occupies a slot and is answered from the store materialized
+/// by all preceding slots, which is what makes every acknowledged
+/// response linearizable by construction — the total order is the
+/// linearization order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KvOp {
+    /// `key := value`.
+    Put {
+        /// The key written.
+        key: u16,
+        /// The value stored.
+        value: u32,
+    },
+    /// Read `key`.
+    Get {
+        /// The key read.
+        key: u16,
+    },
+}
+
+impl KvOp {
+    /// Packs the operation into the `u64` command payload that rides the
+    /// log's dissemination layer (bit 63 = op kind, bits 32..48 = key,
+    /// bits 0..32 = value).
+    #[must_use]
+    pub fn to_payload(self) -> u64 {
+        match self {
+            KvOp::Put { key, value } => (1 << 63) | (u64::from(key) << 32) | u64::from(value),
+            KvOp::Get { key } => u64::from(key) << 32,
+        }
+    }
+
+    /// Unpacks a command payload back into the operation.
+    #[must_use]
+    pub fn from_payload(payload: u64) -> Self {
+        let key = ((payload >> 32) & 0xffff) as u16;
+        if payload >> 63 == 1 {
+            KvOp::Put { key, value: (payload & 0xffff_ffff) as u32 }
+        } else {
+            KvOp::Get { key }
+        }
+    }
+}
+
+impl fmt::Display for KvOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KvOp::Put { key, value } => write!(f, "put {key} := {value}"),
+            KvOp::Get { key } => write!(f, "get {key}"),
+        }
+    }
+}
+
+/// A client request: who is asking, which retry-safe request number this
+/// is, and what to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// The submitting session.
+    pub client: ClientId,
+    /// The session's monotonic request number (reuse = retry).
+    pub request: RequestId,
+    /// The operation.
+    pub op: KvOp,
+}
+
+/// What the service acknowledged for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// The write was sequenced at `slot` and applied.
+    Put {
+        /// The log slot the write occupies.
+        slot: u64,
+    },
+    /// The read was sequenced at `slot`; `value` is the key's value in
+    /// the store materialized by all slots before it (`None` = unset).
+    Get {
+        /// The log slot the read occupies.
+        slot: u64,
+        /// The value read, if the key was set.
+        value: Option<u32>,
+    },
+}
+
+impl Outcome {
+    /// The log slot this outcome was sequenced at.
+    #[must_use]
+    pub fn slot(self) -> u64 {
+        match self {
+            Outcome::Put { slot } | Outcome::Get { slot, .. } => slot,
+        }
+    }
+}
+
+/// A service response: the acknowledged request and its outcome.
+///
+/// Responses are *idempotent*: retries of an applied request receive a
+/// byte-identical response replayed from the dedup cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Response {
+    /// The request being acknowledged.
+    pub request: RequestId,
+    /// What happened.
+    pub outcome: Outcome,
+}
+
+const TAG_REQUEST: u8 = 0x01;
+const TAG_RESPONSE: u8 = 0x02;
+const OP_PUT: u8 = 0x01;
+const OP_GET: u8 = 0x02;
+const VAL_NONE: u8 = 0x00;
+const VAL_SOME: u8 = 0x01;
+
+/// A malformed protocol message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The payload ended before the message did.
+    Truncated,
+    /// An unknown message/op/option tag.
+    BadTag(u8),
+    /// Bytes left over after a complete message.
+    TrailingBytes,
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Truncated => write!(f, "message truncated"),
+            ProtoError::BadTag(t) => write!(f, "unknown tag 0x{t:02x}"),
+            ProtoError::TrailingBytes => write!(f, "trailing bytes after message"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// Little-endian byte cursor for the fixed-layout message formats.
+struct Cursor<'a>(&'a [u8]);
+
+impl Cursor<'_> {
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        let (&b, rest) = self.0.split_first().ok_or(ProtoError::Truncated)?;
+        self.0 = rest;
+        Ok(b)
+    }
+
+    fn u16(&mut self) -> Result<u16, ProtoError> {
+        Ok(u16::from_le_bytes(self.take()?))
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        Ok(u32::from_le_bytes(self.take()?))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(self.take()?))
+    }
+
+    fn take<const N: usize>(&mut self) -> Result<[u8; N], ProtoError> {
+        if self.0.len() < N {
+            return Err(ProtoError::Truncated);
+        }
+        let (head, rest) = self.0.split_at(N);
+        self.0 = rest;
+        Ok(head.try_into().expect("split at N"))
+    }
+
+    fn finish(self) -> Result<(), ProtoError> {
+        if self.0.is_empty() {
+            Ok(())
+        } else {
+            Err(ProtoError::TrailingBytes)
+        }
+    }
+}
+
+impl Request {
+    /// Encodes the request as one frame payload.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(24);
+        out.push(TAG_REQUEST);
+        out.extend_from_slice(&self.client.0.to_le_bytes());
+        out.extend_from_slice(&self.request.0.to_le_bytes());
+        match self.op {
+            KvOp::Put { key, value } => {
+                out.push(OP_PUT);
+                out.extend_from_slice(&key.to_le_bytes());
+                out.extend_from_slice(&value.to_le_bytes());
+            }
+            KvOp::Get { key } => {
+                out.push(OP_GET);
+                out.extend_from_slice(&key.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decodes one frame payload.
+    pub fn decode(bytes: &[u8]) -> Result<Self, ProtoError> {
+        let mut c = Cursor(bytes);
+        match c.u8()? {
+            TAG_REQUEST => {}
+            t => return Err(ProtoError::BadTag(t)),
+        }
+        let client = ClientId(c.u64()?);
+        let request = RequestId(c.u64()?);
+        let op = match c.u8()? {
+            OP_PUT => KvOp::Put { key: c.u16()?, value: c.u32()? },
+            OP_GET => KvOp::Get { key: c.u16()? },
+            t => return Err(ProtoError::BadTag(t)),
+        };
+        c.finish()?;
+        Ok(Request { client, request, op })
+    }
+}
+
+impl Response {
+    /// Encodes the response as one frame payload.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(24);
+        out.push(TAG_RESPONSE);
+        out.extend_from_slice(&self.request.0.to_le_bytes());
+        match self.outcome {
+            Outcome::Put { slot } => {
+                out.push(OP_PUT);
+                out.extend_from_slice(&slot.to_le_bytes());
+            }
+            Outcome::Get { slot, value } => {
+                out.push(OP_GET);
+                out.extend_from_slice(&slot.to_le_bytes());
+                match value {
+                    Some(v) => {
+                        out.push(VAL_SOME);
+                        out.extend_from_slice(&v.to_le_bytes());
+                    }
+                    None => out.push(VAL_NONE),
+                }
+            }
+        }
+        out
+    }
+
+    /// Decodes one frame payload.
+    pub fn decode(bytes: &[u8]) -> Result<Self, ProtoError> {
+        let mut c = Cursor(bytes);
+        match c.u8()? {
+            TAG_RESPONSE => {}
+            t => return Err(ProtoError::BadTag(t)),
+        }
+        let request = RequestId(c.u64()?);
+        let outcome = match c.u8()? {
+            OP_PUT => Outcome::Put { slot: c.u64()? },
+            OP_GET => {
+                let slot = c.u64()?;
+                let value = match c.u8()? {
+                    VAL_NONE => None,
+                    VAL_SOME => Some(c.u32()?),
+                    t => return Err(ProtoError::BadTag(t)),
+                };
+                Outcome::Get { slot, value }
+            }
+            t => return Err(ProtoError::BadTag(t)),
+        };
+        c.finish()?;
+        Ok(Response { request, outcome })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips() {
+        for op in [KvOp::Put { key: 65535, value: u32::MAX }, KvOp::Get { key: 0 }] {
+            let r = Request { client: ClientId(u64::MAX), request: RequestId(7), op };
+            assert_eq!(Request::decode(&r.encode()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn response_round_trips() {
+        for outcome in [
+            Outcome::Put { slot: 1 },
+            Outcome::Get { slot: u64::MAX, value: None },
+            Outcome::Get { slot: 3, value: Some(u32::MAX) },
+        ] {
+            let r = Response { request: RequestId(9), outcome };
+            assert_eq!(Response::decode(&r.encode()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn payload_packing_round_trips() {
+        for op in [
+            KvOp::Put { key: 0, value: 0 },
+            KvOp::Put { key: u16::MAX, value: u32::MAX },
+            KvOp::Get { key: 12345 },
+        ] {
+            assert_eq!(KvOp::from_payload(op.to_payload()), op);
+        }
+        // Puts and gets of the same key pack to distinct payloads.
+        assert_ne!(KvOp::Put { key: 3, value: 0 }.to_payload(), KvOp::Get { key: 3 }.to_payload());
+    }
+
+    #[test]
+    fn malformed_messages_are_rejected() {
+        assert_eq!(Request::decode(&[]), Err(ProtoError::Truncated));
+        assert_eq!(Request::decode(&[0x77]), Err(ProtoError::BadTag(0x77)));
+        let mut ok =
+            Request { client: ClientId(1), request: RequestId(2), op: KvOp::Get { key: 3 } }
+                .encode();
+        ok.push(0);
+        assert_eq!(Request::decode(&ok), Err(ProtoError::TrailingBytes));
+        ok.truncate(ok.len() - 3);
+        assert_eq!(Request::decode(&ok), Err(ProtoError::Truncated));
+        assert_eq!(Response::decode(&[TAG_RESPONSE]), Err(ProtoError::Truncated));
+    }
+}

@@ -1,0 +1,164 @@
+//! The TCP front door: framed sockets in, engine intake out.
+//!
+//! [`KvServer`] binds a listener, hosts the replica group in-process (a
+//! [`KvEngine`](crate::KvEngine) running the n-replica consensus
+//! session), and bridges each accepted socket to the engine:
+//!
+//! * a **reader thread** per connection decodes request frames and
+//!   submits them on the engine's intake channel; a clean EOF, a
+//!   truncated frame, or a malformed message deregisters the connection
+//!   (the protocol has no error responses — a peer that cannot speak it
+//!   is dropped);
+//! * a **writer thread** per connection forwards the engine's
+//!   acknowledgements back as response frames.
+//!
+//! A client that dies mid-request costs the server nothing: the reader
+//! sees EOF, deregisters, and the command — if already batched — still
+//! commits; its ack goes nowhere. When the client reconnects and replays
+//! the same `(ClientId, RequestId)`, the engine's dedup layer answers
+//! from the decided log without a second apply. The integration suite
+//! kills clients mid-request to pin this down.
+
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::engine::{EngineConfig, EngineHandle, KvEngine, ServiceAudit};
+use crate::proto::Request;
+use crate::wire::{write_frame, FrameReader};
+
+/// A running networked replicated-KV service.
+#[derive(Debug)]
+pub struct KvServer {
+    engine: KvEngine,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    /// Live sockets, for shutdown to unblock their reader threads.
+    socks: Arc<Mutex<Vec<TcpStream>>>,
+}
+
+impl KvServer {
+    /// Spawns the engine and binds the listener (use port 0 for an
+    /// ephemeral port; [`addr`](KvServer::addr) reports the real one).
+    pub fn bind(addr: &str, config: EngineConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let engine = KvEngine::spawn(config);
+        let handle = engine.handle();
+        let stop = Arc::new(AtomicBool::new(false));
+        let socks: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            let socks = Arc::clone(&socks);
+            std::thread::spawn(move || accept_loop(&listener, &handle, &stop, &socks))
+        };
+        Ok(KvServer { engine, addr, stop, acceptor: Some(acceptor), socks })
+    }
+
+    /// The bound address clients connect to.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A handle for opening in-process sessions ([`crate::LocalKv`])
+    /// against the same engine the sockets feed.
+    #[must_use]
+    pub fn engine(&self) -> EngineHandle {
+        self.engine.handle()
+    }
+
+    /// Stops accepting, closes every live socket, drains the engine, and
+    /// returns the audit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the acceptor or engine driver thread panicked.
+    #[must_use]
+    pub fn shutdown(mut self) -> ServiceAudit {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.acceptor.take() {
+            h.join().expect("acceptor thread panicked");
+        }
+        // Closing the sockets unblocks the per-connection reader threads,
+        // whose exits deregister their connections from the engine.
+        for s in self.socks.lock().expect("socket registry poisoned").drain(..) {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+        self.engine.shutdown()
+    }
+}
+
+/// Accepts connections until told to stop; each connection gets a reader
+/// and a writer thread.
+fn accept_loop(
+    listener: &TcpListener,
+    engine: &EngineHandle,
+    stop: &AtomicBool,
+    socks: &Mutex<Vec<TcpStream>>,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if let Err(e) = spawn_connection(stream, engine, socks) {
+                    // A socket that failed setup is dropped; the peer
+                    // sees a closed connection and retries elsewhere.
+                    let _ = e;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+/// Wires one accepted socket to the engine.
+fn spawn_connection(
+    stream: TcpStream,
+    engine: &EngineHandle,
+    socks: &Mutex<Vec<TcpStream>>,
+) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_nonblocking(false)?;
+    let read_side = stream.try_clone()?;
+    let mut write_side = stream.try_clone()?;
+    socks.lock().expect("socket registry poisoned").push(stream);
+
+    let (submit, acks) = engine.connect();
+
+    // Writer: engine acks -> response frames. Exits when the engine
+    // drops the connection's sender (deregistration) or the socket dies.
+    let wsock = write_side.try_clone()?;
+    std::thread::spawn(move || {
+        while let Ok(resp) = acks.recv() {
+            if write_frame(&mut write_side, &resp.encode()).is_err() {
+                break;
+            }
+        }
+    });
+
+    // Reader: request frames -> engine intake. Owns the SubmitHandle, so
+    // its exit (EOF, truncation, garbage) deregisters the connection,
+    // which disconnects the writer's receiver and lets it exit too.
+    std::thread::spawn(move || {
+        let mut reader = FrameReader::new(read_side);
+        while let Ok(Some(payload)) = reader.read_frame() {
+            let Ok(request) = Request::decode(&payload) else { break };
+            if !submit.submit(request) {
+                break; // engine shut down
+            }
+        }
+        // Unblock the writer promptly even if the engine keeps the ack
+        // sender alive briefly.
+        let _ = wsock.shutdown(Shutdown::Write);
+        drop(submit);
+    });
+    Ok(())
+}

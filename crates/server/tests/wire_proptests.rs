@@ -1,0 +1,129 @@
+//! Property-based tests of the frame codec: byte-identical round-trips
+//! through arbitrary read-chunkings, and oversized-frame rejection.
+
+use indulgent_server::wire::{encode_frame, FrameDecoder, FrameReader, MAX_FRAME};
+use proptest::prelude::*;
+
+/// A batch of frame payloads of assorted sizes (empty frames included).
+fn payloads() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..200), 0..12)
+}
+
+/// Splits `wire` into chunks whose sizes are driven by `cuts`, covering
+/// partial (byte-by-byte), exact, and coalesced (many frames per read)
+/// deliveries of the same byte stream.
+fn chunkings(wire: &[u8], cuts: &[usize]) -> Vec<Vec<u8>> {
+    let mut chunks = Vec::new();
+    let mut pos = 0;
+    let mut i = 0;
+    while pos < wire.len() {
+        let step = if cuts.is_empty() { wire.len() } else { cuts[i % cuts.len()] % 97 + 1 };
+        let end = (pos + step).min(wire.len());
+        chunks.push(wire[pos..end].to_vec());
+        pos = end;
+        i += 1;
+    }
+    chunks
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Any chunking of the same byte stream decodes to the same frames:
+    // the decoder is chunking-independent by construction.
+    #[test]
+    fn round_trip_through_any_chunking(
+        frames in payloads(),
+        cuts in proptest::collection::vec(any::<usize>(), 0..8),
+    ) {
+        let mut wire = Vec::new();
+        for f in &frames {
+            encode_frame(f, &mut wire);
+        }
+        let mut decoder = FrameDecoder::new();
+        let mut decoded = Vec::new();
+        for chunk in chunkings(&wire, &cuts) {
+            decoder.feed(&chunk);
+            while let Some(frame) = decoder.next_frame().expect("well-formed stream") {
+                decoded.push(frame);
+            }
+        }
+        prop_assert_eq!(&decoded, &frames);
+        prop_assert_eq!(decoder.pending(), 0);
+    }
+
+    // The blocking reader agrees with the incremental decoder on the
+    // same stream (it is the per-connection wrapper the server uses).
+    #[test]
+    fn reader_matches_decoder(frames in payloads()) {
+        let mut wire = Vec::new();
+        for f in &frames {
+            encode_frame(f, &mut wire);
+        }
+        let mut reader = FrameReader::new(&wire[..]);
+        let mut decoded = Vec::new();
+        while let Some(frame) = reader.read_frame().expect("well-formed stream") {
+            decoded.push(frame);
+        }
+        prop_assert_eq!(&decoded, &frames);
+    }
+
+    // A header announcing more than MAX_FRAME bytes errors immediately —
+    // before any of the announced payload arrives — regardless of how
+    // many valid frames preceded it.
+    #[test]
+    fn oversized_header_rejected_after_any_prefix(
+        frames in payloads(),
+        excess in 1u32..1_000_000,
+    ) {
+        let mut wire = Vec::new();
+        for f in &frames {
+            encode_frame(f, &mut wire);
+        }
+        let announced = u32::try_from(MAX_FRAME).expect("fits") + excess;
+        wire.extend_from_slice(&announced.to_le_bytes());
+        // Note: no payload bytes follow the poisoned header.
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&wire);
+        let mut popped = 0;
+        let err = loop {
+            match decoder.next_frame() {
+                Ok(Some(_)) => popped += 1,
+                Ok(None) => prop_assert!(false, "oversized header must error, got None"),
+                Err(e) => break e,
+            }
+        };
+        prop_assert_eq!(popped, frames.len());
+        prop_assert!(
+            matches!(err, indulgent_server::WireError::Oversized { announced: a } if a == u64::from(announced))
+        );
+    }
+
+    // Truncating a stream mid-frame leaves the tail pending (the reader
+    // turns that into TruncatedFrame at EOF); truncating at a boundary
+    // leaves nothing.
+    #[test]
+    fn truncation_is_detected(frames in payloads(), cut_back in any::<usize>()) {
+        let mut wire = Vec::new();
+        for f in &frames {
+            encode_frame(f, &mut wire);
+        }
+        prop_assume!(!wire.is_empty());
+        let cut = wire.len() - (cut_back % wire.len() + 1); // strictly shorter
+        let mut reader = FrameReader::new(&wire[..cut]);
+        let result = loop {
+            match reader.read_frame() {
+                Ok(Some(_)) => {}
+                other => break other,
+            }
+        };
+        // Whether this is a clean EOF or a truncation depends on where
+        // the cut fell; what must never happen is a successful decode of
+        // a frame the stream didn't finish, or a hang.
+        match result {
+            Ok(None) => {}
+            Err(indulgent_server::WireError::TruncatedFrame) => {}
+            other => prop_assert!(false, "unexpected terminal state: {:?}", other.map(|_| "frame")),
+        }
+    }
+}
