@@ -146,11 +146,28 @@ impl LogReport {
             }
         }
 
-        // 3: every correct replica decided every slot, and applied the
-        // canonical log.
+        // 3: termination and identical logs, outage-aware. A replica is
+        // held to deciding every slot its outages do not cover — a
+        // *recovered* replica must decide again from its recovery
+        // instance on. Log equality is only meaningful for replicas with
+        // no outage at all (an outage leaves holes that shift the
+        // applied log); a report without explicit outage intervals falls
+        // back to the crash-stop reading of `crashed`.
         for r in 0..n {
             let replica = ProcessId::new(r);
-            if self.crashed.contains(replica) {
+            let outages = self.outages.get(r).map_or(&[][..], Vec::as_slice);
+            if outages.is_empty() {
+                if self.crashed.contains(replica) {
+                    continue;
+                }
+            } else {
+                for (idx, row) in self.decisions.iter().enumerate() {
+                    let instance = idx as u64 + 1;
+                    let down = outages.iter().any(|o| o.covers(instance).is_some());
+                    if row[r].is_none() && !down {
+                        return Err(LogViolation::Termination { instance, replica });
+                    }
+                }
                 continue;
             }
             for (idx, row) in self.decisions.iter().enumerate() {
@@ -197,7 +214,7 @@ mod tests {
     use indulgent_model::{Round, Value};
 
     use super::*;
-    use crate::driver::{DecidedLog, LogConfig};
+    use crate::driver::{DecidedLog, LogConfig, Outage};
     use crate::frontend::ClientFrontend;
 
     /// A hand-built healthy 2-slot report for 3 replicas.
@@ -228,6 +245,7 @@ mod tests {
             noop_slots: 0,
             duplicate_slots: 0,
             crashed: indulgent_model::ProcessSet::empty(),
+            outages: vec![Vec::new(); 3],
             frontend,
         }
     }
@@ -268,6 +286,27 @@ mod tests {
         report.crashed.insert(ProcessId::new(1));
         report.logs[1] = DecidedLog::new();
         report.check().unwrap();
+    }
+
+    #[test]
+    fn recovered_replica_must_decide_after_recovery() {
+        let mut report = healthy();
+        // Replica 1 is down for slot 1 only (recovers at instance 2): a
+        // hole there is fine, and log equality is skipped (holes shift
+        // its applied log).
+        report.outages[1] =
+            vec![Outage { from_instance: 1, from_round: Round::FIRST, until_instance: Some(2) }];
+        report.crashed.insert(ProcessId::new(1));
+        report.decisions[0][1] = None;
+        report.logs[1] = DecidedLog::new();
+        report.check().unwrap();
+        // But a hole *after* recovery violates termination — recovered
+        // replicas are held to their guarantees again.
+        report.decisions[1][1] = None;
+        assert_eq!(
+            report.check(),
+            Err(LogViolation::Termination { instance: 2, replica: ProcessId::new(1) })
+        );
     }
 
     #[test]

@@ -26,17 +26,29 @@
 //! defense-in-depth safety net, and the invariant checker asserts it
 //! never fires.
 //!
-//! # Crash and asynchrony scenarios
+//! # Crash, recovery, and asynchrony scenarios
 //!
-//! A [`LogScenario`] crashes each chosen replica *permanently* at a
-//! logical `(instance, round)` point: silent from that round of that
-//! instance on, and from round 1 of every later instance. Both substrates
-//! realize exactly this per-instance crash pattern, which is what keeps
-//! crash chaos deterministically comparable between them at any pipeline
-//! depth. An asynchronous prefix adds seeded message delays (and the
-//! false suspicions they cause) to the early instances; those runs are
-//! validated by the log invariants rather than cross-substrate equality,
-//! since wall-clock suspicion timing is inherently substrate-specific.
+//! A [`LogScenario`] holds per-replica [`Outage`] intervals over the
+//! *logical* timeline: an outage silences a replica from a `(instance,
+//! round)` point — from that round of that instance on, and from round 1
+//! of every later covered instance — until it recovers at
+//! `until_instance` (or forever, the crash-stop special case). Because
+//! both substrates run each instance with fresh per-instance automatons,
+//! recovery is free: the replica simply participates again from the
+//! recovery instance on, with no in-instance state to restore. Both
+//! substrates realize exactly this per-instance outage pattern, which is
+//! what keeps crash *and recovery* chaos deterministically comparable
+//! between them at any pipeline depth. An asynchronous prefix adds
+//! seeded message delays (and the false suspicions they cause) to the
+//! early instances; those runs are validated by the log invariants
+//! rather than cross-substrate equality, since wall-clock suspicion
+//! timing is inherently substrate-specific.
+//!
+//! The fault budget is per-*instance*, not per-run: at every instance at
+//! most `t` replicas may be down simultaneously, but across the run the
+//! total number of crash events may exceed `t` — the crash-recovery
+//! model of the wider indulgent literature, where `A_{t+2}`'s safety
+//! only ever needs a majority up per decision.
 
 use std::collections::{BTreeMap, HashSet, VecDeque};
 
@@ -86,13 +98,44 @@ impl LogConfig {
     }
 }
 
+/// One logical down interval of a replica: crashed at `(from_instance,
+/// from_round)`, recovered (participating again) from `until_instance`
+/// on — or never, the crash-stop special case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Outage {
+    /// The instance in which the replica goes down.
+    pub from_instance: u64,
+    /// The round of `from_instance` from which it is silent.
+    pub from_round: Round,
+    /// First instance the replica participates in again; `None` = the
+    /// outage is permanent (crash-stop).
+    pub until_instance: Option<u64>,
+}
+
+impl Outage {
+    /// The round from which this outage silences the replica in
+    /// `instance`, if the outage covers it: the crash round in the crash
+    /// instance, round 1 in every later covered instance.
+    #[must_use]
+    pub fn covers(&self, instance: u64) -> Option<Round> {
+        if instance == self.from_instance {
+            Some(self.from_round)
+        } else if instance > self.from_instance
+            && self.until_instance.is_none_or(|until| instance < until)
+        {
+            Some(Round::FIRST)
+        } else {
+            None
+        }
+    }
+}
+
 /// Chaos injected into a log run.
 #[derive(Debug, Clone, Default)]
 pub struct LogScenario {
-    /// Permanent logical crash per replica: `Some((instance, round))`
-    /// silences the replica from that round of that instance on (and
-    /// entirely from every later instance).
-    pub crashes: Vec<Option<(u64, Round)>>,
+    /// Per-replica outage intervals (multiple = the replica crashes,
+    /// recovers, and crashes again).
+    pub outages: Vec<Vec<Outage>>,
     /// Asynchronous prefix over the early instances.
     pub asynchrony: Option<AsyncPrefix>,
 }
@@ -101,13 +144,52 @@ impl LogScenario {
     /// A failure-free scenario for `n` replicas.
     #[must_use]
     pub fn failure_free(n: usize) -> Self {
-        LogScenario { crashes: vec![None; n], asynchrony: None }
+        LogScenario { outages: vec![Vec::new(); n], asynchrony: None }
     }
 
     /// Crashes `replica` permanently at `(instance, round)`.
     #[must_use]
     pub fn crash(mut self, replica: usize, instance: u64, round: Round) -> Self {
-        self.crashes[replica] = Some((instance, round));
+        self.outages[replica].push(Outage {
+            from_instance: instance,
+            from_round: round,
+            until_instance: None,
+        });
+        self
+    }
+
+    /// Crashes `replica` at `(instance, round)` and recovers it at
+    /// `recover_instance` (it participates in `recover_instance` and
+    /// later instances again). Chain multiple calls per replica for
+    /// repeated crash/recover cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval is empty or overlaps an existing outage of
+    /// the same replica.
+    #[must_use]
+    pub fn crash_recover(
+        mut self,
+        replica: usize,
+        instance: u64,
+        round: Round,
+        recover_instance: u64,
+    ) -> Self {
+        assert!(recover_instance > instance, "recovery happens after the crash");
+        let outage = Outage {
+            from_instance: instance,
+            from_round: round,
+            until_instance: Some(recover_instance),
+        };
+        for existing in &self.outages[replica] {
+            for j in instance..recover_instance {
+                assert!(
+                    existing.covers(j).is_none(),
+                    "outage intervals of replica {replica} overlap at instance {j}"
+                );
+            }
+        }
+        self.outages[replica].push(outage);
         self
     }
 
@@ -118,21 +200,35 @@ impl LogScenario {
         self
     }
 
-    /// The set of replicas this scenario ever crashes.
+    /// The round from which `replica` is silent in `instance`, if any
+    /// outage covers it.
+    #[must_use]
+    pub fn down_round(&self, replica: usize, instance: u64) -> Option<Round> {
+        self.outages[replica].iter().find_map(|o| o.covers(instance))
+    }
+
+    /// How many replicas are down (covered by an outage) at `instance`.
+    #[must_use]
+    pub fn down_at(&self, instance: u64) -> usize {
+        (0..self.outages.len()).filter(|&r| self.down_round(r, instance).is_some()).count()
+    }
+
+    /// The set of replicas this scenario ever crashes (including ones
+    /// that recover).
     #[must_use]
     pub fn crashed_set(&self) -> ProcessSet {
-        self.crashes
+        self.outages
             .iter()
             .enumerate()
-            .filter(|(_, c)| c.is_some())
+            .filter(|(_, o)| !o.is_empty())
             .map(|(i, _)| indulgent_model::ProcessId::new(i))
             .collect()
     }
 
-    /// Number of replicas crashed by this scenario.
+    /// Number of replicas this scenario ever crashes.
     #[must_use]
     pub fn crash_count(&self) -> usize {
-        self.crashes.iter().filter(|c| c.is_some()).count()
+        self.outages.iter().filter(|o| !o.is_empty()).count()
     }
 }
 
@@ -203,6 +299,7 @@ pub trait InstanceRunner {
 pub struct DecidedLog {
     entries: Vec<AppliedEntry>,
     applied: HashSet<BatchId>,
+    truncated: u64,
 }
 
 impl DecidedLog {
@@ -255,6 +352,27 @@ impl DecidedLog {
     pub fn applied_batches(&self) -> impl Iterator<Item = BatchId> + '_ {
         self.entries.iter().filter_map(|e| e.applied())
     }
+
+    /// Drops the oldest `count` entries — a checkpoint has folded them
+    /// into a snapshot, so the in-memory log only retains the suffix.
+    /// The applied-batch dedup memory is kept in full: a later duplicate
+    /// of a truncated batch is still detected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` exceeds the retained length.
+    pub fn truncate_prefix(&mut self, count: usize) {
+        assert!(count <= self.entries.len(), "cannot truncate past the retained suffix");
+        self.entries.drain(..count);
+        self.truncated += count as u64;
+    }
+
+    /// Entries dropped by prefix truncation (the retained suffix starts
+    /// at slot offset `truncated`).
+    #[must_use]
+    pub fn truncated(&self) -> u64 {
+        self.truncated
+    }
 }
 
 /// Everything a completed log run reports.
@@ -281,8 +399,12 @@ pub struct LogReport {
     /// Slots whose decided batch was already applied (policy violation if
     /// nonzero; checked by the invariant suite).
     pub duplicate_slots: u64,
-    /// Replicas the scenario crashed.
+    /// Replicas the scenario ever crashed (including recovered ones).
     pub crashed: ProcessSet,
+    /// The scenario's per-replica outage intervals — the invariant
+    /// checker holds recovered replicas to their guarantees outside
+    /// their outages.
+    pub outages: Vec<Vec<Outage>>,
     /// The workload's frontend (batch content lookups for appliers and
     /// the invariant checker).
     pub frontend: ClientFrontend,
@@ -304,8 +426,11 @@ impl LogDriver {
     ///
     /// # Panics
     ///
-    /// Panics if the scenario's crash vector length differs from `n`, if
-    /// it crashes more than `t` replicas, or if `pipeline_depth == 0`.
+    /// Panics if the scenario's outage vector length differs from `n`,
+    /// if more than `t` replicas are down simultaneously at any instance
+    /// of the run (the per-instance fault budget — *total* crash events
+    /// may exceed `t` when outages recover), or if
+    /// `pipeline_depth == 0`.
     #[must_use]
     pub fn new(
         config: SystemConfig,
@@ -313,12 +438,15 @@ impl LogDriver {
         scenario: LogScenario,
         frontend: ClientFrontend,
     ) -> Self {
-        assert_eq!(scenario.crashes.len(), config.n(), "one crash slot per replica");
-        assert!(
-            scenario.crash_count() <= config.t(),
-            "a scenario may crash at most t = {} replicas",
-            config.t()
-        );
+        assert_eq!(scenario.outages.len(), config.n(), "one outage list per replica");
+        for j in 1..=log_config.instances {
+            assert!(
+                scenario.down_at(j) <= config.t(),
+                "a scenario may have at most t = {} replicas down at once (instance {j} has {})",
+                config.t(),
+                scenario.down_at(j)
+            );
+        }
         assert!(log_config.pipeline_depth >= 1, "pipeline depth is at least 1");
         LogDriver { config, log_config, scenario, frontend }
     }
@@ -432,24 +560,18 @@ impl LogDriver {
             noop_slots,
             duplicate_slots,
             crashed: self.scenario.crashed_set(),
+            outages: self.scenario.outages,
             frontend: self.frontend,
         }
     }
 }
 
 /// Derives instance `j`'s substrate-neutral adversary from the scenario:
-/// permanent crashes project to `(round in their instance, round 1
-/// afterwards)`, the asynchronous prefix to per-instance seeded delays.
+/// outages project to `(crash round in their first instance, round 1 in
+/// every later covered instance, absent once recovered)`, the
+/// asynchronous prefix to per-instance seeded delays.
 fn shot_spec(scenario: &LogScenario, max_rounds: u32, instance: u64) -> ShotSpec {
-    let crashes = scenario
-        .crashes
-        .iter()
-        .map(|c| match c {
-            Some((cj, cr)) if instance == *cj => Some(*cr),
-            Some((cj, _)) if instance > *cj => Some(Round::FIRST),
-            _ => None,
-        })
-        .collect();
+    let crashes = (0..scenario.outages.len()).map(|r| scenario.down_round(r, instance)).collect();
     let asynchrony = scenario.asynchrony.and_then(|a| {
         (instance < a.until_instance).then_some(ShotAsync {
             sync_from: a.sync_from,
@@ -608,5 +730,65 @@ mod tests {
         let scenario =
             LogScenario::failure_free(3).crash(0, 1, Round::FIRST).crash(1, 1, Round::FIRST);
         let _ = LogDriver::new(config, LogConfig::sequential(2), scenario, frontend);
+    }
+
+    #[test]
+    fn shot_specs_project_recovering_outages() {
+        // Down from (2, r3) through instance 3, back at 4; down again
+        // from (6, r1) permanently.
+        let scenario = LogScenario::failure_free(3).crash_recover(0, 2, Round::new(3), 4).crash(
+            0,
+            6,
+            Round::FIRST,
+        );
+        assert_eq!(shot_spec(&scenario, 60, 1).crashes[0], None);
+        assert_eq!(shot_spec(&scenario, 60, 2).crashes[0], Some(Round::new(3)));
+        assert_eq!(shot_spec(&scenario, 60, 3).crashes[0], Some(Round::FIRST));
+        assert_eq!(shot_spec(&scenario, 60, 4).crashes[0], None);
+        assert_eq!(shot_spec(&scenario, 60, 5).crashes[0], None);
+        assert_eq!(shot_spec(&scenario, 60, 7).crashes[0], Some(Round::FIRST));
+    }
+
+    #[test]
+    fn disjoint_outages_may_exceed_t_in_total() {
+        // t = 1, but two different replicas go down at non-overlapping
+        // times: 3 crash events, never more than one replica down at
+        // once. The per-instance budget accepts this; the old per-run
+        // budget could not express it.
+        let config = SystemConfig::majority(3, 1).unwrap();
+        let frontend = ClientFrontend::new(3, 1);
+        let scenario = LogScenario::failure_free(3)
+            .crash_recover(0, 1, Round::FIRST, 3)
+            .crash_recover(1, 3, Round::new(2), 5)
+            .crash_recover(0, 5, Round::FIRST, 7);
+        assert_eq!(scenario.crash_count(), 2);
+        assert_eq!(scenario.down_at(1), 1);
+        assert_eq!(scenario.down_at(4), 1);
+        let _ = LogDriver::new(config, LogConfig::sequential(8), scenario, frontend);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlapping_outages_of_one_replica_are_rejected() {
+        let _ = LogScenario::failure_free(3).crash_recover(0, 2, Round::FIRST, 5).crash_recover(
+            0,
+            4,
+            Round::FIRST,
+            6,
+        );
+    }
+
+    #[test]
+    fn decided_log_prefix_truncation_keeps_dedup_memory() {
+        let mut log = DecidedLog::new();
+        log.apply(BatchId(0));
+        log.apply(BatchId(1));
+        log.apply(BatchId(2));
+        log.truncate_prefix(2);
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.truncated(), 2);
+        assert!(log.contains(BatchId(0)));
+        // A re-decision of a truncated batch is still caught.
+        assert!(matches!(log.apply(BatchId(0)), AppliedEntry::Duplicate(_)));
     }
 }

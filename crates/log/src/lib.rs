@@ -37,13 +37,15 @@
 //!   agreement and validity, identical applied logs on all correct
 //!   replicas, exactly-once acknowledged commands.
 //!
-//! Crash chaos uses *logical* per-instance crash points, realized
-//! identically by both substrates, so crash-only runs (any batch size,
-//! any pipeline depth) are differentially comparable value-for-value:
-//! the runtime's decided log must equal the simulator's. Asynchronous
-//! prefixes inject substrate-appropriate delays (schedule delays in the
-//! simulator, wall-clock `AsyncUntil` in the runtime) and are validated
-//! by the invariants instead.
+//! Crash chaos uses *logical* per-instance outage intervals (crash at an
+//! `(instance, round)` point, optionally recover at a later instance —
+//! the crash-recovery fault model), realized identically by both
+//! substrates, so crash-and-recovery runs (any batch size, any pipeline
+//! depth) are differentially comparable value-for-value: the runtime's
+//! decided log must equal the simulator's. Asynchronous prefixes inject
+//! substrate-appropriate delays (schedule delays in the simulator,
+//! wall-clock `AsyncUntil` in the runtime) and are validated by the
+//! invariants instead.
 //!
 //! # Example
 //!
@@ -85,7 +87,7 @@ mod runner_sim;
 
 pub use check::LogViolation;
 pub use driver::{
-    AsyncPrefix, DecidedLog, InstanceRunner, LogConfig, LogDriver, LogReport, LogScenario,
+    AsyncPrefix, DecidedLog, InstanceRunner, LogConfig, LogDriver, LogReport, LogScenario, Outage,
     ShotAsync, ShotSpec,
 };
 pub use frontend::{ClientFrontend, IntakePolicy};

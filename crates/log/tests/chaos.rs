@@ -18,6 +18,14 @@ use indulgent_log::{
 use indulgent_model::{Round, SystemConfig};
 use proptest::prelude::*;
 
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 fn cfg() -> SystemConfig {
     SystemConfig::majority(5, 2).unwrap()
 }
@@ -71,6 +79,36 @@ fn scenario_of(
     scenario
 }
 
+/// Seeded crash-*recovery* chaos: up to `t` victims, each down for a
+/// random `(instance, round)` → `recover_instance` window, the first
+/// victim crashing **twice** (two disjoint outage intervals) when the
+/// run is long enough.
+fn recovery_scenario_of(n: usize, t: usize, instances: u64, seed: u64) -> LogScenario {
+    let mut scenario = LogScenario::failure_free(n);
+    let mut x = seed;
+    let mut victims: Vec<usize> = Vec::new();
+    while victims.len() < t {
+        let v = splitmix(&mut x) as usize % n;
+        if !victims.contains(&v) {
+            victims.push(v);
+        }
+    }
+    for (k, &v) in victims.iter().enumerate() {
+        let from = splitmix(&mut x) % instances + 1;
+        let round = Round::new((splitmix(&mut x) % 4 + 1) as u32);
+        let recover = from + splitmix(&mut x) % 3 + 1;
+        scenario = scenario.crash_recover(v, from, round, recover);
+        if k == 0 && recover < instances {
+            // Double crash: the same replica goes down again after it
+            // recovered (disjoint interval, so still within budget).
+            let from2 = recover + splitmix(&mut x) % (instances - recover);
+            let round2 = Round::new((splitmix(&mut x) % 4 + 1) as u32);
+            scenario = scenario.crash_recover(v, from2, round2, from2 + splitmix(&mut x) % 2 + 1);
+        }
+    }
+    scenario
+}
+
 /// The invariant gauntlet plus cheap cross-checks every chaotic run must
 /// pass.
 fn assert_log_healthy(report: &LogReport, commands: u64) {
@@ -105,6 +143,36 @@ proptest! {
             workload(batch, commands, intake_of(intake_pick)),
         );
         assert_log_healthy(&report, commands);
+    }
+
+    /// Crash-recovery chaos across group sizes beyond n = 5, t = 2:
+    /// seeded outage windows (double crashes included) on the simulator
+    /// substrate, with every slot still deciding — a recovering minority
+    /// never stalls the log.
+    #[test]
+    fn sim_log_recovery_chaos_preserves_invariants(
+        n_pick in 0usize..3,
+        batch in 1usize..4,
+        depth in 1u64..4,
+        instances in 4u64..10,
+        seed in any::<u64>(),
+    ) {
+        let (n, t) = [(3, 1), (5, 2), (7, 3)][n_pick];
+        let config = SystemConfig::majority(n, t).unwrap();
+        let commands = instances * batch as u64;
+        let scenario = recovery_scenario_of(n, t, instances, seed);
+        let mut frontend = ClientFrontend::new(n, batch).with_intake(IntakePolicy::Shared);
+        frontend.submit_all(0..commands);
+        let report = run_log_sim(
+            config,
+            LogConfig::sequential(instances)
+                .with_batch_size(batch)
+                .with_pipeline_depth(depth),
+            scenario,
+            frontend,
+        );
+        assert_log_healthy(&report, commands);
+        prop_assert!(report.decided_values.iter().all(Option::is_some));
     }
 
     /// Simulator chaos is deterministic: the same seeds replay to the
@@ -168,6 +236,29 @@ proptest! {
         assert_log_healthy(&report, commands);
     }
 
+    /// Crash-recovery chaos on real threads: seeded outage windows must
+    /// hold every invariant on the session substrate too.
+    #[test]
+    fn session_log_recovery_chaos_preserves_invariants(
+        batch in 1usize..4,
+        depth in 1u64..4,
+        seed in any::<u64>(),
+    ) {
+        let instances = 6u64;
+        let commands = instances * batch as u64;
+        let scenario = recovery_scenario_of(5, 2, instances, seed);
+        let report = run_log_session(
+            cfg(),
+            LogConfig::sequential(instances)
+                .with_batch_size(batch)
+                .with_pipeline_depth(depth),
+            scenario,
+            workload(batch, commands, IntakePolicy::Shared),
+            NetProfile::test_sized(),
+        );
+        assert_log_healthy(&report, commands);
+    }
+
     /// Crash-only chaos pins the runtime to the simulator: identical
     /// decided logs at any pipeline depth, on replayable seeds.
     #[test]
@@ -199,4 +290,25 @@ proptest! {
         prop_assert_eq!(&sim.decided_values, &net.decided_values);
         prop_assert_eq!(&sim.canonical, &net.canonical);
     }
+}
+
+/// Rolling restarts: three distinct replicas crash over the run — more
+/// crash *events* than t = 2 — but the outage windows are disjoint, so
+/// at most one replica is down at any instance and the log never stalls.
+#[test]
+fn rolling_outages_beyond_t_total_stay_correct() {
+    let scenario = LogScenario::failure_free(5)
+        .crash_recover(0, 1, Round::new(1), 3)
+        .crash_recover(1, 3, Round::new(2), 5)
+        .crash_recover(2, 5, Round::new(1), 7);
+    assert_eq!(scenario.crash_count(), 3, "more total crash events than t");
+    let report = run_log_sim(
+        cfg(),
+        LogConfig::sequential(8).with_batch_size(2).with_pipeline_depth(2),
+        scenario,
+        workload(2, 16, IntakePolicy::Shared),
+    );
+    assert_log_healthy(&report, 16);
+    assert!(report.decided_values.iter().all(Option::is_some));
+    assert_eq!(report.committed_commands, 16, "shared intake loses nothing to rolling outages");
 }

@@ -1,32 +1,59 @@
 //! Standalone service entry point: bind the replicated-KV server on an
 //! address and serve until killed (SIGINT/SIGTERM terminate the
 //! process; replicas live in-process, so nothing needs cleanup beyond
-//! the OS reclaiming the sockets).
+//! the OS reclaiming the sockets — with `--dir` the WAL and snapshot
+//! survive the kill and the next start recovers from them).
 //!
 //! ```text
-//! indulgent_server [ADDR] [BATCH] [DEPTH]
+//! indulgent_server [ADDR] [BATCH] [DEPTH] [--dir DIR] [--snapshot-every N]
 //! ```
 //!
 //! * `ADDR`  — listen address (default `127.0.0.1:7171`; port 0 picks an
 //!   ephemeral port and prints it)
 //! * `BATCH` — commands per batch (default 8)
 //! * `DEPTH` — pipeline depth (default 4)
+//! * `--dir DIR` — durability directory (WAL + snapshots); omitting it
+//!   runs the server in-memory, as before
+//! * `--snapshot-every N` — checkpoint cadence in slots (default 256;
+//!   only meaningful with `--dir`)
 
 use std::time::Duration;
 
-use indulgent_server::{EngineConfig, KvServer};
+use indulgent_server::{DurabilityConfig, EngineConfig, KvServer};
 
 fn main() {
+    let mut positional: Vec<String> = Vec::new();
+    let mut dir: Option<String> = None;
+    let mut snapshot_every: u64 = 256;
     let mut argv = std::env::args().skip(1);
-    let addr = argv.next().unwrap_or_else(|| "127.0.0.1:7171".to_string());
-    let batch: usize = argv.next().map_or(8, |s| s.parse().expect("BATCH must be an integer"));
-    let depth: u64 = argv.next().map_or(4, |s| s.parse().expect("DEPTH must be an integer"));
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--dir" => dir = Some(argv.next().expect("--dir needs a path")),
+            "--snapshot-every" => {
+                snapshot_every = argv
+                    .next()
+                    .expect("--snapshot-every needs a count")
+                    .parse()
+                    .expect("--snapshot-every must be an integer");
+            }
+            _ => positional.push(arg),
+        }
+    }
+    let addr = positional.first().cloned().unwrap_or_else(|| "127.0.0.1:7171".to_string());
+    let batch: usize =
+        positional.get(1).map_or(8, |s| s.parse().expect("BATCH must be an integer"));
+    let depth: u64 = positional.get(2).map_or(4, |s| s.parse().expect("DEPTH must be an integer"));
 
-    let config = EngineConfig::default_5().with_batch_size(batch).with_pipeline_depth(depth);
+    let mut config = EngineConfig::default_5().with_batch_size(batch).with_pipeline_depth(depth);
+    if let Some(dir) = &dir {
+        config =
+            config.with_durability(DurabilityConfig::new(dir).with_snapshot_every(snapshot_every));
+    }
     let server = KvServer::bind(&addr, config).expect("bind listener");
     println!(
-        "indulgent_server listening on {} (n=5 t=2, batch {batch}, pipeline depth {depth})",
-        server.addr()
+        "indulgent_server listening on {} (n=5 t=2, batch {batch}, pipeline depth {depth}{})",
+        server.addr(),
+        dir.as_deref().map_or_else(String::new, |d| format!(", durable in {d}")),
     );
     loop {
         std::thread::sleep(Duration::from_secs(60));

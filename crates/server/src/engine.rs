@@ -19,18 +19,35 @@
 //!    the audit still checks it);
 //! 4. **applies** decided slots in order: materializes the store,
 //!    computes each command's response from the store state at its slot,
-//!    records the ack in the dedup cache, and pushes it to the
-//!    submitting connection.
+//!    persists the slot to the write-ahead log ([`crate::wal`]) and
+//!    `fdatasync`s it **before** any acknowledgement leaves, records the
+//!    ack in the dedup cache, and pushes it to the submitting
+//!    connection.
+//!
+//! # Crash recovery
+//!
+//! With a [`DurabilityConfig`], the fault model widens from crash-stop
+//! to crash-*recovery*. Every applied slot is WAL-logged before it is
+//! acknowledged, and every `snapshot_every` slots the engine checkpoints
+//! — snapshot (store + session dedup table + applied-through + batch-id
+//! high-water mark) written atomically, then the WAL and the in-memory
+//! slot history prefix-truncated. A restarted engine re-hydrates from
+//! snapshot + WAL replay: the store resumes, *sessions resume* (a retry
+//! of a pre-crash request is still answered from the cache — exactly
+//! once survives the restart), and new consensus instances map onto log
+//! slots past the recovered prefix (`slot = recovered_base + instance`,
+//! since the fresh [`Session`]'s instance ids restart at 1).
 //!
 //! Because *reads are sequenced too*, every acknowledged response is
 //! computed from the log's total order — linearizability is structural,
 //! and [`ServiceAudit::check`] re-verifies it after the fact by
 //! replaying the log with independent code and comparing every response
-//! byte for byte (the service-level analog of the log crate's
-//! `LogReport::check`).
+//! byte for byte, across the *combined* pre/post-restart history (the
+//! recovered prefix seeds the replay base).
 
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -41,10 +58,39 @@ use indulgent_log::{at_plus2_factory, AtSlot, ClientFrontend, IntakePolicy};
 use indulgent_model::{BatchId, ClientId, CommandId, Decision, RequestId, SystemConfig};
 use indulgent_runtime::{DelayModel, InstanceSpec, Session};
 
-use crate::proto::{KvOp, Outcome, Request, Response};
+use crate::proto::{AuditSummary, KvOp, Outcome, Request, Response, SyncFrame};
+use crate::snapshot::{SessionEntry, Snapshot};
+use crate::wal::{Wal, WalTail};
+
+/// Where and how often the engine persists its state.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Directory holding `wal.log` and `state.snap`.
+    pub dir: PathBuf,
+    /// Checkpoint (snapshot + WAL/in-memory prefix truncation) every
+    /// this many applied slots past the last checkpoint; `0` defers the
+    /// snapshot to clean shutdown (the WAL alone carries recovery).
+    pub snapshot_every: u64,
+}
+
+impl DurabilityConfig {
+    /// Durability rooted at `dir`, checkpointing every 256 slots.
+    #[must_use]
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DurabilityConfig { dir: dir.into(), snapshot_every: 256 }
+    }
+
+    /// Sets the checkpoint interval (in applied slots; `0` = only at
+    /// clean shutdown).
+    #[must_use]
+    pub fn with_snapshot_every(mut self, every: u64) -> Self {
+        self.snapshot_every = every;
+        self
+    }
+}
 
 /// Sizing and timing of a service engine.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// The replica group (n, t).
     pub system: SystemConfig,
@@ -66,11 +112,15 @@ pub struct EngineConfig {
     /// this long with instances in flight (a wedged service must fail
     /// loudly, not hang a CI job).
     pub stall_timeout: Duration,
+    /// WAL + snapshot persistence; `None` runs crash-stop (in-memory
+    /// only, the pre-durability behavior).
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl EngineConfig {
     /// A 5-replica, t = 2 service with service-sized defaults: batches
-    /// of 8, pipeline depth 4, instant replica links, 500 µs linger.
+    /// of 8, pipeline depth 4, instant replica links, 500 µs linger, no
+    /// durability.
     ///
     /// # Panics
     ///
@@ -86,6 +136,7 @@ impl EngineConfig {
             delays: DelayModel::Instant,
             linger: Duration::from_micros(500),
             stall_timeout: Duration::from_secs(30),
+            durability: None,
         }
     }
 
@@ -111,6 +162,14 @@ impl EngineConfig {
         self.delays = delays;
         self
     }
+
+    /// Enables WAL + snapshot durability rooted at `dir` (see
+    /// [`DurabilityConfig`] for the checkpoint cadence).
+    #[must_use]
+    pub fn with_durability(mut self, durability: DurabilityConfig) -> Self {
+        self.durability = Some(durability);
+        self
+    }
 }
 
 /// Identifier of one connection registered with the engine (a socket on
@@ -124,13 +183,41 @@ impl fmt::Display for ConnId {
     }
 }
 
+/// What the engine pushes onto a connection's outbound channel.
+#[derive(Debug, Clone)]
+pub enum Outbound {
+    /// A request acknowledgement.
+    Ack(Response),
+    /// A pre-encoded control frame payload (sync stream, audit reply);
+    /// the transport writes it as one frame verbatim.
+    Control(Vec<u8>),
+}
+
 /// Intake messages from connections to the engine's driver thread.
 #[derive(Debug)]
 enum EngineMsg {
-    Register { conn: ConnId, tx: Sender<Response> },
-    Deregister { conn: ConnId },
-    Submit { conn: ConnId, request: Request },
+    Register {
+        conn: ConnId,
+        tx: Sender<Outbound>,
+    },
+    Deregister {
+        conn: ConnId,
+    },
+    Submit {
+        conn: ConnId,
+        request: Request,
+    },
+    /// Stream durable state (snapshot + catch-up records) to `conn`.
+    Sync {
+        conn: ConnId,
+    },
+    /// Run the replay audit and reply its summary to `conn`.
+    Audit {
+        conn: ConnId,
+    },
     Shutdown,
+    /// Hard-crash: exit immediately, no drain, no final snapshot.
+    Die,
 }
 
 /// A cloneable handle for registering connections with a running engine.
@@ -142,11 +229,12 @@ pub struct EngineHandle {
 
 impl EngineHandle {
     /// Registers a new connection: returns the submit side and the
-    /// response stream. Dropping the [`SubmitHandle`] deregisters the
-    /// connection (responses for its in-flight requests are dropped
-    /// unless the client re-targets them by retrying elsewhere).
+    /// outbound stream (acknowledgements and control frames). Dropping
+    /// the [`SubmitHandle`] deregisters the connection (responses for
+    /// its in-flight requests are dropped unless the client re-targets
+    /// them by retrying elsewhere).
     #[must_use]
-    pub fn connect(&self) -> (SubmitHandle, Receiver<Response>) {
+    pub fn connect(&self) -> (SubmitHandle, Receiver<Outbound>) {
         let conn = ConnId(self.next_conn.fetch_add(1, Ordering::Relaxed));
         let (tx, rx) = unbounded();
         // A send failure means the engine already shut down; the submit
@@ -174,6 +262,19 @@ impl SubmitHandle {
     pub fn submit(&self, request: Request) -> bool {
         self.intake.send(EngineMsg::Submit { conn: self.conn, request }).is_ok()
     }
+
+    /// Asks the engine to stream its durable state to this connection as
+    /// control frames (the rejoin transfer); `false` if the engine has
+    /// shut down.
+    pub fn request_sync(&self) -> bool {
+        self.intake.send(EngineMsg::Sync { conn: self.conn }).is_ok()
+    }
+
+    /// Asks the engine to run the replay audit and reply a summary
+    /// control frame; `false` if the engine has shut down.
+    pub fn request_audit(&self) -> bool {
+        self.intake.send(EngineMsg::Audit { conn: self.conn }).is_ok()
+    }
 }
 
 impl Drop for SubmitHandle {
@@ -197,9 +298,9 @@ pub struct AckRecord {
 
 /// One applied log slot: the batch that occupied it and the commands it
 /// carried.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SlotRecord {
-    /// The slot (= consensus instance id, 1-based).
+    /// The slot (1-based, monotonic across incarnations).
     pub slot: u64,
     /// The decided batch.
     pub batch: BatchId,
@@ -213,20 +314,37 @@ pub struct SlotRecord {
 /// runs against: [`check`](ServiceAudit::check) re-derives every
 /// response from the decided log with independent replay code and
 /// verifies the exactly-once bookkeeping, per-slot replica agreement,
-/// and store consistency.
+/// and store consistency. With durability, the audit spans incarnations:
+/// slots recovered from disk are replayed like live ones, and slots
+/// folded into a checkpoint seed the replay base.
 #[derive(Debug, Clone)]
 pub struct ServiceAudit {
     /// The replica group.
     pub system: SystemConfig,
-    /// The applied slots in log order.
+    /// Slots `<= base_slot` are folded into the base (checkpointed
+    /// before this audit's retained history begins).
+    pub base_slot: u64,
+    /// The store materialized by the folded slots.
+    pub base_store: BTreeMap<u16, u32>,
+    /// The session dedup table at the base (acknowledgements the folded
+    /// slots produced).
+    pub base_sessions: Vec<SessionEntry>,
+    /// Commands committed by the folded slots.
+    pub base_commands: u64,
+    /// The first slot decided by *this incarnation* (slots between
+    /// `base_slot + 1` and `live_from - 1` were recovered from the WAL:
+    /// they carry full records but no live consensus evidence).
+    pub live_from: u64,
+    /// The retained slots in log order (`base_slot + 1 ..`).
     pub slots: Vec<SlotRecord>,
-    /// The batch id every replica was asked to propose, per slot.
+    /// The batch id every replica was asked to propose, per live slot
+    /// (index 0 = slot `live_from`).
     pub proposals: Vec<BatchId>,
-    /// Per-slot, per-replica first decisions (index 0 = slot 1).
+    /// Per-live-slot, per-replica first decisions.
     pub replica_decisions: Vec<Vec<Option<Decision>>>,
     /// The store materialized by the engine at shutdown.
     pub final_store: BTreeMap<u16, u32>,
-    /// Commands applied (every slot, every batch member).
+    /// Commands applied over the service lifetime (folded + retained).
     pub committed_commands: u64,
     /// Requests answered from the dedup cache or re-targeted while in
     /// flight — retries absorbed without a second apply.
@@ -273,6 +391,13 @@ pub enum AuditViolation {
         /// How many times.
         count: u64,
     },
+    /// The retained slots are not contiguous from the base.
+    SlotGap {
+        /// The slot expected at the gap.
+        expected: u64,
+        /// The slot found instead.
+        found: u64,
+    },
 }
 
 impl fmt::Display for AuditViolation {
@@ -296,6 +421,9 @@ impl fmt::Display for AuditViolation {
             AuditViolation::DuplicateApplies { count } => {
                 write!(f, "{count} duplicate batch applies (safety net fired)")
             }
+            AuditViolation::SlotGap { expected, found } => {
+                write!(f, "retained history skips from slot {found} where {expected} was expected")
+            }
         }
     }
 }
@@ -304,20 +432,22 @@ impl std::error::Error for AuditViolation {}
 
 impl ServiceAudit {
     /// Verifies the run end to end: per-slot replica agreement and
-    /// validity, exactly-once applies, and — by replaying the decided
-    /// log with independent code — that every acknowledged response and
-    /// the final store are exactly what the total order dictates. This
-    /// is the linearizability argument: all operations (reads included)
-    /// are answered from the replayed total order, so acks that match
-    /// the replay are linearized at their slots.
+    /// validity (for the slots this incarnation decided), exactly-once
+    /// applies across incarnations, and — by replaying the retained
+    /// decided log on top of the checkpointed base with independent code
+    /// — that every acknowledged response and the final store are
+    /// exactly what the total order dictates. This is the
+    /// linearizability argument: all operations (reads included) are
+    /// answered from the replayed total order, so acks that match the
+    /// replay are linearized at their slots.
     pub fn check(&self) -> Result<(), AuditViolation> {
         if self.duplicate_applies > 0 {
             return Err(AuditViolation::DuplicateApplies { count: self.duplicate_applies });
         }
-        // Total order: every replica decided every applied slot with the
+        // Total order: every replica decided every live slot with the
         // proposed (hence canonical) value.
         for (idx, row) in self.replica_decisions.iter().enumerate() {
-            let slot = idx as u64 + 1;
+            let slot = self.live_from + idx as u64;
             let proposed = self.proposals[idx];
             for (replica, d) in row.iter().enumerate() {
                 match d {
@@ -325,17 +455,30 @@ impl ServiceAudit {
                     _ => return Err(AuditViolation::SlotDisagreement { slot, replica }),
                 }
             }
-            let recorded = self.slots.get(idx).map(|s| s.batch);
-            if recorded != Some(proposed) {
-                return Err(AuditViolation::SlotInvalid { slot });
+            // Validity against the retained record (live slots folded by
+            // a later checkpoint keep their decision evidence only).
+            if slot > self.base_slot {
+                let offset = (slot - self.base_slot - 1) as usize;
+                let recorded = self.slots.get(offset).map(|s| s.batch);
+                if recorded != Some(proposed) {
+                    return Err(AuditViolation::SlotInvalid { slot });
+                }
             }
         }
-        // Exactly-once + replay: rebuild the store slot by slot and
-        // recompute every response.
-        let mut store: BTreeMap<u16, u32> = BTreeMap::new();
+        // Exactly-once + replay: rebuild the store from the checkpointed
+        // base, slot by slot, and recompute every response.
+        let mut store = self.base_store.clone();
         let mut seen: HashSet<(ClientId, RequestId)> = HashSet::new();
-        let mut commands = 0u64;
-        for rec in &self.slots {
+        for s in &self.base_sessions {
+            if !seen.insert((s.client, s.request)) {
+                return Err(AuditViolation::DoubleApply { client: s.client, request: s.request });
+            }
+        }
+        let mut commands = self.base_commands;
+        for (expected_slot, rec) in (self.base_slot + 1..).zip(self.slots.iter()) {
+            if rec.slot != expected_slot {
+                return Err(AuditViolation::SlotGap { expected: expected_slot, found: rec.slot });
+            }
             for ack in &rec.commands {
                 if !seen.insert((ack.client, ack.request)) {
                     return Err(AuditViolation::DoubleApply {
@@ -394,12 +537,13 @@ pub struct KvEngine {
 }
 
 impl KvEngine {
-    /// Spawns the replica session and the driver thread.
+    /// Spawns the replica session and the driver thread (recovering from
+    /// the durability directory first, if one is configured).
     #[must_use]
     pub fn spawn(config: EngineConfig) -> Self {
         let (intake_tx, intake_rx) = unbounded();
         let handle = EngineHandle { intake: intake_tx, next_conn: Arc::new(AtomicU64::new(1)) };
-        let driver = std::thread::spawn(move || drive(config, &intake_rx));
+        let driver = std::thread::spawn(move || drive(&config, &intake_rx));
         KvEngine { handle, driver }
     }
 
@@ -410,8 +554,8 @@ impl KvEngine {
     }
 
     /// Shuts the engine down: seals and sequences everything still
-    /// queued, waits for all in-flight instances, then returns the
-    /// audit.
+    /// queued, waits for all in-flight instances, checkpoints (when
+    /// durable), then returns the audit.
     ///
     /// # Panics
     ///
@@ -421,21 +565,51 @@ impl KvEngine {
         let _ = self.handle.intake.send(EngineMsg::Shutdown);
         self.driver.join().expect("engine driver panicked")
     }
+
+    /// Hard-stops the engine like a crash: no drain, no final
+    /// checkpoint — the durable state is exactly what the last
+    /// slot-boundary fsync left behind. The in-process analog of
+    /// `kill -9`, for recovery tests; in-flight commands are lost and
+    /// must be replayed by their sessions.
+    pub fn kill(self) {
+        let _ = self.handle.intake.send(EngineMsg::Die);
+        let _ = self.driver.join();
+    }
+}
+
+/// Persistence handles of a durable engine.
+struct Durable {
+    wal: Wal,
+    snap_path: PathBuf,
+    every: u64,
+}
+
+/// Collects the Applied half of the dedup table, deterministically
+/// ordered — the session table a snapshot persists.
+fn dedup_sessions(dedup: &HashMap<(ClientId, RequestId), DedupState>) -> Vec<SessionEntry> {
+    let mut sessions: Vec<SessionEntry> = dedup
+        .iter()
+        .filter_map(|(&(client, request), state)| match state {
+            DedupState::Applied(response) => {
+                Some(SessionEntry { client, request, response: *response })
+            }
+            DedupState::InFlight(_) => None,
+        })
+        .collect();
+    sessions.sort_by_key(|s| (s.client.0, s.request.0));
+    sessions
 }
 
 /// The driver thread: the event loop described in the module docs.
-fn drive(cfg: EngineConfig, intake: &Receiver<EngineMsg>) -> ServiceAudit {
+#[allow(clippy::too_many_lines)]
+fn drive(cfg: &EngineConfig, intake: &Receiver<EngineMsg>) -> ServiceAudit {
     let n = cfg.system.n();
     let factory = at_plus2_factory(cfg.system);
     let mut session: Session<AtSlot> = Session::with_grace(cfg.system, cfg.grace);
     let spec =
         InstanceSpec { crashes: vec![None; n], delays: cfg.delays, max_rounds: cfg.max_rounds };
-    // The frontend is the batching + dissemination layer; the engine is
-    // its only sequencer, so `Shared` intake and the `pop_sealed` cursor
-    // are the whole proposal policy.
-    let mut frontend = ClientFrontend::new(n, cfg.batch_size).with_intake(IntakePolicy::Shared);
 
-    let mut conns: HashMap<ConnId, Sender<Response>> = HashMap::new();
+    let mut conns: HashMap<ConnId, Sender<Outbound>> = HashMap::new();
     let mut meta: HashMap<CommandId, CmdMeta> = HashMap::new();
     let mut dedup: HashMap<(ClientId, RequestId), DedupState> = HashMap::new();
     let mut ready: VecDeque<BatchId> = VecDeque::new();
@@ -451,11 +625,83 @@ fn drive(cfg: EngineConfig, intake: &Receiver<EngineMsg>) -> ServiceAudit {
     let mut dedup_hits = 0u64;
     let mut duplicate_applies = 0u64;
 
+    // The audit base: state folded into the last checkpoint.
+    let mut base_slot = 0u64;
+    let mut base_store: BTreeMap<u16, u32> = BTreeMap::new();
+    let mut base_sessions: Vec<SessionEntry> = Vec::new();
+    let mut base_commands = 0u64;
+    let mut base_next_batch = 0u64;
+    let mut next_batch_seed = 0u64;
+
+    // Recovery: re-hydrate snapshot + WAL into the pre-loop state.
+    let mut durable = cfg.durability.as_ref().map(|d| {
+        std::fs::create_dir_all(&d.dir).expect("durability directory is creatable");
+        let snap_path = d.dir.join("state.snap");
+        let snap = Snapshot::load(&snap_path)
+            .expect("snapshot loads (corruption must fail loudly, not boot empty)")
+            .unwrap_or_default();
+        base_slot = snap.applied_through;
+        base_next_batch = snap.next_batch;
+        base_commands = snap.committed;
+        base_store.clone_from(&snap.store);
+        base_sessions.clone_from(&snap.sessions);
+        store = snap.store;
+        committed_commands = snap.committed;
+        next_batch_seed = snap.next_batch;
+        for s in &snap.sessions {
+            dedup.insert((s.client, s.request), DedupState::Applied(s.response));
+        }
+        let (wal, replay) =
+            Wal::open(&d.dir.join("wal.log")).expect("wal replays (torn tails self-repair)");
+        assert!(
+            !matches!(replay.tail, WalTail::Corrupt { .. }),
+            "wal is bit-rotten ({:?}): refusing to serve from damaged state",
+            replay.tail
+        );
+        for rec in replay.records {
+            if rec.slot <= base_slot {
+                // Already folded into the snapshot (a crash between
+                // snapshot write and WAL reset leaves this overlap).
+                continue;
+            }
+            assert_eq!(
+                rec.slot,
+                base_slot + slots.len() as u64 + 1,
+                "wal records are slot-contiguous past the snapshot"
+            );
+            for ack in &rec.commands {
+                if let KvOp::Put { key, value } = ack.op {
+                    store.insert(key, value);
+                }
+                dedup.insert((ack.client, ack.request), DedupState::Applied(ack.response));
+                committed_commands += 1;
+            }
+            next_batch_seed = next_batch_seed.max(rec.batch.0 + 1);
+            applied_batches.insert(rec.batch);
+            slots.push(rec);
+        }
+        Durable { wal, snap_path, every: d.snapshot_every }
+    });
+
+    // Slot arithmetic across incarnations: the fresh session numbers
+    // instances from 1, so slot = slot_base + instance.
+    let slot_base = base_slot + slots.len() as u64;
+    let live_from = slot_base + 1;
+    // The frontend is the batching + dissemination layer; the engine is
+    // its only sequencer, so `Shared` intake and the `pop_sealed` cursor
+    // are the whole proposal policy. Resuming past the durable batch-id
+    // high-water mark keeps ids unique across incarnations.
+    let mut frontend = ClientFrontend::resume_from(n, cfg.batch_size, next_batch_seed)
+        .with_intake(IntakePolicy::Shared);
+
     let mut started = 0u64;
-    let mut applied_through = 0u64;
+    let mut applied_through = slot_base;
     let mut open_since: Option<Instant> = None;
     let mut shutting_down = false;
+    let mut died = false;
     let mut last_progress = Instant::now();
+    let mut sync_reqs: Vec<ConnId> = Vec::new();
+    let mut audit_reqs: Vec<ConnId> = Vec::new();
 
     loop {
         // 1. Drain intake.
@@ -468,45 +714,26 @@ fn drive(cfg: EngineConfig, intake: &Receiver<EngineMsg>) -> ServiceAudit {
                     conns.remove(&conn);
                 }
                 Ok(EngineMsg::Submit { conn, request }) => {
-                    let key = (request.client, request.request);
-                    match dedup.get_mut(&key) {
-                        Some(DedupState::Applied(resp)) => {
-                            // Retry of an applied request: replay the
-                            // original ack, no second apply.
-                            dedup_hits += 1;
-                            if let Some(tx) = conns.get(&conn) {
-                                let _ = tx.send(*resp);
-                            }
-                        }
-                        Some(DedupState::InFlight(cid)) => {
-                            // Retry racing its own first submission:
-                            // the newest connection gets the ack.
-                            dedup_hits += 1;
-                            if let Some(m) = meta.get_mut(cid) {
-                                m.conn = conn;
-                            }
-                        }
-                        None => {
-                            let cid = frontend.submit(request.op.to_payload());
-                            meta.insert(
-                                cid,
-                                CmdMeta {
-                                    conn,
-                                    client: request.client,
-                                    request: request.request,
-                                    op: request.op,
-                                },
-                            );
-                            dedup.insert(key, DedupState::InFlight(cid));
-                            if frontend.open_len() == 1 {
-                                open_since = Some(Instant::now());
-                            }
-                        }
-                    }
+                    let _ = handle_resubmit(
+                        &mut frontend,
+                        &mut meta,
+                        &mut dedup,
+                        &conns,
+                        &mut open_since,
+                        &mut dedup_hits,
+                        conn,
+                        request,
+                    );
                 }
+                Ok(EngineMsg::Sync { conn }) => sync_reqs.push(conn),
+                Ok(EngineMsg::Audit { conn }) => audit_reqs.push(conn),
                 Ok(EngineMsg::Shutdown) => shutting_down = true,
+                Ok(EngineMsg::Die) => died = true,
                 Err(TryRecvError::Empty | TryRecvError::Disconnected) => break,
             }
+        }
+        if died {
+            break;
         }
 
         // 2. Seal a lingering partial batch (immediately when shutting
@@ -523,12 +750,12 @@ fn drive(cfg: EngineConfig, intake: &Receiver<EngineMsg>) -> ServiceAudit {
         }
 
         // 3. Propose into the pipeline window.
-        while started - applied_through < cfg.pipeline_depth {
+        while started - (applied_through - slot_base) < cfg.pipeline_depth {
             let Some(batch) = ready.pop_front() else { break };
             let processes = (0..n).map(|i| factory(i, batch.as_value())).collect();
             let instance = session.start_instance(processes, &spec);
             started += 1;
-            assert_eq!(instance, started, "session instance ids track the engine's slots");
+            assert_eq!(instance, started, "session instance ids track this incarnation");
             proposals.push(batch);
             last_progress = Instant::now();
         }
@@ -544,8 +771,9 @@ fn drive(cfg: EngineConfig, intake: &Receiver<EngineMsg>) -> ServiceAudit {
             }
         }
 
-        // 5. Apply decided slots in log order.
-        while let Some(d) = first_decisions.get(&(applied_through + 1)).copied() {
+        // 5. Apply decided slots in log order: materialize, WAL + fsync,
+        // only then acknowledge.
+        while let Some(d) = first_decisions.get(&(applied_through - slot_base + 1)).copied() {
             applied_through += 1;
             let slot = applied_through;
             let batch = BatchId::from_value(d.value);
@@ -555,6 +783,7 @@ fn drive(cfg: EngineConfig, intake: &Receiver<EngineMsg>) -> ServiceAudit {
             }
             let content = frontend.batch(batch).expect("decided batches were disseminated");
             let mut acks = Vec::with_capacity(content.commands.len());
+            let mut targets = Vec::with_capacity(content.commands.len());
             for cmd in &content.commands {
                 let m = meta.remove(&cmd.id).expect("every batched command has metadata");
                 let outcome = match m.op {
@@ -566,20 +795,116 @@ fn drive(cfg: EngineConfig, intake: &Receiver<EngineMsg>) -> ServiceAudit {
                 };
                 let response = Response { request: m.request, outcome };
                 dedup.insert((m.client, m.request), DedupState::Applied(response));
-                if let Some(tx) = conns.get(&m.conn) {
-                    let _ = tx.send(response);
-                }
+                targets.push((m.conn, response));
                 acks.push(AckRecord { client: m.client, request: m.request, op: m.op, response });
                 committed_commands += 1;
             }
-            slots.push(SlotRecord { slot, batch, commands: acks });
+            let rec = SlotRecord { slot, batch, commands: acks };
+            if let Some(du) = durable.as_mut() {
+                // The slot-boundary durability point: record + fsync
+                // before any acknowledgement can escape.
+                du.wal.append(&rec).expect("wal append");
+                du.wal.sync().expect("wal fsync at the slot boundary");
+            }
+            for (conn, response) in targets {
+                if let Some(tx) = conns.get(&conn) {
+                    let _ = tx.send(Outbound::Ack(response));
+                }
+            }
+            slots.push(rec);
+
+            // Checkpoint: snapshot, then prefix-truncate the WAL and the
+            // in-memory slot history.
+            if let Some(du) = durable.as_mut() {
+                if du.every > 0 && applied_through - base_slot >= du.every {
+                    let snap = Snapshot {
+                        applied_through,
+                        next_batch: frontend.next_batch_id(),
+                        committed: committed_commands,
+                        store: store.clone(),
+                        sessions: dedup_sessions(&dedup),
+                    };
+                    snap.write_to(&du.snap_path).expect("checkpoint snapshot write");
+                    du.wal.reset().expect("wal prefix truncation");
+                    base_slot = applied_through;
+                    base_next_batch = snap.next_batch;
+                    base_commands = committed_commands;
+                    base_store.clone_from(&snap.store);
+                    base_sessions = snap.sessions;
+                    slots.clear();
+                }
+            }
+        }
+
+        // 5b. Serve state transfers and audits against the just-applied
+        // state (a rejoining replica gets checkpoint + catch-up records;
+        // an auditor gets the replay verdict once the engine quiesces).
+        for conn in sync_reqs.drain(..) {
+            let Some(tx) = conns.get(&conn) else { continue };
+            let snap = Snapshot {
+                applied_through: base_slot,
+                next_batch: base_next_batch,
+                committed: base_commands,
+                store: base_store.clone(),
+                sessions: base_sessions.clone(),
+            };
+            let blob = snap.to_framed_bytes();
+            const CHUNK: usize = 48 * 1024;
+            let total = u32::try_from(blob.chunks(CHUNK).count().max(1)).expect("chunk count");
+            for (i, chunk) in blob.chunks(CHUNK).enumerate() {
+                let frame = SyncFrame::SnapshotChunk {
+                    index: u32::try_from(i).expect("chunk index"),
+                    total,
+                    bytes: chunk.to_vec(),
+                };
+                let _ = tx.send(Outbound::Control(frame.encode()));
+            }
+            for rec in &slots {
+                let mut bytes = Vec::new();
+                crate::wal::encode_record(rec, &mut bytes);
+                let _ = tx.send(Outbound::Control(SyncFrame::Record { bytes }.encode()));
+            }
+            let _ = tx.send(Outbound::Control(SyncFrame::Done { applied_through }.encode()));
+        }
+        for conn in audit_reqs.drain(..) {
+            let Some(tx) = conns.get(&conn) else { continue };
+            let quiesced = started == applied_through - slot_base
+                && results_seen == started * n as u64
+                && frontend.open_len() == 0
+                && ready.is_empty();
+            let ok = quiesced && {
+                let audit = ServiceAudit {
+                    system: cfg.system,
+                    base_slot,
+                    base_store: base_store.clone(),
+                    base_sessions: base_sessions.clone(),
+                    base_commands,
+                    live_from,
+                    slots: slots.clone(),
+                    proposals: proposals.clone(),
+                    replica_decisions: results.values().cloned().collect(),
+                    final_store: store.clone(),
+                    committed_commands,
+                    dedup_hits,
+                    duplicate_applies,
+                };
+                audit.check().is_ok()
+            };
+            let summary = AuditSummary {
+                complete: quiesced,
+                ok,
+                slots: applied_through,
+                committed: committed_commands,
+                dedup_hits,
+            };
+            let _ = tx.send(Outbound::Control(summary.encode()));
         }
 
         // 6. Exit once shutdown has drained everything.
         let drained = shutting_down
             && frontend.open_len() == 0
             && ready.is_empty()
-            && applied_through == started
+            && applied_through - slot_base == started
             && results_seen == started * n as u64;
         if drained {
             break;
@@ -588,11 +913,11 @@ fn drive(cfg: EngineConfig, intake: &Receiver<EngineMsg>) -> ServiceAudit {
         // 7. Watchdog + idle strategy: park briefly on the intake
         // channel (new work wakes us); pending consensus results bound
         // the nap so the apply path stays hot.
-        if started > applied_through || results_seen < started * n as u64 {
+        if started > applied_through - slot_base || results_seen < started * n as u64 {
             assert!(
                 last_progress.elapsed() < cfg.stall_timeout,
                 "engine stalled: {} instances in flight, no replica progress for {:?}",
-                started - applied_through,
+                started - (applied_through - slot_base),
                 cfg.stall_timeout
             );
             if let Some(r) = session.next_result_timeout(Duration::from_micros(200)) {
@@ -631,15 +956,46 @@ fn drive(cfg: EngineConfig, intake: &Receiver<EngineMsg>) -> ServiceAudit {
                         request,
                     );
                 }
+                // Control requests defer to the next iteration's batched
+                // handling (sync_reqs/audit_reqs outlive the iteration).
+                Ok(EngineMsg::Sync { conn }) => sync_reqs.push(conn),
+                Ok(EngineMsg::Audit { conn }) => {
+                    audit_reqs.push(conn);
+                }
                 Ok(EngineMsg::Shutdown) => shutting_down = true,
+                Ok(EngineMsg::Die) => died = true,
                 Err(_) => {}
             }
+            if died {
+                break;
+            }
+        }
+    }
+
+    // A clean shutdown checkpoints so a restart recovers from the
+    // snapshot alone; a Die exits with whatever the last fsync holds.
+    if !died {
+        if let Some(du) = durable.as_mut() {
+            let snap = Snapshot {
+                applied_through,
+                next_batch: frontend.next_batch_id(),
+                committed: committed_commands,
+                store: store.clone(),
+                sessions: dedup_sessions(&dedup),
+            };
+            snap.write_to(&du.snap_path).expect("shutdown snapshot write");
+            du.wal.reset().expect("shutdown wal truncation");
         }
     }
 
     let replica_decisions: Vec<Vec<Option<Decision>>> = results.into_values().collect();
     ServiceAudit {
         system: cfg.system,
+        base_slot,
+        base_store,
+        base_sessions,
+        base_commands,
+        live_from,
         slots,
         proposals,
         replica_decisions,
@@ -657,7 +1013,7 @@ fn handle_resubmit(
     frontend: &mut ClientFrontend,
     meta: &mut HashMap<CommandId, CmdMeta>,
     dedup: &mut HashMap<(ClientId, RequestId), DedupState>,
-    conns: &HashMap<ConnId, Sender<Response>>,
+    conns: &HashMap<ConnId, Sender<Outbound>>,
     open_since: &mut Option<Instant>,
     dedup_hits: &mut u64,
     conn: ConnId,
@@ -668,7 +1024,7 @@ fn handle_resubmit(
         Some(DedupState::Applied(resp)) => {
             *dedup_hits += 1;
             if let Some(tx) = conns.get(&conn) {
-                let _ = tx.send(*resp);
+                let _ = tx.send(Outbound::Ack(*resp));
             }
             false
         }

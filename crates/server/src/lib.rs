@@ -27,6 +27,15 @@
 //!   workload against both and asserts identical results, so the
 //!   transport provably adds no semantics.
 //! * [`server`] — the TCP front door bridging sockets to the engine.
+//! * [`wal`] + [`snapshot`] — the durability layer: every applied slot
+//!   is written to a checksummed write-ahead log and fsynced *before*
+//!   its acknowledgements leave, and periodic checkpoints fold the
+//!   prefix into an atomically-written snapshot (store + session dedup
+//!   table), truncating the WAL. A killed server restarts from disk with
+//!   its sessions intact — exactly-once survives the crash — and a
+//!   replica that lost its disk rejoins via snapshot transfer + record
+//!   catch-up over the same framed TCP port
+//!   ([`sync_from_peer`](service::sync_from_peer)).
 //!
 //! # The exactly-once session contract
 //!
@@ -60,13 +69,19 @@ pub mod engine;
 pub mod proto;
 pub mod server;
 pub mod service;
+pub mod snapshot;
+pub mod wal;
 pub mod wire;
 
 pub use engine::{
-    AckRecord, AuditViolation, ConnId, EngineConfig, EngineHandle, KvEngine, ServiceAudit,
-    SlotRecord, SubmitHandle,
+    AckRecord, AuditViolation, ConnId, DurabilityConfig, EngineConfig, EngineHandle, KvEngine,
+    Outbound, ServiceAudit, SlotRecord, SubmitHandle,
 };
-pub use proto::{KvOp, Outcome, ProtoError, Request, Response};
+pub use proto::{AuditSummary, KvOp, Outcome, ProtoError, Request, Response, SyncFrame};
 pub use server::KvServer;
-pub use service::{KvService, LocalKv, PipeClient, RemoteKv, ServiceError};
+pub use service::{
+    remote_audit, sync_from_peer, KvService, LocalKv, PipeClient, RemoteKv, ServiceError,
+};
+pub use snapshot::{SessionEntry, Snapshot};
+pub use wal::{Wal, WalError, WalReplay, WalTail};
 pub use wire::{FrameDecoder, FrameReader, WireError, MAX_FRAME};

@@ -128,8 +128,22 @@ pub struct Response {
     pub outcome: Outcome,
 }
 
-const TAG_REQUEST: u8 = 0x01;
-const TAG_RESPONSE: u8 = 0x02;
+/// Frame tag of a client [`Request`].
+pub const TAG_REQUEST: u8 = 0x01;
+/// Frame tag of a service [`Response`].
+pub const TAG_RESPONSE: u8 = 0x02;
+/// Frame tag of a rejoin [`SyncFrame::Request`].
+pub const TAG_SYNC_REQUEST: u8 = 0x03;
+/// Frame tag of a [`SyncFrame::SnapshotChunk`].
+pub const TAG_SYNC_SNAPSHOT: u8 = 0x04;
+/// Frame tag of a [`SyncFrame::Record`] catch-up record.
+pub const TAG_SYNC_RECORD: u8 = 0x05;
+/// Frame tag of [`SyncFrame::Done`].
+pub const TAG_SYNC_DONE: u8 = 0x06;
+/// Frame tag of an audit request (tag-only message).
+pub const TAG_AUDIT_REQUEST: u8 = 0x07;
+/// Frame tag of an [`AuditSummary`] reply.
+pub const TAG_AUDIT_REPLY: u8 = 0x08;
 const OP_PUT: u8 = 0x01;
 const OP_GET: u8 = 0x02;
 const VAL_NONE: u8 = 0x00;
@@ -189,12 +203,171 @@ impl Cursor<'_> {
         Ok(head.try_into().expect("split at N"))
     }
 
+    fn bytes(&mut self, n: usize) -> Result<Vec<u8>, ProtoError> {
+        if self.0.len() < n {
+            return Err(ProtoError::Truncated);
+        }
+        let (head, rest) = self.0.split_at(n);
+        self.0 = rest;
+        Ok(head.to_vec())
+    }
+
     fn finish(self) -> Result<(), ProtoError> {
         if self.0.is_empty() {
             Ok(())
         } else {
             Err(ProtoError::TrailingBytes)
         }
+    }
+}
+
+/// The rejoin sync protocol, riding the same framed transport as the
+/// request/response traffic.
+///
+/// A rejoining replica opens an ordinary connection and sends
+/// [`SyncFrame::Request`]; the server streams its last checkpoint
+/// (chunked under the [`crate::wire::MAX_FRAME`] bound), then every
+/// retained WAL record past the checkpoint, then [`SyncFrame::Done`].
+/// The receiver persists exactly what a local checkpoint + WAL would
+/// hold and boots through the normal disk-recovery path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SyncFrame {
+    /// Ask for a state transfer (`from_slot` is the requester's durable
+    /// applied-through, advisory).
+    Request {
+        /// The requester's own durable applied-through slot.
+        from_slot: u64,
+    },
+    /// One chunk of the framed snapshot bytes, `index` of `total`.
+    SnapshotChunk {
+        /// 0-based chunk index.
+        index: u32,
+        /// Total chunk count.
+        total: u32,
+        /// The chunk bytes.
+        bytes: Vec<u8>,
+    },
+    /// One catch-up slot record (a WAL record payload, checksum-framed).
+    Record {
+        /// The framed record bytes.
+        bytes: Vec<u8>,
+    },
+    /// End of transfer: the peer's applied-through slot.
+    Done {
+        /// Every slot `<= applied_through` is covered by the transfer.
+        applied_through: u64,
+    },
+}
+
+impl SyncFrame {
+    /// Encodes the frame payload.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            SyncFrame::Request { from_slot } => {
+                let mut out = Vec::with_capacity(9);
+                out.push(TAG_SYNC_REQUEST);
+                out.extend_from_slice(&from_slot.to_le_bytes());
+                out
+            }
+            SyncFrame::SnapshotChunk { index, total, bytes } => {
+                let mut out = Vec::with_capacity(9 + bytes.len());
+                out.push(TAG_SYNC_SNAPSHOT);
+                out.extend_from_slice(&index.to_le_bytes());
+                out.extend_from_slice(&total.to_le_bytes());
+                out.extend_from_slice(bytes);
+                out
+            }
+            SyncFrame::Record { bytes } => {
+                let mut out = Vec::with_capacity(1 + bytes.len());
+                out.push(TAG_SYNC_RECORD);
+                out.extend_from_slice(bytes);
+                out
+            }
+            SyncFrame::Done { applied_through } => {
+                let mut out = Vec::with_capacity(9);
+                out.push(TAG_SYNC_DONE);
+                out.extend_from_slice(&applied_through.to_le_bytes());
+                out
+            }
+        }
+    }
+
+    /// Decodes one frame payload.
+    pub fn decode(bytes: &[u8]) -> Result<Self, ProtoError> {
+        let mut c = Cursor(bytes);
+        let frame = match c.u8()? {
+            TAG_SYNC_REQUEST => SyncFrame::Request { from_slot: c.u64()? },
+            TAG_SYNC_SNAPSHOT => {
+                let index = c.u32()?;
+                let total = c.u32()?;
+                let rest = c.bytes(c.0.len())?;
+                SyncFrame::SnapshotChunk { index, total, bytes: rest }
+            }
+            TAG_SYNC_RECORD => SyncFrame::Record { bytes: c.bytes(c.0.len())? },
+            TAG_SYNC_DONE => SyncFrame::Done { applied_through: c.u64()? },
+            t => return Err(ProtoError::BadTag(t)),
+        };
+        c.finish()?;
+        Ok(frame)
+    }
+}
+
+/// The tag-only audit request frame payload.
+#[must_use]
+pub fn audit_request_frame() -> Vec<u8> {
+    vec![TAG_AUDIT_REQUEST]
+}
+
+/// The engine's answer to an over-the-wire audit request.
+///
+/// The full linearizability-by-replay check
+/// ([`crate::ServiceAudit::check`]) runs on the server, against the
+/// combined pre/post-restart history; only the verdict and the headline
+/// counters travel back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuditSummary {
+    /// Whether the engine was quiescent enough to audit (no in-flight
+    /// instances or pending replica reports). Retry when `false`.
+    pub complete: bool,
+    /// The verdict of `ServiceAudit::check` (meaningful when `complete`).
+    pub ok: bool,
+    /// Slots applied so far (across incarnations).
+    pub slots: u64,
+    /// Commands committed over the service lifetime.
+    pub committed: u64,
+    /// Retries absorbed by the dedup layer.
+    pub dedup_hits: u64,
+}
+
+impl AuditSummary {
+    /// Encodes the reply payload.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(27);
+        out.push(TAG_AUDIT_REPLY);
+        out.push(u8::from(self.complete));
+        out.push(u8::from(self.ok));
+        out.extend_from_slice(&self.slots.to_le_bytes());
+        out.extend_from_slice(&self.committed.to_le_bytes());
+        out.extend_from_slice(&self.dedup_hits.to_le_bytes());
+        out
+    }
+
+    /// Decodes one frame payload.
+    pub fn decode(bytes: &[u8]) -> Result<Self, ProtoError> {
+        let mut c = Cursor(bytes);
+        match c.u8()? {
+            TAG_AUDIT_REPLY => {}
+            t => return Err(ProtoError::BadTag(t)),
+        }
+        let complete = c.u8()? != 0;
+        let ok = c.u8()? != 0;
+        let slots = c.u64()?;
+        let committed = c.u64()?;
+        let dedup_hits = c.u64()?;
+        c.finish()?;
+        Ok(AuditSummary { complete, ok, slots, committed, dedup_hits })
     }
 }
 
@@ -341,5 +514,26 @@ mod tests {
         ok.truncate(ok.len() - 3);
         assert_eq!(Request::decode(&ok), Err(ProtoError::Truncated));
         assert_eq!(Response::decode(&[TAG_RESPONSE]), Err(ProtoError::Truncated));
+    }
+
+    #[test]
+    fn sync_frames_round_trip() {
+        for frame in [
+            SyncFrame::Request { from_slot: 17 },
+            SyncFrame::SnapshotChunk { index: 2, total: 5, bytes: vec![1, 2, 3] },
+            SyncFrame::SnapshotChunk { index: 0, total: 1, bytes: vec![] },
+            SyncFrame::Record { bytes: vec![0xaa; 40] },
+            SyncFrame::Done { applied_through: u64::MAX },
+        ] {
+            assert_eq!(SyncFrame::decode(&frame.encode()).unwrap(), frame);
+        }
+        assert_eq!(SyncFrame::decode(&[0x7f]), Err(ProtoError::BadTag(0x7f)));
+    }
+
+    #[test]
+    fn audit_summary_round_trips() {
+        let s = AuditSummary { complete: true, ok: false, slots: 9, committed: 72, dedup_hits: 3 };
+        assert_eq!(AuditSummary::decode(&s.encode()).unwrap(), s);
+        assert_eq!(audit_request_frame(), vec![TAG_AUDIT_REQUEST]);
     }
 }

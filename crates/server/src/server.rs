@@ -26,8 +26,8 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crate::engine::{EngineConfig, EngineHandle, KvEngine, ServiceAudit};
-use crate::proto::Request;
+use crate::engine::{EngineConfig, EngineHandle, KvEngine, Outbound, ServiceAudit};
+use crate::proto::{Request, SyncFrame, TAG_AUDIT_REQUEST, TAG_REQUEST, TAG_SYNC_REQUEST};
 use crate::wire::{write_frame, FrameReader};
 
 /// A running networked replicated-KV service.
@@ -92,6 +92,22 @@ impl KvServer {
         }
         self.engine.shutdown()
     }
+
+    /// Hard-crashes the server: sockets are torn down and the engine is
+    /// killed without draining or checkpointing — the on-disk state is
+    /// whatever the last slot-boundary fsync left. The in-process analog
+    /// of `kill -9`, for recovery tests; restart with
+    /// [`bind`](KvServer::bind) on the same durability directory.
+    pub fn kill(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for s in self.socks.lock().expect("socket registry poisoned").drain(..) {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+        self.engine.kill();
+    }
 }
 
 /// Accepts connections until told to stop; each connection gets a reader
@@ -133,26 +149,45 @@ fn spawn_connection(
 
     let (submit, acks) = engine.connect();
 
-    // Writer: engine acks -> response frames. Exits when the engine
-    // drops the connection's sender (deregistration) or the socket dies.
+    // Writer: engine outbound -> frames. Acks are encoded responses;
+    // control payloads (sync stream, audit reply) are pre-encoded by the
+    // engine and written verbatim. Exits when the engine drops the
+    // connection's sender (deregistration) or the socket dies.
     let wsock = write_side.try_clone()?;
     std::thread::spawn(move || {
-        while let Ok(resp) = acks.recv() {
-            if write_frame(&mut write_side, &resp.encode()).is_err() {
+        while let Ok(out) = acks.recv() {
+            let bytes = match out {
+                Outbound::Ack(resp) => resp.encode(),
+                Outbound::Control(bytes) => bytes,
+            };
+            if write_frame(&mut write_side, &bytes).is_err() {
                 break;
             }
         }
     });
 
-    // Reader: request frames -> engine intake. Owns the SubmitHandle, so
-    // its exit (EOF, truncation, garbage) deregisters the connection,
-    // which disconnects the writer's receiver and lets it exit too.
+    // Reader: inbound frames -> engine intake, dispatched on the tag
+    // byte (requests, sync requests from rejoining replicas, audit
+    // requests). Owns the SubmitHandle, so its exit (EOF, truncation,
+    // garbage) deregisters the connection, which disconnects the
+    // writer's receiver and lets it exit too.
     std::thread::spawn(move || {
         let mut reader = FrameReader::new(read_side);
         while let Ok(Some(payload)) = reader.read_frame() {
-            let Ok(request) = Request::decode(&payload) else { break };
-            if !submit.submit(request) {
-                break; // engine shut down
+            let keep_going = match payload.first() {
+                Some(&TAG_REQUEST) => match Request::decode(&payload) {
+                    Ok(request) => submit.submit(request),
+                    Err(_) => false,
+                },
+                Some(&TAG_SYNC_REQUEST) => match SyncFrame::decode(&payload) {
+                    Ok(SyncFrame::Request { .. }) => submit.request_sync(),
+                    _ => false,
+                },
+                Some(&TAG_AUDIT_REQUEST) => submit.request_audit(),
+                _ => false,
+            };
+            if !keep_going {
+                break;
             }
         }
         // Unblock the writer promptly even if the engine keeps the ack

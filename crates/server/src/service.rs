@@ -20,15 +20,21 @@
 //! that exercise retries and reconnects explicitly.
 
 use std::fmt;
-use std::io;
+use std::fs::File;
+use std::io::{self, Write as _};
 use std::net::{SocketAddr, TcpStream};
+use std::path::Path;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::Receiver;
 use indulgent_model::{ClientId, RequestId};
 
-use crate::engine::{EngineHandle, SubmitHandle};
-use crate::proto::{KvOp, ProtoError, Request, Response};
+use crate::engine::{EngineHandle, Outbound, SubmitHandle};
+use crate::proto::{
+    audit_request_frame, AuditSummary, KvOp, ProtoError, Request, Response, SyncFrame,
+};
+use crate::snapshot::Snapshot;
+use crate::wal::{replay_bytes, WalError, WalTail};
 use crate::wire::{write_frame, FrameReader, WireError};
 
 /// A failed service call.
@@ -72,6 +78,15 @@ impl From<ProtoError> for ServiceError {
     }
 }
 
+impl From<WalError> for ServiceError {
+    fn from(e: WalError) -> Self {
+        match e {
+            WalError::Malformed(p) => ServiceError::Proto(p),
+            WalError::Io(io) => ServiceError::Wire(WireError::Io(io)),
+        }
+    }
+}
+
 /// The replicated key-value service contract.
 ///
 /// Implementations are *sessions*: each carries a [`ClientId`] and mints
@@ -95,7 +110,7 @@ pub struct LocalKv {
     client: ClientId,
     next_request: RequestId,
     submit: SubmitHandle,
-    acks: Receiver<Response>,
+    acks: Receiver<Outbound>,
     timeout: Duration,
 }
 
@@ -135,9 +150,10 @@ impl LocalKv {
                 return Err(ServiceError::Timeout { request });
             }
             match self.acks.recv_timeout(left) {
-                // Stale acks (from an earlier retried request) are
-                // skipped; the matching ack ends the call.
-                Ok(resp) if resp.request == request => return Ok(resp),
+                // Stale acks (from an earlier retried request) and
+                // control frames are skipped; the matching ack ends the
+                // call.
+                Ok(Outbound::Ack(resp)) if resp.request == request => return Ok(resp),
                 Ok(_) => {}
                 Err(_) => return Err(ServiceError::Timeout { request }),
             }
@@ -339,4 +355,109 @@ impl PipeClient {
 /// Socket errors that mean "no data yet", not "connection broken".
 fn retryable(e: &io::Error) -> bool {
     matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
+/// Pulls a peer's durable state over its framed TCP port and materializes
+/// it into `dir` — the rejoin transfer. Opens a dedicated connection,
+/// sends a [`SyncFrame::Request`], reassembles the chunked snapshot,
+/// collects the catch-up records, verifies everything (checksums, slot
+/// contiguity from the snapshot, the peer's declared `applied_through`),
+/// and writes `state.snap` + `wal.log` so a server booted on `dir` via
+/// normal disk recovery resumes exactly at the peer's applied prefix.
+/// Returns the slot the transferred state is applied through.
+pub fn sync_from_peer(peer: SocketAddr, dir: &Path) -> Result<u64, ServiceError> {
+    let mut writer = TcpStream::connect(peer).map_err(WireError::Io)?;
+    writer.set_nodelay(true).map_err(WireError::Io)?;
+    let read_side = writer.try_clone().map_err(WireError::Io)?;
+    read_side.set_read_timeout(Some(Duration::from_millis(50))).map_err(WireError::Io)?;
+    let mut reader = FrameReader::new(read_side);
+    write_frame(&mut writer, &SyncFrame::Request { from_slot: 0 }.encode())?;
+
+    let mut blob: Vec<u8> = Vec::new();
+    let mut chunks_seen = 0u32;
+    let mut wal_bytes: Vec<u8> = Vec::new();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if Instant::now() > deadline {
+            return Err(ServiceError::Timeout { request: RequestId(0) });
+        }
+        let payload = match reader.read_frame() {
+            Ok(Some(p)) => p,
+            Ok(None) => return Err(ServiceError::Disconnected),
+            Err(WireError::Io(ref e)) if retryable(e) => continue,
+            Err(e) => return Err(e.into()),
+        };
+        match SyncFrame::decode(&payload)? {
+            SyncFrame::SnapshotChunk { index, total, bytes } => {
+                if index != chunks_seen || index >= total {
+                    return Err(ServiceError::Proto(ProtoError::Truncated));
+                }
+                chunks_seen += 1;
+                blob.extend_from_slice(&bytes);
+            }
+            SyncFrame::Record { bytes } => wal_bytes.extend_from_slice(&bytes),
+            SyncFrame::Done { applied_through } => {
+                // Validate before persisting: the snapshot must verify,
+                // and the records must replay cleanly and contiguously up
+                // to the peer's declared watermark.
+                let snap = Snapshot::from_framed_bytes(&blob)?;
+                let replay = replay_bytes(&wal_bytes)?;
+                if !matches!(replay.tail, WalTail::Clean) {
+                    return Err(ServiceError::Proto(ProtoError::Truncated));
+                }
+                let mut expected = snap.applied_through + 1;
+                for rec in &replay.records {
+                    if rec.slot != expected {
+                        return Err(ServiceError::Proto(ProtoError::Truncated));
+                    }
+                    expected += 1;
+                }
+                if expected != applied_through + 1 {
+                    return Err(ServiceError::Proto(ProtoError::Truncated));
+                }
+                std::fs::create_dir_all(dir).map_err(WireError::Io)?;
+                snap.write_to(&dir.join("state.snap"))?;
+                let mut wal = File::create(dir.join("wal.log")).map_err(WireError::Io)?;
+                wal.write_all(&wal_bytes).map_err(WireError::Io)?;
+                wal.sync_data().map_err(WireError::Io)?;
+                return Ok(applied_through);
+            }
+            SyncFrame::Request { .. } => {
+                return Err(ServiceError::Proto(ProtoError::Truncated));
+            }
+        }
+    }
+}
+
+/// Runs the server-side replay audit over the wire: asks the peer to
+/// audit itself and retries until the engine reports a quiesced,
+/// `complete` verdict (or the timeout lapses). Uses a dedicated
+/// connection; call it once load has stopped.
+pub fn remote_audit(peer: SocketAddr, timeout: Duration) -> Result<AuditSummary, ServiceError> {
+    let mut writer = TcpStream::connect(peer).map_err(WireError::Io)?;
+    writer.set_nodelay(true).map_err(WireError::Io)?;
+    let read_side = writer.try_clone().map_err(WireError::Io)?;
+    read_side.set_read_timeout(Some(Duration::from_millis(50))).map_err(WireError::Io)?;
+    let mut reader = FrameReader::new(read_side);
+    let deadline = Instant::now() + timeout;
+    write_frame(&mut writer, &audit_request_frame())?;
+    loop {
+        if Instant::now() > deadline {
+            return Err(ServiceError::Timeout { request: RequestId(0) });
+        }
+        match reader.read_frame() {
+            Ok(Some(payload)) => {
+                let summary = AuditSummary::decode(&payload)?;
+                if summary.complete {
+                    return Ok(summary);
+                }
+                // Not yet quiesced; ask again shortly.
+                std::thread::sleep(Duration::from_millis(50));
+                write_frame(&mut writer, &audit_request_frame())?;
+            }
+            Ok(None) => return Err(ServiceError::Disconnected),
+            Err(WireError::Io(ref e)) if retryable(e) => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
 }

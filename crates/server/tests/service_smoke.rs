@@ -110,5 +110,6 @@ fn engine_drains_within_a_bounded_shutdown() {
     audit.check().expect("audit clean");
     // The ack was still delivered before the drain finished.
     let ack = acks.recv_timeout(Duration::from_secs(1)).expect("ack delivered");
-    assert_eq!(ack.request, RequestId(0));
+    let indulgent_server::Outbound::Ack(resp) = ack else { panic!("expected an ack, got {ack:?}") };
+    assert_eq!(resp.request, RequestId(0));
 }

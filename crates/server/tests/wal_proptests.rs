@@ -1,0 +1,176 @@
+//! Property-based tests of the WAL record codec, mirroring the wire
+//! codec's suite (`wire_proptests.rs`) with the durability-specific
+//! properties on top: arbitrary read chunkings decode identically,
+//! truncation at *every* byte offset (a torn append) recovers exactly
+//! the longest valid record prefix, payload bit flips are caught by the
+//! checksum, and impossible length headers are rejected as corruption
+//! before any allocation.
+
+use indulgent_model::{BatchId, ClientId, RequestId};
+use indulgent_server::wal::{
+    decode_payload, encode_record, replay_bytes, WalDecoder, WalTail, MAX_RECORD, RECORD_HEADER_LEN,
+};
+use indulgent_server::{AckRecord, KvOp, Outcome, Response, SlotRecord};
+use proptest::prelude::*;
+
+fn op_strategy() -> impl Strategy<Value = KvOp> {
+    (proptest::bool::ANY, any::<u16>(), any::<u32>()).prop_map(|(put, key, value)| {
+        if put {
+            KvOp::Put { key, value }
+        } else {
+            KvOp::Get { key }
+        }
+    })
+}
+
+fn ack_strategy() -> impl Strategy<Value = AckRecord> {
+    (any::<u64>(), any::<u64>(), op_strategy(), (any::<u64>(), any::<u32>(), proptest::bool::ANY))
+        .prop_map(|(client, request, op, (slot, read, hit))| {
+            let outcome = match op {
+                KvOp::Put { .. } => Outcome::Put { slot },
+                KvOp::Get { .. } => Outcome::Get { slot, value: hit.then_some(read) },
+            };
+            AckRecord {
+                client: ClientId(client),
+                request: RequestId(request),
+                op,
+                response: Response { request: RequestId(request), outcome },
+            }
+        })
+}
+
+/// Contiguous slot records (slot = position + 1, like a real WAL) with
+/// arbitrary batches and command lists (empty batches included).
+fn records() -> impl Strategy<Value = Vec<SlotRecord>> {
+    proptest::collection::vec((any::<u64>(), proptest::collection::vec(ack_strategy(), 0..6)), 0..8)
+        .prop_map(|rs| {
+            rs.into_iter()
+                .enumerate()
+                .map(|(i, (batch, commands))| SlotRecord {
+                    slot: i as u64 + 1,
+                    batch: BatchId(batch),
+                    commands,
+                })
+                .collect()
+        })
+}
+
+/// Encodes `records` into one WAL byte stream, also returning the byte
+/// offset of each record's header (plus the final end offset).
+fn wire_of(records: &[SlotRecord]) -> (Vec<u8>, Vec<usize>) {
+    let mut wire = Vec::new();
+    let mut boundaries = vec![0];
+    for r in records {
+        encode_record(r, &mut wire);
+        boundaries.push(wire.len());
+    }
+    (wire, boundaries)
+}
+
+/// Splits `wire` into chunks whose sizes are driven by `cuts` (same
+/// helper shape as the wire-codec suite).
+fn chunkings(wire: &[u8], cuts: &[usize]) -> Vec<Vec<u8>> {
+    let mut chunks = Vec::new();
+    let mut pos = 0;
+    let mut i = 0;
+    while pos < wire.len() {
+        let step = if cuts.is_empty() { wire.len() } else { cuts[i % cuts.len()] % 97 + 1 };
+        let end = (pos + step).min(wire.len());
+        chunks.push(wire[pos..end].to_vec());
+        pos = end;
+        i += 1;
+    }
+    chunks
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // Any read chunking of the same WAL byte stream decodes to the same
+    // record sequence, ends Clean, and accounts for every byte.
+    #[test]
+    fn round_trip_through_any_chunking(
+        records in records(),
+        cuts in proptest::collection::vec(any::<usize>(), 0..8),
+    ) {
+        let (wire, _) = wire_of(&records);
+        let mut decoder = WalDecoder::new();
+        let mut decoded = Vec::new();
+        for chunk in chunkings(&wire, &cuts) {
+            decoder.feed(&chunk);
+            while let Some(payload) = decoder.next_payload() {
+                decoded.push(decode_payload(&payload).expect("valid payload"));
+            }
+        }
+        prop_assert_eq!(&decoded, &records);
+        prop_assert_eq!(decoder.tail(), WalTail::Clean);
+        prop_assert_eq!(decoder.valid_len(), wire.len() as u64);
+    }
+
+    // Truncating the stream at EVERY byte offset — every possible torn
+    // append a crash can leave — recovers exactly the records whose
+    // frames fit, classifies the tail correctly, and reports the valid
+    // length a repair should truncate to.
+    #[test]
+    fn torn_tail_at_every_offset_recovers_longest_prefix(records in records()) {
+        let (wire, boundaries) = wire_of(&records);
+        for cut in 0..=wire.len() {
+            let replay = replay_bytes(&wire[..cut]).expect("prefix decodes");
+            let whole = boundaries.iter().filter(|&&b| b > 0 && b <= cut).count();
+            prop_assert_eq!(replay.records.len(), whole);
+            prop_assert_eq!(&replay.records[..], &records[..whole]);
+            let last_boundary = boundaries[whole];
+            prop_assert_eq!(replay.valid_len, last_boundary as u64);
+            if cut == last_boundary {
+                prop_assert_eq!(replay.tail, WalTail::Clean);
+            } else {
+                prop_assert_eq!(replay.tail, WalTail::Torn { offset: last_boundary as u64 });
+            }
+        }
+    }
+
+    // Flipping any single payload bit is caught by the checksum: the
+    // records before the damaged one survive, the stream is poisoned at
+    // exactly its header offset, and nothing after resyncs.
+    #[test]
+    fn payload_bit_flip_is_detected(
+        records in records(),
+        pick in any::<usize>(),
+        byte in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        prop_assume!(!records.is_empty());
+        let (mut wire, boundaries) = wire_of(&records);
+        let victim = pick % records.len();
+        let start = boundaries[victim];
+        let len = boundaries[victim + 1] - start - RECORD_HEADER_LEN;
+        // Empty payloads cannot be flipped; flip a header CRC byte then
+        // (same detection path: stored checksum disagrees).
+        let idx = if len == 0 { start + 4 + byte % 4 } else { start + RECORD_HEADER_LEN + byte % len };
+        wire[idx] ^= 1 << bit;
+        let replay = replay_bytes(&wire).expect("prefix decodes");
+        prop_assert_eq!(replay.records.len(), victim);
+        prop_assert_eq!(&replay.records[..], &records[..victim]);
+        prop_assert_eq!(replay.tail, WalTail::Corrupt { offset: boundaries[victim] as u64 });
+    }
+
+    // A header announcing more than MAX_RECORD bytes is corruption, not
+    // a frame to wait for — regardless of how many valid records precede
+    // it or what junk follows.
+    #[test]
+    fn oversized_header_is_rejected_after_any_prefix(
+        records in records(),
+        excess in 1u32..1_000_000,
+        junk in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let (mut wire, boundaries) = wire_of(&records);
+        let boundary = *boundaries.last().expect("nonempty boundaries");
+        let oversized = u32::try_from(MAX_RECORD).expect("fits") + excess;
+        wire.extend_from_slice(&oversized.to_le_bytes());
+        wire.extend_from_slice(&junk);
+        let replay = replay_bytes(&wire).expect("prefix decodes");
+        prop_assert_eq!(replay.records.len(), records.len());
+        prop_assert_eq!(replay.tail, WalTail::Corrupt { offset: boundary as u64 });
+        prop_assert_eq!(replay.valid_len, boundary as u64);
+    }
+}
