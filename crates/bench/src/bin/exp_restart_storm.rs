@@ -5,13 +5,22 @@
 //!
 //! * **exactly-once across the crash** — every request left in doubt at
 //!   the kill (submitted, ack never seen) is replayed into the new
-//!   incarnation and acknowledged exactly once; a request acked *before*
+//!   incarnation and acknowledged exactly once; a *write* acked before
 //!   the kill is re-sent as a dedup probe and must replay a
-//!   byte-identical acknowledgement from the recovered session table;
+//!   byte-identical acknowledgement from the recovered session table
+//!   (probes target writes because fast-read acks are deliberately not
+//!   WAL-durable — a cross-crash read retry re-executes at a read index
+//!   at least as new, which is linearizable but not byte-identical);
 //! * **audit gate on the recovered process** — the in-engine
 //!   [`ServiceAudit`](indulgent_server::ServiceAudit) replay check,
 //!   fetched over the wire with [`remote_audit`], must report a clean,
-//!   complete history spanning every incarnation;
+//!   complete history spanning every incarnation, with exactly the
+//!   storm's writes committed (reads ride the lease fast path and
+//!   occupy no slots);
+//! * **lease-epoch gate** — every incarnation burns a strictly newer
+//!   lease epoch before serving, so after the storm the epoch equals
+//!   the number of incarnations; a lease-state dump is written per
+//!   phase (CI uploads them with the failure artifacts);
 //! * **rejoin gate** — [`sync_from_peer`] pulls a snapshot + log catch-up
 //!   from the survivor, and a fresh server booted on the transferred
 //!   state must answer every key identically.
@@ -34,7 +43,8 @@ use std::time::Duration;
 
 use indulgent_model::{ClientId, RequestId};
 use indulgent_server::{
-    remote_audit, sync_from_peer, KvOp, KvService, Outcome, PipeClient, RemoteKv, Response,
+    remote_audit, remote_lease_state, sync_from_peer, KvOp, KvService, Outcome, PipeClient,
+    RemoteKv, Response,
 };
 
 const CLIENTS: u64 = 4;
@@ -126,8 +136,16 @@ fn run_phase(addr: SocketAddr, states: &mut [SessionState], new_ops: u64, finish
     let mut probes = 0u64;
 
     for (c, st) in states.iter_mut().enumerate() {
-        // Dedup probe: the most recent acked id must replay byte-identically.
-        if let Some((&id, resp)) = st.acked.iter().max_by_key(|(id, _)| **id) {
+        // Dedup probe: the most recent acked *write* must replay
+        // byte-identically. Reads are excluded on purpose: fast-read
+        // acks are not WAL-durable, so a cross-crash read retry is
+        // re-served at a newer read index rather than replayed.
+        if let Some((&id, resp)) = st
+            .acked
+            .iter()
+            .filter(|(id, _)| matches!(st.ops[id], KvOp::Put { .. }))
+            .max_by_key(|(id, _)| **id)
+        {
             pipes[c].send(RequestId(id), st.ops[&id]).expect("send probe");
             in_flight[c].insert(id, Some(*resp));
         }
@@ -194,7 +212,7 @@ fn run_phase(addr: SocketAddr, states: &mut [SessionState], new_ops: u64, finish
 
 fn value_of(resp: &Response) -> Option<u32> {
     match resp.outcome {
-        Outcome::Get { value, .. } => value,
+        Outcome::Get { value, .. } | Outcome::Read { value, .. } => value,
         Outcome::Put { .. } => panic!("expected a get outcome"),
     }
 }
@@ -224,8 +242,22 @@ fn main() {
     let mut probes = 0u64;
     let mut final_probes = 0u64;
 
+    // Per-phase lease-state dump: written into the storm directory so a
+    // tripped gate ships every incarnation's lease view with the CI
+    // failure artifacts. The round trip also synchronizes with the
+    // driver, so recovery (and the epoch burn) has finished once it
+    // answers.
+    let dump_lease = |phase: u64, addr: SocketAddr| -> u64 {
+        let state = remote_lease_state(addr, Duration::from_secs(30)).expect("lease state");
+        let _ =
+            std::fs::write(root.join(format!("lease-state-phase{phase}.txt")), state.to_string());
+        state.epoch
+    };
+
     // ── The storm: kill -9 between every phase, recover on the same dir ──
     let mut server = Server::spawn(&dir, snapshot_every);
+    let mut epoch = dump_lease(0, server.addr);
+    assert!(epoch >= 1, "the first incarnation burned an epoch before serving");
     for phase in 0..phases {
         let finish = phase + 1 == phases;
         let phase_probes = run_phase(server.addr, &mut states, new_ops, finish);
@@ -235,14 +267,26 @@ fn main() {
         } else {
             let in_doubt: usize = states.iter().map(|s| s.in_doubt.len()).sum();
             println!(
-                "phase {}: killed -9 at {} with {in_doubt} requests in doubt",
+                "phase {}: killed -9 at {} with {in_doubt} requests in doubt (lease epoch {epoch})",
                 phase + 1,
                 server.addr
             );
             server.kill();
             server = Server::spawn(&dir, snapshot_every);
+            let reborn = dump_lease(phase + 1, server.addr);
+            assert!(
+                reborn > epoch,
+                "phase {}: rebooted incarnation kept a stale lease epoch ({epoch} -> {reborn})",
+                phase + 1
+            );
+            epoch = reborn;
         }
     }
+
+    assert_eq!(
+        epoch, phases,
+        "each incarnation burns exactly one epoch: {phases} boots -> epoch {epoch}"
+    );
 
     // ── Gate 1: exactly-once bookkeeping ──
     let total: u64 = states.iter().map(|s| s.next).sum();
@@ -251,10 +295,20 @@ fn main() {
     assert!(probes >= phases - 1, "every restart verified at least one dedup probe");
 
     // ── Gate 2: the recovered process audits its combined history ──
+    // Writes are the only slot consumers now: every read rode the lease
+    // fast path, so committed-across-incarnations must equal the storm's
+    // distinct puts exactly.
+    let puts: u64 = states
+        .iter()
+        .flat_map(|s| s.ops.values())
+        .filter(|op| matches!(op, KvOp::Put { .. }))
+        .count() as u64;
     let summary = remote_audit(server.addr, Duration::from_secs(30)).expect("audit over the wire");
     assert!(summary.complete, "audit quiesced");
     assert!(summary.ok, "recovered process fails its replay audit");
-    assert_eq!(summary.committed, total, "distinct commands committed exactly once");
+    assert_eq!(summary.committed, puts, "distinct writes committed exactly once, reads off-log");
+    assert!(summary.fast_reads > 0, "the final incarnation served reads off the log");
+    assert_eq!(summary.lease_epoch, epoch, "the audit reports the serving epoch");
     // The dedup counter is per-incarnation state, so only the final
     // incarnation's probes (and replayed in-doubt requests that had
     // committed pre-kill) are visible in it.
@@ -280,9 +334,10 @@ fn main() {
     server.kill();
 
     println!(
-        "S2 — restart storm passed (phases {phases}, {total} distinct commands, \
-         {} slots, {} dedup hits, {probes} probes, synced through slot {through})",
-        summary.slots, summary.dedup_hits
+        "S2 — restart storm passed (phases {phases}, {total} distinct commands, {puts} writes, \
+         {} slots, {} fast reads, lease epoch {epoch}, {} dedup hits, {probes} probes, \
+         synced through slot {through})",
+        summary.slots, summary.fast_reads, summary.dedup_hits
     );
     std::fs::remove_dir_all(&root).ok();
 }

@@ -12,62 +12,102 @@
 //!
 //! * a scripted workload run over the in-process [`LocalKv`] layer and
 //!   over the framed-TCP [`RemoteKv`] layer must produce *identical*
-//!   responses — the transport adds no semantics;
+//!   responses — with leases **on and off** — so neither the transport
+//!   nor the read fast path adds semantics;
 //! * duplicate request ids (same-connection retries and kill-the-client
 //!   reconnects) must be applied exactly once and replay byte-identical
-//!   acknowledgements;
-//! * a concurrent warm-up fleet must pass the full server-side
-//!   [`ServiceAudit::check`] — per-slot replica agreement, exactly-once
-//!   applies, and linearizability-by-replay of every acknowledgement —
-//!   plus the client-side checks (every request acked once, ack slots
-//!   monotone per connection).
+//!   acknowledgements, fast reads included;
+//! * a concurrent warm-up fleet (lease reads enabled) must pass the full
+//!   server-side [`ServiceAudit::check`] — per-slot replica agreement,
+//!   exactly-once applies, and linearizability-by-replay of every
+//!   acknowledgement *and every fast read* — plus the client-side checks
+//!   (every request acked once, ack linearization points monotone per
+//!   connection);
+//! * a crash-recovery pass: a durable leased server is `kill`ed
+//!   mid-history and its successor must burn a strictly newer lease
+//!   epoch before serving, answer correctly, and pass the combined
+//!   audit (lease-state dumps land in the durability directory for CI
+//!   artifacts when anything trips).
 //!
-//! The timed fleet re-asserts all of that, then reports commands/s and
-//! p50/p99 ack latency. Emits `BENCH_server.json` (`BENCH_SERVER_JSON`
-//! overrides the path, `0` skips); CI uploads it and the warn-only perf
-//! guard diffs `commands_per_second` against the committed baseline.
+//! The timed section then measures three fleets at the same offered
+//! rate: the classic mixed fleet (sequenced reads, the historical
+//! baseline scenario), a read-heavy fleet (`--read-ratio`, default
+//! 0.9) over the lease fast path, and the same read-heavy fleet over
+//! the sequenced escape hatch. Fleet runs yield the throughput and
+//! write-latency numbers; the per-op *read* latencies feeding
+//! `read_speedup_p50` come from a closed-loop probe (one session,
+//! sequential gets, identical in both modes) against each read-heavy
+//! server right after its fleet drains. The probe exists because the
+//! open-loop fleet's many client threads floor every observed ack at
+//! the scheduler quantum on small CI machines (~8 ms on one CPU,
+//! independent of read path), burying a fast path that serves in
+//! microseconds; the closed-loop probe measures the service time
+//! itself, and runs identically against both paths so the ratio is
+//! apples-to-apples. Emits `BENCH_server.json` (`BENCH_SERVER_JSON`
+//! overrides the path, `0` skips); CI uploads it and the warn-only
+//! perf guard diffs `commands_per_second`,
+//! `read_heavy.commands_per_second`, and `read_heavy.read_speedup_p50`
+//! against the committed baseline.
 //!
 //! ```text
-//! cargo run --release --bin exp_server_load -- --conns 256 --commands 8000 --rate 4000
+//! cargo run --release --bin exp_server_load -- --conns 256 --commands 8000 --rate 4000 --read-ratio 0.9
 //! ```
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::net::SocketAddr;
+use std::path::PathBuf;
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 use indulgent_model::{ClientId, RequestId};
 use indulgent_server::{
-    EngineConfig, KvOp, KvServer, KvService, LocalKv, Outcome, PipeClient, RemoteKv, Response,
-    ServiceAudit,
+    lease, DurabilityConfig, EngineConfig, KvOp, KvServer, KvService, LocalKv, Outcome, PipeClient,
+    ReadPath, RemoteKv, Response, ServiceAudit,
 };
 
-/// Deterministic op mix: connection `c`'s `i`-th request alternates puts
-/// and gets over a shared 512-key space, so fleets contend on keys and
-/// gets observe other connections' writes.
-fn op_for(c: u64, i: u64) -> KvOp {
+/// Deterministic op mix: connection `c`'s `i`-th request is a read with
+/// probability `read_pct`/100 (decided by a hash so the mix is uniform,
+/// not periodic) over a shared 512-key space, so fleets contend on keys
+/// and reads observe other connections' writes.
+fn op_for(c: u64, i: u64, read_pct: u64) -> KvOp {
     let key = ((c * 31 + i * 7) % 512) as u16;
-    if (c + i).is_multiple_of(2) {
-        KvOp::Put { key, value: (c * 100_000 + i) as u32 }
-    } else {
+    let mix = (c * 31 + i * 7).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33;
+    if mix % 100 < read_pct {
         KvOp::Get { key }
+    } else {
+        KvOp::Put { key, value: (c * 100_000 + i) as u32 }
     }
 }
 
-/// What one connection's worker observed during a fleet run.
+/// What one connection's worker observed during a fleet run: ack
+/// latencies split by operation kind (reads classified by the outcome
+/// that served them — `Get` for sequenced, `Read` for the fast path).
 struct ConnReport {
-    /// Ack latency per request (actual send -> matching ack).
-    latencies: Vec<Duration>,
+    reads: Vec<Duration>,
+    writes: Vec<Duration>,
+}
+
+/// A fleet's pooled latency observations.
+struct FleetResult {
+    reads: Vec<Duration>,
+    writes: Vec<Duration>,
+    elapsed: Duration,
+}
+
+impl FleetResult {
+    fn total(&self) -> u64 {
+        (self.reads.len() + self.writes.len()) as u64
+    }
 }
 
 /// Drives `conns` open-loop connections of `per_conn` requests each at a
-/// global arrival rate of `rate` requests/second. Panics on any
-/// client-side invariant violation: a request acked zero or multiple
-/// times, an ack for an unknown request, or per-connection ack slots
-/// going backwards (the engine applies slots in order and TCP preserves
-/// it, so non-monotone slots mean the service reordered acks).
-fn run_fleet(addr: SocketAddr, conns: u64, per_conn: u64, rate: f64) -> (Vec<Duration>, Duration) {
+/// global arrival rate of `rate` requests/second with the given read
+/// mix. Panics on any client-side invariant violation: a request acked
+/// zero or multiple times, an ack for an unknown request, or
+/// per-connection linearization points (slots and read indices share
+/// one monotone order) going backwards.
+fn run_fleet(addr: SocketAddr, conns: u64, per_conn: u64, rate: f64, read_pct: u64) -> FleetResult {
     let barrier = Arc::new(Barrier::new(usize::try_from(conns).expect("conns fits usize") + 1));
     let mut workers = Vec::new();
     for c in 0..conns {
@@ -83,8 +123,9 @@ fn run_fleet(addr: SocketAddr, conns: u64, per_conn: u64, rate: f64) -> (Vec<Dur
             let mut sent = 0u64;
             let mut acked = 0u64;
             let mut in_flight: HashMap<RequestId, Instant> = HashMap::new();
-            let mut latencies = Vec::with_capacity(per_conn as usize);
-            let mut last_slot = 0u64;
+            let mut reads = Vec::new();
+            let mut writes = Vec::new();
+            let mut last_point = 0u64;
             let deadline = Instant::now() + Duration::from_secs(120);
             while acked < per_conn {
                 assert!(
@@ -93,7 +134,7 @@ fn run_fleet(addr: SocketAddr, conns: u64, per_conn: u64, rate: f64) -> (Vec<Dur
                 );
                 while sent < per_conn && Instant::now() >= due(sent) {
                     let id = RequestId(sent);
-                    client.send(id, op_for(c, sent)).expect("open-loop send");
+                    client.send(id, op_for(c, sent, read_pct)).expect("open-loop send");
                     in_flight.insert(id, Instant::now());
                     sent += 1;
                 }
@@ -101,67 +142,84 @@ fn run_fleet(addr: SocketAddr, conns: u64, per_conn: u64, rate: f64) -> (Vec<Dur
                     let sent_at = in_flight
                         .remove(&ack.request)
                         .unwrap_or_else(|| panic!("conn {c}: unknown or duplicate ack {:?}", ack));
-                    latencies.push(sent_at.elapsed());
-                    let slot = ack.outcome.slot();
+                    let latency = sent_at.elapsed();
+                    let point = ack.outcome.slot();
+                    match ack.outcome {
+                        Outcome::Put { .. } => writes.push(latency),
+                        Outcome::Get { .. } | Outcome::Read { .. } => reads.push(latency),
+                    }
                     assert!(
-                        slot >= last_slot,
-                        "conn {c}: ack slots went backwards ({slot} after {last_slot})"
+                        point >= last_point,
+                        "conn {c}: linearization points went backwards ({point} after {last_point})"
                     );
-                    last_slot = slot;
+                    last_point = point;
                     acked += 1;
                 }
             }
             assert!(in_flight.is_empty(), "conn {c}: {} requests never acked", in_flight.len());
-            ConnReport { latencies }
+            ConnReport { reads, writes }
         }));
     }
     barrier.wait();
     let start = Instant::now();
-    let mut all = Vec::with_capacity((conns * per_conn) as usize);
+    let mut reads = Vec::new();
+    let mut writes = Vec::new();
     for w in workers {
-        all.extend(w.join().expect("connection worker panicked").latencies);
+        let r = w.join().expect("connection worker panicked");
+        reads.extend(r.reads);
+        writes.extend(r.writes);
     }
-    (all, start.elapsed())
+    FleetResult { reads, writes, elapsed: start.elapsed() }
 }
 
-/// Audits a finished server run against the fleet that drove it.
+/// Audits a finished server run against the fleet that drove it. With a
+/// fast-read path enabled, reads served off the log must account for
+/// exactly the gap between submitted and committed commands.
 fn check_audit(audit: &ServiceAudit, expected_commands: u64, label: &str) {
     audit.check().unwrap_or_else(|e| panic!("{label}: service audit failed: {e}"));
+    let fast_reads = audit.folded_fast_reads + audit.fast_reads.len() as u64;
     assert_eq!(
-        audit.committed_commands, expected_commands,
-        "{label}: every submitted command commits exactly once"
+        audit.committed_commands + fast_reads,
+        expected_commands,
+        "{label}: every submitted command commits or fast-reads exactly once"
     );
 }
 
-/// Gate 1 — layered differential: the same scripted workload through the
-/// in-process layer and through framed TCP yields identical responses.
+/// Gate 1 — layered differential, leases on and off: the same scripted
+/// workload through the in-process layer and through framed TCP yields
+/// identical responses in both read modes.
 fn gate_differential() {
     // Batch size 1 makes sequencing deterministic for sequential calls:
-    // both layers must produce byte-identical responses, slots included.
-    let script: Vec<KvOp> = (0..40).map(|i| op_for(3, i)).collect();
+    // both layers must produce byte-identical responses — slots and
+    // read indices included.
+    let script: Vec<KvOp> = (0..40).map(|i| op_for(3, i, 50)).collect();
 
-    let run = |responses: &mut Vec<Response>, mut call: Box<dyn FnMut(KvOp) -> Response>| {
-        for op in &script {
-            responses.push(call(*op));
-        }
-    };
+    for reads in [ReadPath::Sequenced, ReadPath::Lease] {
+        let run = |responses: &mut Vec<Response>, mut call: Box<dyn FnMut(KvOp) -> Response>| {
+            for op in &script {
+                responses.push(call(*op));
+            }
+        };
 
-    let local_server = KvServer::bind("127.0.0.1:0", gate_config()).expect("bind");
-    let mut local = LocalKv::connect(&local_server.engine(), ClientId(3));
-    let mut local_responses = Vec::new();
-    run(&mut local_responses, Box::new(move |op| dispatch(&mut local, op)));
-    check_audit(&local_server.shutdown(), script.len() as u64, "differential/local");
+        let local_server =
+            KvServer::bind("127.0.0.1:0", gate_config().with_reads(reads)).expect("bind");
+        let mut local = LocalKv::connect(&local_server.engine(), ClientId(3));
+        let mut local_responses = Vec::new();
+        run(&mut local_responses, Box::new(move |op| dispatch(&mut local, op)));
+        check_audit(&local_server.shutdown(), script.len() as u64, "differential/local");
 
-    let remote_server = KvServer::bind("127.0.0.1:0", gate_config()).expect("bind");
-    let mut remote = RemoteKv::connect(remote_server.addr(), ClientId(3)).expect("connect");
-    let mut remote_responses = Vec::new();
-    run(&mut remote_responses, Box::new(move |op| dispatch(&mut remote, op)));
-    check_audit(&remote_server.shutdown(), script.len() as u64, "differential/remote");
+        let remote_server =
+            KvServer::bind("127.0.0.1:0", gate_config().with_reads(reads)).expect("bind");
+        let mut remote = RemoteKv::connect(remote_server.addr(), ClientId(3)).expect("connect");
+        let mut remote_responses = Vec::new();
+        run(&mut remote_responses, Box::new(move |op| dispatch(&mut remote, op)));
+        check_audit(&remote_server.shutdown(), script.len() as u64, "differential/remote");
 
-    assert_eq!(
-        local_responses, remote_responses,
-        "the TCP layer must answer identically to the in-process layer"
-    );
+        assert_eq!(
+            local_responses, remote_responses,
+            "the TCP layer must answer identically to the in-process layer (reads {reads:?})"
+        );
+    }
 }
 
 fn dispatch<S: KvService>(s: &mut S, op: KvOp) -> Response {
@@ -175,10 +233,12 @@ fn gate_config() -> EngineConfig {
     EngineConfig::default_5().with_batch_size(1).with_pipeline_depth(2)
 }
 
-/// Gate 2 — exactly-once: same-connection duplicate ids and a client
-/// killed mid-request that reconnects and replays.
+/// Gate 2 — exactly-once with the fast path live: same-connection
+/// duplicate ids (a write and a fast read) and a client killed
+/// mid-request that reconnects and replays.
 fn gate_exactly_once() {
-    let server = KvServer::bind("127.0.0.1:0", gate_config()).expect("bind");
+    let server =
+        KvServer::bind("127.0.0.1:0", gate_config().with_reads(ReadPath::Lease)).expect("bind");
     let addr = server.addr();
 
     // Same connection, same request id sent twice: one slot, identical acks.
@@ -186,6 +246,11 @@ fn gate_exactly_once() {
     let first = kv.call_with(RequestId(0), KvOp::Put { key: 9, value: 1 }).expect("acked");
     let retry = kv.call_with(RequestId(0), KvOp::Put { key: 9, value: 1 }).expect("acked");
     assert_eq!(first, retry, "a same-connection retry replays the original ack");
+    // A retried fast read replays the original read index and value.
+    let read = kv.call_with(RequestId(1), KvOp::Get { key: 9 }).expect("acked");
+    let reread = kv.call_with(RequestId(1), KvOp::Get { key: 9 }).expect("acked");
+    assert_eq!(read, reread, "a fast-read retry replays the original acknowledgement");
+    assert!(matches!(read.outcome, Outcome::Read { value: Some(1), .. }));
 
     // Kill a client mid-request: send, drop the socket without reading
     // the ack, reconnect with the same session, replay the same id.
@@ -203,31 +268,128 @@ fn gate_exactly_once() {
     // And the session keeps working past the replayed request.
     let read = revived.get(10).expect("get acked");
     match read.outcome {
-        Outcome::Get { value, .. } => assert_eq!(value, Some(77)),
+        Outcome::Read { value, .. } => assert_eq!(value, Some(77)),
         other => panic!("unexpected outcome {other:?}"),
     }
 
     let audit = server.shutdown();
     audit.check().expect("exactly-once gate audit");
-    // 2 distinct commands from client 900's pair of sends is 1, plus the
-    // killed client's put (applied once no matter when it died) and the
-    // follow-up get.
-    assert_eq!(audit.committed_commands, 3, "duplicates and replays apply exactly once");
-    assert!(audit.dedup_hits >= 1, "the dedup layer absorbed at least the same-conn retry");
+    // Client 900's duplicate puts collapse to 1 slot, the killed
+    // client's put applies once; both gets were fast reads (no slots).
+    assert_eq!(audit.committed_commands, 2, "duplicates and replays apply exactly once");
+    assert_eq!(audit.fast_reads.len(), 2, "both distinct reads took the fast path");
+    assert!(audit.dedup_hits >= 2, "the dedup layer absorbed the retries");
 }
 
-/// Gate 3 — a concurrent warm-up fleet passes the full audit.
+/// Gate 3 — a concurrent warm-up fleet over the lease fast path passes
+/// the full audit (the stale-read detector runs inside it).
 fn gate_concurrent(batch: usize, depth: u64) {
-    let config = EngineConfig::default_5().with_batch_size(batch).with_pipeline_depth(depth);
+    let config = EngineConfig::default_5()
+        .with_batch_size(batch)
+        .with_pipeline_depth(depth)
+        .with_reads(ReadPath::Lease);
     let server = KvServer::bind("127.0.0.1:0", config).expect("bind");
-    let (latencies, _) = run_fleet(server.addr(), 16, 8, 2_000.0);
-    assert_eq!(latencies.len(), 16 * 8);
+    let result = run_fleet(server.addr(), 16, 8, 2_000.0, 50);
+    assert_eq!(result.total(), 16 * 8);
     check_audit(&server.shutdown(), 16 * 8, "concurrent gate");
+}
+
+/// Gate 4 — crash recovery: a durable leased server killed mid-history
+/// must come back under a strictly newer lease epoch (burned before it
+/// serves anything), answer correctly, and pass the combined audit.
+/// Lease-state dumps are written into the durability directory so CI
+/// uploads them with the failure artifacts when a gate trips.
+fn gate_crash_recovery() {
+    let dir: PathBuf = std::env::var("SERVER_LOAD_CRASH_DIR")
+        .unwrap_or_else(|_| {
+            concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/server-load-crash").into()
+        })
+        .into();
+    std::fs::remove_dir_all(&dir).ok();
+    let config = || {
+        gate_config()
+            .with_reads(ReadPath::Lease)
+            .with_durability(DurabilityConfig::new(&dir).with_snapshot_every(4))
+    };
+    let dump = |phase: &str, addr: SocketAddr| {
+        let state = indulgent_server::remote_lease_state(addr, Duration::from_secs(5))
+            .map_or_else(|e| format!("unavailable: {e:?}"), |s| s.to_string());
+        let _ = std::fs::write(dir.join(format!("lease-state-{phase}.txt")), &state);
+        state
+    };
+
+    let server = KvServer::bind("127.0.0.1:0", config()).expect("bind");
+    let mut kv = RemoteKv::connect(server.addr(), ClientId(700)).expect("connect");
+    for i in 0..8u32 {
+        kv.put(u16::try_from(i % 3).unwrap(), i).expect("put");
+        kv.get(u16::try_from(i % 3).unwrap()).expect("fast read");
+    }
+    let pre_dump = dump("pre-kill", server.addr());
+    let epoch_before = lease::load_epoch(&dir).expect("epoch burned before serving");
+    assert!(epoch_before >= 1, "crash gate: no epoch burned ({pre_dump})");
+    drop(kv);
+    server.kill(); // no drain, no checkpoint — the in-process kill -9
+
+    let server = KvServer::bind("127.0.0.1:0", config()).expect("rebind on the same dir");
+    // The lease-state round trip synchronizes with the driver thread, so
+    // the recovery (and its epoch burn) has completed once it answers.
+    let post_dump = dump("post-recovery", server.addr());
+    let epoch_after = lease::load_epoch(&dir).expect("epoch re-burned");
+    assert!(
+        epoch_after > epoch_before,
+        "crash gate: rebooted leader kept its stale epoch ({epoch_before} -> {epoch_after}; {post_dump})"
+    );
+    let mut kv = RemoteKv::connect(server.addr(), ClientId(701)).expect("reconnect");
+    let read = kv.get(1).expect("fast read after recovery");
+    match read.outcome {
+        Outcome::Read { value, .. } => assert!(value.is_some(), "recovered store lost key 1"),
+        other => panic!("crash gate: unexpected outcome {other:?} ({post_dump})"),
+    }
+    drop(kv);
+    let audit = server.shutdown();
+    audit
+        .check()
+        .unwrap_or_else(|e| panic!("crash gate: combined audit failed: {e} ({post_dump})"));
+    assert_eq!(audit.lease_epoch, epoch_after);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Closed-loop per-op read-latency probe: one session issues `ops`
+/// sequential gets of a key it just wrote and times each acknowledgement
+/// round trip. Run against the still-live read-heavy server after its
+/// fleet drains; identical in both read modes, so the p50 ratio isolates
+/// the path cost (log slot vs lease read) from client-side scheduling.
+fn probe_read_latency(addr: SocketAddr, ops: u64) -> Vec<Duration> {
+    let mut kv = RemoteKv::connect(addr, ClientId(999_999)).expect("probe connect");
+    kv.put(600, 606_606).expect("probe seed put");
+    let mut lat = Vec::with_capacity(usize::try_from(ops).expect("ops fits usize"));
+    for _ in 0..ops {
+        let started = Instant::now();
+        let ack = kv.get(600).expect("probe get");
+        lat.push(started.elapsed());
+        match ack.outcome {
+            Outcome::Get { value, .. } | Outcome::Read { value, .. } => {
+                assert_eq!(value, Some(606_606), "probe read observed its own write");
+            }
+            other => panic!("probe: unexpected outcome {other:?}"),
+        }
+    }
+    lat
 }
 
 fn percentile(sorted: &[Duration], p: f64) -> Duration {
     let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
     sorted[idx]
+}
+
+/// Sorts in place and returns (p50, p99); an empty population (a pure
+/// read or pure write mix) reports zeros.
+fn p50_p99(lat: &mut [Duration]) -> (Duration, Duration) {
+    if lat.is_empty() {
+        return (Duration::ZERO, Duration::ZERO);
+    }
+    lat.sort_unstable();
+    (percentile(lat, 0.50), percentile(lat, 0.99))
 }
 
 fn main() {
@@ -243,6 +405,13 @@ fn main() {
     let rate = arg("--rate", 4_000).max(1) as f64;
     let batch = usize::try_from(arg("--batch", 8).max(1)).expect("batch fits usize");
     let depth = arg("--depth", 4).max(1);
+    let read_ratio = args
+        .iter()
+        .position(|a| a == "--read-ratio")
+        .map(|i| args[i + 1].parse::<f64>().expect("usage: --read-ratio F"))
+        .unwrap_or(0.9);
+    assert!((0.0..=1.0).contains(&read_ratio), "--read-ratio must be within [0, 1]");
+    let read_pct = (read_ratio * 100.0).round() as u64;
     let per_conn = commands / conns;
     let total = per_conn * conns; // divisibility remainder dropped
 
@@ -250,38 +419,106 @@ fn main() {
     gate_differential();
     gate_exactly_once();
     gate_concurrent(batch, depth);
+    gate_crash_recovery();
     println!(
-        "validation gate passed: local/remote differential, exactly-once retries + reconnect, concurrent audit\n"
+        "validation gate passed: local/remote differential (leases on+off), exactly-once retries + reconnect, concurrent audit, crash recovery\n"
     );
 
-    // ── Timed open-loop fleet ──
-    let config = EngineConfig::default_5().with_batch_size(batch).with_pipeline_depth(depth);
-    let server = KvServer::bind("127.0.0.1:0", config).expect("bind");
-    let (mut latencies, elapsed) = run_fleet(server.addr(), conns, per_conn, rate);
-    let audit = server.shutdown();
-    check_audit(&audit, total, "timed fleet");
+    let fleet_config = |reads: ReadPath| {
+        EngineConfig::default_5()
+            .with_batch_size(batch)
+            .with_pipeline_depth(depth)
+            .with_reads(reads)
+    };
 
-    latencies.sort_unstable();
-    let p50 = percentile(&latencies, 0.50);
-    let p99 = percentile(&latencies, 0.99);
-    let max = *latencies.last().expect("non-empty fleet");
-    let rate_measured = total as f64 / elapsed.as_secs_f64();
+    // ── Timed fleet 1: the historical mixed scenario (sequenced reads) ──
+    let server = KvServer::bind("127.0.0.1:0", fleet_config(ReadPath::Sequenced)).expect("bind");
+    let mixed = run_fleet(server.addr(), conns, per_conn, rate, 50);
+    let audit = server.shutdown();
+    check_audit(&audit, total, "timed mixed fleet");
+    let mut mixed_all: Vec<Duration> = Vec::with_capacity(total as usize);
+    mixed_all.extend(&mixed.reads);
+    mixed_all.extend(&mixed.writes);
+    let (p50, p99) = p50_p99(&mut mixed_all);
+    let max = *mixed_all.last().expect("non-empty fleet");
+    let rate_measured = total as f64 / mixed.elapsed.as_secs_f64();
+
+    // ── Timed fleet 2: read-heavy over the lease fast path ──
+    // The closed-loop probe runs against the same server right after the
+    // fleet drains (store warm, lease live); its put + gets join the
+    // fleet's commands in the audit arithmetic.
+    const PROBE_OPS: u64 = 200;
+    let server = KvServer::bind("127.0.0.1:0", fleet_config(ReadPath::Lease)).expect("bind");
+    let mut leased = run_fleet(server.addr(), conns, per_conn, rate, read_pct);
+    let mut lease_probe = probe_read_latency(server.addr(), PROBE_OPS);
+    let lease_audit = server.shutdown();
+    check_audit(&lease_audit, total + 1 + PROBE_OPS, "timed read-heavy lease fleet");
+    let fast_reads = lease_audit.folded_fast_reads + lease_audit.fast_reads.len() as u64;
+    let lease_rate = total as f64 / leased.elapsed.as_secs_f64();
+    let (lease_fleet_read_p50, _) = p50_p99(&mut leased.reads);
+    let (lease_write_p50, lease_write_p99) = p50_p99(&mut leased.writes);
+    let (lease_read_p50, lease_read_p99) = p50_p99(&mut lease_probe);
+
+    // ── Timed fleet 3: the same read-heavy mix, every read sequenced ──
+    let server = KvServer::bind("127.0.0.1:0", fleet_config(ReadPath::Sequenced)).expect("bind");
+    let mut seq = run_fleet(server.addr(), conns, per_conn, rate, read_pct);
+    let mut seq_probe = probe_read_latency(server.addr(), PROBE_OPS);
+    check_audit(&server.shutdown(), total + 1 + PROBE_OPS, "timed read-heavy sequenced fleet");
+    let (seq_fleet_read_p50, _) = p50_p99(&mut seq.reads);
+    let (seq_read_p50, _) = p50_p99(&mut seq_probe);
+    let read_speedup = seq_read_p50.as_secs_f64() / lease_read_p50.as_secs_f64();
 
     println!(
         "S1 — networked-service load (n=5, t=2, batch {batch}, depth {depth})\n\
          conns {conns}, commands {total}, offered rate {rate:.0}/s\n\
-         elapsed {:.2}s, acked rate {rate_measured:.0} commands/s\n\
-         ack latency p50 {:.2}ms, p99 {:.2}ms, max {:.2}ms\n\
+         mixed 50/50 sequenced: {rate_measured:.0} commands/s, ack p50 {:.2}ms p99 {:.2}ms max {:.2}ms\n\
+         read-heavy {read_pct}/{:2} leased: {lease_rate:.0} commands/s, {fast_reads} fast reads\n\
+           under load: read p50 {:.2}ms | write p50 {:.2}ms p99 {:.2}ms (sequenced read p50 {:.2}ms)\n\
+         per-op read probe ({PROBE_OPS} closed-loop gets): lease p50 {:.3}ms p99 {:.3}ms, sequenced p50 {:.3}ms\n\
+           -> lease fast-read speedup {read_speedup:.1}x\n\
          dedup hits {}, duplicate applies {}",
-        elapsed.as_secs_f64(),
         p50.as_secs_f64() * 1e3,
         p99.as_secs_f64() * 1e3,
         max.as_secs_f64() * 1e3,
+        100 - read_pct,
+        lease_fleet_read_p50.as_secs_f64() * 1e3,
+        lease_write_p50.as_secs_f64() * 1e3,
+        lease_write_p99.as_secs_f64() * 1e3,
+        seq_fleet_read_p50.as_secs_f64() * 1e3,
+        lease_read_p50.as_secs_f64() * 1e3,
+        lease_read_p99.as_secs_f64() * 1e3,
+        seq_read_p50.as_secs_f64() * 1e3,
         audit.dedup_hits,
         audit.duplicate_applies,
     );
 
-    emit_json(conns, total, rate, batch, depth, rate_measured, p50, p99, max);
+    let read_heavy = ReadHeavy {
+        read_ratio,
+        commands_per_second: lease_rate,
+        fast_reads,
+        probe_ops: PROBE_OPS,
+        read_p50: lease_read_p50,
+        read_p99: lease_read_p99,
+        write_p50: lease_write_p50,
+        write_p99: lease_write_p99,
+        sequenced_read_p50: seq_read_p50,
+        read_speedup_p50: read_speedup,
+    };
+    emit_json(conns, total, rate, batch, depth, rate_measured, p50, p99, max, &read_heavy);
+}
+
+/// The read-heavy scenario block of `BENCH_server.json`.
+struct ReadHeavy {
+    read_ratio: f64,
+    commands_per_second: f64,
+    fast_reads: u64,
+    probe_ops: u64,
+    read_p50: Duration,
+    read_p99: Duration,
+    write_p50: Duration,
+    write_p99: Duration,
+    sequenced_read_p50: Duration,
+    read_speedup_p50: f64,
 }
 
 /// Writes `BENCH_server.json` at the workspace root; `BENCH_SERVER_JSON`
@@ -297,12 +534,14 @@ fn emit_json(
     p50: Duration,
     p99: Duration,
     max: Duration,
+    read_heavy: &ReadHeavy,
 ) {
     let path = std::env::var("BENCH_SERVER_JSON")
         .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json").into());
     if path == "0" {
         return;
     }
+    let ms = |d: Duration| d.as_secs_f64() * 1e3;
     let mut json = String::new();
     json.push_str("{\n  \"bench\": \"server_load\",\n");
     let _ = writeln!(
@@ -312,12 +551,36 @@ fn emit_json(
     let _ = writeln!(json, "  \"commands_per_second\": {commands_per_second:.1},");
     let _ = writeln!(
         json,
-        "  \"latency_ms\": {{\"p50\": {:.3}, \"p99\": {:.3}, \"max\": {:.3}}}",
-        p50.as_secs_f64() * 1e3,
-        p99.as_secs_f64() * 1e3,
-        max.as_secs_f64() * 1e3
+        "  \"latency_ms\": {{\"p50\": {:.3}, \"p99\": {:.3}, \"max\": {:.3}}},",
+        ms(p50),
+        ms(p99),
+        ms(max)
     );
-    json.push_str("}\n");
+    let _ = writeln!(json, "  \"read_heavy\": {{");
+    let _ = writeln!(json, "    \"read_ratio\": {:.2},", read_heavy.read_ratio);
+    let _ = writeln!(json, "    \"commands_per_second\": {:.1},", read_heavy.commands_per_second);
+    let _ = writeln!(json, "    \"fast_reads\": {},", read_heavy.fast_reads);
+    let _ = writeln!(json, "    \"read_latency_method\": \"closed_loop_probe\",");
+    let _ = writeln!(json, "    \"probe_ops\": {},", read_heavy.probe_ops);
+    let _ = writeln!(
+        json,
+        "    \"read_latency_ms\": {{\"p50\": {:.4}, \"p99\": {:.4}}},",
+        ms(read_heavy.read_p50),
+        ms(read_heavy.read_p99)
+    );
+    let _ = writeln!(
+        json,
+        "    \"write_latency_ms\": {{\"p50\": {:.3}, \"p99\": {:.3}}},",
+        ms(read_heavy.write_p50),
+        ms(read_heavy.write_p99)
+    );
+    let _ = writeln!(
+        json,
+        "    \"sequenced_read_latency_ms\": {{\"p50\": {:.4}}},",
+        ms(read_heavy.sequenced_read_p50)
+    );
+    let _ = writeln!(json, "    \"read_speedup_p50\": {:.2}", read_heavy.read_speedup_p50);
+    json.push_str("  }\n}\n");
 
     match std::fs::write(&path, &json) {
         Ok(()) => println!("wrote {path}"),

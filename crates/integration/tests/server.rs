@@ -8,7 +8,8 @@ use std::time::Duration;
 
 use indulgent_model::{ClientId, RequestId};
 use indulgent_server::{
-    EngineConfig, KvOp, KvServer, KvService, LocalKv, Outcome, PipeClient, RemoteKv, Response,
+    remote_lease_state, EngineConfig, KvOp, KvServer, KvService, LocalKv, Outcome, PipeClient,
+    ReadPath, RemoteKv, Response,
 };
 
 /// Deterministic sizing: batch of 1 so sequential calls sequence one
@@ -64,6 +65,76 @@ fn local_and_remote_layers_answer_identically() {
     assert_eq!(local_responses, remote_responses, "the transport must add no semantics");
     assert_eq!(local_audit.committed_commands, remote_audit.committed_commands);
     assert_eq!(local_audit.final_store, remote_audit.final_store);
+}
+
+/// The value a response answered, whatever path served it (`None` for
+/// writes).
+fn value_of(r: &Response) -> Option<Option<u32>> {
+    match r.outcome {
+        Outcome::Get { value, .. } | Outcome::Read { value, .. } => Some(value),
+        Outcome::Put { .. } => None,
+    }
+}
+
+/// The read-path differential: with leases on, the same mixed workload
+/// answers byte-identically through the in-process and framed-TCP
+/// layers (read indices included), and value-identically to the
+/// sequenced escape hatch — the fast path changes latency, never
+/// answers.
+#[test]
+fn lease_reads_are_transport_and_mode_transparent() {
+    let ops = script();
+    let leased = || deterministic().with_reads(ReadPath::Lease);
+
+    let local_server = KvServer::bind("127.0.0.1:0", leased()).expect("bind");
+    let mut local = LocalKv::connect(&local_server.engine(), ClientId(42));
+    let local_responses = drive(&mut local, &ops);
+    drop(local);
+    let local_audit = local_server.shutdown();
+    local_audit.check().expect("local lease audit");
+    assert!(!local_audit.fast_reads.is_empty(), "the workload exercised the fast path");
+
+    let remote_server = KvServer::bind("127.0.0.1:0", leased()).expect("bind");
+    let mut remote = RemoteKv::connect(remote_server.addr(), ClientId(42)).expect("connect");
+    let remote_responses = drive(&mut remote, &ops);
+    drop(remote);
+    let remote_audit = remote_server.shutdown();
+    remote_audit.check().expect("remote lease audit");
+
+    assert_eq!(local_responses, remote_responses, "the transport must add no read semantics");
+
+    // The sequenced escape hatch answers the same values for every read;
+    // only the linearization metadata (slot vs read index) differs.
+    let seq_server = KvServer::bind("127.0.0.1:0", deterministic()).expect("bind");
+    let mut seq = LocalKv::connect(&seq_server.engine(), ClientId(42));
+    let seq_responses = drive(&mut seq, &ops);
+    drop(seq);
+    seq_server.shutdown().check().expect("sequenced audit");
+    for (leased, sequenced) in local_responses.iter().zip(&seq_responses) {
+        assert_eq!(value_of(leased), value_of(sequenced), "fast reads answer the same values");
+    }
+}
+
+/// The lease-state dump is queryable over the wire mid-service: mode,
+/// epoch, and the read-path counters come back on a dedicated
+/// connection (this is what CI failure artifacts capture).
+#[test]
+fn lease_state_is_queryable_over_the_wire() {
+    let server =
+        KvServer::bind("127.0.0.1:0", deterministic().with_reads(ReadPath::Lease)).expect("bind");
+    let addr = server.addr();
+    let mut kv = RemoteKv::connect(addr, ClientId(9)).expect("connect");
+    kv.put(3, 33).expect("put");
+    kv.get(3).expect("get");
+    let status = remote_lease_state(addr, Duration::from_secs(5)).expect("lease state");
+    assert_eq!(status.mode, ReadPath::Lease.as_wire());
+    assert!(status.epoch >= 1, "an epoch was burned before serving");
+    assert!(
+        status.reads_lease + status.reads_quorum >= 1,
+        "the read went down the fast path: {status}"
+    );
+    drop(kv);
+    server.shutdown().check().expect("audit clean");
 }
 
 /// Killing a client mid-request must neither hang the server nor apply

@@ -52,7 +52,9 @@
 
 use std::collections::{BTreeMap, HashSet, VecDeque};
 
-use indulgent_model::{AppliedEntry, BatchId, Decision, ProcessSet, Round, SystemConfig, Value};
+use indulgent_model::{
+    AppliedEntry, BatchId, Decision, LogIndex, ProcessSet, Round, SystemConfig, Value,
+};
 
 use crate::frontend::ClientFrontend;
 
@@ -372,6 +374,14 @@ impl DecidedLog {
     #[must_use]
     pub fn truncated(&self) -> u64 {
         self.truncated
+    }
+
+    /// The decided frontier: the highest slot applied so far (truncated
+    /// prefix included). A linearizable fast read must reflect at least
+    /// this prefix — the frontier is the smallest valid read index.
+    #[must_use]
+    pub fn frontier(&self) -> LogIndex {
+        LogIndex(self.truncated + self.entries.len() as u64)
     }
 }
 
@@ -790,5 +800,20 @@ mod tests {
         assert!(log.contains(BatchId(0)));
         // A re-decision of a truncated batch is still caught.
         assert!(matches!(log.apply(BatchId(0)), AppliedEntry::Duplicate(_)));
+    }
+
+    #[test]
+    fn decided_frontier_spans_truncation() {
+        let mut log = DecidedLog::new();
+        assert_eq!(log.frontier(), LogIndex(0));
+        log.apply(BatchId(0));
+        log.apply(BatchId(1));
+        assert_eq!(log.frontier(), LogIndex(2));
+        // Truncation folds the prefix but the frontier keeps counting
+        // from slot 1: a read index never moves backwards.
+        log.truncate_prefix(2);
+        assert_eq!(log.frontier(), LogIndex(2));
+        log.apply(BatchId(2));
+        assert_eq!(log.frontier(), LogIndex(3));
     }
 }

@@ -114,8 +114,9 @@ pub fn at_plus2_factory(
     }
 }
 
-/// The [`AtSlot`] instance-reset hook for the simulator substrate.
-pub fn at_plus2_reset() -> impl FnMut(usize, &mut AtSlot, Value) {
+/// The [`AtSlot`] instance-reset hook, shared by the simulator's
+/// multi-shot executor and the runtime session's recycling pools.
+pub fn at_plus2_reset() -> impl Fn(usize, &mut AtSlot, Value) + Clone + Send + Sync {
     |_i, p, v| p.reset_instance(v)
 }
 
@@ -128,8 +129,8 @@ pub fn af_plus2_factory(
     move |i: usize, v: Value| AfPlus2::new(config, ProcessId::new(i), v)
 }
 
-/// The `A_{f+2}` instance-reset hook for the simulator substrate.
-pub fn af_plus2_reset() -> impl FnMut(usize, &mut AfPlus2, Value) {
+/// The `A_{f+2}` instance-reset hook (simulator and recycling session).
+pub fn af_plus2_reset() -> impl Fn(usize, &mut AfPlus2, Value) + Clone + Send + Sync {
     |_i, p, v| p.reset_instance(v)
 }
 
@@ -159,9 +160,10 @@ pub fn run_log_session(
     frontend: ClientFrontend,
     profile: NetProfile,
 ) -> LogReport {
-    LogDriver::new(config, log_config, scenario, frontend).run(SessionLogRunner::new(
+    LogDriver::new(config, log_config, scenario, frontend).run(SessionLogRunner::recycling(
         config,
         at_plus2_factory(config),
+        at_plus2_reset(),
         profile,
     ))
 }

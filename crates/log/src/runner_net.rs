@@ -62,6 +62,9 @@ where
     factory: F,
     profile: NetProfile,
     started: u64,
+    /// Whether the session recycles retired automatons (proposal-only
+    /// jobs); `false` builds fresh via `factory` per instance.
+    recycled: bool,
 }
 
 impl<P, F> SessionLogRunner<P, F>
@@ -80,6 +83,41 @@ where
             factory,
             profile,
             started: 0,
+            recycled: false,
+        }
+    }
+}
+
+impl<P, F> SessionLogRunner<P, F>
+where
+    P: RoundProcess + Send + 'static,
+    P::Msg: Send + 'static,
+    F: ProcessFactory<Process = P> + Clone + Send + Sync + 'static,
+{
+    /// Spawns a *recycling* session: retired automatons are reset in
+    /// place through `reset` for the next instance instead of being
+    /// rebuilt — the same `reset_instance` contract the simulator's
+    /// multi-shot executor uses, now on the runtime substrate. `factory`
+    /// only covers cold starts (the first `W` instances of a pipeline of
+    /// depth `W`, or bursts that outrun retirement).
+    #[must_use]
+    pub fn recycling<R>(config: SystemConfig, factory: F, reset: R, profile: NetProfile) -> Self
+    where
+        R: Fn(usize, &mut P, Value) + Send + Sync + 'static,
+    {
+        let build = factory.clone();
+        SessionLogRunner {
+            config,
+            session: Session::with_recycler(
+                config,
+                profile.grace,
+                move |i, v| build.build(i, v),
+                reset,
+            ),
+            factory,
+            profile,
+            started: 0,
+            recycled: true,
         }
     }
 }
@@ -91,8 +129,6 @@ where
     F: ProcessFactory<Process = P>,
 {
     fn start(&mut self, instance: u64, proposals: &[Value], spec: &ShotSpec) {
-        let processes: Vec<P> =
-            proposals.iter().enumerate().map(|(i, &v)| self.factory.build(i, v)).collect();
         let delays = match spec.asynchrony {
             Some(chaos) => DelayModel::AsyncUntil {
                 until_round: chaos.sync_from,
@@ -104,7 +140,13 @@ where
         };
         let session_spec =
             InstanceSpec { crashes: spec.crashes.clone(), delays, max_rounds: spec.max_rounds };
-        let id = self.session.start_instance(processes, &session_spec);
+        let id = if self.recycled {
+            self.session.start_instance_recycled(proposals, &session_spec)
+        } else {
+            let processes: Vec<P> =
+                proposals.iter().enumerate().map(|(i, &v)| self.factory.build(i, v)).collect();
+            self.session.start_instance(processes, &session_spec)
+        };
         assert_eq!(id, instance, "session instance ids track the driver's");
         self.started = self.started.max(instance);
     }

@@ -82,7 +82,8 @@ mod value;
 
 pub use automaton::{ProcessFactory, RoundProcess, Step};
 pub use command::{
-    AppliedEntry, Batch, BatchId, ClientId, Command, CommandId, LogIndex, RequestId,
+    AppliedEntry, Batch, BatchId, ClientId, Command, CommandId, LeaseEpoch, LogIndex, ReadIndex,
+    RequestId,
 };
 pub use config::{ConfigError, Resilience, SystemConfig};
 pub use message::{DeliveredMsg, Delivery};

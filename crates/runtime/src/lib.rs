@@ -374,10 +374,20 @@ impl Drop for PanicSentinel {
     }
 }
 
+/// How a worker obtains the automaton of a new instance.
+enum JobPayload<P> {
+    /// A pre-built automaton shipped by the session owner.
+    Built(P),
+    /// A bare proposal: the worker recycles a retired automaton through
+    /// the session's reset hook (building fresh only when the pool is
+    /// empty). Requires [`Session::with_recycler`].
+    Proposal(Value),
+}
+
 /// The per-instance job handed to a worker thread.
 struct Job<P> {
     instance: u64,
-    process: P,
+    payload: JobPayload<P>,
     crash_round: Option<Round>,
     delays: DelayModel,
     max_rounds: u32,
@@ -386,6 +396,25 @@ struct Job<P> {
 impl<P> std::fmt::Debug for Job<P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Job").field("instance", &self.instance).finish_non_exhaustive()
+    }
+}
+
+/// The reset hook of a [`Recycler`]: `(process index, retired automaton,
+/// next proposal)`.
+type ResetFn<P> = Box<dyn Fn(usize, &mut P, Value) + Send + Sync>;
+
+/// The build + reset hooks of a recycling session, shared with every
+/// worker so retired automatons can be reset in place for the next
+/// instance instead of being dropped and rebuilt (the same
+/// `reset_instance` contract the simulator's multi-shot executor uses).
+struct Recycler<P> {
+    build: Box<dyn Fn(usize, Value) -> P + Send + Sync>,
+    reset: ResetFn<P>,
+}
+
+impl<P> std::fmt::Debug for Recycler<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recycler").finish_non_exhaustive()
     }
 }
 
@@ -434,6 +463,8 @@ pub struct Session<P: RoundProcess> {
     next_instance: u64,
     /// Results received but not yet consumed, grouped by instance.
     collected: HashMap<u64, Vec<ReplicaResult>>,
+    /// Whether the workers hold recycler hooks (proposal-only jobs).
+    recycling: bool,
 }
 
 impl<P> Session<P>
@@ -452,6 +483,32 @@ where
     /// grace window (see [`NetworkConfig::grace`]).
     #[must_use]
     pub fn with_grace(config: SystemConfig, grace: Duration) -> Self {
+        Self::spawn(config, grace, None)
+    }
+
+    /// Spawns a *recycling* session: workers keep retired automatons in
+    /// a per-thread pool and reset them in place for the next instance
+    /// (`reset` receives the replica index, the pooled automaton, and
+    /// the new proposal) instead of dropping per-instance allocations on
+    /// the floor; `build` covers the cold start. Instances are started
+    /// with [`start_instance_recycled`](Session::start_instance_recycled)
+    /// — the built-process [`start_instance`](Session::start_instance)
+    /// path also keeps working, feeding its retired automatons into the
+    /// same pool.
+    #[must_use]
+    pub fn with_recycler<B, R>(config: SystemConfig, grace: Duration, build: B, reset: R) -> Self
+    where
+        B: Fn(usize, Value) -> P + Send + Sync + 'static,
+        R: Fn(usize, &mut P, Value) + Send + Sync + 'static,
+    {
+        Self::spawn(
+            config,
+            grace,
+            Some(Arc::new(Recycler { build: Box::new(build), reset: Box::new(reset) })),
+        )
+    }
+
+    fn spawn(config: SystemConfig, grace: Duration, recycler: Option<Arc<Recycler<P>>>) -> Self {
         let n = config.n();
         let quorum = config.quorum();
         let mut peer_txs = Vec::with_capacity(n);
@@ -482,6 +539,7 @@ where
                 grace,
                 quorum,
                 n,
+                recycler: recycler.clone(),
             };
             handles.push(std::thread::spawn(move || worker(ctx)));
         }
@@ -494,6 +552,7 @@ where
             handles,
             next_instance: 1,
             collected: HashMap::new(),
+            recycling: recycler.is_some(),
         }
     }
 
@@ -513,13 +572,35 @@ where
     /// Panics if `processes.len() != n` or a worker thread has exited.
     pub fn start_instance(&mut self, processes: Vec<P>, spec: &InstanceSpec) -> u64 {
         assert_eq!(processes.len(), self.config.n(), "one automaton per replica required");
+        let payloads = processes.into_iter().map(JobPayload::Built).collect();
+        self.dispatch(payloads, spec)
+    }
+
+    /// Starts the next consensus instance from bare proposals: each worker
+    /// recycles a pooled automaton through the session's reset hook (or
+    /// builds one on a cold pool). Requires a session constructed with
+    /// [`with_recycler`](Session::with_recycler). Same contract as
+    /// [`start_instance`](Session::start_instance) otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session has no recycler, `proposals.len() != n`, or a
+    /// worker thread has exited.
+    pub fn start_instance_recycled(&mut self, proposals: &[Value], spec: &InstanceSpec) -> u64 {
+        assert!(self.recycling, "start_instance_recycled requires Session::with_recycler");
+        assert_eq!(proposals.len(), self.config.n(), "one proposal per replica required");
+        let payloads = proposals.iter().map(|&v| JobPayload::Proposal(v)).collect();
+        self.dispatch(payloads, spec)
+    }
+
+    fn dispatch(&mut self, payloads: Vec<JobPayload<P>>, spec: &InstanceSpec) -> u64 {
         assert_eq!(spec.crashes.len(), self.config.n(), "one crash slot per replica required");
         let instance = self.next_instance;
         self.next_instance += 1;
-        for (i, process) in processes.into_iter().enumerate() {
+        for (i, payload) in payloads.into_iter().enumerate() {
             let job = Job {
                 instance,
-                process,
+                payload,
                 crash_round: spec.crashes[i],
                 delays: spec.delays,
                 max_rounds: spec.max_rounds,
@@ -656,6 +737,7 @@ struct WorkerCtx<P: RoundProcess> {
     grace: Duration,
     quorum: usize,
     n: usize,
+    recycler: Option<Arc<Recycler<P>>>,
 }
 
 impl<P: RoundProcess> std::fmt::Debug for WorkerCtx<P> {
@@ -689,10 +771,28 @@ struct ActiveInstance<P: RoundProcess> {
 
 type Mailbox<M> = BTreeMap<u32, Vec<DeliveredMsg<M>>>;
 
-fn activate<P: RoundProcess>(job: Job<P>) -> ActiveInstance<P> {
+fn activate<P: RoundProcess>(
+    job: Job<P>,
+    replica: usize,
+    recycler: Option<&Recycler<P>>,
+    pool: &mut Vec<P>,
+) -> ActiveInstance<P> {
+    let process = match job.payload {
+        JobPayload::Built(p) => p,
+        JobPayload::Proposal(v) => {
+            let hooks = recycler.expect("proposal job on a session without a recycler");
+            match pool.pop() {
+                Some(mut p) => {
+                    (hooks.reset)(replica, &mut p, v);
+                    p
+                }
+                None => (hooks.build)(replica, v),
+            }
+        }
+    };
     ActiveInstance {
         instance: job.instance,
-        process: job.process,
+        process,
         crash_round: job.crash_round,
         delays: job.delays,
         max_rounds: job.max_rounds,
@@ -719,7 +819,10 @@ fn worker<P: RoundProcess>(ctx: WorkerCtx<P>) {
     let mut mailboxes: HashMap<u64, Mailbox<P::Msg>> = HashMap::new();
     // Instances this worker has fully retired; stragglers are dropped.
     let mut retired = RetiredSet::default();
+    // Retired automatons awaiting reuse (recycling sessions only).
+    let mut pool: Vec<P> = Vec::new();
     let mut jobs_closed = false;
+    let replica = ctx.id.index();
 
     loop {
         if ctx.shutdown.load(Ordering::SeqCst) {
@@ -729,7 +832,7 @@ fn worker<P: RoundProcess>(ctx: WorkerCtx<P>) {
         // Accept new instances.
         loop {
             match ctx.job_rx.try_recv() {
-                Ok(job) => active.push(activate(job)),
+                Ok(job) => active.push(activate(job, replica, ctx.recycler.as_deref(), &mut pool)),
                 Err(TryRecvError::Empty) => break,
                 Err(TryRecvError::Disconnected) => {
                     jobs_closed = true;
@@ -769,16 +872,24 @@ fn worker<P: RoundProcess>(ctx: WorkerCtx<P>) {
         // Retire instances that are globally done (or locally halted and
         // globally done): free their mailboxes and drop future
         // stragglers. The registry lock is only taken for instances this
-        // worker has already finished locally.
-        active.retain(|inst| {
+        // worker has already finished locally. Retired automatons go back
+        // to the pool when the session recycles.
+        let mut i = 0;
+        while i < active.len() {
+            let inst = &active[i];
             let gone =
                 (inst.halted || inst.decision.is_some()) && ctx.registry.is_done_ack(inst.instance);
             if gone {
                 mailboxes.remove(&inst.instance);
                 retired.insert(inst.instance);
+                let inst = active.remove(i);
+                if ctx.recycler.is_some() {
+                    pool.push(inst.process);
+                }
+            } else {
+                i += 1;
             }
-            !gone
-        });
+        }
 
         if jobs_closed && active.is_empty() {
             return;
@@ -791,7 +902,7 @@ fn worker<P: RoundProcess>(ctx: WorkerCtx<P>) {
             // the wire; a new job wakes the worker immediately, the
             // timeout only bounds how long a shutdown goes unnoticed.
             match ctx.job_rx.recv_timeout(Duration::from_millis(25)) {
-                Ok(job) => active.push(activate(job)),
+                Ok(job) => active.push(activate(job, replica, ctx.recycler.as_deref(), &mut pool)),
                 Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => jobs_closed = true,
             }
@@ -1048,6 +1159,42 @@ mod tests {
         let report = run_network(config, &factory, &vals(&[6, 2, 8, 4, 7]), &net);
         report.outcome.check_consensus().unwrap();
         assert_eq!(report.outcome.global_decision_round(), Some(Round::new(2)));
+    }
+
+    #[test]
+    fn recycled_session_decides_across_instances() {
+        let config = cfg();
+        let build = move |i: usize, v: Value| {
+            let id = ProcessId::new(i);
+            AtPlus2::new(config, id, v, RotatingCoordinator::new(config, id))
+                .with_failure_free_optimization()
+        };
+        let reset = |_i: usize, p: &mut AtPlus2<RotatingCoordinator>, v: Value| {
+            p.reset_instance(v);
+        };
+        let mut session = Session::with_recycler(config, Duration::from_millis(4), build, reset);
+        let spec = InstanceSpec::synchronous(config);
+        // Several sequential instances: after the first, every automaton
+        // comes out of the worker pools via the reset hook. Decisions must
+        // match what fresh automatons would produce (min proposal).
+        for (proposals, expect) in
+            [([6u64, 2, 8, 4, 7], 2u64), ([9, 9, 1, 9, 9], 1), ([5, 5, 5, 5, 5], 5)]
+        {
+            let instance = session.start_instance_recycled(&vals(&proposals), &spec);
+            let report = session.wait_instance(instance);
+            for d in &report.decisions {
+                assert_eq!(d.expect("replica must decide").value, Value::new(expect));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "start_instance_recycled requires Session::with_recycler")]
+    fn recycled_start_requires_recycler() {
+        let config = cfg();
+        let mut session: Session<AtPlus2<RotatingCoordinator>> = Session::new(config);
+        let spec = InstanceSpec::synchronous(config);
+        session.start_instance_recycled(&vals(&[1, 1, 1, 1, 1]), &spec);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! survive the kill and the next start recovers from them).
 //!
 //! ```text
-//! indulgent_server [ADDR] [BATCH] [DEPTH] [--dir DIR] [--snapshot-every N]
+//! indulgent_server [ADDR] [BATCH] [DEPTH] [--dir DIR] [--snapshot-every N] [--reads MODE]
 //! ```
 //!
 //! * `ADDR`  — listen address (default `127.0.0.1:7171`; port 0 picks an
@@ -16,15 +16,20 @@
 //!   runs the server in-memory, as before
 //! * `--snapshot-every N` — checkpoint cadence in slots (default 256;
 //!   only meaningful with `--dir`)
+//! * `--reads MODE` — read path: `lease` (default; leader-lease fast
+//!   reads with quorum/sequenced fallback), `quorum` (attest every read
+//!   batch, no lease), or `log` (sequence every read — the pre-lease
+//!   behavior, kept as an escape hatch)
 
 use std::time::Duration;
 
-use indulgent_server::{DurabilityConfig, EngineConfig, KvServer};
+use indulgent_server::{DurabilityConfig, EngineConfig, KvServer, ReadPath};
 
 fn main() {
     let mut positional: Vec<String> = Vec::new();
     let mut dir: Option<String> = None;
     let mut snapshot_every: u64 = 256;
+    let mut reads = ReadPath::Lease;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -36,6 +41,14 @@ fn main() {
                     .parse()
                     .expect("--snapshot-every must be an integer");
             }
+            "--reads" => {
+                reads = match argv.next().expect("--reads needs a mode").as_str() {
+                    "lease" => ReadPath::Lease,
+                    "quorum" => ReadPath::Quorum,
+                    "log" | "sequenced" => ReadPath::Sequenced,
+                    other => panic!("--reads must be lease|quorum|log, got {other:?}"),
+                };
+            }
             _ => positional.push(arg),
         }
     }
@@ -44,14 +57,17 @@ fn main() {
         positional.get(1).map_or(8, |s| s.parse().expect("BATCH must be an integer"));
     let depth: u64 = positional.get(2).map_or(4, |s| s.parse().expect("DEPTH must be an integer"));
 
-    let mut config = EngineConfig::default_5().with_batch_size(batch).with_pipeline_depth(depth);
+    let mut config = EngineConfig::default_5()
+        .with_batch_size(batch)
+        .with_pipeline_depth(depth)
+        .with_reads(reads);
     if let Some(dir) = &dir {
         config =
             config.with_durability(DurabilityConfig::new(dir).with_snapshot_every(snapshot_every));
     }
     let server = KvServer::bind(&addr, config).expect("bind listener");
     println!(
-        "indulgent_server listening on {} (n=5 t=2, batch {batch}, pipeline depth {depth}{})",
+        "indulgent_server listening on {} (n=5 t=2, batch {batch}, pipeline depth {depth}, reads {reads:?}{})",
         server.addr(),
         dir.as_deref().map_or_else(String::new, |d| format!(", durable in {d}")),
     );

@@ -38,12 +38,34 @@
 //! slots past the recovered prefix (`slot = recovered_base + instance`,
 //! since the fresh [`Session`]'s instance ids restart at 1).
 //!
-//! Because *reads are sequenced too*, every acknowledged response is
-//! computed from the log's total order — linearizability is structural,
-//! and [`ServiceAudit::check`] re-verifies it after the fact by
-//! replaying the log with independent code and comparing every response
-//! byte for byte, across the *combined* pre/post-restart history (the
-//! recovered prefix seeds the replay base).
+//! # Reads: the lease fast path
+//!
+//! Writes are always sequenced; reads follow the configured
+//! [`ReadPath`]. Under `--reads log` ([`ReadPath::Sequenced`]) a `Get`
+//! occupies a slot exactly like a write — the pre-lease behavior. Under
+//! [`ReadPath::Lease`] the engine holds a leader lease ([`crate::lease`])
+//! and answers `Get`s from its applied store at a *read index* equal to
+//! the applied frontier, without a slot, a WAL record, or an fsync;
+//! when the lease is suspect it falls down the ladder (quorum-attest
+//! read, then sequenced read). Every fast read is recorded as a
+//! [`FastReadRecord`] and checked by the audit against the decided-log
+//! replay at its read index: a fast read must equal what a sequenced
+//! read at that slot would have answered. At every checkpoint the
+//! retained records are verified against the history being folded and
+//! then dropped (any mismatch is latched and fails every later audit),
+//! so the audit spans the whole run even though records do not
+//! accumulate without bound.
+//!
+//! Every acknowledged response is thus computed from (or checked
+//! against) the log's total order — linearizability is structural, and
+//! [`ServiceAudit::check`] re-verifies it after the fact by replaying
+//! the log with independent code and comparing every response byte for
+//! byte, across the *combined* pre/post-restart history (the recovered
+//! prefix seeds the replay base). Lease epochs are burned to disk
+//! before an incarnation serves anything, so the crash-recovery path
+//! also covers the lease: a rebooted leader re-acquires under a strictly
+//! newer epoch and can never fast-read on the promises made to its
+//! previous self.
 
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::fmt;
@@ -54,11 +76,14 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
-use indulgent_log::{at_plus2_factory, AtSlot, ClientFrontend, IntakePolicy};
+use indulgent_log::{at_plus2_factory, at_plus2_reset, AtSlot, ClientFrontend, IntakePolicy};
 use indulgent_model::{BatchId, ClientId, CommandId, Decision, RequestId, SystemConfig};
 use indulgent_runtime::{DelayModel, InstanceSpec, Session};
 
-use crate::proto::{AuditSummary, KvOp, Outcome, Request, Response, SyncFrame};
+use crate::lease::{self, LeaderLease, LeaseConfig, ReadPath, ReplicaLeaseAgent};
+use crate::proto::{
+    AuditSummary, KvOp, LeaseFrame, LeaseStatus, Outcome, Request, Response, SyncFrame,
+};
 use crate::snapshot::{SessionEntry, Snapshot};
 use crate::wal::{Wal, WalTail};
 
@@ -115,6 +140,12 @@ pub struct EngineConfig {
     /// WAL + snapshot persistence; `None` runs crash-stop (in-memory
     /// only, the pre-durability behavior).
     pub durability: Option<DurabilityConfig>,
+    /// How `Get`s are answered (see [`crate::lease`]); `Sequenced` is
+    /// the pre-lease behavior and the `--reads log` escape hatch.
+    pub reads: ReadPath,
+    /// Lease timing (TTL, renew cadence, safety margin); only consulted
+    /// when `reads` is not `Sequenced`.
+    pub lease: LeaseConfig,
 }
 
 impl EngineConfig {
@@ -137,6 +168,8 @@ impl EngineConfig {
             linger: Duration::from_micros(500),
             stall_timeout: Duration::from_secs(30),
             durability: None,
+            reads: ReadPath::Sequenced,
+            lease: LeaseConfig::default(),
         }
     }
 
@@ -168,6 +201,20 @@ impl EngineConfig {
     #[must_use]
     pub fn with_durability(mut self, durability: DurabilityConfig) -> Self {
         self.durability = Some(durability);
+        self
+    }
+
+    /// Sets the read path (the `--reads` flag).
+    #[must_use]
+    pub fn with_reads(mut self, reads: ReadPath) -> Self {
+        self.reads = reads;
+        self
+    }
+
+    /// Sets the lease timing knobs.
+    #[must_use]
+    pub fn with_lease(mut self, lease: LeaseConfig) -> Self {
+        self.lease = lease;
         self
     }
 }
@@ -213,6 +260,10 @@ enum EngineMsg {
     },
     /// Run the replay audit and reply its summary to `conn`.
     Audit {
+        conn: ConnId,
+    },
+    /// Reply the current lease / read-path state to `conn`.
+    LeaseState {
         conn: ConnId,
     },
     Shutdown,
@@ -275,6 +326,13 @@ impl SubmitHandle {
     pub fn request_audit(&self) -> bool {
         self.intake.send(EngineMsg::Audit { conn: self.conn }).is_ok()
     }
+
+    /// Asks the engine to reply a [`LeaseStatus`] control frame —
+    /// the lease-state observability hook; `false` if the engine has
+    /// shut down.
+    pub fn request_lease_state(&self) -> bool {
+        self.intake.send(EngineMsg::LeaseState { conn: self.conn }).is_ok()
+    }
 }
 
 impl Drop for SubmitHandle {
@@ -306,6 +364,30 @@ pub struct SlotRecord {
     pub batch: BatchId,
     /// The batch's commands in order, with their recorded acks.
     pub commands: Vec<AckRecord>,
+}
+
+/// One read served off the log (lease or quorum fast path), as the
+/// engine recorded it for the audit: the audit replays the decided log
+/// to the record's read index and requires the value to match — a fast
+/// read must equal what a sequenced read at that slot would have
+/// answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FastReadRecord {
+    /// The submitting session.
+    pub client: ClientId,
+    /// The session's request number.
+    pub request: RequestId,
+    /// The key read.
+    pub key: u16,
+    /// The read index: the applied frontier at serve time.
+    pub index: u64,
+    /// The lease epoch the read was served under.
+    pub epoch: u64,
+    /// `true` if the read needed a quorum attest round (ladder step 2);
+    /// `false` for a pure lease read.
+    pub attested: bool,
+    /// The value answered.
+    pub value: Option<u32>,
 }
 
 /// Everything a finished service run exposes for verification.
@@ -352,6 +434,17 @@ pub struct ServiceAudit {
     /// Slots whose batch was already applied (must be zero; the shared
     /// single-sequencer proposal rule cannot produce one).
     pub duplicate_applies: u64,
+    /// Fast reads retained since the last checkpoint, in serve order
+    /// (read indices non-decreasing, all within the retained history).
+    pub fast_reads: Vec<FastReadRecord>,
+    /// Fast reads already verified and folded away at checkpoints.
+    pub folded_fast_reads: u64,
+    /// Folded fast reads whose checkpoint-time verification failed
+    /// (latched: must be zero for the audit to pass).
+    pub fast_read_mismatches: u64,
+    /// The lease epoch this incarnation served under (0 = leases off;
+    /// every fast read must carry exactly this epoch).
+    pub lease_epoch: u64,
 }
 
 /// A violated service invariant found by [`ServiceAudit::check`].
@@ -398,6 +491,37 @@ pub enum AuditViolation {
         /// The slot found instead.
         found: u64,
     },
+    /// A fast read's value differs from the decided-prefix replay at
+    /// its read index — the stale-read detector fired.
+    StaleFastRead {
+        /// The request whose read is stale.
+        request: RequestId,
+        /// The read index it was served at.
+        index: u64,
+    },
+    /// Fast reads were served with decreasing read indices.
+    ReadIndexRegression {
+        /// The regressing index.
+        index: u64,
+        /// The index it regressed below.
+        after: u64,
+    },
+    /// A fast read's index is past the retained history.
+    ReadIndexOutOfRange {
+        /// The offending read index.
+        index: u64,
+    },
+    /// A fast read was served under the wrong lease epoch (stale
+    /// incarnation, or leases off entirely).
+    EpochMismatch {
+        /// The epoch the read carried.
+        epoch: u64,
+    },
+    /// Checkpoint-time verification of folded fast reads failed.
+    FoldedReadMismatches {
+        /// How many folded reads failed replay.
+        count: u64,
+    },
 }
 
 impl fmt::Display for AuditViolation {
@@ -424,6 +548,21 @@ impl fmt::Display for AuditViolation {
             AuditViolation::SlotGap { expected, found } => {
                 write!(f, "retained history skips from slot {found} where {expected} was expected")
             }
+            AuditViolation::StaleFastRead { request, index } => {
+                write!(f, "fast read {request} at read-index {index} differs from the log replay")
+            }
+            AuditViolation::ReadIndexRegression { index, after } => {
+                write!(f, "fast read served at read-index {index} after index {after}")
+            }
+            AuditViolation::ReadIndexOutOfRange { index } => {
+                write!(f, "fast read at read-index {index} is past the retained history")
+            }
+            AuditViolation::EpochMismatch { epoch } => {
+                write!(f, "fast read served under unexpected lease epoch {epoch}")
+            }
+            AuditViolation::FoldedReadMismatches { count } => {
+                write!(f, "{count} checkpoint-folded fast reads failed replay verification")
+            }
         }
     }
 }
@@ -443,6 +582,24 @@ impl ServiceAudit {
     pub fn check(&self) -> Result<(), AuditViolation> {
         if self.duplicate_applies > 0 {
             return Err(AuditViolation::DuplicateApplies { count: self.duplicate_applies });
+        }
+        if self.fast_read_mismatches > 0 {
+            return Err(AuditViolation::FoldedReadMismatches { count: self.fast_read_mismatches });
+        }
+        // Fast-read metadata: correct epoch, non-decreasing read indices
+        // from the base (serve order is linearization order).
+        let mut prev_index = self.base_slot;
+        for r in &self.fast_reads {
+            if self.lease_epoch == 0 || r.epoch != self.lease_epoch {
+                return Err(AuditViolation::EpochMismatch { epoch: r.epoch });
+            }
+            if r.index < prev_index {
+                return Err(AuditViolation::ReadIndexRegression {
+                    index: r.index,
+                    after: prev_index,
+                });
+            }
+            prev_index = r.index;
         }
         // Total order: every replica decided every live slot with the
         // proposed (hence canonical) value.
@@ -472,6 +629,21 @@ impl ServiceAudit {
         for s in &self.base_sessions {
             if !seen.insert((s.client, s.request)) {
                 return Err(AuditViolation::DoubleApply { client: s.client, request: s.request });
+            }
+        }
+        // Fast reads participate in the exactly-once key space: a pair
+        // answered off the log can never also occupy a slot.
+        for r in &self.fast_reads {
+            if !seen.insert((r.client, r.request)) {
+                return Err(AuditViolation::DoubleApply { client: r.client, request: r.request });
+            }
+        }
+        // Replay interleaved with the stale-read detector: a fast read
+        // at index `i` must equal the store after every slot `<= i`.
+        let mut reads = self.fast_reads.iter().peekable();
+        while let Some(r) = reads.next_if(|r| r.index == self.base_slot) {
+            if store.get(&r.key).copied() != r.value {
+                return Err(AuditViolation::StaleFastRead { request: r.request, index: r.index });
             }
         }
         let mut commands = self.base_commands;
@@ -504,6 +676,17 @@ impl ServiceAudit {
                 }
                 commands += 1;
             }
+            while let Some(r) = reads.next_if(|r| r.index == rec.slot) {
+                if store.get(&r.key).copied() != r.value {
+                    return Err(AuditViolation::StaleFastRead {
+                        request: r.request,
+                        index: r.index,
+                    });
+                }
+            }
+        }
+        if let Some(r) = reads.next() {
+            return Err(AuditViolation::ReadIndexOutOfRange { index: r.index });
         }
         if store != self.final_store || commands != self.committed_commands {
             return Err(AuditViolation::StoreDivergence);
@@ -516,8 +699,12 @@ impl ServiceAudit {
 enum DedupState {
     /// Batched but not yet decided; retries re-target the ack here.
     InFlight(CommandId),
-    /// Applied; the cached ack answers every retry.
+    /// Applied; the cached ack answers every retry. Fast-read acks are
+    /// cached too (retry idempotence within the incarnation) but are
+    /// not WAL-durable — see the module docs.
     Applied(Response),
+    /// A read waiting in the fast-read queue; retries re-target it.
+    PendingRead,
 }
 
 /// Metadata of one in-flight command, keyed by [`CommandId`].
@@ -526,6 +713,14 @@ struct CmdMeta {
     client: ClientId,
     request: RequestId,
     op: KvOp,
+}
+
+/// A read queued for the fast path (lease or quorum), not yet served.
+struct PendingRead {
+    conn: ConnId,
+    client: ClientId,
+    request: RequestId,
+    key: u16,
 }
 
 /// The running service engine: a driver thread owning the replica
@@ -593,19 +788,62 @@ fn dedup_sessions(dedup: &HashMap<(ClientId, RequestId), DedupState>) -> Vec<Ses
             DedupState::Applied(response) => {
                 Some(SessionEntry { client, request, response: *response })
             }
-            DedupState::InFlight(_) => None,
+            DedupState::InFlight(_) | DedupState::PendingRead => None,
         })
         .collect();
     sessions.sort_by_key(|s| (s.client.0, s.request.0));
     sessions
 }
 
+/// Checkpoint-time verification of fast reads against the history about
+/// to be folded: replays `base_store` + `slots` and requires every
+/// record's value to match the store at its read index. Returns the
+/// mismatch count (records whose index falls outside the replayed range
+/// count as mismatches — they cannot be verified later, the history is
+/// being dropped).
+fn verify_fast_reads(
+    base_slot: u64,
+    base_store: &BTreeMap<u16, u32>,
+    slots: &[SlotRecord],
+    records: &[FastReadRecord],
+) -> u64 {
+    let mut store = base_store.clone();
+    let mut mismatches = 0u64;
+    let mut cursor = 0usize;
+    while cursor < records.len() && records[cursor].index == base_slot {
+        if store.get(&records[cursor].key).copied() != records[cursor].value {
+            mismatches += 1;
+        }
+        cursor += 1;
+    }
+    for rec in slots {
+        for ack in &rec.commands {
+            if let KvOp::Put { key, value } = ack.op {
+                store.insert(key, value);
+            }
+        }
+        while cursor < records.len() && records[cursor].index == rec.slot {
+            if store.get(&records[cursor].key).copied() != records[cursor].value {
+                mismatches += 1;
+            }
+            cursor += 1;
+        }
+    }
+    mismatches + (records.len() - cursor) as u64
+}
+
 /// The driver thread: the event loop described in the module docs.
 #[allow(clippy::too_many_lines)]
 fn drive(cfg: &EngineConfig, intake: &Receiver<EngineMsg>) -> ServiceAudit {
     let n = cfg.system.n();
-    let factory = at_plus2_factory(cfg.system);
-    let mut session: Session<AtSlot> = Session::with_grace(cfg.system, cfg.grace);
+    // A recycling session: retired slot automatons are reset in place
+    // for later instances instead of being rebuilt per slot.
+    let mut session: Session<AtSlot> = Session::with_recycler(
+        cfg.system,
+        cfg.grace,
+        at_plus2_factory(cfg.system),
+        at_plus2_reset(),
+    );
     let spec =
         InstanceSpec { crashes: vec![None; n], delays: cfg.delays, max_rounds: cfg.max_rounds };
 
@@ -624,6 +862,17 @@ fn drive(cfg: &EngineConfig, intake: &Receiver<EngineMsg>) -> ServiceAudit {
     let mut committed_commands = 0u64;
     let mut dedup_hits = 0u64;
     let mut duplicate_applies = 0u64;
+
+    // The read ladder's state: the reads waiting for the fast path, the
+    // serve counters, and the audit's fast-read records.
+    let read_path = cfg.reads;
+    let mut pending_reads: VecDeque<PendingRead> = VecDeque::new();
+    let mut fast_read_records: Vec<FastReadRecord> = Vec::new();
+    let mut folded_fast_reads = 0u64;
+    let mut fast_read_mismatches = 0u64;
+    let mut reads_lease = 0u64;
+    let mut reads_quorum = 0u64;
+    let mut reads_sequenced = 0u64;
 
     // The audit base: state folded into the last checkpoint.
     let mut base_slot = 0u64;
@@ -683,6 +932,31 @@ fn drive(cfg: &EngineConfig, intake: &Receiver<EngineMsg>) -> ServiceAudit {
         Durable { wal, snap_path, every: d.snapshot_every }
     });
 
+    // Lease bootstrap: burn a strictly newer epoch to disk BEFORE
+    // serving anything, so a previous incarnation's grants can never be
+    // mistaken for ours (crash recovery cannot resurrect a stale
+    // fast-read privilege). Without durability the service is
+    // crash-stop and a fixed epoch 1 suffices.
+    let lease_epoch = if read_path == ReadPath::Sequenced {
+        0
+    } else if let Some(d) = cfg.durability.as_ref() {
+        let epoch =
+            lease::load_epoch(&d.dir).expect("lease epoch loads (corruption fails loudly)") + 1;
+        lease::store_epoch(&d.dir, epoch).expect("lease epoch burns before serving");
+        epoch
+    } else {
+        1
+    };
+    // The replica-side lease agents. The replica group is in-process
+    // (threads on one session), so lease traffic crosses the protocol
+    // boundary as encoded [`LeaseFrame`]s — the same bytes a networked
+    // group would exchange — but is delivered by function call.
+    let mut agents: Vec<ReplicaLeaseAgent> =
+        (0..n).map(|i| ReplicaLeaseAgent::new(u32::try_from(i).expect("replica index"))).collect();
+    let mut lease_state = (lease_epoch > 0).then(|| {
+        LeaderLease::new(lease_epoch, lease::fresh_holder(), n, cfg.system.quorum(), cfg.lease)
+    });
+
     // Slot arithmetic across incarnations: the fresh session numbers
     // instances from 1, so slot = slot_base + instance.
     let slot_base = base_slot + slots.len() as u64;
@@ -702,6 +976,7 @@ fn drive(cfg: &EngineConfig, intake: &Receiver<EngineMsg>) -> ServiceAudit {
     let mut last_progress = Instant::now();
     let mut sync_reqs: Vec<ConnId> = Vec::new();
     let mut audit_reqs: Vec<ConnId> = Vec::new();
+    let mut lease_reqs: Vec<ConnId> = Vec::new();
 
     loop {
         // 1. Drain intake.
@@ -721,12 +996,16 @@ fn drive(cfg: &EngineConfig, intake: &Receiver<EngineMsg>) -> ServiceAudit {
                         &conns,
                         &mut open_since,
                         &mut dedup_hits,
+                        read_path,
+                        &mut pending_reads,
+                        &mut reads_sequenced,
                         conn,
                         request,
                     );
                 }
                 Ok(EngineMsg::Sync { conn }) => sync_reqs.push(conn),
                 Ok(EngineMsg::Audit { conn }) => audit_reqs.push(conn),
+                Ok(EngineMsg::LeaseState { conn }) => lease_reqs.push(conn),
                 Ok(EngineMsg::Shutdown) => shutting_down = true,
                 Ok(EngineMsg::Die) => died = true,
                 Err(TryRecvError::Empty | TryRecvError::Disconnected) => break,
@@ -752,8 +1031,7 @@ fn drive(cfg: &EngineConfig, intake: &Receiver<EngineMsg>) -> ServiceAudit {
         // 3. Propose into the pipeline window.
         while started - (applied_through - slot_base) < cfg.pipeline_depth {
             let Some(batch) = ready.pop_front() else { break };
-            let processes = (0..n).map(|i| factory(i, batch.as_value())).collect();
-            let instance = session.start_instance(processes, &spec);
+            let instance = session.start_instance_recycled(&vec![batch.as_value(); n], &spec);
             started += 1;
             assert_eq!(instance, started, "session instance ids track this incarnation");
             proposals.push(batch);
@@ -826,12 +1104,108 @@ fn drive(cfg: &EngineConfig, intake: &Receiver<EngineMsg>) -> ServiceAudit {
                     };
                     snap.write_to(&du.snap_path).expect("checkpoint snapshot write");
                     du.wal.reset().expect("wal prefix truncation");
+                    // Fold the fast reads alongside: verify them against
+                    // the history being dropped, latch any mismatch, and
+                    // clear — retained records always postdate the last
+                    // checkpoint, so the final audit replays them against
+                    // the retained slots alone.
+                    folded_fast_reads += fast_read_records.len() as u64;
+                    fast_read_mismatches +=
+                        verify_fast_reads(base_slot, &base_store, &slots, &fast_read_records);
+                    fast_read_records.clear();
                     base_slot = applied_through;
                     base_next_batch = snap.next_batch;
                     base_commands = committed_commands;
                     base_store.clone_from(&snap.store);
                     base_sessions = snap.sessions;
                     slots.clear();
+                }
+            }
+        }
+
+        // 5a. The read ladder: lease upkeep, then serve every pending
+        // read at the applied frontier — lease read when healthy, quorum
+        // read after an attest round, sequenced read at the bottom.
+        if let Some(ls) = lease_state.as_mut() {
+            let now = Instant::now();
+            if ls.renew_due(now) {
+                for (agent, frame) in agents.iter_mut().zip(ls.acquire_frames(now)) {
+                    let msg = LeaseFrame::decode(&frame).expect("own acquire frame decodes");
+                    let reply = agent.handle(&msg, now).expect("replica handles acquire");
+                    ls.absorb(&LeaseFrame::decode(&reply).expect("replica reply decodes"));
+                }
+            }
+        }
+        if !pending_reads.is_empty() {
+            let now = Instant::now();
+            let lease_ok = read_path == ReadPath::Lease
+                && lease_state.as_ref().is_some_and(|l| l.read_allowed(now));
+            let attested = !lease_ok
+                && lease_state.as_mut().is_some_and(|ls| {
+                    // Ladder step 2: one attest round re-certifies
+                    // freshness for this whole drain batch.
+                    let mut vouches = 0usize;
+                    for (agent, frame) in agents.iter_mut().zip(ls.attest_frames()) {
+                        let msg = LeaseFrame::decode(&frame).expect("own attest frame decodes");
+                        let reply = agent.handle(&msg, now).expect("replica handles attest");
+                        if matches!(
+                            LeaseFrame::decode(&reply).expect("replica vouch decodes"),
+                            LeaseFrame::Vouch { valid: true, .. }
+                        ) {
+                            vouches += 1;
+                        }
+                    }
+                    vouches >= cfg.system.quorum()
+                });
+            if lease_ok || attested {
+                while let Some(p) = pending_reads.pop_front() {
+                    let value = store.get(&p.key).copied();
+                    let response = Response {
+                        request: p.request,
+                        outcome: Outcome::Read { index: applied_through, value },
+                    };
+                    dedup.insert((p.client, p.request), DedupState::Applied(response));
+                    if let Some(tx) = conns.get(&p.conn) {
+                        let _ = tx.send(Outbound::Ack(response));
+                    }
+                    fast_read_records.push(FastReadRecord {
+                        client: p.client,
+                        request: p.request,
+                        key: p.key,
+                        index: applied_through,
+                        epoch: lease_epoch,
+                        attested: !lease_ok,
+                        value,
+                    });
+                    if lease_ok {
+                        reads_lease += 1;
+                    } else {
+                        reads_quorum += 1;
+                    }
+                }
+            } else {
+                // Ladder bottom: no lease, no quorum — sequence the
+                // reads through the log like the pre-lease service.
+                while let Some(p) = pending_reads.pop_front() {
+                    dedup.remove(&(p.client, p.request));
+                    let request = Request {
+                        client: p.client,
+                        request: p.request,
+                        op: KvOp::Get { key: p.key },
+                    };
+                    let _ = handle_resubmit(
+                        &mut frontend,
+                        &mut meta,
+                        &mut dedup,
+                        &conns,
+                        &mut open_since,
+                        &mut dedup_hits,
+                        ReadPath::Sequenced,
+                        &mut pending_reads,
+                        &mut reads_sequenced,
+                        p.conn,
+                        request,
+                    );
                 }
             }
         }
@@ -866,12 +1240,29 @@ fn drive(cfg: &EngineConfig, intake: &Receiver<EngineMsg>) -> ServiceAudit {
             }
             let _ = tx.send(Outbound::Control(SyncFrame::Done { applied_through }.encode()));
         }
+        for conn in lease_reqs.drain(..) {
+            let Some(tx) = conns.get(&conn) else { continue };
+            let now = Instant::now();
+            let status = LeaseStatus {
+                mode: read_path.as_wire(),
+                epoch: lease_epoch,
+                healthy: lease_state.as_ref().is_some_and(|l| l.read_allowed(now)),
+                grants: u32::try_from(lease_state.as_ref().map_or(0, |l| l.healthy_grants(now)))
+                    .unwrap_or(u32::MAX),
+                read_index: applied_through,
+                reads_lease,
+                reads_quorum,
+                reads_sequenced,
+            };
+            let _ = tx.send(Outbound::Control(status.encode()));
+        }
         for conn in audit_reqs.drain(..) {
             let Some(tx) = conns.get(&conn) else { continue };
             let quiesced = started == applied_through - slot_base
                 && results_seen == started * n as u64
                 && frontend.open_len() == 0
-                && ready.is_empty();
+                && ready.is_empty()
+                && pending_reads.is_empty();
             let ok = quiesced && {
                 let audit = ServiceAudit {
                     system: cfg.system,
@@ -887,6 +1278,10 @@ fn drive(cfg: &EngineConfig, intake: &Receiver<EngineMsg>) -> ServiceAudit {
                     committed_commands,
                     dedup_hits,
                     duplicate_applies,
+                    fast_reads: fast_read_records.clone(),
+                    folded_fast_reads,
+                    fast_read_mismatches,
+                    lease_epoch,
                 };
                 audit.check().is_ok()
             };
@@ -896,6 +1291,8 @@ fn drive(cfg: &EngineConfig, intake: &Receiver<EngineMsg>) -> ServiceAudit {
                 slots: applied_through,
                 committed: committed_commands,
                 dedup_hits,
+                fast_reads: reads_lease + reads_quorum,
+                lease_epoch,
             };
             let _ = tx.send(Outbound::Control(summary.encode()));
         }
@@ -904,6 +1301,7 @@ fn drive(cfg: &EngineConfig, intake: &Receiver<EngineMsg>) -> ServiceAudit {
         let drained = shutting_down
             && frontend.open_len() == 0
             && ready.is_empty()
+            && pending_reads.is_empty()
             && applied_through - slot_base == started
             && results_seen == started * n as u64;
         if drained {
@@ -952,6 +1350,9 @@ fn drive(cfg: &EngineConfig, intake: &Receiver<EngineMsg>) -> ServiceAudit {
                         &conns,
                         &mut open_since,
                         &mut dedup_hits,
+                        read_path,
+                        &mut pending_reads,
+                        &mut reads_sequenced,
                         conn,
                         request,
                     );
@@ -962,6 +1363,7 @@ fn drive(cfg: &EngineConfig, intake: &Receiver<EngineMsg>) -> ServiceAudit {
                 Ok(EngineMsg::Audit { conn }) => {
                     audit_reqs.push(conn);
                 }
+                Ok(EngineMsg::LeaseState { conn }) => lease_reqs.push(conn),
                 Ok(EngineMsg::Shutdown) => shutting_down = true,
                 Ok(EngineMsg::Die) => died = true,
                 Err(_) => {}
@@ -1003,6 +1405,10 @@ fn drive(cfg: &EngineConfig, intake: &Receiver<EngineMsg>) -> ServiceAudit {
         committed_commands,
         dedup_hits,
         duplicate_applies,
+        fast_reads: fast_read_records,
+        folded_fast_reads,
+        fast_read_mismatches,
+        lease_epoch,
     }
 }
 
@@ -1016,6 +1422,9 @@ fn handle_resubmit(
     conns: &HashMap<ConnId, Sender<Outbound>>,
     open_since: &mut Option<Instant>,
     dedup_hits: &mut u64,
+    read_path: ReadPath,
+    pending_reads: &mut VecDeque<PendingRead>,
+    reads_sequenced: &mut u64,
     conn: ConnId,
     request: Request,
 ) -> bool {
@@ -1035,7 +1444,37 @@ fn handle_resubmit(
             }
             false
         }
+        Some(DedupState::PendingRead) => {
+            // A retry of a read still waiting on the ladder: re-target
+            // where its eventual ack will be delivered.
+            *dedup_hits += 1;
+            if let Some(p) = pending_reads
+                .iter_mut()
+                .find(|p| p.client == request.client && p.request == request.request)
+            {
+                p.conn = conn;
+            }
+            false
+        }
         None => {
+            if read_path != ReadPath::Sequenced {
+                if let KvOp::Get { key: k } = request.op {
+                    // Fast-read candidate: park it on the read ladder
+                    // instead of occupying a log slot. Step 5a serves or
+                    // demotes it every iteration, so it never starves.
+                    pending_reads.push_back(PendingRead {
+                        conn,
+                        client: request.client,
+                        request: request.request,
+                        key: k,
+                    });
+                    dedup.insert(key, DedupState::PendingRead);
+                    return true;
+                }
+            }
+            if matches!(request.op, KvOp::Get { .. }) {
+                *reads_sequenced += 1;
+            }
             let cid = frontend.submit(request.op.to_payload());
             meta.insert(
                 cid,

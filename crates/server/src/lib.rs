@@ -26,6 +26,13 @@
 //!   [`RemoteKv`] (framed TCP). The integration suite runs the same
 //!   workload against both and asserts identical results, so the
 //!   transport provably adds no semantics.
+//! * [`lease`] — leader leases and the linearizable fast-read path:
+//!   while a quorum of replicas has promised not to grant a newer lease,
+//!   `Get`s are answered from the leader's applied store at a *read
+//!   index* without occupying a log slot, falling down the ladder
+//!   (lease read → quorum read → sequenced read) when the lease is
+//!   suspect. Lease epochs are burned to disk before serving, so a
+//!   `kill -9`'d leader can never fast-read under its old epoch.
 //! * [`server`] — the TCP front door bridging sockets to the engine.
 //! * [`wal`] + [`snapshot`] — the durability layer: every applied slot
 //!   is written to a checksummed write-ahead log and fsynced *before*
@@ -46,9 +53,14 @@
 //! command: if it already sits in the decided log the service replays
 //! the original acknowledgement from its cache, and if it is still in
 //! flight the retry merely re-targets where the ack will be delivered.
-//! Acknowledgements carry log slots, and because *reads are sequenced
-//! too*, matching the audit's log replay is a linearizability proof, not
-//! a heuristic.
+//! Acknowledgements carry linearization points — the log slot of a
+//! sequenced command, or the *read index* of a lease-path fast read —
+//! and the audit replays both against the decided log (a fast read must
+//! equal what a sequenced read at its read index would have answered),
+//! so matching the replay is a linearizability proof, not a heuristic.
+//! Fast-read acks are cached for retry idempotence but not WAL-durable:
+//! a read retried across a crash re-executes at a read index at least
+//! as new as the original, which is still linearizable.
 //!
 //! # Running the service
 //!
@@ -66,6 +78,7 @@
 #![forbid(unsafe_code)]
 
 pub mod engine;
+pub mod lease;
 pub mod proto;
 pub mod server;
 pub mod service;
@@ -74,13 +87,19 @@ pub mod wal;
 pub mod wire;
 
 pub use engine::{
-    AckRecord, AuditViolation, ConnId, DurabilityConfig, EngineConfig, EngineHandle, KvEngine,
-    Outbound, ServiceAudit, SlotRecord, SubmitHandle,
+    AckRecord, AuditViolation, ConnId, DurabilityConfig, EngineConfig, EngineHandle,
+    FastReadRecord, KvEngine, Outbound, ServiceAudit, SlotRecord, SubmitHandle,
 };
-pub use proto::{AuditSummary, KvOp, Outcome, ProtoError, Request, Response, SyncFrame};
+pub use lease::{
+    fresh_holder, load_epoch, store_epoch, LeaderLease, LeaseConfig, ReadPath, ReplicaLeaseAgent,
+};
+pub use proto::{
+    AuditSummary, KvOp, LeaseFrame, LeaseStatus, Outcome, ProtoError, Request, Response, SyncFrame,
+};
 pub use server::KvServer;
 pub use service::{
-    remote_audit, sync_from_peer, KvService, LocalKv, PipeClient, RemoteKv, ServiceError,
+    remote_audit, remote_lease_state, sync_from_peer, KvService, LocalKv, PipeClient, RemoteKv,
+    ServiceError,
 };
 pub use snapshot::{SessionEntry, Snapshot};
 pub use wal::{Wal, WalError, WalReplay, WalTail};

@@ -22,11 +22,13 @@ use indulgent_model::{ClientId, RequestId};
 
 /// A key-value operation.
 ///
-/// Both reads and writes are *sequenced through the replicated log*:
-/// a `Get` occupies a slot and is answered from the store materialized
-/// by all preceding slots, which is what makes every acknowledged
-/// response linearizable by construction — the total order is the
-/// linearization order.
+/// Writes are always *sequenced through the replicated log*: a `Put`
+/// occupies a slot. Reads come in two flavors at the engine's
+/// discretion: a sequenced `Get` occupies a slot like a write
+/// ([`Outcome::Get`]), while a lease-protected *fast read* bypasses the
+/// log and is answered at a read index ([`Outcome::Read`]) — see
+/// [`crate::lease`]. A client sends the same `Get` either way; the
+/// outcome tag tells it which path answered.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum KvOp {
     /// `key := value`.
@@ -104,14 +106,28 @@ pub enum Outcome {
         /// The value read, if the key was set.
         value: Option<u32>,
     },
+    /// The read was served on the lease/quorum fast path, without
+    /// occupying a slot: `value` is the key's value in the store
+    /// materialized by every slot `<= index`. Linearized after slot
+    /// `index` and before slot `index + 1`.
+    Read {
+        /// The read index (the leader's applied frontier at serve time).
+        index: u64,
+        /// The value read, if the key was set.
+        value: Option<u32>,
+    },
 }
 
 impl Outcome {
-    /// The log slot this outcome was sequenced at.
+    /// The outcome's linearization point: the log slot a sequenced
+    /// command occupies, or the read index of a fast read. Both are
+    /// monotone per connection, so the session-order gate treats them
+    /// uniformly.
     #[must_use]
     pub fn slot(self) -> u64 {
         match self {
             Outcome::Put { slot } | Outcome::Get { slot, .. } => slot,
+            Outcome::Read { index, .. } => index,
         }
     }
 }
@@ -144,8 +160,23 @@ pub const TAG_SYNC_DONE: u8 = 0x06;
 pub const TAG_AUDIT_REQUEST: u8 = 0x07;
 /// Frame tag of an [`AuditSummary`] reply.
 pub const TAG_AUDIT_REPLY: u8 = 0x08;
+/// Frame tag of a [`LeaseFrame::Acquire`] grant/renew request.
+pub const TAG_LEASE_ACQUIRE: u8 = 0x09;
+/// Frame tag of a [`LeaseFrame::Grant`].
+pub const TAG_LEASE_GRANT: u8 = 0x0a;
+/// Frame tag of a [`LeaseFrame::Deny`].
+pub const TAG_LEASE_DENY: u8 = 0x0b;
+/// Frame tag of a [`LeaseFrame::Attest`] quorum-read probe.
+pub const TAG_LEASE_ATTEST: u8 = 0x0c;
+/// Frame tag of a [`LeaseFrame::Vouch`].
+pub const TAG_LEASE_VOUCH: u8 = 0x0d;
+/// Frame tag of a lease-state request (tag-only message).
+pub const TAG_LEASE_STATE_REQUEST: u8 = 0x0e;
+/// Frame tag of a [`LeaseStatus`] reply.
+pub const TAG_LEASE_STATE: u8 = 0x0f;
 const OP_PUT: u8 = 0x01;
 const OP_GET: u8 = 0x02;
+const OP_READ: u8 = 0x03;
 const VAL_NONE: u8 = 0x00;
 const VAL_SOME: u8 = 0x01;
 
@@ -338,19 +369,26 @@ pub struct AuditSummary {
     pub committed: u64,
     /// Retries absorbed by the dedup layer.
     pub dedup_hits: u64,
+    /// Reads served off the log (lease + quorum fast paths), audited
+    /// against the decided-prefix replay.
+    pub fast_reads: u64,
+    /// The lease epoch the engine is serving under (0 = leases off).
+    pub lease_epoch: u64,
 }
 
 impl AuditSummary {
     /// Encodes the reply payload.
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(27);
+        let mut out = Vec::with_capacity(43);
         out.push(TAG_AUDIT_REPLY);
         out.push(u8::from(self.complete));
         out.push(u8::from(self.ok));
         out.extend_from_slice(&self.slots.to_le_bytes());
         out.extend_from_slice(&self.committed.to_le_bytes());
         out.extend_from_slice(&self.dedup_hits.to_le_bytes());
+        out.extend_from_slice(&self.fast_reads.to_le_bytes());
+        out.extend_from_slice(&self.lease_epoch.to_le_bytes());
         out
     }
 
@@ -366,8 +404,208 @@ impl AuditSummary {
         let slots = c.u64()?;
         let committed = c.u64()?;
         let dedup_hits = c.u64()?;
+        let fast_reads = c.u64()?;
+        let lease_epoch = c.u64()?;
         c.finish()?;
-        Ok(AuditSummary { complete, ok, slots, committed, dedup_hits })
+        Ok(AuditSummary { complete, ok, slots, committed, dedup_hits, fast_reads, lease_epoch })
+    }
+}
+
+/// The leader-lease protocol frames (see [`crate::lease`]), riding the
+/// same framed transport as the request/response traffic.
+///
+/// `Acquire`/`Grant`/`Deny` establish and renew the lease; `Attest`/
+/// `Vouch` are the quorum-read fallback's freshness probe (a replica
+/// vouches that the named `(holder, epoch)` lease is still the newest
+/// promise it has made).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeaseFrame {
+    /// The would-be leader asks a replica to grant (or renew) its lease.
+    Acquire {
+        /// The requesting leader incarnation.
+        holder: u64,
+        /// The lease epoch being acquired.
+        epoch: u64,
+        /// Lease duration in microseconds, measured from the grant.
+        ttl_micros: u64,
+    },
+    /// The replica granted the lease for the frame's TTL.
+    Grant {
+        /// The granting replica.
+        replica: u32,
+        /// The epoch granted (echoed).
+        epoch: u64,
+    },
+    /// The replica refused: it already promised a newer lease.
+    Deny {
+        /// The refusing replica.
+        replica: u32,
+        /// The newest epoch the replica has promised.
+        promised: u64,
+    },
+    /// Quorum-read probe: is `(holder, epoch)` still your newest promise?
+    Attest {
+        /// The probing leader incarnation.
+        holder: u64,
+        /// The epoch being attested.
+        epoch: u64,
+    },
+    /// Reply to [`LeaseFrame::Attest`].
+    Vouch {
+        /// The vouching replica.
+        replica: u32,
+        /// The epoch attested (echoed).
+        epoch: u64,
+        /// Whether the lease is still the replica's newest promise.
+        valid: bool,
+    },
+}
+
+impl LeaseFrame {
+    /// Encodes the frame payload.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(25);
+        match *self {
+            LeaseFrame::Acquire { holder, epoch, ttl_micros } => {
+                out.push(TAG_LEASE_ACQUIRE);
+                out.extend_from_slice(&holder.to_le_bytes());
+                out.extend_from_slice(&epoch.to_le_bytes());
+                out.extend_from_slice(&ttl_micros.to_le_bytes());
+            }
+            LeaseFrame::Grant { replica, epoch } => {
+                out.push(TAG_LEASE_GRANT);
+                out.extend_from_slice(&replica.to_le_bytes());
+                out.extend_from_slice(&epoch.to_le_bytes());
+            }
+            LeaseFrame::Deny { replica, promised } => {
+                out.push(TAG_LEASE_DENY);
+                out.extend_from_slice(&replica.to_le_bytes());
+                out.extend_from_slice(&promised.to_le_bytes());
+            }
+            LeaseFrame::Attest { holder, epoch } => {
+                out.push(TAG_LEASE_ATTEST);
+                out.extend_from_slice(&holder.to_le_bytes());
+                out.extend_from_slice(&epoch.to_le_bytes());
+            }
+            LeaseFrame::Vouch { replica, epoch, valid } => {
+                out.push(TAG_LEASE_VOUCH);
+                out.extend_from_slice(&replica.to_le_bytes());
+                out.extend_from_slice(&epoch.to_le_bytes());
+                out.push(u8::from(valid));
+            }
+        }
+        out
+    }
+
+    /// Decodes one frame payload.
+    pub fn decode(bytes: &[u8]) -> Result<Self, ProtoError> {
+        let mut c = Cursor(bytes);
+        let frame = match c.u8()? {
+            TAG_LEASE_ACQUIRE => {
+                LeaseFrame::Acquire { holder: c.u64()?, epoch: c.u64()?, ttl_micros: c.u64()? }
+            }
+            TAG_LEASE_GRANT => LeaseFrame::Grant { replica: c.u32()?, epoch: c.u64()? },
+            TAG_LEASE_DENY => LeaseFrame::Deny { replica: c.u32()?, promised: c.u64()? },
+            TAG_LEASE_ATTEST => LeaseFrame::Attest { holder: c.u64()?, epoch: c.u64()? },
+            TAG_LEASE_VOUCH => {
+                LeaseFrame::Vouch { replica: c.u32()?, epoch: c.u64()?, valid: c.u8()? != 0 }
+            }
+            t => return Err(ProtoError::BadTag(t)),
+        };
+        c.finish()?;
+        Ok(frame)
+    }
+}
+
+/// The tag-only lease-state request frame payload.
+#[must_use]
+pub fn lease_state_request_frame() -> Vec<u8> {
+    vec![TAG_LEASE_STATE_REQUEST]
+}
+
+/// A point-in-time dump of the engine's lease and read-path state —
+/// the observability (and CI failure-artifact) surface of the lease
+/// subsystem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeaseStatus {
+    /// The configured read path: 0 = sequenced, 1 = quorum, 2 = lease.
+    pub mode: u8,
+    /// The current lease epoch (0 when leases are disabled).
+    pub epoch: u64,
+    /// Whether the lease is currently healthy (a quorum of unexpired
+    /// grants with safety margin).
+    pub healthy: bool,
+    /// Grants held (healthy or not).
+    pub grants: u32,
+    /// The current read index (the leader's applied frontier).
+    pub read_index: u64,
+    /// Reads served on the lease fast path.
+    pub reads_lease: u64,
+    /// Reads served through the quorum-attest fallback.
+    pub reads_quorum: u64,
+    /// Reads sequenced through the log (bottom of the ladder).
+    pub reads_sequenced: u64,
+}
+
+impl LeaseStatus {
+    /// Encodes the reply payload.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(47);
+        out.push(TAG_LEASE_STATE);
+        out.push(self.mode);
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.push(u8::from(self.healthy));
+        out.extend_from_slice(&self.grants.to_le_bytes());
+        out.extend_from_slice(&self.read_index.to_le_bytes());
+        out.extend_from_slice(&self.reads_lease.to_le_bytes());
+        out.extend_from_slice(&self.reads_quorum.to_le_bytes());
+        out.extend_from_slice(&self.reads_sequenced.to_le_bytes());
+        out
+    }
+
+    /// Decodes one frame payload.
+    pub fn decode(bytes: &[u8]) -> Result<Self, ProtoError> {
+        let mut c = Cursor(bytes);
+        match c.u8()? {
+            TAG_LEASE_STATE => {}
+            t => return Err(ProtoError::BadTag(t)),
+        }
+        let status = LeaseStatus {
+            mode: c.u8()?,
+            epoch: c.u64()?,
+            healthy: c.u8()? != 0,
+            grants: c.u32()?,
+            read_index: c.u64()?,
+            reads_lease: c.u64()?,
+            reads_quorum: c.u64()?,
+            reads_sequenced: c.u64()?,
+        };
+        c.finish()?;
+        Ok(status)
+    }
+}
+
+impl fmt::Display for LeaseStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mode = match self.mode {
+            0 => "sequenced",
+            1 => "quorum",
+            _ => "lease",
+        };
+        write!(
+            f,
+            "reads={mode} epoch={} healthy={} grants={} read_index={} \
+             served lease={} quorum={} sequenced={}",
+            self.epoch,
+            self.healthy,
+            self.grants,
+            self.read_index,
+            self.reads_lease,
+            self.reads_quorum,
+            self.reads_sequenced
+        )
     }
 }
 
@@ -435,6 +673,17 @@ impl Response {
                     None => out.push(VAL_NONE),
                 }
             }
+            Outcome::Read { index, value } => {
+                out.push(OP_READ);
+                out.extend_from_slice(&index.to_le_bytes());
+                match value {
+                    Some(v) => {
+                        out.push(VAL_SOME);
+                        out.extend_from_slice(&v.to_le_bytes());
+                    }
+                    None => out.push(VAL_NONE),
+                }
+            }
         }
         out
     }
@@ -457,6 +706,15 @@ impl Response {
                     t => return Err(ProtoError::BadTag(t)),
                 };
                 Outcome::Get { slot, value }
+            }
+            OP_READ => {
+                let index = c.u64()?;
+                let value = match c.u8()? {
+                    VAL_NONE => None,
+                    VAL_SOME => Some(c.u32()?),
+                    t => return Err(ProtoError::BadTag(t)),
+                };
+                Outcome::Read { index, value }
             }
             t => return Err(ProtoError::BadTag(t)),
         };
@@ -483,6 +741,8 @@ mod tests {
             Outcome::Put { slot: 1 },
             Outcome::Get { slot: u64::MAX, value: None },
             Outcome::Get { slot: 3, value: Some(u32::MAX) },
+            Outcome::Read { index: 0, value: None },
+            Outcome::Read { index: u64::MAX, value: Some(7) },
         ] {
             let r = Response { request: RequestId(9), outcome };
             assert_eq!(Response::decode(&r.encode()).unwrap(), r);
@@ -532,8 +792,50 @@ mod tests {
 
     #[test]
     fn audit_summary_round_trips() {
-        let s = AuditSummary { complete: true, ok: false, slots: 9, committed: 72, dedup_hits: 3 };
+        let s = AuditSummary {
+            complete: true,
+            ok: false,
+            slots: 9,
+            committed: 72,
+            dedup_hits: 3,
+            fast_reads: 41,
+            lease_epoch: 2,
+        };
         assert_eq!(AuditSummary::decode(&s.encode()).unwrap(), s);
         assert_eq!(audit_request_frame(), vec![TAG_AUDIT_REQUEST]);
+    }
+
+    #[test]
+    fn lease_frames_round_trip() {
+        for frame in [
+            LeaseFrame::Acquire { holder: u64::MAX, epoch: 3, ttl_micros: 2_000_000 },
+            LeaseFrame::Grant { replica: 4, epoch: 3 },
+            LeaseFrame::Deny { replica: 0, promised: u64::MAX },
+            LeaseFrame::Attest { holder: 17, epoch: 3 },
+            LeaseFrame::Vouch { replica: 2, epoch: 3, valid: true },
+            LeaseFrame::Vouch { replica: 2, epoch: 3, valid: false },
+        ] {
+            assert_eq!(LeaseFrame::decode(&frame.encode()).unwrap(), frame);
+        }
+        assert_eq!(LeaseFrame::decode(&[0x70]), Err(ProtoError::BadTag(0x70)));
+        assert_eq!(LeaseFrame::decode(&[TAG_LEASE_GRANT, 1]), Err(ProtoError::Truncated));
+    }
+
+    #[test]
+    fn lease_status_round_trips() {
+        let s = LeaseStatus {
+            mode: 2,
+            epoch: 5,
+            healthy: true,
+            grants: 4,
+            read_index: 1234,
+            reads_lease: 900,
+            reads_quorum: 3,
+            reads_sequenced: 97,
+        };
+        assert_eq!(LeaseStatus::decode(&s.encode()).unwrap(), s);
+        assert_eq!(lease_state_request_frame(), vec![TAG_LEASE_STATE_REQUEST]);
+        assert!(s.to_string().contains("reads=lease"));
+        assert!(s.to_string().contains("epoch=5"));
     }
 }

@@ -27,7 +27,9 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::engine::{EngineConfig, EngineHandle, KvEngine, Outbound, ServiceAudit};
-use crate::proto::{Request, SyncFrame, TAG_AUDIT_REQUEST, TAG_REQUEST, TAG_SYNC_REQUEST};
+use crate::proto::{
+    Request, SyncFrame, TAG_AUDIT_REQUEST, TAG_LEASE_STATE_REQUEST, TAG_REQUEST, TAG_SYNC_REQUEST,
+};
 use crate::wire::{write_frame, FrameReader};
 
 /// A running networked replicated-KV service.
@@ -184,6 +186,7 @@ fn spawn_connection(
                     _ => false,
                 },
                 Some(&TAG_AUDIT_REQUEST) => submit.request_audit(),
+                Some(&TAG_LEASE_STATE_REQUEST) => submit.request_lease_state(),
                 _ => false,
             };
             if !keep_going {

@@ -31,7 +31,8 @@ use indulgent_model::{ClientId, RequestId};
 
 use crate::engine::{EngineHandle, Outbound, SubmitHandle};
 use crate::proto::{
-    audit_request_frame, AuditSummary, KvOp, ProtoError, Request, Response, SyncFrame,
+    audit_request_frame, lease_state_request_frame, AuditSummary, KvOp, LeaseStatus, ProtoError,
+    Request, Response, SyncFrame,
 };
 use crate::snapshot::Snapshot;
 use crate::wal::{replay_bytes, WalError, WalTail};
@@ -455,6 +456,34 @@ pub fn remote_audit(peer: SocketAddr, timeout: Duration) -> Result<AuditSummary,
                 std::thread::sleep(Duration::from_millis(50));
                 write_frame(&mut writer, &audit_request_frame())?;
             }
+            Ok(None) => return Err(ServiceError::Disconnected),
+            Err(WireError::Io(ref e)) if retryable(e) => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
+/// Fetches the peer's live lease state over the wire: read mode, current
+/// epoch, lease health, and the read-path counters. Unlike
+/// [`remote_audit`] this does not wait for quiescence — it is a
+/// point-in-time dump, usable mid-load and in failure artifacts.
+pub fn remote_lease_state(
+    peer: SocketAddr,
+    timeout: Duration,
+) -> Result<LeaseStatus, ServiceError> {
+    let mut writer = TcpStream::connect(peer).map_err(WireError::Io)?;
+    writer.set_nodelay(true).map_err(WireError::Io)?;
+    let read_side = writer.try_clone().map_err(WireError::Io)?;
+    read_side.set_read_timeout(Some(Duration::from_millis(50))).map_err(WireError::Io)?;
+    let mut reader = FrameReader::new(read_side);
+    let deadline = Instant::now() + timeout;
+    write_frame(&mut writer, &lease_state_request_frame())?;
+    loop {
+        if Instant::now() > deadline {
+            return Err(ServiceError::Timeout { request: RequestId(0) });
+        }
+        match reader.read_frame() {
+            Ok(Some(payload)) => return Ok(LeaseStatus::decode(&payload)?),
             Ok(None) => return Err(ServiceError::Disconnected),
             Err(WireError::Io(ref e)) if retryable(e) => {}
             Err(e) => return Err(e.into()),
