@@ -43,7 +43,7 @@ use std::time::Duration;
 
 use indulgent_model::{ClientId, RequestId};
 use indulgent_server::{
-    remote_audit, remote_lease_state, sync_from_peer, KvOp, KvService, Outcome, PipeClient,
+    remote_audit, remote_lease_state, sync_all_from_peer, KvOp, KvService, Outcome, PipeClient,
     RemoteKv, Response,
 };
 
@@ -76,7 +76,7 @@ struct Server {
 }
 
 impl Server {
-    fn spawn(dir: &Path, snapshot_every: u64) -> Server {
+    fn spawn(dir: &Path, snapshot_every: u64, shards: u64) -> Server {
         let mut child = Command::new(server_bin())
             .arg("127.0.0.1:0")
             .arg("4")
@@ -85,6 +85,8 @@ impl Server {
             .arg(dir)
             .arg("--snapshot-every")
             .arg(snapshot_every.to_string())
+            .arg("--shards")
+            .arg(shards.to_string())
             .stdout(Stdio::piped())
             .spawn()
             .expect("spawn indulgent_server (set INDULGENT_SERVER_BIN if it is not a sibling)");
@@ -228,6 +230,7 @@ fn main() {
     let phases = arg("--phases", 3).max(2);
     let new_ops = arg("--ops", 40).max(4);
     let snapshot_every = arg("--snapshot-every", 16).max(1);
+    let shards = arg("--shards", 2).max(1);
 
     let root: PathBuf = std::env::var("RESTART_STORM_DIR")
         .unwrap_or_else(|_| {
@@ -242,20 +245,31 @@ fn main() {
     let mut probes = 0u64;
     let mut final_probes = 0u64;
 
-    // Per-phase lease-state dump: written into the storm directory so a
-    // tripped gate ships every incarnation's lease view with the CI
-    // failure artifacts. The round trip also synchronizes with the
-    // driver, so recovery (and the epoch burn) has finished once it
-    // answers.
+    // Per-phase lease-state dump, one line per shard: written into the
+    // storm directory so a tripped gate ships every incarnation's lease
+    // view with the CI failure artifacts. The round trip also
+    // synchronizes with the driver, so recovery (and every shard's epoch
+    // burn) has finished once each shard answers. All shards boot
+    // together, so their epochs must agree — the common value is
+    // returned.
     let dump_lease = |phase: u64, addr: SocketAddr| -> u64 {
-        let state = remote_lease_state(addr, Duration::from_secs(30)).expect("lease state");
-        let _ =
-            std::fs::write(root.join(format!("lease-state-phase{phase}.txt")), state.to_string());
-        state.epoch
+        let mut all = String::new();
+        let mut epoch = None;
+        for shard in 0..u32::try_from(shards).expect("shards fit u32") {
+            let state =
+                remote_lease_state(addr, shard, Duration::from_secs(30)).expect("lease state");
+            all.push_str(&state.to_string());
+            all.push('\n');
+            if let Some(prev) = epoch.replace(state.epoch) {
+                assert_eq!(prev, state.epoch, "shards booted together must burn matching epochs");
+            }
+        }
+        let _ = std::fs::write(root.join(format!("lease-state-phase{phase}.txt")), &all);
+        epoch.expect("at least one shard")
     };
 
     // ── The storm: kill -9 between every phase, recover on the same dir ──
-    let mut server = Server::spawn(&dir, snapshot_every);
+    let mut server = Server::spawn(&dir, snapshot_every, shards);
     let mut epoch = dump_lease(0, server.addr);
     assert!(epoch >= 1, "the first incarnation burned an epoch before serving");
     for phase in 0..phases {
@@ -272,7 +286,7 @@ fn main() {
                 server.addr
             );
             server.kill();
-            server = Server::spawn(&dir, snapshot_every);
+            server = Server::spawn(&dir, snapshot_every, shards);
             let reborn = dump_lease(phase + 1, server.addr);
             assert!(
                 reborn > epoch,
@@ -317,11 +331,14 @@ fn main() {
         "dedup probes were absorbed by the recovered session table"
     );
 
-    // ── Gate 3: rejoin — snapshot transfer + catch-up, then agreement ──
+    // ── Gate 3: rejoin — per-shard snapshot transfer + catch-up into a
+    // fresh root (manifest included), then key-for-key agreement ──
     let sync_dir = root.join("synced");
     std::fs::create_dir_all(&sync_dir).expect("create sync dir");
-    let through = sync_from_peer(server.addr, &sync_dir).expect("snapshot transfer");
-    let replica = Server::spawn(&sync_dir, snapshot_every);
+    let through =
+        sync_all_from_peer(server.addr, u32::try_from(shards).expect("shards fit"), &sync_dir)
+            .expect("snapshot transfer");
+    let replica = Server::spawn(&sync_dir, snapshot_every, shards);
     let mut a = RemoteKv::connect(server.addr, ClientId(900)).expect("connect survivor");
     let mut b = RemoteKv::connect(replica.addr, ClientId(901)).expect("connect rejoined");
     for key in 0..32u16 {
@@ -334,9 +351,9 @@ fn main() {
     server.kill();
 
     println!(
-        "S2 — restart storm passed (phases {phases}, {total} distinct commands, {puts} writes, \
-         {} slots, {} fast reads, lease epoch {epoch}, {} dedup hits, {probes} probes, \
-         synced through slot {through})",
+        "S2 — restart storm passed (phases {phases}, {shards} shards, {total} distinct commands, \
+         {puts} writes, {} slots, {} fast reads, lease epoch {epoch}, {} dedup hits, \
+         {probes} probes, synced through {through} total slots)",
         summary.slots, summary.fast_reads, summary.dedup_hits
     );
     std::fs::remove_dir_all(&root).ok();

@@ -23,11 +23,15 @@
 //!   acknowledgement *and every fast read* — plus the client-side checks
 //!   (every request acked once, ack linearization points monotone per
 //!   connection);
-//! * a crash-recovery pass: a durable leased server is `kill`ed
-//!   mid-history and its successor must burn a strictly newer lease
-//!   epoch before serving, answer correctly, and pass the combined
-//!   audit (lease-state dumps land in the durability directory for CI
-//!   artifacts when anything trips).
+//! * a cross-shard differential: the same seeded multi-key workload runs
+//!   through `--shards 1`, `2`, and `4` and every acknowledged value and
+//!   the merged final store must match the single-group run key-for-key
+//!   (slots are shard-local, so equivalence is on values, never slots);
+//! * a crash-recovery pass: a durable leased *two-shard* server is
+//!   `kill`ed mid-history and its successor must burn a strictly newer
+//!   lease epoch on **every shard** before serving, answer correctly,
+//!   and pass the combined audit (per-shard lease-state dumps land in
+//!   the durability directory for CI artifacts when anything trips).
 //!
 //! The timed section then measures three fleets at the same offered
 //! rate: the classic mixed fleet (sequenced reads, the historical
@@ -43,14 +47,22 @@
 //! independent of read path), burying a fast path that serves in
 //! microseconds; the closed-loop probe measures the service time
 //! itself, and runs identically against both paths so the ratio is
-//! apples-to-apples. Emits `BENCH_server.json` (`BENCH_SERVER_JSON`
-//! overrides the path, `0` skips); CI uploads it and the warn-only
-//! perf guard diffs `commands_per_second`,
-//! `read_heavy.commands_per_second`, and `read_heavy.read_speedup_p50`
-//! against the committed baseline.
+//! apples-to-apples.
+//!
+//! A final *sharded sweep* re-runs the lease-read fleet at shard counts
+//! 1, 2, …, `--shards` (powers of two), every run offered the same
+//! elevated rate (`--rate × --shards`) so each measures saturated
+//! capacity and the last/first throughput ratio reads as scaling rather
+//! than admission control. Emits `BENCH_server.json`
+//! (`BENCH_SERVER_JSON` overrides the path, `0` skips) with a
+//! `sharded` block (`commands_per_second` per shard count); CI uploads
+//! it and the warn-only perf guard diffs `commands_per_second`,
+//! `read_heavy.commands_per_second`, `read_heavy.read_speedup_p50`,
+//! the `--shards 1` sweep point, and the shards=4/shards=1 scaling
+//! ratio against the committed baseline.
 //!
 //! ```text
-//! cargo run --release --bin exp_server_load -- --conns 256 --commands 8000 --rate 4000 --read-ratio 0.9
+//! cargo run --release --bin exp_server_load -- --conns 256 --commands 8000 --rate 4000 --read-ratio 0.9 --shards 4
 //! ```
 
 use std::collections::HashMap;
@@ -62,8 +74,8 @@ use std::time::{Duration, Instant};
 
 use indulgent_model::{ClientId, RequestId};
 use indulgent_server::{
-    lease, DurabilityConfig, EngineConfig, KvOp, KvServer, KvService, LocalKv, Outcome, PipeClient,
-    ReadPath, RemoteKv, Response, ServiceAudit,
+    lease, shard_dir, DurabilityConfig, EngineConfig, KvOp, KvServer, KvService, LocalKv, Outcome,
+    PipeClient, ReadPath, RemoteKv, Response, ShardedAudit,
 };
 
 /// Deterministic op mix: connection `c`'s `i`-th request is a read with
@@ -125,7 +137,10 @@ fn run_fleet(addr: SocketAddr, conns: u64, per_conn: u64, rate: f64, read_pct: u
             let mut in_flight: HashMap<RequestId, Instant> = HashMap::new();
             let mut reads = Vec::new();
             let mut writes = Vec::new();
-            let mut last_point = 0u64;
+            // Linearization points are per shard group: `(shard, slot)`.
+            // Within one shard a connection's points must be monotone;
+            // across shards the slot spaces are independent.
+            let mut last_point: HashMap<u32, u64> = HashMap::new();
             let deadline = Instant::now() + Duration::from_secs(120);
             while acked < per_conn {
                 assert!(
@@ -148,11 +163,13 @@ fn run_fleet(addr: SocketAddr, conns: u64, per_conn: u64, rate: f64, read_pct: u
                         Outcome::Put { .. } => writes.push(latency),
                         Outcome::Get { .. } | Outcome::Read { .. } => reads.push(latency),
                     }
+                    let last = last_point.entry(ack.shard).or_insert(0);
                     assert!(
-                        point >= last_point,
-                        "conn {c}: linearization points went backwards ({point} after {last_point})"
+                        point >= *last,
+                        "conn {c}: shard {} linearization points went backwards ({point} after {last})",
+                        ack.shard
                     );
-                    last_point = point;
+                    *last = point;
                     acked += 1;
                 }
             }
@@ -175,11 +192,11 @@ fn run_fleet(addr: SocketAddr, conns: u64, per_conn: u64, rate: f64, read_pct: u
 /// Audits a finished server run against the fleet that drove it. With a
 /// fast-read path enabled, reads served off the log must account for
 /// exactly the gap between submitted and committed commands.
-fn check_audit(audit: &ServiceAudit, expected_commands: u64, label: &str) {
+fn check_audit(audit: &ShardedAudit, expected_commands: u64, label: &str) {
     audit.check().unwrap_or_else(|e| panic!("{label}: service audit failed: {e}"));
-    let fast_reads = audit.folded_fast_reads + audit.fast_reads.len() as u64;
+    let fast_reads = audit.folded_fast_reads() + audit.fast_reads().len() as u64;
     assert_eq!(
-        audit.committed_commands + fast_reads,
+        audit.committed_commands() + fast_reads,
         expected_commands,
         "{label}: every submitted command commits or fast-reads exactly once"
     );
@@ -276,9 +293,50 @@ fn gate_exactly_once() {
     audit.check().expect("exactly-once gate audit");
     // Client 900's duplicate puts collapse to 1 slot, the killed
     // client's put applies once; both gets were fast reads (no slots).
-    assert_eq!(audit.committed_commands, 2, "duplicates and replays apply exactly once");
-    assert_eq!(audit.fast_reads.len(), 2, "both distinct reads took the fast path");
-    assert!(audit.dedup_hits >= 2, "the dedup layer absorbed the retries");
+    assert_eq!(audit.committed_commands(), 2, "duplicates and replays apply exactly once");
+    assert_eq!(audit.fast_reads().len(), 2, "both distinct reads took the fast path");
+    assert!(audit.dedup_hits() >= 2, "the dedup layer absorbed the retries");
+}
+
+/// Gate 2b — the cross-shard differential: the same seeded multi-key
+/// workload through 1, 2, and 4 shard groups must materialize identical
+/// stores and answer every read with the same value (slots are
+/// shard-local and so differ; the linearized *answers* may not).
+fn gate_sharded_equivalence(max_shards: usize) {
+    type Observed = (Vec<Option<u32>>, std::collections::BTreeMap<u16, u32>);
+    let script: Vec<KvOp> = (0..80).map(|i| op_for(11, i, 40)).collect();
+    let mut baseline: Option<Observed> = None;
+    let mut shards = 1usize;
+    while shards <= max_shards {
+        let server =
+            KvServer::bind("127.0.0.1:0", gate_config().with_shards(shards)).expect("bind");
+        let mut kv = RemoteKv::connect(server.addr(), ClientId(11)).expect("connect");
+        let values: Vec<Option<u32>> = script
+            .iter()
+            .map(|&op| match dispatch(&mut kv, op).outcome {
+                Outcome::Get { value, .. } | Outcome::Read { value, .. } => value,
+                Outcome::Put { .. } => None,
+            })
+            .collect();
+        drop(kv);
+        let audit = server.shutdown();
+        check_audit(&audit, script.len() as u64, "sharded differential");
+        let store = audit.final_store();
+        match &baseline {
+            None => baseline = Some((values, store)),
+            Some((base_values, base_store)) => {
+                assert_eq!(
+                    &values, base_values,
+                    "{shards}-shard run answered reads differently than the single group"
+                );
+                assert_eq!(
+                    &store, base_store,
+                    "{shards}-shard run materialized a different store than the single group"
+                );
+            }
+        }
+        shards *= 2;
+    }
 }
 
 /// Gate 3 — a concurrent warm-up fleet over the lease fast path passes
@@ -294,12 +352,15 @@ fn gate_concurrent(batch: usize, depth: u64) {
     check_audit(&server.shutdown(), 16 * 8, "concurrent gate");
 }
 
-/// Gate 4 — crash recovery: a durable leased server killed mid-history
-/// must come back under a strictly newer lease epoch (burned before it
-/// serves anything), answer correctly, and pass the combined audit.
-/// Lease-state dumps are written into the durability directory so CI
-/// uploads them with the failure artifacts when a gate trips.
+/// Gate 4 — crash recovery, sharded: a durable leased 2-shard server
+/// killed mid-history must come back with *every* shard under a strictly
+/// newer lease epoch (each burned to its own `shard-<i>/lease.epoch`
+/// before that shard serves anything), answer correctly, and pass the
+/// combined audit. Per-shard lease-state dumps are written into the
+/// durability root so CI uploads them with the failure artifacts when a
+/// gate trips.
 fn gate_crash_recovery() {
+    const SHARDS: u32 = 2;
     let dir: PathBuf = std::env::var("SERVER_LOAD_CRASH_DIR")
         .unwrap_or_else(|_| {
             concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/server-load-crash").into()
@@ -309,13 +370,23 @@ fn gate_crash_recovery() {
     let config = || {
         gate_config()
             .with_reads(ReadPath::Lease)
+            .with_shards(SHARDS as usize)
             .with_durability(DurabilityConfig::new(&dir).with_snapshot_every(4))
     };
-    let dump = |phase: &str, addr: SocketAddr| {
-        let state = indulgent_server::remote_lease_state(addr, Duration::from_secs(5))
-            .map_or_else(|e| format!("unavailable: {e:?}"), |s| s.to_string());
-        let _ = std::fs::write(dir.join(format!("lease-state-{phase}.txt")), &state);
-        state
+    let dump = |phase: &str, addr: SocketAddr| -> String {
+        let mut all = String::new();
+        for shard in 0..SHARDS {
+            let state = indulgent_server::remote_lease_state(addr, shard, Duration::from_secs(5))
+                .map_or_else(|e| format!("shard {shard} unavailable: {e:?}"), |s| s.to_string());
+            let _ = writeln!(all, "{state}");
+        }
+        let _ = std::fs::write(dir.join(format!("lease-state-{phase}.txt")), &all);
+        all
+    };
+    let epochs = || -> Vec<u64> {
+        (0..SHARDS)
+            .map(|i| lease::load_epoch(&shard_dir(&dir, i)).expect("shard epoch readable"))
+            .collect()
     };
 
     let server = KvServer::bind("127.0.0.1:0", config()).expect("bind");
@@ -325,20 +396,25 @@ fn gate_crash_recovery() {
         kv.get(u16::try_from(i % 3).unwrap()).expect("fast read");
     }
     let pre_dump = dump("pre-kill", server.addr());
-    let epoch_before = lease::load_epoch(&dir).expect("epoch burned before serving");
-    assert!(epoch_before >= 1, "crash gate: no epoch burned ({pre_dump})");
+    let epochs_before = epochs();
+    assert!(
+        epochs_before.iter().all(|&e| e >= 1),
+        "crash gate: a shard served without burning an epoch ({pre_dump})"
+    );
     drop(kv);
     server.kill(); // no drain, no checkpoint — the in-process kill -9
 
     let server = KvServer::bind("127.0.0.1:0", config()).expect("rebind on the same dir");
     // The lease-state round trip synchronizes with the driver thread, so
-    // the recovery (and its epoch burn) has completed once it answers.
+    // the recovery (and its epoch burns) has completed once it answers.
     let post_dump = dump("post-recovery", server.addr());
-    let epoch_after = lease::load_epoch(&dir).expect("epoch re-burned");
-    assert!(
-        epoch_after > epoch_before,
-        "crash gate: rebooted leader kept its stale epoch ({epoch_before} -> {epoch_after}; {post_dump})"
-    );
+    let epochs_after = epochs();
+    for (shard, (before, after)) in epochs_before.iter().zip(&epochs_after).enumerate() {
+        assert!(
+            after > before,
+            "crash gate: rebooted shard {shard} kept its stale epoch ({before} -> {after}; {post_dump})"
+        );
+    }
     let mut kv = RemoteKv::connect(server.addr(), ClientId(701)).expect("reconnect");
     let read = kv.get(1).expect("fast read after recovery");
     match read.outcome {
@@ -350,7 +426,7 @@ fn gate_crash_recovery() {
     audit
         .check()
         .unwrap_or_else(|e| panic!("crash gate: combined audit failed: {e} ({post_dump})"));
-    assert_eq!(audit.lease_epoch, epoch_after);
+    assert_eq!(audit.lease_epoch(), epochs_after[0]);
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -412,16 +488,18 @@ fn main() {
         .unwrap_or(0.9);
     assert!((0.0..=1.0).contains(&read_ratio), "--read-ratio must be within [0, 1]");
     let read_pct = (read_ratio * 100.0).round() as u64;
+    let max_shards = usize::try_from(arg("--shards", 4).max(1)).expect("shards fits usize");
     let per_conn = commands / conns;
     let total = per_conn * conns; // divisibility remainder dropped
 
     // ── Correctness gate: nothing is timed until all of this passes ──
     gate_differential();
     gate_exactly_once();
+    gate_sharded_equivalence(max_shards.max(4));
     gate_concurrent(batch, depth);
     gate_crash_recovery();
     println!(
-        "validation gate passed: local/remote differential (leases on+off), exactly-once retries + reconnect, concurrent audit, crash recovery\n"
+        "validation gate passed: local/remote differential (leases on+off), exactly-once retries + reconnect, cross-shard differential, concurrent audit, sharded crash recovery\n"
     );
 
     let fleet_config = |reads: ReadPath| {
@@ -453,7 +531,7 @@ fn main() {
     let mut lease_probe = probe_read_latency(server.addr(), PROBE_OPS);
     let lease_audit = server.shutdown();
     check_audit(&lease_audit, total + 1 + PROBE_OPS, "timed read-heavy lease fleet");
-    let fast_reads = lease_audit.folded_fast_reads + lease_audit.fast_reads.len() as u64;
+    let fast_reads = lease_audit.folded_fast_reads() + lease_audit.fast_reads().len() as u64;
     let lease_rate = total as f64 / leased.elapsed.as_secs_f64();
     let (lease_fleet_read_p50, _) = p50_p99(&mut leased.reads);
     let (lease_write_p50, lease_write_p99) = p50_p99(&mut leased.writes);
@@ -488,9 +566,52 @@ fn main() {
         lease_read_p50.as_secs_f64() * 1e3,
         lease_read_p99.as_secs_f64() * 1e3,
         seq_read_p50.as_secs_f64() * 1e3,
-        audit.dedup_hits,
-        audit.duplicate_applies,
+        audit.dedup_hits(),
+        audit.duplicate_applies(),
     );
+
+    // ── Timed sharded sweep: the mixed scenario at 1..=S shard groups ──
+    // Every run is offered the same elevated rate (the base rate scaled
+    // by the largest shard count) so each measures its *saturated*
+    // capacity and the ratio reads as scaling, not admission control.
+    // The closed-loop probe then reports every shard's lease mode — a
+    // shard stuck in sequenced fallback is visible right here.
+    let sweep_rate = rate * max_shards as f64;
+    let mut sharded: Vec<(usize, f64)> = Vec::new();
+    let mut shard_count = 1usize;
+    while shard_count <= max_shards {
+        let config = fleet_config(ReadPath::Lease).with_shards(shard_count);
+        let server = KvServer::bind("127.0.0.1:0", config).expect("bind");
+        let result = run_fleet(server.addr(), conns, per_conn, sweep_rate, 50);
+        let mut modes = String::new();
+        for shard in 0..u32::try_from(shard_count).expect("shards fit u32") {
+            let status =
+                indulgent_server::remote_lease_state(server.addr(), shard, Duration::from_secs(5));
+            let _ = match status {
+                Ok(s) => write!(
+                    modes,
+                    " shard {shard}: {} (epoch {})",
+                    match s.mode {
+                        0 => "sequenced",
+                        1 => "quorum",
+                        _ => "lease",
+                    },
+                    s.epoch
+                ),
+                Err(e) => write!(modes, " shard {shard}: lease state unavailable ({e})"),
+            };
+        }
+        check_audit(&server.shutdown(), total, &format!("sharded sweep ({shard_count} shards)"));
+        let cps = result.total() as f64 / result.elapsed.as_secs_f64();
+        println!("sharded sweep: {shard_count} shard(s) -> {cps:.0} commands/s;{modes}");
+        sharded.push((shard_count, cps));
+        shard_count *= 2;
+    }
+    if let (Some((_, one)), Some((s, many))) = (sharded.first(), sharded.last()) {
+        if sharded.len() > 1 {
+            println!("sharded sweep: {s} shards / 1 shard = {:.2}x\n", many / one);
+        }
+    }
 
     let read_heavy = ReadHeavy {
         read_ratio,
@@ -504,7 +625,20 @@ fn main() {
         sequenced_read_p50: seq_read_p50,
         read_speedup_p50: read_speedup,
     };
-    emit_json(conns, total, rate, batch, depth, rate_measured, p50, p99, max, &read_heavy);
+    emit_json(
+        conns,
+        total,
+        rate,
+        batch,
+        depth,
+        rate_measured,
+        p50,
+        p99,
+        max,
+        &read_heavy,
+        &sharded,
+        sweep_rate,
+    );
 }
 
 /// The read-heavy scenario block of `BENCH_server.json`.
@@ -535,6 +669,8 @@ fn emit_json(
     p99: Duration,
     max: Duration,
     read_heavy: &ReadHeavy,
+    sharded: &[(usize, f64)],
+    sweep_rate: f64,
 ) {
     let path = std::env::var("BENCH_SERVER_JSON")
         .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json").into());
@@ -580,6 +716,23 @@ fn emit_json(
         ms(read_heavy.sequenced_read_p50)
     );
     let _ = writeln!(json, "    \"read_speedup_p50\": {:.2}", read_heavy.read_speedup_p50);
+    json.push_str("  },\n");
+    let _ = writeln!(json, "  \"sharded\": {{");
+    let _ = writeln!(json, "    \"offered_rate\": {sweep_rate:.0},");
+    let _ = writeln!(json, "    \"scenarios\": [");
+    for (i, (shards, cps)) in sharded.iter().enumerate() {
+        let comma = if i + 1 == sharded.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "      {{\"shards\": {shards}, \"commands_per_second\": {cps:.1}}}{comma}"
+        );
+    }
+    json.push_str("    ],\n");
+    let scaling = match (sharded.first(), sharded.last()) {
+        (Some((_, one)), Some((_, many))) if *one > 0.0 => many / one,
+        _ => 1.0,
+    };
+    let _ = writeln!(json, "    \"scaling_x\": {scaling:.2}");
     json.push_str("  }\n}\n");
 
     match std::fs::write(&path, &json) {

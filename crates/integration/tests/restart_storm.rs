@@ -2,10 +2,11 @@
 //! kill/restart sequences — including kills with requests still in
 //! flight, double-crashes of the same instance, and recovery under
 //! injected asynchrony — across replica-group sizes beyond the fixed
-//! n = 5, t = 2. After every storm the [`ServiceAudit`] replay check
-//! must stay green over the *combined* pre/post-restart history, and the
-//! on-disk state (snapshot + WAL replay) must agree with the engine's
-//! final materialized store — the disk-state divergence check.
+//! n = 5, t = 2, and across shard counts. After every storm the
+//! [`ShardedAudit`] replay check must stay green over the *combined*
+//! pre/post-restart history, and the on-disk state (per-shard snapshot +
+//! WAL replay) must agree with the engine's final materialized store —
+//! the disk-state divergence check.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -16,7 +17,8 @@ use indulgent_model::{ClientId, RequestId, SystemConfig};
 use indulgent_runtime::DelayModel;
 use indulgent_server::wal::replay_bytes;
 use indulgent_server::{
-    DurabilityConfig, EngineConfig, KvEngine, KvOp, LocalKv, Request, ServiceAudit, Snapshot,
+    load_manifest, shard_dir, DurabilityConfig, EngineConfig, KvEngine, KvOp, LocalKv, Request,
+    ShardedAudit, Snapshot,
 };
 
 static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
@@ -31,13 +33,14 @@ fn storm_dir(tag: &str) -> PathBuf {
     dir
 }
 
-fn cfg(n: usize, t: usize, dir: &Path, snapshot_every: u64) -> EngineConfig {
+fn cfg(n: usize, t: usize, shards: usize, dir: &Path, snapshot_every: u64) -> EngineConfig {
     EngineConfig {
         system: SystemConfig::majority(n, t).expect("valid majority config"),
         ..EngineConfig::default_5()
     }
     .with_batch_size(3)
     .with_pipeline_depth(2)
+    .with_shards(shards)
     .with_durability(DurabilityConfig::new(dir).with_snapshot_every(snapshot_every))
 }
 
@@ -61,12 +64,12 @@ fn random_op(state: &mut u64) -> KvOp {
     }
 }
 
-/// Validates the durable state between incarnations: the snapshot
-/// verifies, the WAL replays cleanly (any torn tail is the crash
-/// artifact `Wal::open` repairs — here we only require the checksummed
-/// prefix to parse), and the records are slot-contiguous past the
-/// snapshot.
-fn check_disk(dir: &Path) {
+/// Validates one shard's durable state between incarnations: the
+/// snapshot verifies, the WAL replays cleanly (any torn tail is the
+/// crash artifact `Wal::open` repairs — here we only require the
+/// checksummed prefix to parse), and the records are slot-contiguous
+/// past the snapshot.
+fn check_shard_disk(dir: &Path) {
     let snap = Snapshot::load(&dir.join("state.snap")).expect("snapshot readable");
     let base = snap.as_ref().map_or(0, |s| s.applied_through);
     let bytes = std::fs::read(dir.join("wal.log")).unwrap_or_default();
@@ -76,9 +79,20 @@ fn check_disk(dir: &Path) {
     }
 }
 
-/// Replays the durable state into a store — the independent disk-side
-/// materialization the final audit is compared against.
-fn disk_store(dir: &Path) -> (u64, BTreeMap<u16, u32>) {
+/// Validates the whole durability root: the manifest records the
+/// expected shard count, and every shard subdirectory passes the
+/// per-shard disk check.
+fn check_disk(root: &Path, shards: usize) {
+    let on_disk = load_manifest(root).expect("manifest readable").expect("manifest present");
+    assert_eq!(on_disk as usize, shards, "manifest records the shard count");
+    for i in 0..shards {
+        check_shard_disk(&shard_dir(root, i as u32));
+    }
+}
+
+/// Replays one shard's durable state into a store — the independent
+/// disk-side materialization the final audit is compared against.
+fn shard_disk_store(dir: &Path) -> (u64, BTreeMap<u16, u32>) {
     let snap =
         Snapshot::load(&dir.join("state.snap")).expect("snapshot readable").unwrap_or_default();
     let mut store = snap.store;
@@ -97,19 +111,35 @@ fn disk_store(dir: &Path) -> (u64, BTreeMap<u16, u32>) {
     (through, store)
 }
 
+/// Merges every shard's disk replay: total applied slots across shards
+/// plus the merged store. Keys are disjoint across shards (the router is
+/// a function of the key), so the merge order cannot matter.
+fn disk_store(root: &Path, shards: usize) -> (u64, BTreeMap<u16, u32>) {
+    let mut total = 0u64;
+    let mut merged = BTreeMap::new();
+    for i in 0..shards {
+        let (through, store) = shard_disk_store(&shard_dir(root, i as u32));
+        total += through;
+        merged.extend(store);
+    }
+    (total, merged)
+}
+
 /// One seeded storm: `phases` incarnations of the engine on the same
-/// durability directory, each killed hard with requests possibly still
-/// in flight, clients replaying their in-doubt ids into the next
+/// durability root, each killed hard with requests possibly still in
+/// flight, clients replaying their in-doubt ids into the next
 /// incarnation. Returns the final (clean-shutdown) audit.
+#[allow(clippy::too_many_arguments)]
 fn run_storm(
     n: usize,
     t: usize,
+    shards: usize,
     phases: usize,
     ops_per_phase: usize,
     seed: u64,
     snapshot_every: u64,
     recovery_delays: DelayModel,
-) -> ServiceAudit {
+) -> ShardedAudit {
     let dir = storm_dir("storm");
     let clients = 3usize;
     let mut state = seed;
@@ -120,7 +150,7 @@ fn run_storm(
 
     let mut final_audit = None;
     for phase in 0..phases {
-        let mut config = cfg(n, t, &dir, snapshot_every);
+        let mut config = cfg(n, t, shards, &dir, snapshot_every);
         if phase > 0 {
             // Recovery may happen while the network is misbehaving.
             config = config.with_delays(recovery_delays);
@@ -172,7 +202,7 @@ fn run_storm(
             drop(sessions);
             drop(raw);
             engine.kill();
-            check_disk(&dir);
+            check_disk(&dir, shards);
         }
     }
 
@@ -180,11 +210,11 @@ fn run_storm(
     audit.check().expect("combined pre/post-restart history audits clean");
 
     // Disk-state divergence check: after the clean shutdown the durable
-    // state, independently replayed, must equal the engine's final
-    // store.
-    let (through, store) = disk_store(&dir);
-    assert_eq!(store, audit.final_store, "disk replay diverges from the engine store");
-    assert_eq!(through, audit.base_slot + audit.slots.len() as u64);
+    // state, independently replayed shard by shard, must equal the
+    // engine's final merged store.
+    let (through, store) = disk_store(&dir, shards);
+    assert_eq!(store, audit.final_store(), "disk replay diverges from the engine store");
+    assert_eq!(through, audit.applied_slots());
 
     std::fs::remove_dir_all(&dir).ok();
     audit
@@ -197,8 +227,8 @@ fn run_storm(
 #[test]
 fn restart_storm_survives_seeded_kill_sequences() {
     for seed in [11u64, 29, 73] {
-        let audit = run_storm(5, 2, 3, 12, seed, 4, DelayModel::Instant);
-        assert!(audit.committed_commands >= 36, "every submitted request committed");
+        let audit = run_storm(5, 2, 1, 3, 12, seed, 4, DelayModel::Instant);
+        assert!(audit.committed_commands() >= 36, "every submitted request committed");
     }
 }
 
@@ -206,9 +236,26 @@ fn restart_storm_survives_seeded_kill_sequences() {
 #[test]
 fn restart_storm_across_group_sizes() {
     for (n, t) in [(3, 1), (5, 2), (7, 3)] {
-        let audit = run_storm(n, t, 2, 8, 1000 + n as u64, 3, DelayModel::Instant);
-        assert_eq!(audit.system.n(), n);
-        assert!(audit.committed_commands >= 16);
+        let audit = run_storm(n, t, 1, 2, 8, 1000 + n as u64, 3, DelayModel::Instant);
+        assert_eq!(audit.shards[0].system.n(), n);
+        assert!(audit.committed_commands() >= 16);
+    }
+}
+
+/// The sharded storm: every incarnation hosts multiple shard groups on
+/// one durability root, the kill lands with requests in flight on
+/// several shards at once, and every shard must recover from its own
+/// subdirectory with exactly-once intact across the whole keyspace.
+#[test]
+fn restart_storm_recovers_every_shard() {
+    for shards in [2usize, 4] {
+        let audit = run_storm(5, 2, shards, 3, 12, 4242 + shards as u64, 4, DelayModel::Instant);
+        assert_eq!(audit.shards.len(), shards);
+        assert!(audit.committed_commands() >= 36, "every submitted request committed");
+        // Keys 0..11 spread over the shards, so with 2+ shards more than
+        // one group must have sequenced work.
+        let busy = audit.shards.iter().filter(|s| s.committed_commands > 0).count();
+        assert!(busy >= 2, "the workload exercised at least two shard groups");
     }
 }
 
@@ -223,7 +270,7 @@ fn recovery_during_asynchrony_stays_correct() {
         probability: 0.4,
         seed: 0xDEC1DE,
     };
-    let audit = run_storm(5, 2, 3, 10, 7, 5, delays);
+    let audit = run_storm(5, 2, 2, 3, 10, 7, 5, delays);
     audit.check().expect("audit clean under recovery asynchrony");
 }
 
@@ -234,13 +281,13 @@ fn recovery_during_asynchrony_stays_correct() {
 #[test]
 fn precrash_ack_is_replayed_from_recovered_sessions() {
     let dir = storm_dir("dedup");
-    let engine = KvEngine::spawn(cfg(5, 2, &dir, 0));
+    let engine = KvEngine::spawn(cfg(5, 2, 1, &dir, 0));
     let mut session = LocalKv::connect(&engine.handle(), ClientId(9));
     let first = session.call_with(RequestId(0), KvOp::Put { key: 2, value: 77 }).expect("acked");
     drop(session);
     engine.kill();
 
-    let engine = KvEngine::spawn(cfg(5, 2, &dir, 0));
+    let engine = KvEngine::spawn(cfg(5, 2, 1, &dir, 0));
     let mut session = LocalKv::connect(&engine.handle(), ClientId(9));
     let replayed =
         session.call_with(RequestId(0), KvOp::Put { key: 2, value: 77 }).expect("acked again");
@@ -249,11 +296,33 @@ fn precrash_ack_is_replayed_from_recovered_sessions() {
     drop(session);
     let audit = engine.shutdown();
     audit.check().expect("audit clean");
-    assert!(audit.dedup_hits >= 1, "the replay was a dedup hit");
-    assert_eq!(audit.committed_commands, 2, "the put applied exactly once");
+    assert!(audit.dedup_hits() >= 1, "the replay was a dedup hit");
+    assert_eq!(audit.committed_commands(), 2, "the put applied exactly once");
     match after.outcome {
         indulgent_server::Outcome::Get { value, .. } => assert_eq!(value, Some(77)),
         other => panic!("expected a get outcome, found {other:?}"),
     }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Boot refusal on a shard-count mismatch: a durability root laid out
+/// for S shards (recorded in the fsynced manifest) must not be
+/// reinterpreted by an engine configured for a different count — slot
+/// histories and session tables would be split across the wrong groups.
+/// The driver panics instead of booting; the panic surfaces at
+/// `shutdown`.
+#[test]
+fn boot_refuses_shard_count_mismatch() {
+    let dir = storm_dir("mismatch");
+    let engine = KvEngine::spawn(cfg(5, 2, 2, &dir, 0));
+    let mut session = LocalKv::connect(&engine.handle(), ClientId(1));
+    session.call_with(RequestId(0), KvOp::Put { key: 3, value: 30 }).expect("acked");
+    drop(session);
+    let audit = engine.shutdown();
+    audit.check().expect("audit clean");
+
+    let engine = KvEngine::spawn(cfg(5, 2, 4, &dir, 0));
+    let refused = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| engine.shutdown()));
+    assert!(refused.is_err(), "booting 4 shards on a 2-shard layout must refuse");
     std::fs::remove_dir_all(&dir).ok();
 }

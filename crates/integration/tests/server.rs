@@ -63,8 +63,8 @@ fn local_and_remote_layers_answer_identically() {
     remote_audit.check().expect("remote audit");
 
     assert_eq!(local_responses, remote_responses, "the transport must add no semantics");
-    assert_eq!(local_audit.committed_commands, remote_audit.committed_commands);
-    assert_eq!(local_audit.final_store, remote_audit.final_store);
+    assert_eq!(local_audit.committed_commands(), remote_audit.committed_commands());
+    assert_eq!(local_audit.final_store(), remote_audit.final_store());
 }
 
 /// The value a response answered, whatever path served it (`None` for
@@ -92,7 +92,7 @@ fn lease_reads_are_transport_and_mode_transparent() {
     drop(local);
     let local_audit = local_server.shutdown();
     local_audit.check().expect("local lease audit");
-    assert!(!local_audit.fast_reads.is_empty(), "the workload exercised the fast path");
+    assert!(!local_audit.fast_reads().is_empty(), "the workload exercised the fast path");
 
     let remote_server = KvServer::bind("127.0.0.1:0", leased()).expect("bind");
     let mut remote = RemoteKv::connect(remote_server.addr(), ClientId(42)).expect("connect");
@@ -126,8 +126,9 @@ fn lease_state_is_queryable_over_the_wire() {
     let mut kv = RemoteKv::connect(addr, ClientId(9)).expect("connect");
     kv.put(3, 33).expect("put");
     kv.get(3).expect("get");
-    let status = remote_lease_state(addr, Duration::from_secs(5)).expect("lease state");
+    let status = remote_lease_state(addr, 0, Duration::from_secs(5)).expect("lease state");
     assert_eq!(status.mode, ReadPath::Lease.as_wire());
+    assert_eq!((status.shard, status.shards), (0, 1));
     assert!(status.epoch >= 1, "an epoch was burned before serving");
     assert!(
         status.reads_lease + status.reads_quorum >= 1,
@@ -174,8 +175,8 @@ fn killed_client_reconnect_applies_exactly_once() {
     let audit = server.shutdown();
     audit.check().expect("audit clean");
     // 4 sessions x (1 put applied once + 1 get).
-    assert_eq!(audit.committed_commands, 8, "no replayed put applied twice");
-    assert_eq!(audit.duplicate_applies, 0);
+    assert_eq!(audit.committed_commands(), 8, "no replayed put applied twice");
+    assert_eq!(audit.duplicate_applies(), 0);
 }
 
 /// A connection that sends garbage (a non-protocol frame) is dropped
@@ -200,7 +201,7 @@ fn garbage_frames_drop_the_connection_not_the_server() {
     drop(kv);
     let audit = server.shutdown();
     audit.check().expect("audit clean");
-    assert_eq!(audit.committed_commands, 1);
+    assert_eq!(audit.committed_commands(), 1);
 }
 
 /// Retries racing their own first submission (duplicate ids sent while
@@ -231,8 +232,8 @@ fn in_flight_duplicates_collapse_to_one_slot() {
 
     let audit = server.shutdown();
     audit.check().expect("audit clean");
-    assert_eq!(audit.committed_commands, 1, "one slot for five duplicate submissions");
-    assert!(audit.dedup_hits >= 4, "the in-flight duplicates were absorbed");
+    assert_eq!(audit.committed_commands(), 1, "one slot for five duplicate submissions");
+    assert!(audit.dedup_hits() >= 4, "the in-flight duplicates were absorbed");
 }
 
 /// Sessions on both layers interleave against one server and every
@@ -264,5 +265,84 @@ fn mixed_local_and_remote_sessions_stay_linearizable() {
 
     let audit = server.shutdown();
     audit.check().expect("linearizability-by-replay holds across mixed layers");
-    assert_eq!(audit.committed_commands, 80);
+    assert_eq!(audit.committed_commands(), 80);
+}
+
+/// The cross-shard differential: the same seeded multi-key workload
+/// routed through 1, 2, and 4 shard groups materializes byte-identical
+/// KV stores and answers every per-key read with the same value. Slots
+/// are per-shard and so differ across shard counts; the *values* — the
+/// linearized answers — may not.
+#[test]
+fn sharded_runs_match_single_group_key_for_key() {
+    let ops: Vec<KvOp> = (0..60u64)
+        .map(|i| {
+            let key = (i * 29 % 23) as u16;
+            if i % 3 == 0 {
+                KvOp::Get { key }
+            } else {
+                KvOp::Put { key, value: 5_000 + i as u32 }
+            }
+        })
+        .collect();
+
+    let mut runs = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let config = deterministic().with_shards(shards);
+        let server = KvServer::bind("127.0.0.1:0", config).expect("bind");
+        let mut kv = RemoteKv::connect(server.addr(), ClientId(7)).expect("connect");
+        let responses = drive(&mut kv, &ops);
+        drop(kv);
+        let audit = server.shutdown();
+        audit.check().expect("sharded audit clean");
+        assert_eq!(audit.shards.len(), shards);
+        runs.push((shards, responses, audit.final_store(), audit.committed_commands()));
+    }
+
+    let (_, baseline_responses, baseline_store, baseline_committed) = &runs[0];
+    for (shards, responses, store, committed) in &runs[1..] {
+        assert_eq!(
+            store, baseline_store,
+            "{shards}-shard run materializes a different store than the single group"
+        );
+        assert_eq!(committed, baseline_committed);
+        for (op, (sharded, single)) in ops.iter().zip(responses.iter().zip(baseline_responses)) {
+            assert_eq!(
+                value_of(sharded),
+                value_of(single),
+                "{op:?} answered differently through {shards} shards"
+            );
+        }
+    }
+}
+
+/// Counts this process's live threads via /proc — the shard scaling
+/// claim depends on S shards *sharing* one session worker pool, not
+/// spawning S of them.
+#[cfg(target_os = "linux")]
+fn live_threads() -> usize {
+    std::fs::read_dir("/proc/self/task").expect("proc readable").count()
+}
+
+/// S shards must not cost S thread pools: the engine multiplexes every
+/// shard group onto one replica session, so the thread bill for
+/// `--shards 4` equals the bill for `--shards 1`.
+#[cfg(target_os = "linux")]
+#[test]
+fn shards_share_one_worker_pool() {
+    let delta_for = |shards: usize| {
+        let before = live_threads();
+        let server =
+            KvServer::bind("127.0.0.1:0", deterministic().with_shards(shards)).expect("bind");
+        let mut kv = LocalKv::connect(&server.engine(), ClientId(3));
+        kv.put(1, 10).expect("put");
+        // Threads are all up once a command has committed.
+        let during = live_threads();
+        drop(kv);
+        server.shutdown().check().expect("audit clean");
+        during - before
+    };
+    let one = delta_for(1);
+    let four = delta_for(4);
+    assert_eq!(four, one, "4 shards spawned extra threads over 1 shard ({four} vs {one})");
 }

@@ -5,17 +5,20 @@
 //! survive the kill and the next start recovers from them).
 //!
 //! ```text
-//! indulgent_server [ADDR] [BATCH] [DEPTH] [--dir DIR] [--snapshot-every N] [--reads MODE]
+//! indulgent_server [ADDR] [BATCH] [DEPTH] [--dir DIR] [--snapshot-every N] [--reads MODE] [--shards S]
 //! ```
 //!
 //! * `ADDR`  — listen address (default `127.0.0.1:7171`; port 0 picks an
 //!   ephemeral port and prints it)
 //! * `BATCH` — commands per batch (default 8)
 //! * `DEPTH` — pipeline depth (default 4)
-//! * `--dir DIR` — durability directory (WAL + snapshots); omitting it
-//!   runs the server in-memory, as before
+//! * `--dir DIR` — durability root (per-shard WAL + snapshots under
+//!   `shard-<i>/`); omitting it runs the server in-memory, as before
 //! * `--snapshot-every N` — checkpoint cadence in slots (default 256;
 //!   only meaningful with `--dir`)
+//! * `--shards S` — number of independent shard groups the keyspace is
+//!   hash-partitioned across (default 1); with `--dir` the root must
+//!   have been laid out for the same count
 //! * `--reads MODE` — read path: `lease` (default; leader-lease fast
 //!   reads with quorum/sequenced fallback), `quorum` (attest every read
 //!   batch, no lease), or `log` (sequence every read — the pre-lease
@@ -30,10 +33,18 @@ fn main() {
     let mut dir: Option<String> = None;
     let mut snapshot_every: u64 = 256;
     let mut reads = ReadPath::Lease;
+    let mut shards: usize = 1;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--dir" => dir = Some(argv.next().expect("--dir needs a path")),
+            "--shards" => {
+                shards = argv
+                    .next()
+                    .expect("--shards needs a count")
+                    .parse()
+                    .expect("--shards must be a positive integer");
+            }
             "--snapshot-every" => {
                 snapshot_every = argv
                     .next()
@@ -60,14 +71,15 @@ fn main() {
     let mut config = EngineConfig::default_5()
         .with_batch_size(batch)
         .with_pipeline_depth(depth)
-        .with_reads(reads);
+        .with_reads(reads)
+        .with_shards(shards);
     if let Some(dir) = &dir {
         config =
             config.with_durability(DurabilityConfig::new(dir).with_snapshot_every(snapshot_every));
     }
     let server = KvServer::bind(&addr, config).expect("bind listener");
     println!(
-        "indulgent_server listening on {} (n=5 t=2, batch {batch}, pipeline depth {depth}, reads {reads:?}{})",
+        "indulgent_server listening on {} (n=5 t=2, batch {batch}, pipeline depth {depth}, reads {reads:?}, shards {shards}{})",
         server.addr(),
         dir.as_deref().map_or_else(String::new, |d| format!(", durable in {d}")),
     );

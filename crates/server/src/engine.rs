@@ -1,8 +1,11 @@
-//! The replicated service engine: one event loop from intake to ack.
+//! The replicated service engine: one shard-multiplexing event loop
+//! from intake to ack.
 //!
 //! The engine owns the service's entire command path. Requests arrive
 //! from connections (socket readers or in-process [`crate::LocalKv`]
-//! sessions) on an intake channel; the engine's driver thread
+//! sessions) on an intake channel; the engine's driver thread routes
+//! each request to the shard group owning its key (see the
+//! [sharding](#sharded-log-groups) section) and, per shard,
 //!
 //! 1. **deduplicates** each `(ClientId, RequestId)` against the decided
 //!    log — an applied request is re-acknowledged from the cache, an
@@ -23,6 +26,25 @@
 //!    `fdatasync`s it **before** any acknowledgement leaves, records the
 //!    ack in the dedup cache, and pushes it to the submitting
 //!    connection.
+//!
+//! # Sharded log groups
+//!
+//! Single-key commands on different keys never need a shared total
+//! order, so the keyspace is partitioned across `shards` independent
+//! log pipelines by the fixed [`ShardRouter`] hash. Each shard owns a
+//! full stack — its own [`ClientFrontend`] batching, slot space, store
+//! slice, dedup table, read ladder, WAL + snapshot subdirectory, and
+//! lease — but all shards multiplex over the *one* replica session, so
+//! S shards share one worker pool instead of spawning S of them.
+//! Session instance ids are global; the driver keeps a routing table
+//! from instance id to `(shard, local instance)` and feeds each replica
+//! result back to the shard that proposed it. Acks carry the owning
+//! shard: the linearization point is `(shard, slot)`, and per-connection
+//! session order is per-shard slot monotonicity. Exactly-once dedup is
+//! untouched by sharding because a `(ClientId, RequestId)` pair names
+//! one key, and a key always routes to the same shard. Cross-shard
+//! operations (multi-key transactions) are out of scope — nothing
+//! orders two shards' logs against each other.
 //!
 //! # Crash recovery
 //!
@@ -84,13 +106,17 @@ use crate::lease::{self, LeaderLease, LeaseConfig, ReadPath, ReplicaLeaseAgent};
 use crate::proto::{
     AuditSummary, KvOp, LeaseFrame, LeaseStatus, Outcome, Request, Response, SyncFrame,
 };
+use crate::shard::{shard_dir, ShardRouter, ShardedAudit};
 use crate::snapshot::{SessionEntry, Snapshot};
 use crate::wal::{Wal, WalTail};
 
 /// Where and how often the engine persists its state.
 #[derive(Debug, Clone)]
 pub struct DurabilityConfig {
-    /// Directory holding `wal.log` and `state.snap`.
+    /// The durability *root*: holds the fsynced `shards.manifest`
+    /// recording the shard count, and one `shard-<i>/` subdirectory per
+    /// shard group, each with its own `wal.log`, `state.snap`, and
+    /// `lease.epoch`.
     pub dir: PathBuf,
     /// Checkpoint (snapshot + WAL/in-memory prefix truncation) every
     /// this many applied slots past the last checkpoint; `0` defers the
@@ -146,6 +172,11 @@ pub struct EngineConfig {
     /// Lease timing (TTL, renew cadence, safety margin); only consulted
     /// when `reads` is not `Sequenced`.
     pub lease: LeaseConfig,
+    /// How many shard groups partition the keyspace. Each shard owns an
+    /// independent log pipeline (frontend, slot space, WAL, lease), all
+    /// multiplexed over the *one* replica session's worker pool — S
+    /// shards do not spawn S thread pools.
+    pub shards: usize,
 }
 
 impl EngineConfig {
@@ -170,6 +201,7 @@ impl EngineConfig {
             durability: None,
             reads: ReadPath::Sequenced,
             lease: LeaseConfig::default(),
+            shards: 1,
         }
     }
 
@@ -217,6 +249,19 @@ impl EngineConfig {
         self.lease = lease;
         self
     }
+
+    /// Sets the shard-group count (the `--shards` flag).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or does not fit the wire's `u32`.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards >= 1, "a service runs at least one shard");
+        assert!(u32::try_from(shards).is_ok(), "shard count fits the wire format");
+        self.shards = shards;
+        self
+    }
 }
 
 /// Identifier of one connection registered with the engine (a socket on
@@ -254,17 +299,21 @@ enum EngineMsg {
         conn: ConnId,
         request: Request,
     },
-    /// Stream durable state (snapshot + catch-up records) to `conn`.
+    /// Stream one shard's durable state (snapshot + catch-up records) to
+    /// `conn`.
     Sync {
         conn: ConnId,
+        shard: u32,
     },
-    /// Run the replay audit and reply its summary to `conn`.
+    /// Run the replay audit (all shards, cross-shard checks included)
+    /// and reply its summary to `conn`.
     Audit {
         conn: ConnId,
     },
-    /// Reply the current lease / read-path state to `conn`.
+    /// Reply one shard's lease / read-path state to `conn`.
     LeaseState {
         conn: ConnId,
+        shard: u32,
     },
     Shutdown,
     /// Hard-crash: exit immediately, no drain, no final snapshot.
@@ -314,11 +363,12 @@ impl SubmitHandle {
         self.intake.send(EngineMsg::Submit { conn: self.conn, request }).is_ok()
     }
 
-    /// Asks the engine to stream its durable state to this connection as
-    /// control frames (the rejoin transfer); `false` if the engine has
-    /// shut down.
-    pub fn request_sync(&self) -> bool {
-        self.intake.send(EngineMsg::Sync { conn: self.conn }).is_ok()
+    /// Asks the engine to stream one shard's durable state to this
+    /// connection as control frames (the per-shard rejoin transfer);
+    /// `false` if the engine has shut down. A request naming a shard the
+    /// service does not run is dropped (no reply).
+    pub fn request_sync(&self, shard: u32) -> bool {
+        self.intake.send(EngineMsg::Sync { conn: self.conn, shard }).is_ok()
     }
 
     /// Asks the engine to run the replay audit and reply a summary
@@ -327,11 +377,12 @@ impl SubmitHandle {
         self.intake.send(EngineMsg::Audit { conn: self.conn }).is_ok()
     }
 
-    /// Asks the engine to reply a [`LeaseStatus`] control frame —
-    /// the lease-state observability hook; `false` if the engine has
-    /// shut down.
-    pub fn request_lease_state(&self) -> bool {
-        self.intake.send(EngineMsg::LeaseState { conn: self.conn }).is_ok()
+    /// Asks the engine to reply one shard's [`LeaseStatus`] control
+    /// frame — the lease-state observability hook; `false` if the engine
+    /// has shut down. A request naming a shard the service does not run
+    /// is dropped (no reply).
+    pub fn request_lease_state(&self, shard: u32) -> bool {
+        self.intake.send(EngineMsg::LeaseState { conn: self.conn, shard }).is_ok()
     }
 }
 
@@ -403,6 +454,10 @@ pub struct FastReadRecord {
 pub struct ServiceAudit {
     /// The replica group.
     pub system: SystemConfig,
+    /// The shard group this audit covers (its slot space, store slice,
+    /// and lease are all shard-local; [`crate::ShardedAudit`] adds the
+    /// cross-shard checks).
+    pub shard: u32,
     /// Slots `<= base_slot` are folded into the base (checkpointed
     /// before this audit's retained history begins).
     pub base_slot: u64,
@@ -522,6 +577,29 @@ pub enum AuditViolation {
         /// How many folded reads failed replay.
         count: u64,
     },
+    /// A command or fast read landed on a shard its key does not route
+    /// to under the service's [`crate::ShardRouter`].
+    ShardRouting {
+        /// The shard that served the key.
+        shard: u32,
+        /// The misrouted key.
+        key: u16,
+    },
+    /// A `(client, request)` pair appears in more than one shard's
+    /// history — the cross-shard exactly-once space is not disjoint.
+    CrossShardDuplicate {
+        /// The submitting session.
+        client: ClientId,
+        /// The duplicated request number.
+        request: RequestId,
+    },
+    /// A per-shard audit carries the wrong shard label for its position.
+    ShardMislabel {
+        /// The label the audit carries.
+        shard: u32,
+        /// The shard it actually sits at.
+        expected: u32,
+    },
 }
 
 impl fmt::Display for AuditViolation {
@@ -562,6 +640,15 @@ impl fmt::Display for AuditViolation {
             }
             AuditViolation::FoldedReadMismatches { count } => {
                 write!(f, "{count} checkpoint-folded fast reads failed replay verification")
+            }
+            AuditViolation::ShardRouting { shard, key } => {
+                write!(f, "key {key} was served by shard {shard}, which it does not route to")
+            }
+            AuditViolation::CrossShardDuplicate { client, request } => {
+                write!(f, "{client}/{request} appears in more than one shard's history")
+            }
+            AuditViolation::ShardMislabel { shard, expected } => {
+                write!(f, "audit labeled shard {shard} sits at shard position {expected}")
             }
         }
     }
@@ -667,7 +754,8 @@ impl ServiceAudit {
                         Outcome::Get { slot: rec.slot, value: store.get(&key).copied() }
                     }
                 };
-                let replayed = Response { request: ack.request, outcome: expected };
+                let replayed =
+                    Response { request: ack.request, shard: self.shard, outcome: expected };
                 if replayed != ack.response {
                     return Err(AuditViolation::ResponseMismatch {
                         slot: rec.slot,
@@ -728,7 +816,7 @@ struct PendingRead {
 #[derive(Debug)]
 pub struct KvEngine {
     handle: EngineHandle,
-    driver: JoinHandle<ServiceAudit>,
+    driver: JoinHandle<ShardedAudit>,
 }
 
 impl KvEngine {
@@ -749,14 +837,15 @@ impl KvEngine {
     }
 
     /// Shuts the engine down: seals and sequences everything still
-    /// queued, waits for all in-flight instances, checkpoints (when
-    /// durable), then returns the audit.
+    /// queued, waits for all in-flight instances, checkpoints every
+    /// shard (when durable), then returns the service-wide audit.
     ///
     /// # Panics
     ///
-    /// Panics if the driver thread panicked (e.g. the stall watchdog).
+    /// Panics if the driver thread panicked (e.g. the stall watchdog, or
+    /// a boot-time shard-count refusal).
     #[must_use]
-    pub fn shutdown(self) -> ServiceAudit {
+    pub fn shutdown(self) -> ShardedAudit {
         let _ = self.handle.intake.send(EngineMsg::Shutdown);
         self.driver.join().expect("engine driver panicked")
     }
@@ -832,253 +921,361 @@ fn verify_fast_reads(
     mismatches + (records.len() - cursor) as u64
 }
 
-/// The driver thread: the event loop described in the module docs.
-#[allow(clippy::too_many_lines)]
-fn drive(cfg: &EngineConfig, intake: &Receiver<EngineMsg>) -> ServiceAudit {
-    let n = cfg.system.n();
-    // A recycling session: retired slot automatons are reset in place
-    // for later instances instead of being rebuilt per slot.
-    let mut session: Session<AtSlot> = Session::with_recycler(
-        cfg.system,
-        cfg.grace,
-        at_plus2_factory(cfg.system),
-        at_plus2_reset(),
-    );
-    let spec =
-        InstanceSpec { crashes: vec![None; n], delays: cfg.delays, max_rounds: cfg.max_rounds };
+/// Routing entry of one in-flight consensus instance. The shared
+/// session numbers instances globally across shards, so the driver maps
+/// each id back to the shard that proposed it and the shard-local
+/// instance number (= slot offset) it occupies.
+struct InstanceRoute {
+    shard: usize,
+    local: u64,
+    arrivals: usize,
+}
 
-    let mut conns: HashMap<ConnId, Sender<Outbound>> = HashMap::new();
-    let mut meta: HashMap<CommandId, CmdMeta> = HashMap::new();
-    let mut dedup: HashMap<(ClientId, RequestId), DedupState> = HashMap::new();
-    let mut ready: VecDeque<BatchId> = VecDeque::new();
-    let mut first_decisions: BTreeMap<u64, Decision> = BTreeMap::new();
-    let mut results: BTreeMap<u64, Vec<Option<Decision>>> = BTreeMap::new();
-    let mut results_seen = 0u64;
+/// Absorbs one replica result into its shard's decision tables. The
+/// route entry is dropped once all `n` replicas have reported — the id
+/// can never arrive again.
+fn absorb_result(
+    shards: &mut [ShardState],
+    routes: &mut HashMap<u64, InstanceRoute>,
+    n: usize,
+    r: &indulgent_runtime::ReplicaResult,
+) {
+    let route = routes.get_mut(&r.instance).expect("replica result routes to a started instance");
+    let sh = &mut shards[route.shard];
+    sh.results_seen += 1;
+    let row = sh.results.entry(route.local).or_insert_with(|| vec![None; n]);
+    row[r.replica.index()] = r.decision;
+    if let Some(d) = r.decision {
+        sh.first_decisions.entry(route.local).or_insert(d);
+    }
+    route.arrivals += 1;
+    if route.arrivals == n {
+        routes.remove(&r.instance);
+    }
+}
 
-    let mut store: BTreeMap<u16, u32> = BTreeMap::new();
-    let mut applied_batches: HashSet<BatchId> = HashSet::new();
-    let mut slots: Vec<SlotRecord> = Vec::new();
-    let mut proposals: Vec<BatchId> = Vec::new();
-    let mut committed_commands = 0u64;
-    let mut dedup_hits = 0u64;
-    let mut duplicate_applies = 0u64;
+/// One shard group: a full independent service stack — batching
+/// frontend, slot space, store slice, dedup table, read ladder, WAL +
+/// snapshots, and lease — multiplexed with its siblings over the one
+/// shared replica session.
+struct ShardState {
+    idx: u32,
+    frontend: ClientFrontend,
+    meta: HashMap<CommandId, CmdMeta>,
+    dedup: HashMap<(ClientId, RequestId), DedupState>,
+    ready: VecDeque<BatchId>,
+    /// First decisions keyed by shard-local instance number (1-based).
+    first_decisions: BTreeMap<u64, Decision>,
+    /// Per-local-instance, per-replica decisions.
+    results: BTreeMap<u64, Vec<Option<Decision>>>,
+    results_seen: u64,
+    store: BTreeMap<u16, u32>,
+    applied_batches: HashSet<BatchId>,
+    slots: Vec<SlotRecord>,
+    proposals: Vec<BatchId>,
+    committed_commands: u64,
+    dedup_hits: u64,
+    duplicate_applies: u64,
+    pending_reads: VecDeque<PendingRead>,
+    fast_read_records: Vec<FastReadRecord>,
+    folded_fast_reads: u64,
+    fast_read_mismatches: u64,
+    reads_lease: u64,
+    reads_quorum: u64,
+    reads_sequenced: u64,
+    base_slot: u64,
+    base_store: BTreeMap<u16, u32>,
+    base_sessions: Vec<SessionEntry>,
+    base_commands: u64,
+    base_next_batch: u64,
+    durable: Option<Durable>,
+    lease_epoch: u64,
+    agents: Vec<ReplicaLeaseAgent>,
+    lease: Option<LeaderLease>,
+    /// Slot arithmetic across incarnations: this incarnation's local
+    /// instance `i` occupies shard slot `slot_base + i`.
+    slot_base: u64,
+    live_from: u64,
+    started: u64,
+    applied_through: u64,
+    open_since: Option<Instant>,
+}
 
-    // The read ladder's state: the reads waiting for the fast path, the
-    // serve counters, and the audit's fast-read records.
-    let read_path = cfg.reads;
-    let mut pending_reads: VecDeque<PendingRead> = VecDeque::new();
-    let mut fast_read_records: Vec<FastReadRecord> = Vec::new();
-    let mut folded_fast_reads = 0u64;
-    let mut fast_read_mismatches = 0u64;
-    let mut reads_lease = 0u64;
-    let mut reads_quorum = 0u64;
-    let mut reads_sequenced = 0u64;
-
-    // The audit base: state folded into the last checkpoint.
-    let mut base_slot = 0u64;
-    let mut base_store: BTreeMap<u16, u32> = BTreeMap::new();
-    let mut base_sessions: Vec<SessionEntry> = Vec::new();
-    let mut base_commands = 0u64;
-    let mut base_next_batch = 0u64;
-    let mut next_batch_seed = 0u64;
-
-    // Recovery: re-hydrate snapshot + WAL into the pre-loop state.
-    let mut durable = cfg.durability.as_ref().map(|d| {
-        std::fs::create_dir_all(&d.dir).expect("durability directory is creatable");
-        let snap_path = d.dir.join("state.snap");
-        let snap = Snapshot::load(&snap_path)
-            .expect("snapshot loads (corruption must fail loudly, not boot empty)")
-            .unwrap_or_default();
-        base_slot = snap.applied_through;
-        base_next_batch = snap.next_batch;
-        base_commands = snap.committed;
-        base_store.clone_from(&snap.store);
-        base_sessions.clone_from(&snap.sessions);
-        store = snap.store;
-        committed_commands = snap.committed;
-        next_batch_seed = snap.next_batch;
-        for s in &snap.sessions {
-            dedup.insert((s.client, s.request), DedupState::Applied(s.response));
-        }
-        let (wal, replay) =
-            Wal::open(&d.dir.join("wal.log")).expect("wal replays (torn tails self-repair)");
-        assert!(
-            !matches!(replay.tail, WalTail::Corrupt { .. }),
-            "wal is bit-rotten ({:?}): refusing to serve from damaged state",
-            replay.tail
-        );
-        for rec in replay.records {
-            if rec.slot <= base_slot {
-                // Already folded into the snapshot (a crash between
-                // snapshot write and WAL reset leaves this overlap).
-                continue;
+impl ShardState {
+    /// Recovers one shard from its `shard-<idx>/` durability
+    /// subdirectory (or boots it fresh without durability): snapshot +
+    /// WAL re-hydration, then the lease-epoch burn — exactly the
+    /// single-group recovery path, rooted one directory deeper.
+    fn recover(idx: u32, cfg: &EngineConfig) -> ShardState {
+        let n = cfg.system.n();
+        let mut dedup: HashMap<(ClientId, RequestId), DedupState> = HashMap::new();
+        let mut store: BTreeMap<u16, u32> = BTreeMap::new();
+        let mut applied_batches: HashSet<BatchId> = HashSet::new();
+        let mut slots: Vec<SlotRecord> = Vec::new();
+        let mut committed_commands = 0u64;
+        let mut base_slot = 0u64;
+        let mut base_store: BTreeMap<u16, u32> = BTreeMap::new();
+        let mut base_sessions: Vec<SessionEntry> = Vec::new();
+        let mut base_commands = 0u64;
+        let mut base_next_batch = 0u64;
+        let mut next_batch_seed = 0u64;
+        let durable = cfg.durability.as_ref().map(|d| {
+            let dir = shard_dir(&d.dir, idx);
+            std::fs::create_dir_all(&dir).expect("shard durability directory is creatable");
+            let snap_path = dir.join("state.snap");
+            let snap = Snapshot::load(&snap_path)
+                .expect("snapshot loads (corruption must fail loudly, not boot empty)")
+                .unwrap_or_default();
+            base_slot = snap.applied_through;
+            base_next_batch = snap.next_batch;
+            base_commands = snap.committed;
+            base_store.clone_from(&snap.store);
+            base_sessions.clone_from(&snap.sessions);
+            store = snap.store;
+            committed_commands = snap.committed;
+            next_batch_seed = snap.next_batch;
+            for s in &snap.sessions {
+                dedup.insert((s.client, s.request), DedupState::Applied(s.response));
             }
-            assert_eq!(
-                rec.slot,
-                base_slot + slots.len() as u64 + 1,
-                "wal records are slot-contiguous past the snapshot"
+            let (wal, replay) =
+                Wal::open(&dir.join("wal.log")).expect("wal replays (torn tails self-repair)");
+            assert!(
+                !matches!(replay.tail, WalTail::Corrupt { .. }),
+                "shard {idx} wal is bit-rotten ({:?}): refusing to serve from damaged state",
+                replay.tail
             );
-            for ack in &rec.commands {
-                if let KvOp::Put { key, value } = ack.op {
-                    store.insert(key, value);
+            for rec in replay.records {
+                if rec.slot <= base_slot {
+                    // Already folded into the snapshot (a crash between
+                    // snapshot write and WAL reset leaves this overlap).
+                    continue;
                 }
-                dedup.insert((ack.client, ack.request), DedupState::Applied(ack.response));
-                committed_commands += 1;
+                assert_eq!(
+                    rec.slot,
+                    base_slot + slots.len() as u64 + 1,
+                    "wal records are slot-contiguous past the snapshot"
+                );
+                for ack in &rec.commands {
+                    if let KvOp::Put { key, value } = ack.op {
+                        store.insert(key, value);
+                    }
+                    dedup.insert((ack.client, ack.request), DedupState::Applied(ack.response));
+                    committed_commands += 1;
+                }
+                next_batch_seed = next_batch_seed.max(rec.batch.0 + 1);
+                applied_batches.insert(rec.batch);
+                slots.push(rec);
             }
-            next_batch_seed = next_batch_seed.max(rec.batch.0 + 1);
-            applied_batches.insert(rec.batch);
-            slots.push(rec);
+            Durable { wal, snap_path, every: d.snapshot_every }
+        });
+
+        // Lease bootstrap: burn a strictly newer epoch to the shard's
+        // own directory BEFORE serving anything, so a previous
+        // incarnation's grants can never be mistaken for this one's.
+        let lease_epoch = if cfg.reads == ReadPath::Sequenced {
+            0
+        } else if let Some(d) = cfg.durability.as_ref() {
+            let dir = shard_dir(&d.dir, idx);
+            let epoch =
+                lease::load_epoch(&dir).expect("lease epoch loads (corruption fails loudly)") + 1;
+            lease::store_epoch(&dir, epoch).expect("lease epoch burns before serving");
+            epoch
+        } else {
+            1
+        };
+        let agents = (0..n)
+            .map(|i| ReplicaLeaseAgent::new(u32::try_from(i).expect("replica index")))
+            .collect();
+        let lease = (lease_epoch > 0).then(|| {
+            LeaderLease::new(lease_epoch, lease::fresh_holder(), n, cfg.system.quorum(), cfg.lease)
+        });
+
+        let slot_base = base_slot + slots.len() as u64;
+        ShardState {
+            idx,
+            frontend: ClientFrontend::resume_from(n, cfg.batch_size, next_batch_seed)
+                .with_intake(IntakePolicy::Shared),
+            meta: HashMap::new(),
+            dedup,
+            ready: VecDeque::new(),
+            first_decisions: BTreeMap::new(),
+            results: BTreeMap::new(),
+            results_seen: 0,
+            store,
+            applied_batches,
+            slots,
+            proposals: Vec::new(),
+            committed_commands,
+            dedup_hits: 0,
+            duplicate_applies: 0,
+            pending_reads: VecDeque::new(),
+            fast_read_records: Vec::new(),
+            folded_fast_reads: 0,
+            fast_read_mismatches: 0,
+            reads_lease: 0,
+            reads_quorum: 0,
+            reads_sequenced: 0,
+            base_slot,
+            base_store,
+            base_sessions,
+            base_commands,
+            base_next_batch,
+            durable,
+            lease_epoch,
+            agents,
+            lease,
+            slot_base,
+            live_from: slot_base + 1,
+            started: 0,
+            applied_through: slot_base,
+            open_since: None,
         }
-        Durable { wal, snap_path, every: d.snapshot_every }
-    });
+    }
 
-    // Lease bootstrap: burn a strictly newer epoch to disk BEFORE
-    // serving anything, so a previous incarnation's grants can never be
-    // mistaken for ours (crash recovery cannot resurrect a stale
-    // fast-read privilege). Without durability the service is
-    // crash-stop and a fixed epoch 1 suffices.
-    let lease_epoch = if read_path == ReadPath::Sequenced {
-        0
-    } else if let Some(d) = cfg.durability.as_ref() {
-        let epoch =
-            lease::load_epoch(&d.dir).expect("lease epoch loads (corruption fails loudly)") + 1;
-        lease::store_epoch(&d.dir, epoch).expect("lease epoch burns before serving");
-        epoch
-    } else {
-        1
-    };
-    // The replica-side lease agents. The replica group is in-process
-    // (threads on one session), so lease traffic crosses the protocol
-    // boundary as encoded [`LeaseFrame`]s — the same bytes a networked
-    // group would exchange — but is delivered by function call.
-    let mut agents: Vec<ReplicaLeaseAgent> =
-        (0..n).map(|i| ReplicaLeaseAgent::new(u32::try_from(i).expect("replica index"))).collect();
-    let mut lease_state = (lease_epoch > 0).then(|| {
-        LeaderLease::new(lease_epoch, lease::fresh_holder(), n, cfg.system.quorum(), cfg.lease)
-    });
+    /// Consensus instances in flight for this shard.
+    fn in_flight(&self) -> u64 {
+        self.started - (self.applied_through - self.slot_base)
+    }
 
-    // Slot arithmetic across incarnations: the fresh session numbers
-    // instances from 1, so slot = slot_base + instance.
-    let slot_base = base_slot + slots.len() as u64;
-    let live_from = slot_base + 1;
-    // The frontend is the batching + dissemination layer; the engine is
-    // its only sequencer, so `Shared` intake and the `pop_sealed` cursor
-    // are the whole proposal policy. Resuming past the durable batch-id
-    // high-water mark keeps ids unique across incarnations.
-    let mut frontend = ClientFrontend::resume_from(n, cfg.batch_size, next_batch_seed)
-        .with_intake(IntakePolicy::Shared);
+    /// Nothing queued, in flight, or unreported: the shard is at rest
+    /// (drained for shutdown, auditable for the replay check).
+    fn quiesced(&self, n: u64) -> bool {
+        self.in_flight() == 0
+            && self.results_seen == self.started * n
+            && self.frontend.open_len() == 0
+            && self.ready.is_empty()
+            && self.pending_reads.is_empty()
+    }
 
-    let mut started = 0u64;
-    let mut applied_through = slot_base;
-    let mut open_since: Option<Instant> = None;
-    let mut shutting_down = false;
-    let mut died = false;
-    let mut last_progress = Instant::now();
-    let mut sync_reqs: Vec<ConnId> = Vec::new();
-    let mut audit_reqs: Vec<ConnId> = Vec::new();
-    let mut lease_reqs: Vec<ConnId> = Vec::new();
-
-    loop {
-        // 1. Drain intake.
-        loop {
-            match intake.try_recv() {
-                Ok(EngineMsg::Register { conn, tx }) => {
-                    conns.insert(conn, tx);
+    /// The submit path: exactly-once dedup, fast-read parking, batching.
+    /// `read_path` is the caller's rung — the intake passes the
+    /// configured path, the read ladder's demotion passes `Sequenced`.
+    fn submit(
+        &mut self,
+        conns: &HashMap<ConnId, Sender<Outbound>>,
+        conn: ConnId,
+        request: Request,
+        read_path: ReadPath,
+    ) -> bool {
+        let key = (request.client, request.request);
+        match self.dedup.get_mut(&key) {
+            Some(DedupState::Applied(resp)) => {
+                self.dedup_hits += 1;
+                if let Some(tx) = conns.get(&conn) {
+                    let _ = tx.send(Outbound::Ack(*resp));
                 }
-                Ok(EngineMsg::Deregister { conn }) => {
-                    conns.remove(&conn);
+                false
+            }
+            Some(DedupState::InFlight(cid)) => {
+                self.dedup_hits += 1;
+                if let Some(m) = self.meta.get_mut(cid) {
+                    m.conn = conn;
                 }
-                Ok(EngineMsg::Submit { conn, request }) => {
-                    let _ = handle_resubmit(
-                        &mut frontend,
-                        &mut meta,
-                        &mut dedup,
-                        &conns,
-                        &mut open_since,
-                        &mut dedup_hits,
-                        read_path,
-                        &mut pending_reads,
-                        &mut reads_sequenced,
+                false
+            }
+            Some(DedupState::PendingRead) => {
+                // A retry of a read still waiting on the ladder:
+                // re-target where its eventual ack will be delivered.
+                self.dedup_hits += 1;
+                if let Some(p) = self
+                    .pending_reads
+                    .iter_mut()
+                    .find(|p| p.client == request.client && p.request == request.request)
+                {
+                    p.conn = conn;
+                }
+                false
+            }
+            None => {
+                if read_path != ReadPath::Sequenced {
+                    if let KvOp::Get { key: k } = request.op {
+                        // Fast-read candidate: park it on the read ladder
+                        // instead of occupying a log slot. `serve_reads`
+                        // serves or demotes it every iteration, so it
+                        // never starves.
+                        self.pending_reads.push_back(PendingRead {
+                            conn,
+                            client: request.client,
+                            request: request.request,
+                            key: k,
+                        });
+                        self.dedup.insert(key, DedupState::PendingRead);
+                        return true;
+                    }
+                }
+                if matches!(request.op, KvOp::Get { .. }) {
+                    self.reads_sequenced += 1;
+                }
+                let cid = self.frontend.submit(request.op.to_payload());
+                self.meta.insert(
+                    cid,
+                    CmdMeta {
                         conn,
-                        request,
-                    );
+                        client: request.client,
+                        request: request.request,
+                        op: request.op,
+                    },
+                );
+                self.dedup.insert(key, DedupState::InFlight(cid));
+                if self.frontend.open_len() == 1 {
+                    self.open_since = Some(Instant::now());
                 }
-                Ok(EngineMsg::Sync { conn }) => sync_reqs.push(conn),
-                Ok(EngineMsg::Audit { conn }) => audit_reqs.push(conn),
-                Ok(EngineMsg::LeaseState { conn }) => lease_reqs.push(conn),
-                Ok(EngineMsg::Shutdown) => shutting_down = true,
-                Ok(EngineMsg::Die) => died = true,
-                Err(TryRecvError::Empty | TryRecvError::Disconnected) => break,
+                true
             }
         }
-        if died {
-            break;
-        }
+    }
 
-        // 2. Seal a lingering partial batch (immediately when shutting
-        // down: nothing more is coming).
-        if frontend.open_len() > 0 {
-            let lingered = open_since.is_some_and(|s| s.elapsed() >= cfg.linger);
+    /// Seals a lingering partial batch (immediately when shutting down:
+    /// nothing more is coming) and moves sealed batches to the ready
+    /// queue.
+    fn seal_lingering(&mut self, linger: Duration, shutting_down: bool) {
+        if self.frontend.open_len() > 0 {
+            let lingered = self.open_since.is_some_and(|s| s.elapsed() >= linger);
             if shutting_down || lingered {
-                frontend.flush();
-                open_since = None;
+                self.frontend.flush();
+                self.open_since = None;
             }
         }
-        while let Some(b) = frontend.pop_sealed() {
-            ready.push_back(b);
+        while let Some(b) = self.frontend.pop_sealed() {
+            self.ready.push_back(b);
         }
+    }
 
-        // 3. Propose into the pipeline window.
-        while started - (applied_through - slot_base) < cfg.pipeline_depth {
-            let Some(batch) = ready.pop_front() else { break };
-            let instance = session.start_instance_recycled(&vec![batch.as_value(); n], &spec);
-            started += 1;
-            assert_eq!(instance, started, "session instance ids track this incarnation");
-            proposals.push(batch);
-            last_progress = Instant::now();
-        }
-
-        // 4. Pump replica results.
-        while let Some(r) = session.try_next_result() {
-            results_seen += 1;
-            last_progress = Instant::now();
-            let row = results.entry(r.instance).or_insert_with(|| vec![None; n]);
-            row[r.replica.index()] = r.decision;
-            if let Some(d) = r.decision {
-                first_decisions.entry(r.instance).or_insert(d);
-            }
-        }
-
-        // 5. Apply decided slots in log order: materialize, WAL + fsync,
-        // only then acknowledge.
-        while let Some(d) = first_decisions.get(&(applied_through - slot_base + 1)).copied() {
-            applied_through += 1;
-            let slot = applied_through;
+    /// Applies decided slots in log order: materialize, WAL + fsync,
+    /// only then acknowledge; checkpoints on the shard's own cadence.
+    fn apply_decided(&mut self, conns: &HashMap<ConnId, Sender<Outbound>>) {
+        while let Some(d) =
+            self.first_decisions.get(&(self.applied_through - self.slot_base + 1)).copied()
+        {
+            self.applied_through += 1;
+            let slot = self.applied_through;
             let batch = BatchId::from_value(d.value);
-            if !applied_batches.insert(batch) {
-                duplicate_applies += 1;
+            if !self.applied_batches.insert(batch) {
+                self.duplicate_applies += 1;
                 continue;
             }
-            let content = frontend.batch(batch).expect("decided batches were disseminated");
+            let content = self.frontend.batch(batch).expect("decided batches were disseminated");
             let mut acks = Vec::with_capacity(content.commands.len());
             let mut targets = Vec::with_capacity(content.commands.len());
             for cmd in &content.commands {
-                let m = meta.remove(&cmd.id).expect("every batched command has metadata");
+                let m = self.meta.remove(&cmd.id).expect("every batched command has metadata");
                 let outcome = match m.op {
                     KvOp::Put { key, value } => {
-                        store.insert(key, value);
+                        self.store.insert(key, value);
                         Outcome::Put { slot }
                     }
-                    KvOp::Get { key } => Outcome::Get { slot, value: store.get(&key).copied() },
+                    KvOp::Get { key } => {
+                        Outcome::Get { slot, value: self.store.get(&key).copied() }
+                    }
                 };
-                let response = Response { request: m.request, outcome };
-                dedup.insert((m.client, m.request), DedupState::Applied(response));
+                let response = Response { request: m.request, shard: self.idx, outcome };
+                self.dedup.insert((m.client, m.request), DedupState::Applied(response));
                 targets.push((m.conn, response));
                 acks.push(AckRecord { client: m.client, request: m.request, op: m.op, response });
-                committed_commands += 1;
+                self.committed_commands += 1;
             }
             let rec = SlotRecord { slot, batch, commands: acks };
-            if let Some(du) = durable.as_mut() {
+            if let Some(du) = self.durable.as_mut() {
                 // The slot-boundary durability point: record + fsync
                 // before any acknowledgement can escape.
                 du.wal.append(&rec).expect("wal append");
@@ -1089,246 +1286,385 @@ fn drive(cfg: &EngineConfig, intake: &Receiver<EngineMsg>) -> ServiceAudit {
                     let _ = tx.send(Outbound::Ack(response));
                 }
             }
-            slots.push(rec);
+            self.slots.push(rec);
 
             // Checkpoint: snapshot, then prefix-truncate the WAL and the
             // in-memory slot history.
-            if let Some(du) = durable.as_mut() {
-                if du.every > 0 && applied_through - base_slot >= du.every {
+            if let Some(du) = self.durable.as_mut() {
+                if du.every > 0 && self.applied_through - self.base_slot >= du.every {
                     let snap = Snapshot {
-                        applied_through,
-                        next_batch: frontend.next_batch_id(),
-                        committed: committed_commands,
-                        store: store.clone(),
-                        sessions: dedup_sessions(&dedup),
+                        applied_through: self.applied_through,
+                        next_batch: self.frontend.next_batch_id(),
+                        committed: self.committed_commands,
+                        store: self.store.clone(),
+                        sessions: dedup_sessions(&self.dedup),
                     };
                     snap.write_to(&du.snap_path).expect("checkpoint snapshot write");
                     du.wal.reset().expect("wal prefix truncation");
                     // Fold the fast reads alongside: verify them against
                     // the history being dropped, latch any mismatch, and
                     // clear — retained records always postdate the last
-                    // checkpoint, so the final audit replays them against
-                    // the retained slots alone.
-                    folded_fast_reads += fast_read_records.len() as u64;
-                    fast_read_mismatches +=
-                        verify_fast_reads(base_slot, &base_store, &slots, &fast_read_records);
-                    fast_read_records.clear();
-                    base_slot = applied_through;
-                    base_next_batch = snap.next_batch;
-                    base_commands = committed_commands;
-                    base_store.clone_from(&snap.store);
-                    base_sessions = snap.sessions;
-                    slots.clear();
+                    // checkpoint.
+                    self.folded_fast_reads += self.fast_read_records.len() as u64;
+                    self.fast_read_mismatches += verify_fast_reads(
+                        self.base_slot,
+                        &self.base_store,
+                        &self.slots,
+                        &self.fast_read_records,
+                    );
+                    self.fast_read_records.clear();
+                    self.base_slot = self.applied_through;
+                    self.base_next_batch = snap.next_batch;
+                    self.base_commands = self.committed_commands;
+                    self.base_store.clone_from(&snap.store);
+                    self.base_sessions = snap.sessions;
+                    self.slots.clear();
                 }
             }
         }
+    }
 
-        // 5a. The read ladder: lease upkeep, then serve every pending
-        // read at the applied frontier — lease read when healthy, quorum
-        // read after an attest round, sequenced read at the bottom.
-        if let Some(ls) = lease_state.as_mut() {
+    /// Lease upkeep: renew this shard's lease with its replica agents
+    /// when due.
+    fn lease_upkeep(&mut self) {
+        if let Some(ls) = self.lease.as_mut() {
             let now = Instant::now();
             if ls.renew_due(now) {
-                for (agent, frame) in agents.iter_mut().zip(ls.acquire_frames(now)) {
+                for (agent, frame) in self.agents.iter_mut().zip(ls.acquire_frames(now)) {
                     let msg = LeaseFrame::decode(&frame).expect("own acquire frame decodes");
                     let reply = agent.handle(&msg, now).expect("replica handles acquire");
                     ls.absorb(&LeaseFrame::decode(&reply).expect("replica reply decodes"));
                 }
             }
         }
-        if !pending_reads.is_empty() {
-            let now = Instant::now();
-            let lease_ok = read_path == ReadPath::Lease
-                && lease_state.as_ref().is_some_and(|l| l.read_allowed(now));
-            let attested = !lease_ok
-                && lease_state.as_mut().is_some_and(|ls| {
-                    // Ladder step 2: one attest round re-certifies
-                    // freshness for this whole drain batch.
-                    let mut vouches = 0usize;
-                    for (agent, frame) in agents.iter_mut().zip(ls.attest_frames()) {
-                        let msg = LeaseFrame::decode(&frame).expect("own attest frame decodes");
-                        let reply = agent.handle(&msg, now).expect("replica handles attest");
-                        if matches!(
-                            LeaseFrame::decode(&reply).expect("replica vouch decodes"),
-                            LeaseFrame::Vouch { valid: true, .. }
-                        ) {
-                            vouches += 1;
-                        }
+    }
+
+    /// The read ladder: serve every pending read at this shard's applied
+    /// frontier — lease read when healthy, quorum read after an attest
+    /// round, sequenced read at the bottom.
+    fn serve_reads(
+        &mut self,
+        conns: &HashMap<ConnId, Sender<Outbound>>,
+        quorum: usize,
+        read_path: ReadPath,
+    ) {
+        if self.pending_reads.is_empty() {
+            return;
+        }
+        let now = Instant::now();
+        let lease_ok = read_path == ReadPath::Lease
+            && self.lease.as_ref().is_some_and(|l| l.read_allowed(now));
+        let agents = &mut self.agents;
+        let attested = !lease_ok
+            && self.lease.as_mut().is_some_and(|ls| {
+                // Ladder step 2: one attest round re-certifies freshness
+                // for this whole drain batch.
+                let mut vouches = 0usize;
+                for (agent, frame) in agents.iter_mut().zip(ls.attest_frames()) {
+                    let msg = LeaseFrame::decode(&frame).expect("own attest frame decodes");
+                    let reply = agent.handle(&msg, now).expect("replica handles attest");
+                    if matches!(
+                        LeaseFrame::decode(&reply).expect("replica vouch decodes"),
+                        LeaseFrame::Vouch { valid: true, .. }
+                    ) {
+                        vouches += 1;
                     }
-                    vouches >= cfg.system.quorum()
+                }
+                vouches >= quorum
+            });
+        if lease_ok || attested {
+            while let Some(p) = self.pending_reads.pop_front() {
+                let value = self.store.get(&p.key).copied();
+                let response = Response {
+                    request: p.request,
+                    shard: self.idx,
+                    outcome: Outcome::Read { index: self.applied_through, value },
+                };
+                self.dedup.insert((p.client, p.request), DedupState::Applied(response));
+                if let Some(tx) = conns.get(&p.conn) {
+                    let _ = tx.send(Outbound::Ack(response));
+                }
+                self.fast_read_records.push(FastReadRecord {
+                    client: p.client,
+                    request: p.request,
+                    key: p.key,
+                    index: self.applied_through,
+                    epoch: self.lease_epoch,
+                    attested: !lease_ok,
+                    value,
                 });
-            if lease_ok || attested {
-                while let Some(p) = pending_reads.pop_front() {
-                    let value = store.get(&p.key).copied();
-                    let response = Response {
-                        request: p.request,
-                        outcome: Outcome::Read { index: applied_through, value },
-                    };
-                    dedup.insert((p.client, p.request), DedupState::Applied(response));
-                    if let Some(tx) = conns.get(&p.conn) {
-                        let _ = tx.send(Outbound::Ack(response));
-                    }
-                    fast_read_records.push(FastReadRecord {
-                        client: p.client,
-                        request: p.request,
-                        key: p.key,
-                        index: applied_through,
-                        epoch: lease_epoch,
-                        attested: !lease_ok,
-                        value,
-                    });
-                    if lease_ok {
-                        reads_lease += 1;
-                    } else {
-                        reads_quorum += 1;
-                    }
+                if lease_ok {
+                    self.reads_lease += 1;
+                } else {
+                    self.reads_quorum += 1;
                 }
-            } else {
-                // Ladder bottom: no lease, no quorum — sequence the
-                // reads through the log like the pre-lease service.
-                while let Some(p) = pending_reads.pop_front() {
-                    dedup.remove(&(p.client, p.request));
-                    let request = Request {
-                        client: p.client,
-                        request: p.request,
-                        op: KvOp::Get { key: p.key },
-                    };
-                    let _ = handle_resubmit(
-                        &mut frontend,
-                        &mut meta,
-                        &mut dedup,
-                        &conns,
-                        &mut open_since,
-                        &mut dedup_hits,
-                        ReadPath::Sequenced,
-                        &mut pending_reads,
-                        &mut reads_sequenced,
-                        p.conn,
-                        request,
-                    );
+            }
+        } else {
+            // Ladder bottom: no lease, no quorum — sequence the reads
+            // through the log like the pre-lease service.
+            while let Some(p) = self.pending_reads.pop_front() {
+                self.dedup.remove(&(p.client, p.request));
+                let request =
+                    Request { client: p.client, request: p.request, op: KvOp::Get { key: p.key } };
+                let _ = self.submit(conns, p.conn, request, ReadPath::Sequenced);
+            }
+        }
+    }
+
+    /// Streams this shard's durable state (checkpoint + catch-up
+    /// records) to one connection — the per-shard rejoin transfer.
+    fn serve_sync(&self, tx: &Sender<Outbound>) {
+        let snap = Snapshot {
+            applied_through: self.base_slot,
+            next_batch: self.base_next_batch,
+            committed: self.base_commands,
+            store: self.base_store.clone(),
+            sessions: self.base_sessions.clone(),
+        };
+        let blob = snap.to_framed_bytes();
+        const CHUNK: usize = 48 * 1024;
+        let total = u32::try_from(blob.chunks(CHUNK).count().max(1)).expect("chunk count");
+        for (i, chunk) in blob.chunks(CHUNK).enumerate() {
+            let frame = SyncFrame::SnapshotChunk {
+                index: u32::try_from(i).expect("chunk index"),
+                total,
+                bytes: chunk.to_vec(),
+            };
+            let _ = tx.send(Outbound::Control(frame.encode()));
+        }
+        for rec in &self.slots {
+            let mut bytes = Vec::new();
+            crate::wal::encode_record(rec, &mut bytes);
+            let _ = tx.send(Outbound::Control(SyncFrame::Record { bytes }.encode()));
+        }
+        let _ = tx.send(Outbound::Control(
+            SyncFrame::Done { applied_through: self.applied_through }.encode(),
+        ));
+    }
+
+    /// A point-in-time [`LeaseStatus`] dump of this shard.
+    fn lease_status(&self, shards: u32, mode: u8) -> LeaseStatus {
+        let now = Instant::now();
+        LeaseStatus {
+            shard: self.idx,
+            shards,
+            mode,
+            epoch: self.lease_epoch,
+            healthy: self.lease.as_ref().is_some_and(|l| l.read_allowed(now)),
+            grants: u32::try_from(self.lease.as_ref().map_or(0, |l| l.healthy_grants(now)))
+                .unwrap_or(u32::MAX),
+            read_index: self.applied_through,
+            reads_lease: self.reads_lease,
+            reads_quorum: self.reads_quorum,
+            reads_sequenced: self.reads_sequenced,
+        }
+    }
+
+    /// This shard's audit view (cheap clones of the retained history).
+    fn audit(&self, system: SystemConfig) -> ServiceAudit {
+        ServiceAudit {
+            system,
+            shard: self.idx,
+            base_slot: self.base_slot,
+            base_store: self.base_store.clone(),
+            base_sessions: self.base_sessions.clone(),
+            base_commands: self.base_commands,
+            live_from: self.live_from,
+            slots: self.slots.clone(),
+            proposals: self.proposals.clone(),
+            replica_decisions: self.results.values().cloned().collect(),
+            final_store: self.store.clone(),
+            committed_commands: self.committed_commands,
+            dedup_hits: self.dedup_hits,
+            duplicate_applies: self.duplicate_applies,
+            fast_reads: self.fast_read_records.clone(),
+            folded_fast_reads: self.folded_fast_reads,
+            fast_read_mismatches: self.fast_read_mismatches,
+            lease_epoch: self.lease_epoch,
+        }
+    }
+
+    /// A clean shutdown checkpoints so a restart recovers from the
+    /// snapshot alone.
+    fn final_checkpoint(&mut self) {
+        if let Some(du) = self.durable.as_mut() {
+            let snap = Snapshot {
+                applied_through: self.applied_through,
+                next_batch: self.frontend.next_batch_id(),
+                committed: self.committed_commands,
+                store: self.store.clone(),
+                sessions: dedup_sessions(&self.dedup),
+            };
+            snap.write_to(&du.snap_path).expect("shutdown snapshot write");
+            du.wal.reset().expect("shutdown wal truncation");
+        }
+    }
+}
+
+/// The driver thread: the shard-multiplexing event loop described in the
+/// module docs.
+#[allow(clippy::too_many_lines)]
+fn drive(cfg: &EngineConfig, intake: &Receiver<EngineMsg>) -> ShardedAudit {
+    let n = cfg.system.n();
+    let shard_count = u32::try_from(cfg.shards).expect("shard count fits u32");
+    let router = ShardRouter::new(shard_count);
+
+    // Boot refusal: a durable root laid out for a different shard count
+    // must not be rehashed silently. A fresh root records its count
+    // before any shard serves.
+    if let Some(d) = cfg.durability.as_ref() {
+        std::fs::create_dir_all(&d.dir).expect("durability root is creatable");
+        match crate::shard::load_manifest(&d.dir)
+            .expect("shard manifest loads (corruption fails loudly)")
+        {
+            Some(on_disk) => assert_eq!(
+                on_disk, shard_count,
+                "refusing to boot: durability root is laid out for {on_disk} shard(s), \
+                 engine configured for {shard_count}"
+            ),
+            None => crate::shard::store_manifest(&d.dir, shard_count)
+                .expect("shard manifest burns before any shard serves"),
+        }
+    }
+
+    // ONE recycling session serves every shard: the worker pool is
+    // shared, so S shards add zero threads over a single group. Instance
+    // ids are global; `routes` maps them back to shards.
+    let mut session: Session<AtSlot> = Session::with_recycler(
+        cfg.system,
+        cfg.grace,
+        at_plus2_factory(cfg.system),
+        at_plus2_reset(),
+    );
+    let spec =
+        InstanceSpec { crashes: vec![None; n], delays: cfg.delays, max_rounds: cfg.max_rounds };
+
+    let mut conns: HashMap<ConnId, Sender<Outbound>> = HashMap::new();
+    let mut shards: Vec<ShardState> =
+        (0..shard_count).map(|i| ShardState::recover(i, cfg)).collect();
+    let mut routes: HashMap<u64, InstanceRoute> = HashMap::new();
+
+    let read_path = cfg.reads;
+    let mut shutting_down = false;
+    let mut died = false;
+    let mut last_progress = Instant::now();
+    let mut sync_reqs: Vec<(ConnId, u32)> = Vec::new();
+    let mut audit_reqs: Vec<ConnId> = Vec::new();
+    let mut lease_reqs: Vec<(ConnId, u32)> = Vec::new();
+
+    loop {
+        // 1. Drain intake, routing each submit to its key's shard.
+        loop {
+            match intake.try_recv() {
+                Ok(EngineMsg::Register { conn, tx }) => {
+                    conns.insert(conn, tx);
                 }
+                Ok(EngineMsg::Deregister { conn }) => {
+                    conns.remove(&conn);
+                }
+                Ok(EngineMsg::Submit { conn, request }) => {
+                    let si = router.shard_of(request.op.key()) as usize;
+                    let _ = shards[si].submit(&conns, conn, request, read_path);
+                }
+                Ok(EngineMsg::Sync { conn, shard }) => sync_reqs.push((conn, shard)),
+                Ok(EngineMsg::Audit { conn }) => audit_reqs.push(conn),
+                Ok(EngineMsg::LeaseState { conn, shard }) => lease_reqs.push((conn, shard)),
+                Ok(EngineMsg::Shutdown) => shutting_down = true,
+                Ok(EngineMsg::Die) => died = true,
+                Err(TryRecvError::Empty | TryRecvError::Disconnected) => break,
+            }
+        }
+        if died {
+            break;
+        }
+
+        // 2 + 3. Per shard: seal lingering batches, then propose into
+        // the shard's pipeline window on the shared session.
+        for (si, sh) in shards.iter_mut().enumerate() {
+            sh.seal_lingering(cfg.linger, shutting_down);
+            while sh.in_flight() < cfg.pipeline_depth {
+                let Some(batch) = sh.ready.pop_front() else { break };
+                let instance = session.start_instance_recycled(&vec![batch.as_value(); n], &spec);
+                sh.started += 1;
+                routes
+                    .insert(instance, InstanceRoute { shard: si, local: sh.started, arrivals: 0 });
+                sh.proposals.push(batch);
+                last_progress = Instant::now();
             }
         }
 
-        // 5b. Serve state transfers and audits against the just-applied
-        // state (a rejoining replica gets checkpoint + catch-up records;
-        // an auditor gets the replay verdict once the engine quiesces).
-        for conn in sync_reqs.drain(..) {
-            let Some(tx) = conns.get(&conn) else { continue };
-            let snap = Snapshot {
-                applied_through: base_slot,
-                next_batch: base_next_batch,
-                committed: base_commands,
-                store: base_store.clone(),
-                sessions: base_sessions.clone(),
-            };
-            let blob = snap.to_framed_bytes();
-            const CHUNK: usize = 48 * 1024;
-            let total = u32::try_from(blob.chunks(CHUNK).count().max(1)).expect("chunk count");
-            for (i, chunk) in blob.chunks(CHUNK).enumerate() {
-                let frame = SyncFrame::SnapshotChunk {
-                    index: u32::try_from(i).expect("chunk index"),
-                    total,
-                    bytes: chunk.to_vec(),
-                };
-                let _ = tx.send(Outbound::Control(frame.encode()));
-            }
-            for rec in &slots {
-                let mut bytes = Vec::new();
-                crate::wal::encode_record(rec, &mut bytes);
-                let _ = tx.send(Outbound::Control(SyncFrame::Record { bytes }.encode()));
-            }
-            let _ = tx.send(Outbound::Control(SyncFrame::Done { applied_through }.encode()));
+        // 4. Pump replica results back to their shards.
+        while let Some(r) = session.try_next_result() {
+            last_progress = Instant::now();
+            absorb_result(&mut shards, &mut routes, n, &r);
         }
-        for conn in lease_reqs.drain(..) {
+
+        // 5 + 5a. Per shard: apply decided slots, then run the read
+        // ladder at the new frontier.
+        for sh in &mut shards {
+            sh.apply_decided(&conns);
+            sh.lease_upkeep();
+            sh.serve_reads(&conns, cfg.system.quorum(), read_path);
+        }
+
+        // 5b. Serve state transfers, lease probes, and audits against
+        // the just-applied state. Requests naming an unknown shard are
+        // dropped.
+        for (conn, shard) in sync_reqs.drain(..) {
             let Some(tx) = conns.get(&conn) else { continue };
-            let now = Instant::now();
-            let status = LeaseStatus {
-                mode: read_path.as_wire(),
-                epoch: lease_epoch,
-                healthy: lease_state.as_ref().is_some_and(|l| l.read_allowed(now)),
-                grants: u32::try_from(lease_state.as_ref().map_or(0, |l| l.healthy_grants(now)))
-                    .unwrap_or(u32::MAX),
-                read_index: applied_through,
-                reads_lease,
-                reads_quorum,
-                reads_sequenced,
-            };
+            let Some(sh) = shards.get(shard as usize) else { continue };
+            sh.serve_sync(tx);
+        }
+        for (conn, shard) in lease_reqs.drain(..) {
+            let Some(tx) = conns.get(&conn) else { continue };
+            let Some(sh) = shards.get(shard as usize) else { continue };
+            let status = sh.lease_status(shard_count, read_path.as_wire());
             let _ = tx.send(Outbound::Control(status.encode()));
         }
         for conn in audit_reqs.drain(..) {
             let Some(tx) = conns.get(&conn) else { continue };
-            let quiesced = started == applied_through - slot_base
-                && results_seen == started * n as u64
-                && frontend.open_len() == 0
-                && ready.is_empty()
-                && pending_reads.is_empty();
+            let quiesced = shards.iter().all(|s| s.quiesced(n as u64));
             let ok = quiesced && {
-                let audit = ServiceAudit {
-                    system: cfg.system,
-                    base_slot,
-                    base_store: base_store.clone(),
-                    base_sessions: base_sessions.clone(),
-                    base_commands,
-                    live_from,
-                    slots: slots.clone(),
-                    proposals: proposals.clone(),
-                    replica_decisions: results.values().cloned().collect(),
-                    final_store: store.clone(),
-                    committed_commands,
-                    dedup_hits,
-                    duplicate_applies,
-                    fast_reads: fast_read_records.clone(),
-                    folded_fast_reads,
-                    fast_read_mismatches,
-                    lease_epoch,
-                };
+                let audit =
+                    ShardedAudit { shards: shards.iter().map(|s| s.audit(cfg.system)).collect() };
                 audit.check().is_ok()
             };
             let summary = AuditSummary {
                 complete: quiesced,
                 ok,
-                slots: applied_through,
-                committed: committed_commands,
-                dedup_hits,
-                fast_reads: reads_lease + reads_quorum,
-                lease_epoch,
+                slots: shards.iter().map(|s| s.applied_through).sum(),
+                committed: shards.iter().map(|s| s.committed_commands).sum(),
+                dedup_hits: shards.iter().map(|s| s.dedup_hits).sum(),
+                fast_reads: shards.iter().map(|s| s.reads_lease + s.reads_quorum).sum(),
+                lease_epoch: shards[0].lease_epoch,
+                shards: shard_count,
             };
             let _ = tx.send(Outbound::Control(summary.encode()));
         }
 
-        // 6. Exit once shutdown has drained everything.
-        let drained = shutting_down
-            && frontend.open_len() == 0
-            && ready.is_empty()
-            && pending_reads.is_empty()
-            && applied_through - slot_base == started
-            && results_seen == started * n as u64;
-        if drained {
+        // 6. Exit once shutdown has drained every shard.
+        if shutting_down && shards.iter().all(|s| s.quiesced(n as u64)) {
             break;
         }
 
         // 7. Watchdog + idle strategy: park briefly on the intake
         // channel (new work wakes us); pending consensus results bound
         // the nap so the apply path stays hot.
-        if started > applied_through - slot_base || results_seen < started * n as u64 {
+        let busy =
+            shards.iter().any(|s| s.in_flight() > 0 || s.results_seen < s.started * n as u64);
+        if busy {
             assert!(
                 last_progress.elapsed() < cfg.stall_timeout,
                 "engine stalled: {} instances in flight, no replica progress for {:?}",
-                started - (applied_through - slot_base),
+                shards.iter().map(ShardState::in_flight).sum::<u64>(),
                 cfg.stall_timeout
             );
             if let Some(r) = session.next_result_timeout(Duration::from_micros(200)) {
-                results_seen += 1;
                 last_progress = Instant::now();
-                let row = results.entry(r.instance).or_insert_with(|| vec![None; n]);
-                row[r.replica.index()] = r.decision;
-                if let Some(d) = r.decision {
-                    first_decisions.entry(r.instance).or_insert(d);
-                }
+                absorb_result(&mut shards, &mut routes, n, &r);
             }
         } else if !shutting_down {
-            let nap = if frontend.open_len() > 0 {
+            let nap = if shards.iter().any(|s| s.frontend.open_len() > 0) {
                 cfg.linger.min(Duration::from_millis(1))
             } else {
                 Duration::from_millis(2)
@@ -1341,29 +1677,14 @@ fn drive(cfg: &EngineConfig, intake: &Receiver<EngineMsg>) -> ServiceAudit {
                     conns.remove(&conn);
                 }
                 Ok(EngineMsg::Submit { conn, request }) => {
-                    // Re-enqueue through the fast path next iteration to
-                    // keep the dedup logic in one place.
-                    let _ = handle_resubmit(
-                        &mut frontend,
-                        &mut meta,
-                        &mut dedup,
-                        &conns,
-                        &mut open_since,
-                        &mut dedup_hits,
-                        read_path,
-                        &mut pending_reads,
-                        &mut reads_sequenced,
-                        conn,
-                        request,
-                    );
+                    let si = router.shard_of(request.op.key()) as usize;
+                    let _ = shards[si].submit(&conns, conn, request, read_path);
                 }
                 // Control requests defer to the next iteration's batched
-                // handling (sync_reqs/audit_reqs outlive the iteration).
-                Ok(EngineMsg::Sync { conn }) => sync_reqs.push(conn),
-                Ok(EngineMsg::Audit { conn }) => {
-                    audit_reqs.push(conn);
-                }
-                Ok(EngineMsg::LeaseState { conn }) => lease_reqs.push(conn),
+                // handling (the request vecs outlive the iteration).
+                Ok(EngineMsg::Sync { conn, shard }) => sync_reqs.push((conn, shard)),
+                Ok(EngineMsg::Audit { conn }) => audit_reqs.push(conn),
+                Ok(EngineMsg::LeaseState { conn, shard }) => lease_reqs.push((conn, shard)),
                 Ok(EngineMsg::Shutdown) => shutting_down = true,
                 Ok(EngineMsg::Die) => died = true,
                 Err(_) => {}
@@ -1374,117 +1695,14 @@ fn drive(cfg: &EngineConfig, intake: &Receiver<EngineMsg>) -> ServiceAudit {
         }
     }
 
-    // A clean shutdown checkpoints so a restart recovers from the
-    // snapshot alone; a Die exits with whatever the last fsync holds.
+    // A clean shutdown checkpoints every shard so a restart recovers
+    // from the snapshots alone; a Die exits with whatever each shard's
+    // last fsync holds.
     if !died {
-        if let Some(du) = durable.as_mut() {
-            let snap = Snapshot {
-                applied_through,
-                next_batch: frontend.next_batch_id(),
-                committed: committed_commands,
-                store: store.clone(),
-                sessions: dedup_sessions(&dedup),
-            };
-            snap.write_to(&du.snap_path).expect("shutdown snapshot write");
-            du.wal.reset().expect("shutdown wal truncation");
+        for sh in &mut shards {
+            sh.final_checkpoint();
         }
     }
 
-    let replica_decisions: Vec<Vec<Option<Decision>>> = results.into_values().collect();
-    ServiceAudit {
-        system: cfg.system,
-        base_slot,
-        base_store,
-        base_sessions,
-        base_commands,
-        live_from,
-        slots,
-        proposals,
-        replica_decisions,
-        final_store: store,
-        committed_commands,
-        dedup_hits,
-        duplicate_applies,
-        fast_reads: fast_read_records,
-        folded_fast_reads,
-        fast_read_mismatches,
-        lease_epoch,
-    }
-}
-
-/// The submit path, shared by the drain loop and the idle `recv_timeout`
-/// arm (one dedup implementation, two call sites).
-#[allow(clippy::too_many_arguments)]
-fn handle_resubmit(
-    frontend: &mut ClientFrontend,
-    meta: &mut HashMap<CommandId, CmdMeta>,
-    dedup: &mut HashMap<(ClientId, RequestId), DedupState>,
-    conns: &HashMap<ConnId, Sender<Outbound>>,
-    open_since: &mut Option<Instant>,
-    dedup_hits: &mut u64,
-    read_path: ReadPath,
-    pending_reads: &mut VecDeque<PendingRead>,
-    reads_sequenced: &mut u64,
-    conn: ConnId,
-    request: Request,
-) -> bool {
-    let key = (request.client, request.request);
-    match dedup.get_mut(&key) {
-        Some(DedupState::Applied(resp)) => {
-            *dedup_hits += 1;
-            if let Some(tx) = conns.get(&conn) {
-                let _ = tx.send(Outbound::Ack(*resp));
-            }
-            false
-        }
-        Some(DedupState::InFlight(cid)) => {
-            *dedup_hits += 1;
-            if let Some(m) = meta.get_mut(cid) {
-                m.conn = conn;
-            }
-            false
-        }
-        Some(DedupState::PendingRead) => {
-            // A retry of a read still waiting on the ladder: re-target
-            // where its eventual ack will be delivered.
-            *dedup_hits += 1;
-            if let Some(p) = pending_reads
-                .iter_mut()
-                .find(|p| p.client == request.client && p.request == request.request)
-            {
-                p.conn = conn;
-            }
-            false
-        }
-        None => {
-            if read_path != ReadPath::Sequenced {
-                if let KvOp::Get { key: k } = request.op {
-                    // Fast-read candidate: park it on the read ladder
-                    // instead of occupying a log slot. Step 5a serves or
-                    // demotes it every iteration, so it never starves.
-                    pending_reads.push_back(PendingRead {
-                        conn,
-                        client: request.client,
-                        request: request.request,
-                        key: k,
-                    });
-                    dedup.insert(key, DedupState::PendingRead);
-                    return true;
-                }
-            }
-            if matches!(request.op, KvOp::Get { .. }) {
-                *reads_sequenced += 1;
-            }
-            let cid = frontend.submit(request.op.to_payload());
-            meta.insert(
-                cid,
-                CmdMeta { conn, client: request.client, request: request.request, op: request.op },
-            );
-            dedup.insert(key, DedupState::InFlight(cid));
-            if frontend.open_len() == 1 {
-                *open_since = Some(Instant::now());
-            }
-            true
-        }
-    }
+    ShardedAudit { shards: shards.iter().map(|s| s.audit(cfg.system)).collect() }
 }

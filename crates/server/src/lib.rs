@@ -11,16 +11,23 @@
 //!   length header, [`MAX_FRAME`](wire::MAX_FRAME) bound enforced before
 //!   buffering, chunking-independent incremental decoding.
 //! * [`proto`] — the request/response vocabulary. Requests carry the
-//!   `(ClientId, RequestId)` exactly-once key; responses carry the log
-//!   slot the command was sequenced at (its linearization point).
-//! * [`engine`] — the service core: batches intake through the log
-//!   crate's `ClientFrontend`, pipelines consensus instances on one
-//!   reusable replica session, applies decided slots in order, and
-//!   deduplicates retries against the decided log so every request is
-//!   applied exactly once no matter how often it is sent. Produces a
-//!   [`ServiceAudit`] whose [`check`](engine::ServiceAudit::check)
-//!   replays the log with independent code and re-derives every
-//!   acknowledgement.
+//!   `(ClientId, RequestId)` exactly-once key; responses carry the
+//!   `(shard, slot)` linearization point: the shard group that sequenced
+//!   the command and the slot it occupies in that shard's log.
+//! * [`shard`] — keyspace partitioning: the fixed [`ShardRouter`] hash
+//!   mapping every key to one of `S` independent shard groups, the
+//!   fsynced `shards.manifest` refusing boots against a mismatched disk
+//!   layout, and the [`ShardedAudit`] adding cross-shard routing and
+//!   exactly-once-disjointness checks on top of the per-shard audits.
+//! * [`engine`] — the service core: routes intake to shard groups, each
+//!   batching through the log crate's `ClientFrontend`, pipelines
+//!   consensus instances of every shard on *one* reusable replica
+//!   session (shared worker pool — S shards, one set of threads),
+//!   applies decided slots in order, and deduplicates retries against
+//!   the decided log so every request is applied exactly once no matter
+//!   how often it is sent. Produces a [`ShardedAudit`] whose
+//!   [`check`](shard::ShardedAudit::check) replays every shard's log
+//!   with independent code and re-derives every acknowledgement.
 //! * [`service`] — the layered client interface: [`KvService`]
 //!   implemented by [`LocalKv`] (in-process, the reference layer) and
 //!   [`RemoteKv`] (framed TCP). The integration suite runs the same
@@ -82,6 +89,7 @@ pub mod lease;
 pub mod proto;
 pub mod server;
 pub mod service;
+pub mod shard;
 pub mod snapshot;
 pub mod wal;
 pub mod wire;
@@ -98,9 +106,10 @@ pub use proto::{
 };
 pub use server::KvServer;
 pub use service::{
-    remote_audit, remote_lease_state, sync_from_peer, KvService, LocalKv, PipeClient, RemoteKv,
-    ServiceError,
+    remote_audit, remote_lease_state, sync_all_from_peer, sync_from_peer, KvService, LocalKv,
+    PipeClient, RemoteKv, ServiceError,
 };
+pub use shard::{load_manifest, shard_dir, store_manifest, ShardRouter, ShardedAudit};
 pub use snapshot::{SessionEntry, Snapshot};
 pub use wal::{Wal, WalError, WalReplay, WalTail};
 pub use wire::{FrameDecoder, FrameReader, WireError, MAX_FRAME};

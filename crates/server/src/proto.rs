@@ -6,10 +6,13 @@
 //! "send the same request again" — same pair, same frame — and the
 //! service answers with the original acknowledgement.
 //!
-//! Responses carry the *log slot* the command was sequenced at. Slots
-//! are the service's linearization points: acknowledgements with slots
+//! Responses carry the *log slot* the command was sequenced at, and the
+//! shard group whose log numbered it. `(shard, slot)` is the service's
+//! linearization point: each shard owns an independent, disjoint slice
+//! of the keyspace with its own totally ordered log, so acknowledgements
 //! let a client (and the load generator's gate) audit that its session
-//! order was respected — on one connection, ack slots never decrease.
+//! order was respected *per shard* — on one connection, ack slots for a
+//! given shard never decrease.
 //!
 //! Serialization is a fixed-layout little-endian byte format written by
 //! hand: the messages are a handful of integers, and the vendored serde
@@ -65,6 +68,16 @@ impl KvOp {
             KvOp::Put { key, value: (payload & 0xffff_ffff) as u32 }
         } else {
             KvOp::Get { key }
+        }
+    }
+
+    /// The key the operation addresses — the shard-routing input. Every
+    /// operation names exactly one key, which is what makes static
+    /// key-to-shard placement sound.
+    #[must_use]
+    pub fn key(self) -> u16 {
+        match self {
+            KvOp::Put { key, .. } | KvOp::Get { key } => key,
         }
     }
 }
@@ -140,6 +153,10 @@ impl Outcome {
 pub struct Response {
     /// The request being acknowledged.
     pub request: RequestId,
+    /// The shard group that sequenced (or fast-served) the request. The
+    /// outcome's slot/index lives in this shard's numbering: the
+    /// linearization point is `(shard, slot)`.
+    pub shard: u32,
     /// What happened.
     pub outcome: Outcome,
 }
@@ -263,11 +280,14 @@ impl Cursor<'_> {
 /// hold and boots through the normal disk-recovery path.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SyncFrame {
-    /// Ask for a state transfer (`from_slot` is the requester's durable
-    /// applied-through, advisory).
+    /// Ask for a state transfer of one shard group (`from_slot` is the
+    /// requester's durable applied-through, advisory). A full rejoin
+    /// issues one request per shard.
     Request {
         /// The requester's own durable applied-through slot.
         from_slot: u64,
+        /// The shard group whose checkpoint + WAL is wanted.
+        shard: u32,
     },
     /// One chunk of the framed snapshot bytes, `index` of `total`.
     SnapshotChunk {
@@ -295,10 +315,11 @@ impl SyncFrame {
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
         match self {
-            SyncFrame::Request { from_slot } => {
-                let mut out = Vec::with_capacity(9);
+            SyncFrame::Request { from_slot, shard } => {
+                let mut out = Vec::with_capacity(13);
                 out.push(TAG_SYNC_REQUEST);
                 out.extend_from_slice(&from_slot.to_le_bytes());
+                out.extend_from_slice(&shard.to_le_bytes());
                 out
             }
             SyncFrame::SnapshotChunk { index, total, bytes } => {
@@ -328,7 +349,7 @@ impl SyncFrame {
     pub fn decode(bytes: &[u8]) -> Result<Self, ProtoError> {
         let mut c = Cursor(bytes);
         let frame = match c.u8()? {
-            TAG_SYNC_REQUEST => SyncFrame::Request { from_slot: c.u64()? },
+            TAG_SYNC_REQUEST => SyncFrame::Request { from_slot: c.u64()?, shard: c.u32()? },
             TAG_SYNC_SNAPSHOT => {
                 let index = c.u32()?;
                 let total = c.u32()?;
@@ -374,13 +395,16 @@ pub struct AuditSummary {
     pub fast_reads: u64,
     /// The lease epoch the engine is serving under (0 = leases off).
     pub lease_epoch: u64,
+    /// How many shard groups the service runs (the audit verdict covers
+    /// all of them, cross-shard checks included).
+    pub shards: u32,
 }
 
 impl AuditSummary {
     /// Encodes the reply payload.
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(43);
+        let mut out = Vec::with_capacity(47);
         out.push(TAG_AUDIT_REPLY);
         out.push(u8::from(self.complete));
         out.push(u8::from(self.ok));
@@ -389,6 +413,7 @@ impl AuditSummary {
         out.extend_from_slice(&self.dedup_hits.to_le_bytes());
         out.extend_from_slice(&self.fast_reads.to_le_bytes());
         out.extend_from_slice(&self.lease_epoch.to_le_bytes());
+        out.extend_from_slice(&self.shards.to_le_bytes());
         out
     }
 
@@ -406,8 +431,18 @@ impl AuditSummary {
         let dedup_hits = c.u64()?;
         let fast_reads = c.u64()?;
         let lease_epoch = c.u64()?;
+        let shards = c.u32()?;
         c.finish()?;
-        Ok(AuditSummary { complete, ok, slots, committed, dedup_hits, fast_reads, lease_epoch })
+        Ok(AuditSummary {
+            complete,
+            ok,
+            slots,
+            committed,
+            dedup_hits,
+            fast_reads,
+            lease_epoch,
+            shards,
+        })
     }
 }
 
@@ -518,10 +553,30 @@ impl LeaseFrame {
     }
 }
 
-/// The tag-only lease-state request frame payload.
+/// The lease-state request frame payload, addressed to one shard group's
+/// lease agent.
 #[must_use]
-pub fn lease_state_request_frame() -> Vec<u8> {
-    vec![TAG_LEASE_STATE_REQUEST]
+pub fn lease_state_request_frame(shard: u32) -> Vec<u8> {
+    let mut out = Vec::with_capacity(5);
+    out.push(TAG_LEASE_STATE_REQUEST);
+    out.extend_from_slice(&shard.to_le_bytes());
+    out
+}
+
+/// Parses the shard a lease-state request addresses. Lenient toward the
+/// pre-sharding tag-only frame, which reads as shard 0.
+pub fn lease_state_request_shard(bytes: &[u8]) -> Result<u32, ProtoError> {
+    let mut c = Cursor(bytes);
+    match c.u8()? {
+        TAG_LEASE_STATE_REQUEST => {}
+        t => return Err(ProtoError::BadTag(t)),
+    }
+    if c.0.is_empty() {
+        return Ok(0);
+    }
+    let shard = c.u32()?;
+    c.finish()?;
+    Ok(shard)
 }
 
 /// A point-in-time dump of the engine's lease and read-path state —
@@ -529,6 +584,10 @@ pub fn lease_state_request_frame() -> Vec<u8> {
 /// subsystem.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LeaseStatus {
+    /// The shard group this dump describes.
+    pub shard: u32,
+    /// How many shard groups the service runs (each with its own lease).
+    pub shards: u32,
     /// The configured read path: 0 = sequenced, 1 = quorum, 2 = lease.
     pub mode: u8,
     /// The current lease epoch (0 when leases are disabled).
@@ -552,8 +611,10 @@ impl LeaseStatus {
     /// Encodes the reply payload.
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(47);
+        let mut out = Vec::with_capacity(55);
         out.push(TAG_LEASE_STATE);
+        out.extend_from_slice(&self.shard.to_le_bytes());
+        out.extend_from_slice(&self.shards.to_le_bytes());
         out.push(self.mode);
         out.extend_from_slice(&self.epoch.to_le_bytes());
         out.push(u8::from(self.healthy));
@@ -573,6 +634,8 @@ impl LeaseStatus {
             t => return Err(ProtoError::BadTag(t)),
         }
         let status = LeaseStatus {
+            shard: c.u32()?,
+            shards: c.u32()?,
             mode: c.u8()?,
             epoch: c.u64()?,
             healthy: c.u8()? != 0,
@@ -596,8 +659,10 @@ impl fmt::Display for LeaseStatus {
         };
         write!(
             f,
-            "reads={mode} epoch={} healthy={} grants={} read_index={} \
+            "shard={}/{} reads={mode} epoch={} healthy={} grants={} read_index={} \
              served lease={} quorum={} sequenced={}",
+            self.shard,
+            self.shards,
             self.epoch,
             self.healthy,
             self.grants,
@@ -654,9 +719,10 @@ impl Response {
     /// Encodes the response as one frame payload.
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(24);
+        let mut out = Vec::with_capacity(28);
         out.push(TAG_RESPONSE);
         out.extend_from_slice(&self.request.0.to_le_bytes());
+        out.extend_from_slice(&self.shard.to_le_bytes());
         match self.outcome {
             Outcome::Put { slot } => {
                 out.push(OP_PUT);
@@ -696,6 +762,7 @@ impl Response {
             t => return Err(ProtoError::BadTag(t)),
         }
         let request = RequestId(c.u64()?);
+        let shard = c.u32()?;
         let outcome = match c.u8()? {
             OP_PUT => Outcome::Put { slot: c.u64()? },
             OP_GET => {
@@ -719,7 +786,7 @@ impl Response {
             t => return Err(ProtoError::BadTag(t)),
         };
         c.finish()?;
-        Ok(Response { request, outcome })
+        Ok(Response { request, shard, outcome })
     }
 }
 
@@ -732,6 +799,7 @@ mod tests {
         for op in [KvOp::Put { key: 65535, value: u32::MAX }, KvOp::Get { key: 0 }] {
             let r = Request { client: ClientId(u64::MAX), request: RequestId(7), op };
             assert_eq!(Request::decode(&r.encode()).unwrap(), r);
+            assert_eq!(r.op.key(), if matches!(op, KvOp::Get { .. }) { 0 } else { 65535 });
         }
     }
 
@@ -744,8 +812,10 @@ mod tests {
             Outcome::Read { index: 0, value: None },
             Outcome::Read { index: u64::MAX, value: Some(7) },
         ] {
-            let r = Response { request: RequestId(9), outcome };
-            assert_eq!(Response::decode(&r.encode()).unwrap(), r);
+            for shard in [0, 3, u32::MAX] {
+                let r = Response { request: RequestId(9), shard, outcome };
+                assert_eq!(Response::decode(&r.encode()).unwrap(), r);
+            }
         }
     }
 
@@ -779,7 +849,7 @@ mod tests {
     #[test]
     fn sync_frames_round_trip() {
         for frame in [
-            SyncFrame::Request { from_slot: 17 },
+            SyncFrame::Request { from_slot: 17, shard: 3 },
             SyncFrame::SnapshotChunk { index: 2, total: 5, bytes: vec![1, 2, 3] },
             SyncFrame::SnapshotChunk { index: 0, total: 1, bytes: vec![] },
             SyncFrame::Record { bytes: vec![0xaa; 40] },
@@ -800,6 +870,7 @@ mod tests {
             dedup_hits: 3,
             fast_reads: 41,
             lease_epoch: 2,
+            shards: 4,
         };
         assert_eq!(AuditSummary::decode(&s.encode()).unwrap(), s);
         assert_eq!(audit_request_frame(), vec![TAG_AUDIT_REQUEST]);
@@ -824,6 +895,8 @@ mod tests {
     #[test]
     fn lease_status_round_trips() {
         let s = LeaseStatus {
+            shard: 2,
+            shards: 4,
             mode: 2,
             epoch: 5,
             healthy: true,
@@ -834,8 +907,22 @@ mod tests {
             reads_sequenced: 97,
         };
         assert_eq!(LeaseStatus::decode(&s.encode()).unwrap(), s);
-        assert_eq!(lease_state_request_frame(), vec![TAG_LEASE_STATE_REQUEST]);
         assert!(s.to_string().contains("reads=lease"));
         assert!(s.to_string().contains("epoch=5"));
+        assert!(s.to_string().contains("shard=2/4"));
+    }
+
+    #[test]
+    fn lease_state_requests_address_a_shard() {
+        let frame = lease_state_request_frame(3);
+        assert_eq!(frame.len(), 5);
+        assert_eq!(lease_state_request_shard(&frame).unwrap(), 3);
+        // The pre-sharding tag-only frame still parses, as shard 0.
+        assert_eq!(lease_state_request_shard(&[TAG_LEASE_STATE_REQUEST]).unwrap(), 0);
+        assert_eq!(lease_state_request_shard(&[0x55]), Err(ProtoError::BadTag(0x55)));
+        assert_eq!(
+            lease_state_request_shard(&[TAG_LEASE_STATE_REQUEST, 1, 2]),
+            Err(ProtoError::Truncated)
+        );
     }
 }

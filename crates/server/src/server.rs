@@ -26,10 +26,12 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crate::engine::{EngineConfig, EngineHandle, KvEngine, Outbound, ServiceAudit};
+use crate::engine::{EngineConfig, EngineHandle, KvEngine, Outbound};
 use crate::proto::{
-    Request, SyncFrame, TAG_AUDIT_REQUEST, TAG_LEASE_STATE_REQUEST, TAG_REQUEST, TAG_SYNC_REQUEST,
+    lease_state_request_shard, Request, SyncFrame, TAG_AUDIT_REQUEST, TAG_LEASE_STATE_REQUEST,
+    TAG_REQUEST, TAG_SYNC_REQUEST,
 };
+use crate::shard::ShardedAudit;
 use crate::wire::{write_frame, FrameReader};
 
 /// A running networked replicated-KV service.
@@ -82,7 +84,7 @@ impl KvServer {
     ///
     /// Panics if the acceptor or engine driver thread panicked.
     #[must_use]
-    pub fn shutdown(mut self) -> ServiceAudit {
+    pub fn shutdown(mut self) -> ShardedAudit {
         self.stop.store(true, Ordering::SeqCst);
         if let Some(h) = self.acceptor.take() {
             h.join().expect("acceptor thread panicked");
@@ -182,11 +184,14 @@ fn spawn_connection(
                     Err(_) => false,
                 },
                 Some(&TAG_SYNC_REQUEST) => match SyncFrame::decode(&payload) {
-                    Ok(SyncFrame::Request { .. }) => submit.request_sync(),
+                    Ok(SyncFrame::Request { shard, .. }) => submit.request_sync(shard),
                     _ => false,
                 },
                 Some(&TAG_AUDIT_REQUEST) => submit.request_audit(),
-                Some(&TAG_LEASE_STATE_REQUEST) => submit.request_lease_state(),
+                Some(&TAG_LEASE_STATE_REQUEST) => match lease_state_request_shard(&payload) {
+                    Ok(shard) => submit.request_lease_state(shard),
+                    Err(_) => false,
+                },
                 _ => false,
             };
             if !keep_going {

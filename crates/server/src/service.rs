@@ -358,21 +358,24 @@ fn retryable(e: &io::Error) -> bool {
     matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
 }
 
-/// Pulls a peer's durable state over its framed TCP port and materializes
-/// it into `dir` — the rejoin transfer. Opens a dedicated connection,
-/// sends a [`SyncFrame::Request`], reassembles the chunked snapshot,
-/// collects the catch-up records, verifies everything (checksums, slot
-/// contiguity from the snapshot, the peer's declared `applied_through`),
-/// and writes `state.snap` + `wal.log` so a server booted on `dir` via
-/// normal disk recovery resumes exactly at the peer's applied prefix.
-/// Returns the slot the transferred state is applied through.
-pub fn sync_from_peer(peer: SocketAddr, dir: &Path) -> Result<u64, ServiceError> {
+/// Pulls one shard's durable state from a peer over its framed TCP port
+/// and materializes it into `dir` — the per-shard rejoin transfer. Opens
+/// a dedicated connection, sends a [`SyncFrame::Request`] naming the
+/// shard, reassembles the chunked snapshot, collects the catch-up
+/// records, verifies everything (checksums, slot contiguity from the
+/// snapshot, the peer's declared `applied_through`), and writes
+/// `state.snap` + `wal.log` so a server booted with `dir` as that
+/// shard's subdirectory resumes exactly at the peer's applied prefix.
+/// Returns the shard-local slot the transferred state is applied
+/// through. For a whole-service rejoin across every shard, use
+/// [`sync_all_from_peer`].
+pub fn sync_from_peer(peer: SocketAddr, shard: u32, dir: &Path) -> Result<u64, ServiceError> {
     let mut writer = TcpStream::connect(peer).map_err(WireError::Io)?;
     writer.set_nodelay(true).map_err(WireError::Io)?;
     let read_side = writer.try_clone().map_err(WireError::Io)?;
     read_side.set_read_timeout(Some(Duration::from_millis(50))).map_err(WireError::Io)?;
     let mut reader = FrameReader::new(read_side);
-    write_frame(&mut writer, &SyncFrame::Request { from_slot: 0 }.encode())?;
+    write_frame(&mut writer, &SyncFrame::Request { from_slot: 0, shard }.encode())?;
 
     let mut blob: Vec<u8> = Vec::new();
     let mut chunks_seen = 0u32;
@@ -430,6 +433,21 @@ pub fn sync_from_peer(peer: SocketAddr, dir: &Path) -> Result<u64, ServiceError>
     }
 }
 
+/// Rejoins a whole service from a peer: pulls every shard's durable
+/// state into `shard-<i>/` subdirectories of `root` (via
+/// [`sync_from_peer`]) and writes the fsynced shard-count manifest, so a
+/// server booted on `root` with the same shard count recovers the peer's
+/// full applied state. Returns the sum of the per-shard applied
+/// watermarks (the total applied slot count).
+pub fn sync_all_from_peer(peer: SocketAddr, shards: u32, root: &Path) -> Result<u64, ServiceError> {
+    let mut total = 0u64;
+    for shard in 0..shards {
+        total += sync_from_peer(peer, shard, &crate::shard::shard_dir(root, shard))?;
+    }
+    crate::shard::store_manifest(root, shards).map_err(WireError::Io)?;
+    Ok(total)
+}
+
 /// Runs the server-side replay audit over the wire: asks the peer to
 /// audit itself and retries until the engine reports a quiesced,
 /// `complete` verdict (or the timeout lapses). Uses a dedicated
@@ -463,12 +481,15 @@ pub fn remote_audit(peer: SocketAddr, timeout: Duration) -> Result<AuditSummary,
     }
 }
 
-/// Fetches the peer's live lease state over the wire: read mode, current
-/// epoch, lease health, and the read-path counters. Unlike
+/// Fetches one shard's live lease state over the wire: read mode,
+/// current epoch, lease health, and the read-path counters. Unlike
 /// [`remote_audit`] this does not wait for quiescence — it is a
-/// point-in-time dump, usable mid-load and in failure artifacts.
+/// point-in-time dump, usable mid-load and in failure artifacts. A
+/// request naming a shard the peer does not host gets no reply and
+/// times out.
 pub fn remote_lease_state(
     peer: SocketAddr,
+    shard: u32,
     timeout: Duration,
 ) -> Result<LeaseStatus, ServiceError> {
     let mut writer = TcpStream::connect(peer).map_err(WireError::Io)?;
@@ -477,7 +498,7 @@ pub fn remote_lease_state(
     read_side.set_read_timeout(Some(Duration::from_millis(50))).map_err(WireError::Io)?;
     let mut reader = FrameReader::new(read_side);
     let deadline = Instant::now() + timeout;
-    write_frame(&mut writer, &lease_state_request_frame())?;
+    write_frame(&mut writer, &lease_state_request_frame(shard))?;
     loop {
         if Instant::now() > deadline {
             return Err(ServiceError::Timeout { request: RequestId(0) });

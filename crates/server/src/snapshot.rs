@@ -204,6 +204,7 @@ mod tests {
                 request: RequestId(11),
                 response: Response {
                     request: RequestId(11),
+                    shard: 0,
                     outcome: Outcome::Get { slot: 40, value: Some(10) },
                 },
             }],

@@ -371,8 +371,11 @@ mod tests {
     use super::*;
 
     fn record(slot: u64) -> SlotRecord {
-        let response =
-            Response { request: RequestId(slot), outcome: crate::proto::Outcome::Put { slot } };
+        let response = Response {
+            request: RequestId(slot),
+            shard: 0,
+            outcome: crate::proto::Outcome::Put { slot },
+        };
         SlotRecord {
             slot,
             batch: BatchId(slot - 1),

@@ -14,7 +14,7 @@ use std::time::Duration;
 
 use indulgent_model::ClientId;
 use indulgent_server::{
-    lease, EngineConfig, KvEngine, KvService, LeaseConfig, LocalKv, Outcome, ReadPath,
+    lease, shard_dir, EngineConfig, KvEngine, KvService, LeaseConfig, LocalKv, Outcome, ReadPath,
 };
 use proptest::prelude::*;
 
@@ -37,10 +37,10 @@ fn lease_reads_bypass_the_log_and_pass_the_audit() {
         other => panic!("expected a fast read, got {other:?}"),
     }
     let audit = engine.shutdown();
-    assert_eq!(audit.committed_commands, 1, "the read occupied no slot");
-    assert_eq!(audit.fast_reads.len(), 1);
-    assert!(!audit.fast_reads[0].attested, "a healthy lease needs no attest round");
-    assert_eq!(audit.fast_reads[0].epoch, audit.lease_epoch);
+    assert_eq!(audit.committed_commands(), 1, "the read occupied no slot");
+    assert_eq!(audit.fast_reads().len(), 1);
+    assert!(!audit.fast_reads()[0].attested, "a healthy lease needs no attest round");
+    assert_eq!(audit.fast_reads()[0].epoch, audit.lease_epoch());
     audit.check().expect("audit clean");
 }
 
@@ -54,10 +54,10 @@ fn quorum_mode_attests_every_read_batch() {
         assert!(matches!(get.outcome, Outcome::Read { value: Some(10), .. }));
     }
     let audit = engine.shutdown();
-    assert_eq!(audit.committed_commands, 1);
-    assert_eq!(audit.fast_reads.len(), 3);
+    assert_eq!(audit.committed_commands(), 1);
+    assert_eq!(audit.fast_reads().len(), 3);
     assert!(
-        audit.fast_reads.iter().all(|r| r.attested),
+        audit.fast_reads().iter().all(|r| r.attested),
         "quorum mode never trusts the lease alone"
     );
     audit.check().expect("audit clean");
@@ -78,8 +78,8 @@ fn expired_lease_falls_back_to_the_quorum_rung() {
     let get = kv.get(5).expect("get acked");
     assert!(matches!(get.outcome, Outcome::Read { value: Some(50), .. }));
     let audit = engine.shutdown();
-    assert!(!audit.fast_reads.is_empty());
-    assert!(audit.fast_reads.iter().all(|r| r.attested), "lapsed lease must attest");
+    assert!(!audit.fast_reads().is_empty());
+    assert!(audit.fast_reads().iter().all(|r| r.attested), "lapsed lease must attest");
     audit.check().expect("audit clean");
 }
 
@@ -94,9 +94,9 @@ fn sequenced_escape_hatch_keeps_reads_in_the_log() {
         "`--reads log` sequences reads exactly as before"
     );
     let audit = engine.shutdown();
-    assert_eq!(audit.committed_commands, 2, "the read occupied a slot");
-    assert!(audit.fast_reads.is_empty());
-    assert_eq!(audit.lease_epoch, 0, "no lease machinery runs at all");
+    assert_eq!(audit.committed_commands(), 2, "the read occupied a slot");
+    assert!(audit.fast_reads().is_empty());
+    assert_eq!(audit.lease_epoch(), 0, "no lease machinery runs at all");
     audit.check().expect("audit clean");
 }
 
@@ -111,8 +111,8 @@ fn fast_read_retries_replay_the_cached_ack() {
     let retry = kv.call_with(RequestId(10), KvOp::Get { key: 2 }).expect("retry acked");
     assert_eq!(first, retry, "a read retry replays the original read index and value");
     let audit = engine.shutdown();
-    assert_eq!(audit.fast_reads.len(), 1, "the retry served no second fast read");
-    assert!(audit.dedup_hits >= 1);
+    assert_eq!(audit.fast_reads().len(), 1, "the retry served no second fast read");
+    assert!(audit.dedup_hits() >= 1);
     audit.check().expect("audit clean");
 }
 
@@ -134,24 +134,27 @@ fn rebooted_leader_serves_only_under_a_fresh_epoch() {
     kv.put(1, 11).expect("put acked");
     let read = kv.get(1).expect("fast read acked");
     assert!(matches!(read.outcome, Outcome::Read { value: Some(11), .. }));
-    let first_epoch = lease::load_epoch(&dir).expect("epoch burned");
+    let first_epoch = lease::load_epoch(&shard_dir(&dir, 0)).expect("epoch burned");
     assert!(first_epoch >= 1, "serving burned an epoch first");
     drop(kv);
     engine.kill();
 
     // The stored epoch is exactly what the killed incarnation served
     // under — nothing newer was burned by dying.
-    assert_eq!(lease::load_epoch(&dir).expect("epoch survives the kill"), first_epoch);
+    assert_eq!(
+        lease::load_epoch(&shard_dir(&dir, 0)).expect("epoch survives the kill"),
+        first_epoch
+    );
 
     let engine = KvEngine::spawn(config());
     let mut kv = LocalKv::connect(&engine.handle(), ClientId(7));
     let read = kv.get(1).expect("fast read after reboot");
     assert!(matches!(read.outcome, Outcome::Read { value: Some(11), .. }));
-    let second_epoch = lease::load_epoch(&dir).expect("epoch re-burned");
+    let second_epoch = lease::load_epoch(&shard_dir(&dir, 0)).expect("epoch re-burned");
     assert!(second_epoch > first_epoch, "the reboot invalidated the old epoch before serving");
     let audit = engine.shutdown();
-    assert_eq!(audit.lease_epoch, second_epoch);
-    assert!(audit.fast_reads.iter().all(|r| r.epoch == second_epoch));
+    assert_eq!(audit.lease_epoch(), second_epoch);
+    assert!(audit.fast_reads().iter().all(|r| r.epoch == second_epoch));
     audit.check().expect("audit clean across the reboot");
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -29,7 +29,7 @@ fn local_session_reads_its_own_writes() {
         other => panic!("unexpected outcomes: {other:?}"),
     }
     let audit = engine.shutdown();
-    assert_eq!(audit.committed_commands, 2);
+    assert_eq!(audit.committed_commands(), 2);
     audit.check().expect("audit clean");
 }
 
@@ -42,8 +42,8 @@ fn duplicate_request_ids_apply_once() {
     let retry = kv.call_with(RequestId(0), KvOp::Put { key: 1, value: 10 }).expect("acked");
     assert_eq!(first, retry, "retries replay the original acknowledgement");
     let audit = engine.shutdown();
-    assert_eq!(audit.committed_commands, 1, "the retry did not re-apply");
-    assert!(audit.dedup_hits >= 1);
+    assert_eq!(audit.committed_commands(), 1, "the retry did not re-apply");
+    assert!(audit.dedup_hits() >= 1);
     audit.check().expect("audit clean");
 }
 
@@ -67,7 +67,7 @@ fn remote_session_matches_local_semantics_over_tcp() {
     }
     drop((remote, local));
     let audit = server.shutdown();
-    assert_eq!(audit.committed_commands, 3);
+    assert_eq!(audit.committed_commands(), 3);
     audit.check().expect("audit clean");
 }
 
@@ -86,7 +86,7 @@ fn batched_pipeline_commits_everything_on_shutdown() {
         }
     }
     let audit = engine.shutdown();
-    assert_eq!(audit.committed_commands, 15);
+    assert_eq!(audit.committed_commands(), 15);
     audit.check().expect("audit clean");
 }
 
@@ -106,7 +106,7 @@ fn engine_drains_within_a_bounded_shutdown() {
     }));
     // Don't wait for the ack; shut down immediately.
     let audit = engine.shutdown();
-    assert_eq!(audit.committed_commands, 1, "open batch sealed on shutdown");
+    assert_eq!(audit.committed_commands(), 1, "open batch sealed on shutdown");
     audit.check().expect("audit clean");
     // The ack was still delivered before the drain finished.
     let ack = acks.recv_timeout(Duration::from_secs(1)).expect("ack delivered");

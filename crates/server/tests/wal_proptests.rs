@@ -24,8 +24,13 @@ fn op_strategy() -> impl Strategy<Value = KvOp> {
 }
 
 fn ack_strategy() -> impl Strategy<Value = AckRecord> {
-    (any::<u64>(), any::<u64>(), op_strategy(), (any::<u64>(), any::<u32>(), proptest::bool::ANY))
-        .prop_map(|(client, request, op, (slot, read, hit))| {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        op_strategy(),
+        (any::<u64>(), any::<u32>(), proptest::bool::ANY, 0u32..8),
+    )
+        .prop_map(|(client, request, op, (slot, read, hit, shard))| {
             let outcome = match op {
                 KvOp::Put { .. } => Outcome::Put { slot },
                 KvOp::Get { .. } => Outcome::Get { slot, value: hit.then_some(read) },
@@ -34,7 +39,7 @@ fn ack_strategy() -> impl Strategy<Value = AckRecord> {
                 client: ClientId(client),
                 request: RequestId(request),
                 op,
-                response: Response { request: RequestId(request), outcome },
+                response: Response { request: RequestId(request), shard, outcome },
             }
         })
 }

@@ -73,9 +73,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     audit.check()?;
     println!(
         "\naudit: {} slots, {} commands applied exactly once, {} retries absorbed, replay matches every ack",
-        audit.slots.len(),
-        audit.committed_commands,
-        audit.dedup_hits
+        audit.applied_slots(),
+        audit.committed_commands(),
+        audit.dedup_hits()
     );
     Ok(())
 }

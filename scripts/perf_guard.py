@@ -12,6 +12,11 @@ may filter a list of objects with `[key=value]`:
 
     backends[name=incremental-serial].schedules_per_second   (BENCH_sweep.json)
     scenarios[name=batch8-depth4].commands_per_second        (BENCH_log.json)
+    sharded.scenarios[shards=4].commands_per_second          (BENCH_server.json)
+
+A metric may carry a per-triple threshold suffix `@FRACTION`
+(e.g. `sharded.scenarios[shards=1].commands_per_second@0.10` warns on a
+>10% drop for that triple only), overriding the global `--threshold`.
 
 For backward compatibility, a lone BASELINE FRESH pair defaults to the
 sweep metric above. A drop larger than the threshold emits a GitHub
@@ -67,15 +72,19 @@ def main(argv: list[str]) -> int:
         return 2
 
     for baseline_path, fresh_path, metric in zip(args[0::3], args[1::3], args[2::3]):
+        limit = threshold
+        if "@" in metric:
+            metric, suffix = metric.rsplit("@", 1)
+            limit = float(suffix)
         baseline = value(baseline_path, metric)
         fresh = value(fresh_path, metric)
         change = (fresh - baseline) / baseline
         verdict = "improved" if change >= 0 else "regressed"
         print(
             f"{metric}: baseline {baseline:,.0f} -> fresh {fresh:,.0f} "
-            f"({verdict} {abs(change):.1%}, warn threshold {threshold:.0%})"
+            f"({verdict} {abs(change):.1%}, warn threshold {limit:.0%})"
         )
-        if change < -threshold:
+        if change < -limit:
             print(
                 f"::warning title={metric} regression::{metric} dropped "
                 f"{abs(change):.1%} vs the committed {baseline_path} "
