@@ -73,9 +73,10 @@ use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 use indulgent_model::{ClientId, RequestId};
+use indulgent_obs::Histogram;
 use indulgent_server::{
-    lease, shard_dir, DurabilityConfig, EngineConfig, KvOp, KvServer, KvService, LocalKv, Outcome,
-    PipeClient, ReadPath, RemoteKv, Response, ShardedAudit,
+    lease, remote_stats, shard_dir, DurabilityConfig, EngineConfig, KvOp, KvServer, KvService,
+    LocalKv, Outcome, PipeClient, ReadPath, RemoteKv, Response, ShardedAudit, StatsReport,
 };
 
 /// Deterministic op mix: connection `c`'s `i`-th request is a read with
@@ -453,6 +454,23 @@ fn probe_read_latency(addr: SocketAddr, ops: u64) -> Vec<Duration> {
     lat
 }
 
+/// The cost of the metrics layer itself: hammer one histogram with
+/// `samples` records and report nanoseconds per record. A record is a
+/// handful of relaxed atomic adds, so this should sit in the
+/// single-digit nanoseconds — the number lands in `BENCH_server.json`
+/// so a regression in the zero-alloc record path shows up as a bench
+/// diff, not a mystery throughput loss.
+fn metrics_overhead_ns(samples: u64) -> f64 {
+    let h = Histogram::new();
+    let start = Instant::now();
+    for i in 0..samples {
+        h.record(i);
+    }
+    let elapsed = start.elapsed();
+    assert_eq!(h.snapshot().count, samples, "every record landed");
+    elapsed.as_secs_f64() * 1e9 / samples as f64
+}
+
 fn percentile(sorted: &[Duration], p: f64) -> Duration {
     let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
     sorted[idx]
@@ -529,6 +547,11 @@ fn main() {
     let server = KvServer::bind("127.0.0.1:0", fleet_config(ReadPath::Lease)).expect("bind");
     let mut leased = run_fleet(server.addr(), conns, per_conn, rate, read_pct);
     let mut lease_probe = probe_read_latency(server.addr(), PROBE_OPS);
+    // Scrape the still-live server's pipeline-stage histograms over the
+    // wire — the server-side view of the latencies the fleet saw from
+    // the outside.
+    let lease_scrape =
+        remote_stats(server.addr(), 0, Duration::from_secs(5)).expect("stats scrape");
     let lease_audit = server.shutdown();
     check_audit(&lease_audit, total + 1 + PROBE_OPS, "timed read-heavy lease fleet");
     let fast_reads = lease_audit.folded_fast_reads() + lease_audit.fast_reads().len() as u64;
@@ -578,11 +601,17 @@ fn main() {
     // shard stuck in sequenced fallback is visible right here.
     let sweep_rate = rate * max_shards as f64;
     let mut sharded: Vec<(usize, f64)> = Vec::new();
+    let mut sweep_scrapes: Vec<StatsReport> = Vec::new();
     let mut shard_count = 1usize;
     while shard_count <= max_shards {
         let config = fleet_config(ReadPath::Lease).with_shards(shard_count);
         let server = KvServer::bind("127.0.0.1:0", config).expect("bind");
         let result = run_fleet(server.addr(), conns, per_conn, sweep_rate, 50);
+        // Per-shard stage scrapes; the last (widest) run's reports feed
+        // the JSON's per-shard + merged-aggregate stage_latency block.
+        sweep_scrapes = (0..u32::try_from(shard_count).expect("shards fit u32"))
+            .filter_map(|shard| remote_stats(server.addr(), shard, Duration::from_secs(5)).ok())
+            .collect();
         let mut modes = String::new();
         for shard in 0..u32::try_from(shard_count).expect("shards fit u32") {
             let status =
@@ -613,6 +642,21 @@ fn main() {
         }
     }
 
+    // ── Observability: server-side stage latencies + metrics overhead ──
+    let overhead_ns = metrics_overhead_ns(10_000_000);
+    println!("server stage latency (read-heavy lease): {lease_scrape}");
+    let sweep_aggregate = sweep_scrapes.split_first().map(|(first, rest)| {
+        let mut agg = *first;
+        for r in rest {
+            agg.merge(r);
+        }
+        agg
+    });
+    if let Some(agg) = &sweep_aggregate {
+        println!("server stage latency (sweep aggregate, {} shards): {agg}", sweep_scrapes.len());
+    }
+    println!("metrics overhead: {overhead_ns:.1} ns/record\n");
+
     let read_heavy = ReadHeavy {
         read_ratio,
         commands_per_second: lease_rate,
@@ -638,7 +682,51 @@ fn main() {
         &read_heavy,
         &sharded,
         sweep_rate,
+        &StageLatency {
+            overhead_ns,
+            read_heavy: lease_scrape,
+            sweep: &sweep_scrapes,
+            sweep_aggregate,
+        },
     );
+}
+
+/// The `stage_latency` block of `BENCH_server.json`: server-side
+/// pipeline-stage histograms scraped over the wire, plus the measured
+/// cost of the metrics layer itself.
+struct StageLatency<'a> {
+    overhead_ns: f64,
+    read_heavy: StatsReport,
+    sweep: &'a [StatsReport],
+    sweep_aggregate: Option<StatsReport>,
+}
+
+/// Appends one scrape's stage histograms as JSON fields at `indent`.
+/// Latency stages report microseconds; `seal_depth` counts batches and
+/// keeps raw units.
+fn write_stages(json: &mut String, indent: &str, report: &StatsReport) {
+    let us = |ns: u64| ns as f64 / 1e3;
+    for (name, h) in report.stages() {
+        if name == "seal_depth" {
+            let _ = writeln!(
+                json,
+                "{indent}\"{name}\": {{\"count\": {}, \"p50\": {}, \"p99\": {}, \"max\": {}}}",
+                h.count,
+                h.percentile(0.50),
+                h.percentile(0.99),
+                h.max
+            );
+        } else {
+            let _ = writeln!(
+                json,
+                "{indent}\"{name}\": {{\"count\": {}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"max_us\": {:.1}}},",
+                h.count,
+                us(h.percentile(0.50)),
+                us(h.percentile(0.99)),
+                us(h.max)
+            );
+        }
+    }
 }
 
 /// The read-heavy scenario block of `BENCH_server.json`.
@@ -671,6 +759,7 @@ fn emit_json(
     read_heavy: &ReadHeavy,
     sharded: &[(usize, f64)],
     sweep_rate: f64,
+    stages: &StageLatency<'_>,
 ) {
     let path = std::env::var("BENCH_SERVER_JSON")
         .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json").into());
@@ -717,6 +806,26 @@ fn emit_json(
     );
     let _ = writeln!(json, "    \"read_speedup_p50\": {:.2}", read_heavy.read_speedup_p50);
     json.push_str("  },\n");
+    let _ = writeln!(json, "  \"stage_latency\": {{");
+    let _ = writeln!(json, "    \"overhead_ns_per_record\": {:.1},", stages.overhead_ns);
+    let _ = writeln!(json, "    \"read_heavy\": {{");
+    write_stages(&mut json, "      ", &stages.read_heavy);
+    json.push_str("    },\n");
+    let _ = writeln!(json, "    \"sharded\": {{");
+    let _ = writeln!(json, "      \"shards\": {},", stages.sweep.len());
+    if let Some(agg) = &stages.sweep_aggregate {
+        let _ = writeln!(json, "      \"aggregate\": {{");
+        write_stages(&mut json, "        ", agg);
+        json.push_str("      },\n");
+    }
+    let _ = writeln!(json, "      \"per_shard\": [");
+    for (i, report) in stages.sweep.iter().enumerate() {
+        let comma = if i + 1 == stages.sweep.len() { "" } else { "," };
+        let _ = writeln!(json, "        {{\"shard\": {},", report.shard);
+        write_stages(&mut json, "         ", report);
+        let _ = writeln!(json, "        }}{comma}");
+    }
+    json.push_str("      ]\n    }\n  },\n");
     let _ = writeln!(json, "  \"sharded\": {{");
     let _ = writeln!(json, "    \"offered_rate\": {sweep_rate:.0},");
     let _ = writeln!(json, "    \"scenarios\": [");

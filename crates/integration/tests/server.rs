@@ -8,8 +8,8 @@ use std::time::Duration;
 
 use indulgent_model::{ClientId, RequestId};
 use indulgent_server::{
-    remote_lease_state, EngineConfig, KvOp, KvServer, KvService, LocalKv, Outcome, PipeClient,
-    ReadPath, RemoteKv, Response,
+    remote_lease_state, remote_stats, EngineConfig, KvOp, KvServer, KvService, LocalKv, Outcome,
+    PipeClient, ReadPath, RemoteKv, Response,
 };
 
 /// Deterministic sizing: batch of 1 so sequential calls sequence one
@@ -136,6 +136,81 @@ fn lease_state_is_queryable_over_the_wire() {
     );
     drop(kv);
     server.shutdown().check().expect("audit clean");
+}
+
+/// The observability differential: the same scripted workload through
+/// the in-process layer and through framed TCP leaves *identical*
+/// scraped counters — slots, committed commands, dedup hits, read-path
+/// tallies, and every stage histogram's observation count. Latencies
+/// differ run to run; what was counted must not.
+#[test]
+fn stats_scrapes_match_across_transports() {
+    let ops = script();
+
+    let local_server = KvServer::bind("127.0.0.1:0", deterministic()).expect("bind");
+    let mut local = LocalKv::connect(&local_server.engine(), ClientId(42));
+    drive(&mut local, &ops);
+    let local_stats =
+        remote_stats(local_server.addr(), 0, Duration::from_secs(5)).expect("local scrape");
+    drop(local);
+    local_server.shutdown().check().expect("local audit");
+
+    let remote_server = KvServer::bind("127.0.0.1:0", deterministic()).expect("bind");
+    let mut remote = RemoteKv::connect(remote_server.addr(), ClientId(42)).expect("connect");
+    drive(&mut remote, &ops);
+    let remote_stats_report =
+        remote_stats(remote_server.addr(), 0, Duration::from_secs(5)).expect("remote scrape");
+    drop(remote);
+    remote_server.shutdown().check().expect("remote audit");
+
+    let counters = |s: &indulgent_server::StatsReport| {
+        (s.slots, s.committed, s.dedup_hits, s.reads_lease, s.reads_quorum, s.reads_sequenced)
+    };
+    assert_eq!(
+        counters(&local_stats),
+        counters(&remote_stats_report),
+        "the transport must not change what gets counted"
+    );
+    assert_eq!(local_stats.committed, ops.len() as u64, "batch of 1: every op took a slot");
+    for ((name, local_h), (_, remote_h)) in
+        local_stats.stages().iter().zip(remote_stats_report.stages().iter())
+    {
+        assert_eq!(
+            local_h.count, remote_h.count,
+            "stage {name} observed a different number of events across transports"
+        );
+    }
+    // Every sequenced command passed through every pipeline stage.
+    assert_eq!(local_stats.submit_seal.count, ops.len() as u64);
+    assert_eq!(local_stats.apply_ack.count, local_stats.slots);
+    assert_eq!(local_stats.wal_fsync.count, 0, "no durability configured, no fsyncs");
+}
+
+/// A durable engine leaves its flight recording on disk: checkpoints
+/// and the clean shutdown both dump the ring to `flight-<shard>.log`
+/// in the shard's durability directory, so a post-mortem (CI failure
+/// artifact, `kill -9` autopsy) always has the recent event history.
+#[test]
+fn flight_recorder_dumps_land_in_the_durability_dir() {
+    let dir = std::env::temp_dir().join(format!("indulgent-flight-dump-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let config = deterministic()
+        .with_durability(indulgent_server::DurabilityConfig::new(&dir).with_snapshot_every(4));
+    let server = KvServer::bind("127.0.0.1:0", config).expect("bind");
+    let mut kv = LocalKv::connect(&server.engine(), ClientId(77));
+    for i in 0..10u32 {
+        kv.put(u16::try_from(i % 3).unwrap(), i).expect("put acked");
+    }
+    drop(kv);
+    server.shutdown().check().expect("audit clean");
+
+    let path = dir.join("flight-0.log");
+    let dump = std::fs::read_to_string(&path).expect("flight recording dumped");
+    assert!(dump.starts_with("# flight-recorder:"), "dump carries its banner: {dump}");
+    for label in ["slot_applied", "wal_sync", "checkpoint", "shutdown"] {
+        assert!(dump.contains(label), "flight dump is missing {label} events:\n{dump}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 /// Killing a client mid-request must neither hang the server nor apply

@@ -140,6 +140,41 @@ fn steady_state_step_is_allocation_free_after_crashes() {
 }
 
 #[test]
+fn steady_state_step_with_metrics_recording_is_allocation_free() {
+    // The observability layer's promise: recording into the obs registry
+    // costs zero heap on the hot path. Drive warm steps exactly as the
+    // instrumented engines do — bump counters and record stage latencies
+    // around every round — and require the tally to stay at zero.
+    // Registration (`engine_counters`'s first call, `register_family`)
+    // allocates, so it happens in the warm-up.
+    use indulgent_obs::{Counter, Histogram};
+    use indulgent_sim::stats::engine_counters;
+
+    let config = SystemConfig::majority(5, 2).unwrap();
+    let schedule = Schedule::failure_free(config, ModelKind::Es);
+    let proposals = props(5);
+    let factory = |_i: usize, v: Value| Flood { est: v };
+    let mut state = RunState::new(&factory, &proposals, 5).unwrap();
+    state.run_to(&schedule, 3);
+
+    let counter = Counter::new();
+    let latency = Histogram::new();
+    let warm = engine_counters(); // registration allocates; do it now
+    let allocs = allocations_in(|| {
+        for i in 0..100u64 {
+            state.step(&schedule);
+            counter.add(i);
+            latency.record(i * 1_000);
+            let _ = warm.snapshot();
+        }
+        let _ = latency.snapshot();
+    });
+    assert_eq!(allocs, 0, "metrics recording must stay off the heap on the warm path");
+    assert_eq!(counter.get(), 99 * 100 / 2);
+    assert_eq!(latency.snapshot().count, 100);
+}
+
+#[test]
 fn at_plus2_phase1_steps_are_allocation_free_when_warm() {
     // The dominant algorithm itself must not allocate per round either:
     // Phase 1 of A_{t+2} (flood ESTIMATE, update Halt/est) over a clean

@@ -58,6 +58,52 @@ use indulgent_model::{
 
 use crate::frontend::ClientFrontend;
 
+/// The `log_driver` metric family: what this process's log runs decided
+/// and applied, summed across every [`LogDriver::run`]. Slot-level
+/// tallies (noops, apply-time duplicates) surface here so a registry
+/// dump shows whether the proposal policy is holding up without waiting
+/// for the invariant suite.
+#[derive(Debug)]
+struct DriverMetrics {
+    runs_completed: indulgent_obs::Counter,
+    instances_run: indulgent_obs::Counter,
+    slots_applied: indulgent_obs::Counter,
+    committed_commands: indulgent_obs::Counter,
+    noop_slots: indulgent_obs::Counter,
+    duplicate_slots: indulgent_obs::Counter,
+}
+
+static DRIVER_METRICS: DriverMetrics = DriverMetrics {
+    runs_completed: indulgent_obs::Counter::new(),
+    instances_run: indulgent_obs::Counter::new(),
+    slots_applied: indulgent_obs::Counter::new(),
+    committed_commands: indulgent_obs::Counter::new(),
+    noop_slots: indulgent_obs::Counter::new(),
+    duplicate_slots: indulgent_obs::Counter::new(),
+};
+
+impl indulgent_obs::MetricFamily for DriverMetrics {
+    fn name(&self) -> &'static str {
+        "log_driver"
+    }
+
+    fn emit(&self, sink: &mut dyn indulgent_obs::MetricSink) {
+        sink.counter("runs_completed", self.runs_completed.get());
+        sink.counter("instances_run", self.instances_run.get());
+        sink.counter("slots_applied", self.slots_applied.get());
+        sink.counter("committed_commands", self.committed_commands.get());
+        sink.counter("noop_slots", self.noop_slots.get());
+        sink.counter("duplicate_slots", self.duplicate_slots.get());
+    }
+}
+
+static REGISTER_DRIVER_METRICS: std::sync::Once = std::sync::Once::new();
+
+fn driver_metrics() -> &'static DriverMetrics {
+    REGISTER_DRIVER_METRICS.call_once(|| indulgent_obs::register_family(&DRIVER_METRICS));
+    &DRIVER_METRICS
+}
+
 /// Sizing of a log run: how much work, how wide the batches, how deep the
 /// pipeline.
 #[derive(Debug, Clone, Copy)]
@@ -558,6 +604,14 @@ impl LogDriver {
         let duplicate_slots =
             canonical.entries().iter().filter(|e| matches!(e, AppliedEntry::Duplicate(_))).count()
                 as u64;
+
+        let metrics = driver_metrics();
+        metrics.runs_completed.incr();
+        metrics.instances_run.add(instances);
+        metrics.slots_applied.add(canonical.len() as u64);
+        metrics.committed_commands.add(committed_commands);
+        metrics.noop_slots.add(noop_slots);
+        metrics.duplicate_slots.add(duplicate_slots);
 
         LogReport {
             config: self.log_config,

@@ -69,6 +69,56 @@ use indulgent_model::{
     RunOutcome, Step, SystemConfig, Value,
 };
 
+/// The `runtime_session` metric family: what this process's sessions
+/// have done, summed across all of them. Instances and results are the
+/// session's unit of work, so these four counters say how much consensus
+/// traffic flowed through the runtime and how much of it reused pooled
+/// automatons — the recycling hit rate the zero-alloc hot path depends on.
+#[derive(Debug)]
+struct SessionMetrics {
+    instances_started: indulgent_obs::Counter,
+    recycled_starts: indulgent_obs::Counter,
+    results_delivered: indulgent_obs::Counter,
+    decisions_delivered: indulgent_obs::Counter,
+}
+
+static SESSION_METRICS: SessionMetrics = SessionMetrics {
+    instances_started: indulgent_obs::Counter::new(),
+    recycled_starts: indulgent_obs::Counter::new(),
+    results_delivered: indulgent_obs::Counter::new(),
+    decisions_delivered: indulgent_obs::Counter::new(),
+};
+
+impl indulgent_obs::MetricFamily for SessionMetrics {
+    fn name(&self) -> &'static str {
+        "runtime_session"
+    }
+
+    fn emit(&self, sink: &mut dyn indulgent_obs::MetricSink) {
+        sink.counter("instances_started", self.instances_started.get());
+        sink.counter("recycled_starts", self.recycled_starts.get());
+        sink.counter("results_delivered", self.results_delivered.get());
+        sink.counter("decisions_delivered", self.decisions_delivered.get());
+    }
+}
+
+static REGISTER_SESSION_METRICS: std::sync::Once = std::sync::Once::new();
+
+fn session_metrics() -> &'static SessionMetrics {
+    REGISTER_SESSION_METRICS.call_once(|| indulgent_obs::register_family(&SESSION_METRICS));
+    &SESSION_METRICS
+}
+
+/// Tallies one result on its way out of the session's receive paths.
+fn note_result(r: ReplicaResult) -> ReplicaResult {
+    let metrics = session_metrics();
+    metrics.results_delivered.incr();
+    if r.decision.is_some() {
+        metrics.decisions_delivered.incr();
+    }
+    r
+}
+
 /// A message in flight: payload plus wire metadata.
 #[derive(Debug, Clone)]
 struct Envelope<M> {
@@ -595,6 +645,11 @@ where
 
     fn dispatch(&mut self, payloads: Vec<JobPayload<P>>, spec: &InstanceSpec) -> u64 {
         assert_eq!(spec.crashes.len(), self.config.n(), "one crash slot per replica required");
+        let metrics = session_metrics();
+        metrics.instances_started.incr();
+        if payloads.iter().any(|p| matches!(p, JobPayload::Proposal(_))) {
+            metrics.recycled_starts.incr();
+        }
         let instance = self.next_instance;
         self.next_instance += 1;
         for (i, payload) in payloads.into_iter().enumerate() {
@@ -614,7 +669,7 @@ where
     /// session owner (mirroring the old joined-thread behavior).
     fn recv_result(&mut self) -> ReplicaResult {
         match self.results_rx.recv() {
-            Ok(WorkerEvent::Result(r)) => r,
+            Ok(WorkerEvent::Result(r)) => note_result(r),
             Ok(WorkerEvent::Panicked(id)) => panic!("worker thread {id} panicked"),
             Err(_) => panic!("workers exited with results outstanding"),
         }
@@ -642,7 +697,7 @@ where
     /// Panics if a worker thread panicked.
     pub fn try_next_result(&mut self) -> Option<ReplicaResult> {
         match self.results_rx.try_recv() {
-            Ok(WorkerEvent::Result(r)) => Some(r),
+            Ok(WorkerEvent::Result(r)) => Some(note_result(r)),
             Ok(WorkerEvent::Panicked(id)) => panic!("worker thread {id} panicked"),
             Err(TryRecvError::Empty) => None,
             Err(TryRecvError::Disconnected) => panic!("workers exited with the session alive"),
@@ -659,7 +714,7 @@ where
     /// Panics if a worker thread panicked.
     pub fn next_result_timeout(&mut self, timeout: Duration) -> Option<ReplicaResult> {
         match self.results_rx.recv_timeout(timeout) {
-            Ok(WorkerEvent::Result(r)) => Some(r),
+            Ok(WorkerEvent::Result(r)) => Some(note_result(r)),
             Ok(WorkerEvent::Panicked(id)) => panic!("worker thread {id} panicked"),
             Err(RecvTimeoutError::Timeout) => None,
             Err(RecvTimeoutError::Disconnected) => {

@@ -23,10 +23,16 @@
 //!   reads with quorum/sequenced fallback), `quorum` (attest every read
 //!   batch, no lease), or `log` (sequence every read — the pre-lease
 //!   behavior, kept as an escape hatch)
+//! * `--stats-every SECS` — periodically scrape the engine's own stats
+//!   port (per-shard [`StatsReport`]s plus the whole-service aggregate)
+//!   and dump the process-wide metrics registry to stdout; 0 (default)
+//!   disables the scraper
 
 use std::time::Duration;
 
-use indulgent_server::{DurabilityConfig, EngineConfig, KvServer, ReadPath};
+use indulgent_server::{
+    remote_stats, DurabilityConfig, EngineConfig, KvServer, ReadPath, StatsReport,
+};
 
 fn main() {
     let mut positional: Vec<String> = Vec::new();
@@ -34,6 +40,7 @@ fn main() {
     let mut snapshot_every: u64 = 256;
     let mut reads = ReadPath::Lease;
     let mut shards: usize = 1;
+    let mut stats_every: u64 = 0;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -51,6 +58,13 @@ fn main() {
                     .expect("--snapshot-every needs a count")
                     .parse()
                     .expect("--snapshot-every must be an integer");
+            }
+            "--stats-every" => {
+                stats_every = argv
+                    .next()
+                    .expect("--stats-every needs a period in seconds")
+                    .parse()
+                    .expect("--stats-every must be an integer");
             }
             "--reads" => {
                 reads = match argv.next().expect("--reads needs a mode").as_str() {
@@ -83,7 +97,35 @@ fn main() {
         server.addr(),
         dir.as_deref().map_or_else(String::new, |d| format!(", durable in {d}")),
     );
+    if stats_every == 0 {
+        loop {
+            std::thread::sleep(Duration::from_secs(60));
+        }
+    }
+    // Scrape our own stats port the way an external monitor would, so
+    // the printed numbers exercise the same wire path clients use.
+    let self_addr = server.addr();
+    let period = Duration::from_secs(stats_every);
     loop {
-        std::thread::sleep(Duration::from_secs(60));
+        std::thread::sleep(period);
+        let mut aggregate: Option<StatsReport> = None;
+        for shard in 0..shards as u32 {
+            match remote_stats(self_addr, shard, Duration::from_secs(2)) {
+                Ok(report) => {
+                    println!("stats: {report}");
+                    match aggregate.as_mut() {
+                        Some(agg) => agg.merge(&report),
+                        None => aggregate = Some(report),
+                    }
+                }
+                Err(e) => println!("stats: shard {shard} scrape failed: {e}"),
+            }
+        }
+        if shards > 1 {
+            if let Some(agg) = aggregate {
+                println!("stats: aggregate {agg}");
+            }
+        }
+        print!("{}", indulgent_obs::dump_to_string());
     }
 }

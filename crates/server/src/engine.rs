@@ -100,11 +100,12 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use indulgent_log::{at_plus2_factory, at_plus2_reset, AtSlot, ClientFrontend, IntakePolicy};
 use indulgent_model::{BatchId, ClientId, CommandId, Decision, RequestId, SystemConfig};
+use indulgent_obs::{FlightKind, FlightRecorder, Histogram};
 use indulgent_runtime::{DelayModel, InstanceSpec, Session};
 
 use crate::lease::{self, LeaderLease, LeaseConfig, ReadPath, ReplicaLeaseAgent};
 use crate::proto::{
-    AuditSummary, KvOp, LeaseFrame, LeaseStatus, Outcome, Request, Response, SyncFrame,
+    AuditSummary, KvOp, LeaseFrame, LeaseStatus, Outcome, Request, Response, StatsReport, SyncFrame,
 };
 use crate::shard::{shard_dir, ShardRouter, ShardedAudit};
 use crate::snapshot::{SessionEntry, Snapshot};
@@ -315,6 +316,11 @@ enum EngineMsg {
         conn: ConnId,
         shard: u32,
     },
+    /// Reply one shard's metrics scrape ([`StatsReport`]) to `conn`.
+    Stats {
+        conn: ConnId,
+        shard: u32,
+    },
     Shutdown,
     /// Hard-crash: exit immediately, no drain, no final snapshot.
     Die,
@@ -383,6 +389,14 @@ impl SubmitHandle {
     /// is dropped (no reply).
     pub fn request_lease_state(&self, shard: u32) -> bool {
         self.intake.send(EngineMsg::LeaseState { conn: self.conn, shard }).is_ok()
+    }
+
+    /// Asks the engine to reply one shard's [`StatsReport`] control
+    /// frame — the metrics-scrape observability hook; `false` if the
+    /// engine has shut down. A request naming a shard the service does
+    /// not run is dropped (no reply).
+    pub fn request_stats(&self, shard: u32) -> bool {
+        self.intake.send(EngineMsg::Stats { conn: self.conn, shard }).is_ok()
     }
 }
 
@@ -946,11 +960,126 @@ fn absorb_result(
     let row = sh.results.entry(route.local).or_insert_with(|| vec![None; n]);
     row[r.replica.index()] = r.decision;
     if let Some(d) = r.decision {
-        sh.first_decisions.entry(route.local).or_insert(d);
+        if let std::collections::btree_map::Entry::Vacant(e) = sh.first_decisions.entry(route.local)
+        {
+            e.insert(d);
+            let now = Instant::now();
+            if let Some(sealed) = sh.stats.sealed_at.remove(&route.local) {
+                sh.stats.seal_decide.record(nanos(now - sealed));
+            }
+            sh.stats.decided_at.insert(route.local, now);
+            sh.flight.record(
+                FlightKind::InstanceDecide,
+                route.local,
+                BatchId::from_value(d.value).0,
+            );
+        }
     }
     route.arrivals += 1;
     if route.arrivals == n {
         routes.remove(&r.instance);
+    }
+}
+
+/// The `server_engine` metric family: process-wide tallies across every
+/// shard of every engine in this process (the per-shard view travels in
+/// the wire [`StatsReport`] instead).
+#[derive(Debug)]
+struct EngineMetrics {
+    slots_applied: indulgent_obs::Counter,
+    commands_applied: indulgent_obs::Counter,
+    dedup_hits: indulgent_obs::Counter,
+    wal_syncs: indulgent_obs::Counter,
+    checkpoints: indulgent_obs::Counter,
+    reads_lease: indulgent_obs::Counter,
+    reads_quorum: indulgent_obs::Counter,
+    reads_demoted: indulgent_obs::Counter,
+}
+
+static ENGINE_METRICS: EngineMetrics = EngineMetrics {
+    slots_applied: indulgent_obs::Counter::new(),
+    commands_applied: indulgent_obs::Counter::new(),
+    dedup_hits: indulgent_obs::Counter::new(),
+    wal_syncs: indulgent_obs::Counter::new(),
+    checkpoints: indulgent_obs::Counter::new(),
+    reads_lease: indulgent_obs::Counter::new(),
+    reads_quorum: indulgent_obs::Counter::new(),
+    reads_demoted: indulgent_obs::Counter::new(),
+};
+
+impl indulgent_obs::MetricFamily for EngineMetrics {
+    fn name(&self) -> &'static str {
+        "server_engine"
+    }
+
+    fn emit(&self, sink: &mut dyn indulgent_obs::MetricSink) {
+        sink.counter("slots_applied", self.slots_applied.get());
+        sink.counter("commands_applied", self.commands_applied.get());
+        sink.counter("dedup_hits", self.dedup_hits.get());
+        sink.counter("wal_syncs", self.wal_syncs.get());
+        sink.counter("checkpoints", self.checkpoints.get());
+        sink.counter("reads_lease", self.reads_lease.get());
+        sink.counter("reads_quorum", self.reads_quorum.get());
+        sink.counter("reads_demoted", self.reads_demoted.get());
+    }
+}
+
+static REGISTER_ENGINE_METRICS: std::sync::Once = std::sync::Once::new();
+
+fn engine_metrics() -> &'static EngineMetrics {
+    REGISTER_ENGINE_METRICS.call_once(|| indulgent_obs::register_family(&ENGINE_METRICS));
+    &ENGINE_METRICS
+}
+
+/// A duration as histogram-ready nanoseconds.
+fn nanos(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// One shard's stage clocks: the latency histograms the wire
+/// [`StatsReport`] scrapes, plus the timestamp bookkeeping that feeds
+/// them. The histogram record paths are allocation-free; the timestamp
+/// maps live on the driver thread's bookkeeping path next to the dedup
+/// and routing tables, where the engine already allocates.
+struct ShardStats {
+    /// Command arrival (first command of an open batch) to batch seal.
+    submit_seal: Histogram,
+    /// Batch seal to the instance's first decision (queue wait included).
+    seal_decide: Histogram,
+    /// First decision to apply start.
+    decide_apply: Histogram,
+    /// Apply start to acknowledgements sent (WAL fsync included).
+    apply_ack: Histogram,
+    /// WAL fsync durations.
+    wal_fsync: Histogram,
+    /// Ready-queue depth sampled at each seal.
+    seal_depth: Histogram,
+    /// Open time of each not-yet-sealed batch, seal (FIFO) order.
+    seal_opened: VecDeque<Instant>,
+    /// Seal time of each sealed-but-not-started batch, parallel to
+    /// `ShardState::ready`.
+    ready_since: VecDeque<Instant>,
+    /// Seal timestamp of each in-flight instance, keyed by shard-local
+    /// instance number.
+    sealed_at: HashMap<u64, Instant>,
+    /// First-decision timestamp of each decided-but-unapplied instance.
+    decided_at: HashMap<u64, Instant>,
+}
+
+impl ShardStats {
+    fn new() -> ShardStats {
+        ShardStats {
+            submit_seal: Histogram::new(),
+            seal_decide: Histogram::new(),
+            decide_apply: Histogram::new(),
+            apply_ack: Histogram::new(),
+            wal_fsync: Histogram::new(),
+            seal_depth: Histogram::new(),
+            seal_opened: VecDeque::new(),
+            ready_since: VecDeque::new(),
+            sealed_at: HashMap::new(),
+            decided_at: HashMap::new(),
+        }
     }
 }
 
@@ -999,6 +1128,13 @@ struct ShardState {
     started: u64,
     applied_through: u64,
     open_since: Option<Instant>,
+    stats: ShardStats,
+    /// The black-box event ring, dumped to `flight_path` on checkpoint,
+    /// audit violation, panic, or shutdown.
+    flight: FlightRecorder,
+    /// `--dir/flight-<idx>.log` when durable, `None` otherwise (an
+    /// in-memory engine has nowhere durable to leave a recording).
+    flight_path: Option<PathBuf>,
 }
 
 impl ShardState {
@@ -1019,6 +1155,7 @@ impl ShardState {
         let mut base_commands = 0u64;
         let mut base_next_batch = 0u64;
         let mut next_batch_seed = 0u64;
+        let flight = FlightRecorder::new(512);
         let durable = cfg.durability.as_ref().map(|d| {
             let dir = shard_dir(&d.dir, idx);
             std::fs::create_dir_all(&dir).expect("shard durability directory is creatable");
@@ -1066,6 +1203,8 @@ impl ShardState {
                 applied_batches.insert(rec.batch);
                 slots.push(rec);
             }
+            flight.record(FlightKind::RecoveredSnapshot, base_slot, snap.committed);
+            flight.record(FlightKind::RecoveredWal, slots.len() as u64, 0);
             Durable { wal, snap_path, every: d.snapshot_every }
         });
 
@@ -1083,6 +1222,9 @@ impl ShardState {
         } else {
             1
         };
+        if lease_epoch > 0 {
+            flight.record(FlightKind::EpochBurned, lease_epoch, 0);
+        }
         let agents = (0..n)
             .map(|i| ReplicaLeaseAgent::new(u32::try_from(i).expect("replica index")))
             .collect();
@@ -1129,6 +1271,19 @@ impl ShardState {
             started: 0,
             applied_through: slot_base,
             open_since: None,
+            stats: ShardStats::new(),
+            flight,
+            flight_path: cfg.durability.as_ref().map(|d| d.dir.join(format!("flight-{idx}.log"))),
+        }
+    }
+
+    /// Writes the flight recording to `--dir/flight-<idx>.log` (no-op
+    /// without durability; best-effort — a failed dump never takes the
+    /// engine down with it).
+    fn dump_flight(&self) {
+        let Some(path) = self.flight_path.as_ref() else { return };
+        if let Ok(mut f) = std::fs::File::create(path) {
+            let _ = self.flight.dump_to(&mut f);
         }
     }
 
@@ -1161,6 +1316,7 @@ impl ShardState {
         match self.dedup.get_mut(&key) {
             Some(DedupState::Applied(resp)) => {
                 self.dedup_hits += 1;
+                engine_metrics().dedup_hits.incr();
                 if let Some(tx) = conns.get(&conn) {
                     let _ = tx.send(Outbound::Ack(*resp));
                 }
@@ -1168,6 +1324,7 @@ impl ShardState {
             }
             Some(DedupState::InFlight(cid)) => {
                 self.dedup_hits += 1;
+                engine_metrics().dedup_hits.incr();
                 if let Some(m) = self.meta.get_mut(cid) {
                     m.conn = conn;
                 }
@@ -1177,6 +1334,7 @@ impl ShardState {
                 // A retry of a read still waiting on the ladder:
                 // re-target where its eventual ack will be delivered.
                 self.dedup_hits += 1;
+                engine_metrics().dedup_hits.incr();
                 if let Some(p) = self
                     .pending_reads
                     .iter_mut()
@@ -1205,6 +1363,13 @@ impl ShardState {
                 }
                 if matches!(request.op, KvOp::Get { .. }) {
                     self.reads_sequenced += 1;
+                }
+                // A command entering an empty open batch opens the next
+                // batch; its seal clock starts now (sealing is FIFO, so
+                // a queue pairs opens to seals even when `submit` itself
+                // fill-seals the batch).
+                if self.frontend.open_len() == 0 {
+                    self.stats.seal_opened.push_back(Instant::now());
                 }
                 let cid = self.frontend.submit(request.op.to_payload());
                 self.meta.insert(
@@ -1237,7 +1402,13 @@ impl ShardState {
             }
         }
         while let Some(b) = self.frontend.pop_sealed() {
+            let now = Instant::now();
+            if let Some(opened) = self.stats.seal_opened.pop_front() {
+                self.stats.submit_seal.record(nanos(now - opened));
+            }
             self.ready.push_back(b);
+            self.stats.ready_since.push_back(now);
+            self.stats.seal_depth.record(self.ready.len() as u64);
         }
     }
 
@@ -1247,6 +1418,11 @@ impl ShardState {
         while let Some(d) =
             self.first_decisions.get(&(self.applied_through - self.slot_base + 1)).copied()
         {
+            let local = self.applied_through - self.slot_base + 1;
+            let apply_start = Instant::now();
+            if let Some(decided) = self.stats.decided_at.remove(&local) {
+                self.stats.decide_apply.record(nanos(apply_start - decided));
+            }
             self.applied_through += 1;
             let slot = self.applied_through;
             let batch = BatchId::from_value(d.value);
@@ -1279,19 +1455,31 @@ impl ShardState {
                 // The slot-boundary durability point: record + fsync
                 // before any acknowledgement can escape.
                 du.wal.append(&rec).expect("wal append");
+                let sync_start = Instant::now();
                 du.wal.sync().expect("wal fsync at the slot boundary");
+                let sync_ns = nanos(sync_start.elapsed());
+                self.stats.wal_fsync.record(sync_ns);
+                self.flight.record(FlightKind::WalSync, slot, sync_ns);
+                engine_metrics().wal_syncs.incr();
             }
             for (conn, response) in targets {
                 if let Some(tx) = conns.get(&conn) {
                     let _ = tx.send(Outbound::Ack(response));
                 }
             }
+            self.stats.apply_ack.record(nanos(apply_start.elapsed()));
+            self.flight.record(FlightKind::SlotApplied, slot, rec.commands.len() as u64);
+            let metrics = engine_metrics();
+            metrics.slots_applied.incr();
+            metrics.commands_applied.add(rec.commands.len() as u64);
             self.slots.push(rec);
 
             // Checkpoint: snapshot, then prefix-truncate the WAL and the
             // in-memory slot history.
+            let mut checkpointed = false;
             if let Some(du) = self.durable.as_mut() {
                 if du.every > 0 && self.applied_through - self.base_slot >= du.every {
+                    checkpointed = true;
                     let snap = Snapshot {
                         applied_through: self.applied_through,
                         next_batch: self.frontend.next_batch_id(),
@@ -1321,12 +1509,21 @@ impl ShardState {
                     self.slots.clear();
                 }
             }
+            if checkpointed {
+                self.flight.record(FlightKind::Checkpoint, self.applied_through, 0);
+                engine_metrics().checkpoints.incr();
+                // Refresh the on-disk recording at every checkpoint, so
+                // even a kill -9 (uncatchable) leaves a recent black box
+                // for the restart-storm artifacts.
+                self.dump_flight();
+            }
         }
     }
 
     /// Lease upkeep: renew this shard's lease with its replica agents
     /// when due.
     fn lease_upkeep(&mut self) {
+        let mut renewed = false;
         if let Some(ls) = self.lease.as_mut() {
             let now = Instant::now();
             if ls.renew_due(now) {
@@ -1335,7 +1532,12 @@ impl ShardState {
                     let reply = agent.handle(&msg, now).expect("replica handles acquire");
                     ls.absorb(&LeaseFrame::decode(&reply).expect("replica reply decodes"));
                 }
+                renewed = true;
             }
+        }
+        if renewed {
+            let grants = self.lease.as_ref().map_or(0, |l| l.healthy_grants(Instant::now()));
+            self.flight.record(FlightKind::LeaseRenewed, self.lease_epoch, grants as u64);
         }
     }
 
@@ -1395,13 +1597,18 @@ impl ShardState {
                 });
                 if lease_ok {
                     self.reads_lease += 1;
+                    engine_metrics().reads_lease.incr();
                 } else {
                     self.reads_quorum += 1;
+                    engine_metrics().reads_quorum.incr();
                 }
             }
         } else {
             // Ladder bottom: no lease, no quorum — sequence the reads
             // through the log like the pre-lease service.
+            let demoted = self.pending_reads.len() as u64;
+            self.flight.record(FlightKind::ReadsDemoted, demoted, self.applied_through);
+            engine_metrics().reads_demoted.add(demoted);
             while let Some(p) = self.pending_reads.pop_front() {
                 self.dedup.remove(&(p.client, p.request));
                 let request =
@@ -1460,6 +1667,26 @@ impl ShardState {
         }
     }
 
+    /// A point-in-time [`StatsReport`] scrape of this shard.
+    fn stats_report(&self, shards: u32) -> StatsReport {
+        StatsReport {
+            shard: self.idx,
+            shards,
+            slots: self.applied_through,
+            committed: self.committed_commands,
+            dedup_hits: self.dedup_hits,
+            reads_lease: self.reads_lease,
+            reads_quorum: self.reads_quorum,
+            reads_sequenced: self.reads_sequenced,
+            submit_seal: self.stats.submit_seal.snapshot(),
+            seal_decide: self.stats.seal_decide.snapshot(),
+            decide_apply: self.stats.decide_apply.snapshot(),
+            apply_ack: self.stats.apply_ack.snapshot(),
+            wal_fsync: self.stats.wal_fsync.snapshot(),
+            seal_depth: self.stats.seal_depth.snapshot(),
+        }
+    }
+
     /// This shard's audit view (cheap clones of the retained history).
     fn audit(&self, system: SystemConfig) -> ServiceAudit {
         ServiceAudit {
@@ -1498,6 +1725,8 @@ impl ShardState {
             snap.write_to(&du.snap_path).expect("shutdown snapshot write");
             du.wal.reset().expect("shutdown wal truncation");
         }
+        self.flight.record(FlightKind::Shutdown, self.applied_through, self.committed_commands);
+        self.dump_flight();
     }
 }
 
@@ -1551,8 +1780,13 @@ fn drive(cfg: &EngineConfig, intake: &Receiver<EngineMsg>) -> ShardedAudit {
     let mut sync_reqs: Vec<(ConnId, u32)> = Vec::new();
     let mut audit_reqs: Vec<ConnId> = Vec::new();
     let mut lease_reqs: Vec<(ConnId, u32)> = Vec::new();
+    let mut stats_reqs: Vec<(ConnId, u32)> = Vec::new();
+    engine_metrics();
 
-    loop {
+    // The event loop runs under catch_unwind so a panic (the stall
+    // watchdog, a broken invariant) leaves each shard's flight recording
+    // on disk before propagating — the black box outlives the crash.
+    let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| loop {
         // 1. Drain intake, routing each submit to its key's shard.
         loop {
             match intake.try_recv() {
@@ -1569,6 +1803,7 @@ fn drive(cfg: &EngineConfig, intake: &Receiver<EngineMsg>) -> ShardedAudit {
                 Ok(EngineMsg::Sync { conn, shard }) => sync_reqs.push((conn, shard)),
                 Ok(EngineMsg::Audit { conn }) => audit_reqs.push(conn),
                 Ok(EngineMsg::LeaseState { conn, shard }) => lease_reqs.push((conn, shard)),
+                Ok(EngineMsg::Stats { conn, shard }) => stats_reqs.push((conn, shard)),
                 Ok(EngineMsg::Shutdown) => shutting_down = true,
                 Ok(EngineMsg::Die) => died = true,
                 Err(TryRecvError::Empty | TryRecvError::Disconnected) => break,
@@ -1586,6 +1821,12 @@ fn drive(cfg: &EngineConfig, intake: &Receiver<EngineMsg>) -> ShardedAudit {
                 let Some(batch) = sh.ready.pop_front() else { break };
                 let instance = session.start_instance_recycled(&vec![batch.as_value(); n], &spec);
                 sh.started += 1;
+                // The instance inherits its batch's seal clock: the
+                // seal→decide stage covers ready-queue wait + consensus.
+                if let Some(sealed) = sh.stats.ready_since.pop_front() {
+                    sh.stats.sealed_at.insert(sh.started, sealed);
+                }
+                sh.flight.record(FlightKind::InstanceStart, sh.started, batch.0);
                 routes
                     .insert(instance, InstanceRoute { shard: si, local: sh.started, arrivals: 0 });
                 sh.proposals.push(batch);
@@ -1621,6 +1862,12 @@ fn drive(cfg: &EngineConfig, intake: &Receiver<EngineMsg>) -> ShardedAudit {
             let status = sh.lease_status(shard_count, read_path.as_wire());
             let _ = tx.send(Outbound::Control(status.encode()));
         }
+        for (conn, shard) in stats_reqs.drain(..) {
+            let Some(tx) = conns.get(&conn) else { continue };
+            let Some(sh) = shards.get(shard as usize) else { continue };
+            let report = sh.stats_report(shard_count);
+            let _ = tx.send(Outbound::Control(report.encode()));
+        }
         for conn in audit_reqs.drain(..) {
             let Some(tx) = conns.get(&conn) else { continue };
             let quiesced = shards.iter().all(|s| s.quiesced(n as u64));
@@ -1629,6 +1876,14 @@ fn drive(cfg: &EngineConfig, intake: &Receiver<EngineMsg>) -> ShardedAudit {
                     ShardedAudit { shards: shards.iter().map(|s| s.audit(cfg.system)).collect() };
                 audit.check().is_ok()
             };
+            if quiesced && !ok {
+                // A failed replay audit ships every shard's black box:
+                // the recording is the context the violation lacks.
+                for sh in &shards {
+                    sh.flight.record(FlightKind::AuditViolation, u64::from(sh.idx), 0);
+                    sh.dump_flight();
+                }
+            }
             let summary = AuditSummary {
                 complete: quiesced,
                 ok,
@@ -1685,6 +1940,7 @@ fn drive(cfg: &EngineConfig, intake: &Receiver<EngineMsg>) -> ShardedAudit {
                 Ok(EngineMsg::Sync { conn, shard }) => sync_reqs.push((conn, shard)),
                 Ok(EngineMsg::Audit { conn }) => audit_reqs.push(conn),
                 Ok(EngineMsg::LeaseState { conn, shard }) => lease_reqs.push((conn, shard)),
+                Ok(EngineMsg::Stats { conn, shard }) => stats_reqs.push((conn, shard)),
                 Ok(EngineMsg::Shutdown) => shutting_down = true,
                 Ok(EngineMsg::Die) => died = true,
                 Err(_) => {}
@@ -1693,6 +1949,13 @@ fn drive(cfg: &EngineConfig, intake: &Receiver<EngineMsg>) -> ShardedAudit {
                 break;
             }
         }
+    }));
+    if let Err(panic) = crashed {
+        for sh in &shards {
+            sh.flight.record(FlightKind::Panic, 0, 0);
+            sh.dump_flight();
+        }
+        std::panic::resume_unwind(panic);
     }
 
     // A clean shutdown checkpoints every shard so a restart recovers

@@ -119,6 +119,46 @@ impl LeaseConfig {
     }
 }
 
+/// The `lease_agent` metric family: how this process's replica lease
+/// agents answered, summed across all shards and agents. The
+/// grant/deny and valid/invalid-vouch ratios are the protocol-level
+/// view of lease health — a deny or an invalid vouch is a replica
+/// refusing to underwrite a stale leader.
+#[derive(Debug)]
+struct LeaseMetrics {
+    grants: indulgent_obs::Counter,
+    denials: indulgent_obs::Counter,
+    vouches_valid: indulgent_obs::Counter,
+    vouches_invalid: indulgent_obs::Counter,
+}
+
+static LEASE_METRICS: LeaseMetrics = LeaseMetrics {
+    grants: indulgent_obs::Counter::new(),
+    denials: indulgent_obs::Counter::new(),
+    vouches_valid: indulgent_obs::Counter::new(),
+    vouches_invalid: indulgent_obs::Counter::new(),
+};
+
+impl indulgent_obs::MetricFamily for LeaseMetrics {
+    fn name(&self) -> &'static str {
+        "lease_agent"
+    }
+
+    fn emit(&self, sink: &mut dyn indulgent_obs::MetricSink) {
+        sink.counter("grants", self.grants.get());
+        sink.counter("denials", self.denials.get());
+        sink.counter("vouches_valid", self.vouches_valid.get());
+        sink.counter("vouches_invalid", self.vouches_invalid.get());
+    }
+}
+
+static REGISTER_LEASE_METRICS: std::sync::Once = std::sync::Once::new();
+
+fn lease_metrics() -> &'static LeaseMetrics {
+    REGISTER_LEASE_METRICS.call_once(|| indulgent_obs::register_family(&LEASE_METRICS));
+    &LEASE_METRICS
+}
+
 /// A replica's half of the lease protocol: the newest promise it has
 /// made, and the refusal of anything older.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -158,13 +198,21 @@ impl ReplicaLeaseAgent {
                     self.promised = epoch;
                     self.holder = holder;
                     self.expires_at = Some(now + Duration::from_micros(ttl_micros));
+                    lease_metrics().grants.incr();
                     Ok(LeaseFrame::Grant { replica: self.replica, epoch }.encode())
                 } else {
+                    lease_metrics().denials.incr();
                     Ok(LeaseFrame::Deny { replica: self.replica, promised: self.promised }.encode())
                 }
             }
             LeaseFrame::Attest { holder, epoch } => {
                 let valid = self.promised == epoch && self.holder == holder;
+                let m = lease_metrics();
+                if valid {
+                    m.vouches_valid.incr();
+                } else {
+                    m.vouches_invalid.incr();
+                }
                 Ok(LeaseFrame::Vouch { replica: self.replica, epoch, valid }.encode())
             }
             LeaseFrame::Grant { .. } | LeaseFrame::Deny { .. } | LeaseFrame::Vouch { .. } => {

@@ -41,6 +41,15 @@
 //!   suspect. Lease epochs are burned to disk before serving, so a
 //!   `kill -9`'d leader can never fast-read under its old epoch.
 //! * [`server`] — the TCP front door bridging sockets to the engine.
+//!   Besides requests it answers stats scrapes: a
+//!   [`remote_stats`](service::remote_stats) request returns a
+//!   [`StatsReport`](proto::StatsReport) — per-shard pipeline-stage
+//!   latency histograms (submit→seal, seal→decide, decide→apply,
+//!   apply→ack, WAL fsync, queue depth) recorded by the zero-allocation
+//!   `indulgent-obs` registry, point-in-time and usable mid-load. Each
+//!   shard also keeps a bounded flight recorder of recent structured
+//!   events, dumped to `flight-<shard>.log` on audit violation, panic,
+//!   or shutdown.
 //! * [`wal`] + [`snapshot`] — the durability layer: every applied slot
 //!   is written to a checksummed write-ahead log and fsynced *before*
 //!   its acknowledgements leave, and periodic checkpoints fold the
@@ -102,12 +111,13 @@ pub use lease::{
     fresh_holder, load_epoch, store_epoch, LeaderLease, LeaseConfig, ReadPath, ReplicaLeaseAgent,
 };
 pub use proto::{
-    AuditSummary, KvOp, LeaseFrame, LeaseStatus, Outcome, ProtoError, Request, Response, SyncFrame,
+    stats_request_frame, stats_request_shard, AuditSummary, KvOp, LeaseFrame, LeaseStatus, Outcome,
+    ProtoError, Request, Response, StatsReport, SyncFrame, TAG_STATS, TAG_STATS_REQUEST,
 };
 pub use server::KvServer;
 pub use service::{
-    remote_audit, remote_lease_state, sync_all_from_peer, sync_from_peer, KvService, LocalKv,
-    PipeClient, RemoteKv, ServiceError,
+    remote_audit, remote_lease_state, remote_stats, sync_all_from_peer, sync_from_peer, KvService,
+    LocalKv, PipeClient, RemoteKv, ServiceError,
 };
 pub use shard::{load_manifest, shard_dir, store_manifest, ShardRouter, ShardedAudit};
 pub use snapshot::{SessionEntry, Snapshot};

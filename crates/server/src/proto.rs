@@ -22,6 +22,7 @@
 use std::fmt;
 
 use indulgent_model::{ClientId, RequestId};
+use indulgent_obs::{HistogramSnapshot, BUCKETS};
 
 /// A key-value operation.
 ///
@@ -191,6 +192,10 @@ pub const TAG_LEASE_VOUCH: u8 = 0x0d;
 pub const TAG_LEASE_STATE_REQUEST: u8 = 0x0e;
 /// Frame tag of a [`LeaseStatus`] reply.
 pub const TAG_LEASE_STATE: u8 = 0x0f;
+/// Frame tag of a metrics-scrape request addressed to one shard group.
+pub const TAG_STATS_REQUEST: u8 = 0x10;
+/// Frame tag of a [`StatsReport`] reply.
+pub const TAG_STATS: u8 = 0x11;
 const OP_PUT: u8 = 0x01;
 const OP_GET: u8 = 0x02;
 const OP_READ: u8 = 0x03;
@@ -674,6 +679,212 @@ impl fmt::Display for LeaseStatus {
     }
 }
 
+/// The metrics-scrape request frame payload, addressed to one shard
+/// group's engine.
+#[must_use]
+pub fn stats_request_frame(shard: u32) -> Vec<u8> {
+    let mut out = Vec::with_capacity(5);
+    out.push(TAG_STATS_REQUEST);
+    out.extend_from_slice(&shard.to_le_bytes());
+    out
+}
+
+/// Parses the shard a metrics-scrape request addresses.
+pub fn stats_request_shard(bytes: &[u8]) -> Result<u32, ProtoError> {
+    let mut c = Cursor(bytes);
+    match c.u8()? {
+        TAG_STATS_REQUEST => {}
+        t => return Err(ProtoError::BadTag(t)),
+    }
+    let shard = c.u32()?;
+    c.finish()?;
+    Ok(shard)
+}
+
+/// Writes a histogram snapshot: 64 bucket counts, then sum, then max
+/// (all `u64` LE). The observation count is not carried — it is the sum
+/// of the buckets, recomputed on decode.
+fn encode_histogram(out: &mut Vec<u8>, snap: &HistogramSnapshot) {
+    for b in &snap.buckets {
+        out.extend_from_slice(&b.to_le_bytes());
+    }
+    out.extend_from_slice(&snap.sum.to_le_bytes());
+    out.extend_from_slice(&snap.max.to_le_bytes());
+}
+
+fn decode_histogram(c: &mut Cursor<'_>) -> Result<HistogramSnapshot, ProtoError> {
+    let mut buckets = [0u64; BUCKETS];
+    let mut count = 0u64;
+    for b in &mut buckets {
+        *b = c.u64()?;
+        count += *b;
+    }
+    Ok(HistogramSnapshot { buckets, count, sum: c.u64()?, max: c.u64()? })
+}
+
+/// A point-in-time scrape of one shard group's engine metrics — the
+/// wire form of the server-side observability layer (see
+/// `indulgent-obs`). Histograms travel as raw bucket counts, so the
+/// *client* derives whatever percentiles it wants and cross-shard
+/// aggregates merge exactly ([`HistogramSnapshot::merge`]); stage
+/// latencies and the WAL fsync are in nanoseconds, the seal-depth
+/// histogram counts queued batches sampled at each seal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsReport {
+    /// The shard group this scrape describes.
+    pub shard: u32,
+    /// How many shard groups the service runs.
+    pub shards: u32,
+    /// Slots applied by this shard's state machine.
+    pub slots: u64,
+    /// Commands acknowledged (applied, exactly-once).
+    pub committed: u64,
+    /// Duplicate submissions answered from the dedup cache.
+    pub dedup_hits: u64,
+    /// Reads served on the lease fast path.
+    pub reads_lease: u64,
+    /// Reads served through the quorum-attest fallback.
+    pub reads_quorum: u64,
+    /// Reads sequenced through the log.
+    pub reads_sequenced: u64,
+    /// Submit→seal: command arrival to its batch sealing (ns).
+    pub submit_seal: HistogramSnapshot,
+    /// Seal→decide: instance start to its first decision (ns).
+    pub seal_decide: HistogramSnapshot,
+    /// Decide→apply: decision to state-machine apply (ns).
+    pub decide_apply: HistogramSnapshot,
+    /// Apply→ack: apply start to acknowledgements sent, fsync included (ns).
+    pub apply_ack: HistogramSnapshot,
+    /// WAL fsync durations (ns).
+    pub wal_fsync: HistogramSnapshot,
+    /// Sealed-batch queue depth sampled at each seal.
+    pub seal_depth: HistogramSnapshot,
+}
+
+impl StatsReport {
+    /// The six stage histograms with their wire/JSON names, report order.
+    #[must_use]
+    pub fn stages(&self) -> [(&'static str, &HistogramSnapshot); 6] {
+        [
+            ("submit_seal", &self.submit_seal),
+            ("seal_decide", &self.seal_decide),
+            ("decide_apply", &self.decide_apply),
+            ("apply_ack", &self.apply_ack),
+            ("wal_fsync", &self.wal_fsync),
+            ("seal_depth", &self.seal_depth),
+        ]
+    }
+
+    /// Folds `other`'s counters and histograms into `self` — the
+    /// cross-shard aggregate (`shard` keeps `self`'s value; aggregate
+    /// reports conventionally use shard 0).
+    pub fn merge(&mut self, other: &StatsReport) {
+        self.slots += other.slots;
+        self.committed += other.committed;
+        self.dedup_hits += other.dedup_hits;
+        self.reads_lease += other.reads_lease;
+        self.reads_quorum += other.reads_quorum;
+        self.reads_sequenced += other.reads_sequenced;
+        self.submit_seal.merge(&other.submit_seal);
+        self.seal_decide.merge(&other.seal_decide);
+        self.decide_apply.merge(&other.decide_apply);
+        self.apply_ack.merge(&other.apply_ack);
+        self.wal_fsync.merge(&other.wal_fsync);
+        self.seal_depth.merge(&other.seal_depth);
+    }
+
+    /// An all-zero report for `shard` of `shards` (the merge identity).
+    #[must_use]
+    pub fn zero(shard: u32, shards: u32) -> Self {
+        StatsReport {
+            shard,
+            shards,
+            slots: 0,
+            committed: 0,
+            dedup_hits: 0,
+            reads_lease: 0,
+            reads_quorum: 0,
+            reads_sequenced: 0,
+            submit_seal: HistogramSnapshot::empty(),
+            seal_decide: HistogramSnapshot::empty(),
+            decide_apply: HistogramSnapshot::empty(),
+            apply_ack: HistogramSnapshot::empty(),
+            wal_fsync: HistogramSnapshot::empty(),
+            seal_depth: HistogramSnapshot::empty(),
+        }
+    }
+
+    /// Encodes the reply payload.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        // 1 tag + 2 u32 + 6 u64 + 6 histograms of (64 + 2) u64.
+        let mut out = Vec::with_capacity(1 + 8 + 48 + 6 * (BUCKETS + 2) * 8);
+        out.push(TAG_STATS);
+        out.extend_from_slice(&self.shard.to_le_bytes());
+        out.extend_from_slice(&self.shards.to_le_bytes());
+        out.extend_from_slice(&self.slots.to_le_bytes());
+        out.extend_from_slice(&self.committed.to_le_bytes());
+        out.extend_from_slice(&self.dedup_hits.to_le_bytes());
+        out.extend_from_slice(&self.reads_lease.to_le_bytes());
+        out.extend_from_slice(&self.reads_quorum.to_le_bytes());
+        out.extend_from_slice(&self.reads_sequenced.to_le_bytes());
+        for (_, snap) in self.stages() {
+            encode_histogram(&mut out, snap);
+        }
+        out
+    }
+
+    /// Decodes one frame payload.
+    pub fn decode(bytes: &[u8]) -> Result<Self, ProtoError> {
+        let mut c = Cursor(bytes);
+        match c.u8()? {
+            TAG_STATS => {}
+            t => return Err(ProtoError::BadTag(t)),
+        }
+        let report = StatsReport {
+            shard: c.u32()?,
+            shards: c.u32()?,
+            slots: c.u64()?,
+            committed: c.u64()?,
+            dedup_hits: c.u64()?,
+            reads_lease: c.u64()?,
+            reads_quorum: c.u64()?,
+            reads_sequenced: c.u64()?,
+            submit_seal: decode_histogram(&mut c)?,
+            seal_decide: decode_histogram(&mut c)?,
+            decide_apply: decode_histogram(&mut c)?,
+            apply_ack: decode_histogram(&mut c)?,
+            wal_fsync: decode_histogram(&mut c)?,
+            seal_depth: decode_histogram(&mut c)?,
+        };
+        c.finish()?;
+        Ok(report)
+    }
+}
+
+impl fmt::Display for StatsReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shard={}/{} slots={} committed={} dedup_hits={} \
+             reads lease={} quorum={} sequenced={}",
+            self.shard,
+            self.shards,
+            self.slots,
+            self.committed,
+            self.dedup_hits,
+            self.reads_lease,
+            self.reads_quorum,
+            self.reads_sequenced
+        )?;
+        for (name, snap) in self.stages() {
+            let (p50, p99) = (snap.percentile(0.50), snap.percentile(0.99));
+            write!(f, " {name}[n={} p50={p50} p99={p99} max={}]", snap.count, snap.max)?;
+        }
+        Ok(())
+    }
+}
+
 impl Request {
     /// Encodes the request as one frame payload.
     #[must_use]
@@ -910,6 +1121,66 @@ mod tests {
         assert!(s.to_string().contains("reads=lease"));
         assert!(s.to_string().contains("epoch=5"));
         assert!(s.to_string().contains("shard=2/4"));
+    }
+
+    fn sample_stats_report() -> StatsReport {
+        let mut r = StatsReport::zero(1, 4);
+        r.slots = 100;
+        r.committed = 400;
+        r.dedup_hits = 3;
+        r.reads_lease = 900;
+        r.reads_quorum = 5;
+        r.reads_sequenced = 95;
+        for (i, v) in [1_000u64, 40_000, 250_000, 9_000_000].iter().enumerate() {
+            r.submit_seal.buckets[i % BUCKETS] += 1;
+            r.submit_seal.count += 1;
+            r.submit_seal.sum += v;
+            r.submit_seal.max = r.submit_seal.max.max(*v);
+        }
+        r.wal_fsync.buckets[20] = 17;
+        r.wal_fsync.count = 17;
+        r.wal_fsync.sum = 17 * 700_000;
+        r.wal_fsync.max = 1_100_000;
+        r
+    }
+
+    #[test]
+    fn stats_report_round_trips() {
+        let r = sample_stats_report();
+        assert_eq!(StatsReport::decode(&r.encode()).unwrap(), r);
+        assert!(r.to_string().contains("shard=1/4"));
+        assert!(r.to_string().contains("wal_fsync[n=17"));
+        assert_eq!(StatsReport::decode(&[0x70]), Err(ProtoError::BadTag(0x70)));
+        assert_eq!(StatsReport::decode(&[TAG_STATS, 1, 2]), Err(ProtoError::Truncated));
+        let mut long = r.encode();
+        long.push(0);
+        assert_eq!(StatsReport::decode(&long), Err(ProtoError::TrailingBytes));
+    }
+
+    #[test]
+    fn stats_reports_merge_counter_by_counter() {
+        let a = sample_stats_report();
+        let mut total = StatsReport::zero(0, 4);
+        total.merge(&a);
+        total.merge(&a);
+        assert_eq!(total.shard, 0);
+        assert_eq!(total.slots, 200);
+        assert_eq!(total.committed, 800);
+        assert_eq!(total.submit_seal.count, 2 * a.submit_seal.count);
+        assert_eq!(total.wal_fsync.max, a.wal_fsync.max);
+    }
+
+    #[test]
+    fn stats_requests_address_a_shard() {
+        let frame = stats_request_frame(3);
+        assert_eq!(frame.len(), 5);
+        assert_eq!(stats_request_shard(&frame).unwrap(), 3);
+        assert_eq!(stats_request_shard(&[0x55]), Err(ProtoError::BadTag(0x55)));
+        assert_eq!(stats_request_shard(&[TAG_STATS_REQUEST]), Err(ProtoError::Truncated));
+        assert_eq!(
+            stats_request_shard(&[TAG_STATS_REQUEST, 1, 2, 3, 4, 5]),
+            Err(ProtoError::TrailingBytes)
+        );
     }
 
     #[test]

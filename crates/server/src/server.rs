@@ -28,8 +28,8 @@ use std::time::Duration;
 
 use crate::engine::{EngineConfig, EngineHandle, KvEngine, Outbound};
 use crate::proto::{
-    lease_state_request_shard, Request, SyncFrame, TAG_AUDIT_REQUEST, TAG_LEASE_STATE_REQUEST,
-    TAG_REQUEST, TAG_SYNC_REQUEST,
+    lease_state_request_shard, stats_request_shard, Request, SyncFrame, TAG_AUDIT_REQUEST,
+    TAG_LEASE_STATE_REQUEST, TAG_REQUEST, TAG_STATS_REQUEST, TAG_SYNC_REQUEST,
 };
 use crate::shard::ShardedAudit;
 use crate::wire::{write_frame, FrameReader};
@@ -190,6 +190,10 @@ fn spawn_connection(
                 Some(&TAG_AUDIT_REQUEST) => submit.request_audit(),
                 Some(&TAG_LEASE_STATE_REQUEST) => match lease_state_request_shard(&payload) {
                     Ok(shard) => submit.request_lease_state(shard),
+                    Err(_) => false,
+                },
+                Some(&TAG_STATS_REQUEST) => match stats_request_shard(&payload) {
+                    Ok(shard) => submit.request_stats(shard),
                     Err(_) => false,
                 },
                 _ => false,

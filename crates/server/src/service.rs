@@ -31,8 +31,8 @@ use indulgent_model::{ClientId, RequestId};
 
 use crate::engine::{EngineHandle, Outbound, SubmitHandle};
 use crate::proto::{
-    audit_request_frame, lease_state_request_frame, AuditSummary, KvOp, LeaseStatus, ProtoError,
-    Request, Response, SyncFrame,
+    audit_request_frame, lease_state_request_frame, stats_request_frame, AuditSummary, KvOp,
+    LeaseStatus, ProtoError, Request, Response, StatsReport, SyncFrame,
 };
 use crate::snapshot::Snapshot;
 use crate::wal::{replay_bytes, WalError, WalTail};
@@ -505,6 +505,39 @@ pub fn remote_lease_state(
         }
         match reader.read_frame() {
             Ok(Some(payload)) => return Ok(LeaseStatus::decode(&payload)?),
+            Ok(None) => return Err(ServiceError::Disconnected),
+            Err(WireError::Io(ref e)) if retryable(e) => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
+/// Scrapes one shard's live pipeline metrics over the wire: slot and
+/// command counters plus the stage-latency histograms (submit→seal,
+/// seal→decide, decide→apply, apply→ack, WAL fsync, seal-time queue
+/// depth). Like [`remote_lease_state`] this is a point-in-time dump —
+/// no quiescence, usable mid-load. Scrape every shard and fold the
+/// reports with [`StatsReport::merge`] for a whole-service aggregate. A
+/// request naming a shard the peer does not host gets no reply and
+/// times out.
+pub fn remote_stats(
+    peer: SocketAddr,
+    shard: u32,
+    timeout: Duration,
+) -> Result<StatsReport, ServiceError> {
+    let mut writer = TcpStream::connect(peer).map_err(WireError::Io)?;
+    writer.set_nodelay(true).map_err(WireError::Io)?;
+    let read_side = writer.try_clone().map_err(WireError::Io)?;
+    read_side.set_read_timeout(Some(Duration::from_millis(50))).map_err(WireError::Io)?;
+    let mut reader = FrameReader::new(read_side);
+    let deadline = Instant::now() + timeout;
+    write_frame(&mut writer, &stats_request_frame(shard))?;
+    loop {
+        if Instant::now() > deadline {
+            return Err(ServiceError::Timeout { request: RequestId(0) });
+        }
+        match reader.read_frame() {
+            Ok(Some(payload)) => return Ok(StatsReport::decode(&payload)?),
             Ok(None) => return Err(ServiceError::Disconnected),
             Err(WireError::Io(ref e)) if retryable(e) => {}
             Err(e) => return Err(e.into()),

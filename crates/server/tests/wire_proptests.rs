@@ -1,7 +1,10 @@
 //! Property-based tests of the frame codec: byte-identical round-trips
-//! through arbitrary read-chunkings, and oversized-frame rejection.
+//! through arbitrary read-chunkings, and oversized-frame rejection —
+//! plus the stats scrape payload riding the same framing.
 
+use indulgent_obs::Histogram;
 use indulgent_server::wire::{encode_frame, FrameDecoder, FrameReader, MAX_FRAME};
+use indulgent_server::{ProtoError, StatsReport};
 use proptest::prelude::*;
 
 /// A batch of frame payloads of assorted sizes (empty frames included).
@@ -125,5 +128,75 @@ proptest! {
             Err(indulgent_server::WireError::TruncatedFrame) => {}
             other => prop_assert!(false, "unexpected terminal state: {:?}", other.map(|_| "frame")),
         }
+    }
+}
+
+/// Builds a stats report the way the engine does: by recording samples
+/// into live histograms and snapshotting, so the `count == Σ buckets`
+/// invariant the wire format relies on holds by construction.
+fn report_from(counters: &[u64], samples: &[u64]) -> StatsReport {
+    let hists: [Histogram; 6] = std::array::from_fn(|_| Histogram::new());
+    for (i, &v) in samples.iter().enumerate() {
+        hists[i % hists.len()].record(v);
+    }
+    let mut report = StatsReport::zero(counters[0] as u32, counters[1] as u32 | 1);
+    report.slots = counters[2];
+    report.committed = counters[3];
+    report.dedup_hits = counters[4];
+    report.reads_lease = counters[5];
+    report.reads_quorum = counters[6];
+    report.reads_sequenced = counters[7];
+    report.submit_seal = hists[0].snapshot();
+    report.seal_decide = hists[1].snapshot();
+    report.decide_apply = hists[2].snapshot();
+    report.apply_ack = hists[3].snapshot();
+    report.wal_fsync = hists[4].snapshot();
+    report.seal_depth = hists[5].snapshot();
+    report
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // A stats scrape survives the full wire path — encode, frame, any
+    // read-chunking, decode — bit-for-bit, histograms included.
+    #[test]
+    fn stats_report_round_trips_through_any_chunking(
+        counters in proptest::collection::vec(any::<u64>(), 8..9),
+        samples in proptest::collection::vec(any::<u64>(), 0..60),
+        cuts in proptest::collection::vec(any::<usize>(), 0..8),
+    ) {
+        let report = report_from(&counters, &samples);
+        let mut wire = Vec::new();
+        encode_frame(&report.encode(), &mut wire);
+        let mut decoder = FrameDecoder::new();
+        let mut payloads = Vec::new();
+        for chunk in chunkings(&wire, &cuts) {
+            decoder.feed(&chunk);
+            while let Some(frame) = decoder.next_frame().expect("well-formed stream") {
+                payloads.push(frame);
+            }
+        }
+        prop_assert_eq!(payloads.len(), 1);
+        let decoded = StatsReport::decode(&payloads[0]).expect("valid payload");
+        prop_assert_eq!(decoded, report);
+    }
+
+    // The payload is fixed-size: any strict prefix is rejected as
+    // truncated, and any appended garbage as trailing bytes — a scrape
+    // can never silently mis-parse into a different report.
+    #[test]
+    fn stats_report_rejects_truncation_and_padding(
+        counters in proptest::collection::vec(any::<u64>(), 8..9),
+        samples in proptest::collection::vec(any::<u64>(), 0..30),
+        cut_back in any::<usize>(),
+        pad in proptest::collection::vec(any::<u8>(), 1..16),
+    ) {
+        let payload = report_from(&counters, &samples).encode();
+        let cut = payload.len() - (cut_back % payload.len() + 1);
+        prop_assert_eq!(StatsReport::decode(&payload[..cut]), Err(ProtoError::Truncated));
+        let mut padded = payload;
+        padded.extend_from_slice(&pad);
+        prop_assert_eq!(StatsReport::decode(&padded), Err(ProtoError::TrailingBytes));
     }
 }

@@ -19,28 +19,34 @@
 //! * `forks` — [`RunState`] snapshots forked by the incremental
 //!   fork-on-branch sweep ([`incremental`](crate::incremental)).
 //!
-//! The counters are relaxed atomics: increments are a few nanoseconds,
-//! never synchronize, and aggregate across the pooled sweep workers
-//! ([`parallel`](crate::parallel)) as well as the serial engine. They
-//! monotonically increase for the lifetime of the process; measure a
-//! region by [`reset`](EngineCounters::reset)ting first or by diffing two
+//! The counters are [`indulgent_obs::Counter`]s — relaxed atomics whose
+//! increments are a few nanoseconds, never synchronize, and never
+//! allocate — and they aggregate across the pooled sweep workers
+//! ([`parallel`](crate::parallel)) as well as the serial engine. The set
+//! also registers as the `sim_engine` [metric family]
+//! (indulgent_obs::MetricFamily), so registry-wide dumps see the round
+//! engine next to the server-side families. They monotonically increase
+//! for the lifetime of the process; measure a region by
+//! [`reset`](EngineCounters::reset)ting first or by diffing two
 //! [`snapshot`](EngineCounters::snapshot)s. Resets race against
 //! concurrently running sweeps, so only reset while no sweep is in flight.
 //!
 //! [`RunState`]: crate::RunState
 //! [`RunState::step`]: crate::RunState::step
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Once;
+
+use indulgent_obs::{Counter, MetricFamily, MetricSink};
 
 /// The process-wide engine counters. See the module docs for the meaning
 /// of each counter.
 #[derive(Debug)]
 pub struct EngineCounters {
-    rounds_stepped: AtomicU64,
-    fast_path_rounds: AtomicU64,
-    deliveries_built: AtomicU64,
-    messages_cloned: AtomicU64,
-    forks: AtomicU64,
+    rounds_stepped: Counter,
+    fast_path_rounds: Counter,
+    deliveries_built: Counter,
+    messages_cloned: Counter,
+    forks: Counter,
 }
 
 /// A point-in-time copy of the [`EngineCounters`].
@@ -59,16 +65,36 @@ pub struct EngineSnapshot {
 }
 
 static COUNTERS: EngineCounters = EngineCounters {
-    rounds_stepped: AtomicU64::new(0),
-    fast_path_rounds: AtomicU64::new(0),
-    deliveries_built: AtomicU64::new(0),
-    messages_cloned: AtomicU64::new(0),
-    forks: AtomicU64::new(0),
+    rounds_stepped: Counter::new(),
+    fast_path_rounds: Counter::new(),
+    deliveries_built: Counter::new(),
+    messages_cloned: Counter::new(),
+    forks: Counter::new(),
 };
+
+impl MetricFamily for EngineCounters {
+    fn name(&self) -> &'static str {
+        "sim_engine"
+    }
+
+    fn emit(&self, sink: &mut dyn MetricSink) {
+        sink.counter("rounds_stepped", self.rounds_stepped.get());
+        sink.counter("fast_path_rounds", self.fast_path_rounds.get());
+        sink.counter("deliveries_built", self.deliveries_built.get());
+        sink.counter("messages_cloned", self.messages_cloned.get());
+        sink.counter("forks", self.forks.get());
+    }
+}
+
+static REGISTER: Once = Once::new();
 
 /// The global counters of this process's round engine.
 #[must_use]
 pub fn engine_counters() -> &'static EngineCounters {
+    // Registration is one-time and lazy; after the first call this is a
+    // single relaxed load, so fetching the counters stays cheap enough
+    // for per-round use.
+    REGISTER.call_once(|| indulgent_obs::register_family(&COUNTERS));
     &COUNTERS
 }
 
@@ -77,39 +103,39 @@ impl EngineCounters {
     #[must_use]
     pub fn snapshot(&self) -> EngineSnapshot {
         EngineSnapshot {
-            rounds_stepped: self.rounds_stepped.load(Ordering::Relaxed),
-            fast_path_rounds: self.fast_path_rounds.load(Ordering::Relaxed),
-            deliveries_built: self.deliveries_built.load(Ordering::Relaxed),
-            messages_cloned: self.messages_cloned.load(Ordering::Relaxed),
-            forks: self.forks.load(Ordering::Relaxed),
+            rounds_stepped: self.rounds_stepped.get(),
+            fast_path_rounds: self.fast_path_rounds.get(),
+            deliveries_built: self.deliveries_built.get(),
+            messages_cloned: self.messages_cloned.get(),
+            forks: self.forks.get(),
         }
     }
 
     /// Zeroes every counter. Only meaningful while no sweep is running.
     pub fn reset(&self) {
-        self.rounds_stepped.store(0, Ordering::Relaxed);
-        self.fast_path_rounds.store(0, Ordering::Relaxed);
-        self.deliveries_built.store(0, Ordering::Relaxed);
-        self.messages_cloned.store(0, Ordering::Relaxed);
-        self.forks.store(0, Ordering::Relaxed);
+        self.rounds_stepped.reset();
+        self.fast_path_rounds.reset();
+        self.deliveries_built.reset();
+        self.messages_cloned.reset();
+        self.forks.reset();
     }
 
     /// Flushes one executed round's tallies (called once per
     /// `step_observed`, so the per-message hot loops stay atomics-free).
     pub(crate) fn record_round(&self, fast_path: bool, deliveries: u64, cloned: u64) {
-        self.rounds_stepped.fetch_add(1, Ordering::Relaxed);
+        self.rounds_stepped.incr();
         if fast_path {
-            self.fast_path_rounds.fetch_add(1, Ordering::Relaxed);
+            self.fast_path_rounds.incr();
         }
-        self.deliveries_built.fetch_add(deliveries, Ordering::Relaxed);
+        self.deliveries_built.add(deliveries);
         if cloned != 0 {
-            self.messages_cloned.fetch_add(cloned, Ordering::Relaxed);
+            self.messages_cloned.add(cloned);
         }
     }
 
     /// Records one snapshot fork of the incremental sweep.
     pub(crate) fn record_fork(&self) {
-        self.forks.fetch_add(1, Ordering::Relaxed);
+        self.forks.incr();
     }
 }
 
@@ -170,5 +196,13 @@ mod tests {
         assert!(d.deliveries_built >= 6);
         assert!(d.messages_cloned >= 12);
         assert!(d.forks >= 1);
+    }
+
+    #[test]
+    fn counters_register_as_the_sim_engine_family() {
+        engine_counters().record_round(true, 1, 0);
+        let mut seen = false;
+        indulgent_obs::visit_families(|f| seen |= f.name() == "sim_engine");
+        assert!(seen, "engine_counters() registers the sim_engine family");
     }
 }

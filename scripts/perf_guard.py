@@ -18,6 +18,12 @@ A metric may carry a per-triple threshold suffix `@FRACTION`
 (e.g. `sharded.scenarios[shards=1].commands_per_second@0.10` warns on a
 >10% drop for that triple only), overriding the global `--threshold`.
 
+A metric prefixed with `~` is lower-is-better (a latency or an overhead
+number): the guard warns when it *rises* past the threshold instead of
+when it drops:
+
+    ~stage_latency.read_heavy.apply_ack.p99_us@1.0      (BENCH_server.json)
+
 For backward compatibility, a lone BASELINE FRESH pair defaults to the
 sweep metric above. A drop larger than the threshold emits a GitHub
 Actions `::warning::` annotation (and a plain line for local runs) but
@@ -76,17 +82,24 @@ def main(argv: list[str]) -> int:
         if "@" in metric:
             metric, suffix = metric.rsplit("@", 1)
             limit = float(suffix)
+        lower_is_better = metric.startswith("~")
+        if lower_is_better:
+            metric = metric[1:]
         baseline = value(baseline_path, metric)
         fresh = value(fresh_path, metric)
         change = (fresh - baseline) / baseline
-        verdict = "improved" if change >= 0 else "regressed"
+        # Normalize so positive `gain` always means "got better".
+        gain = -change if lower_is_better else change
+        verdict = "improved" if gain >= 0 else "regressed"
+        direction = "rose" if lower_is_better else "dropped"
         print(
             f"{metric}: baseline {baseline:,.0f} -> fresh {fresh:,.0f} "
-            f"({verdict} {abs(change):.1%}, warn threshold {limit:.0%})"
+            f"({verdict} {abs(change):.1%}, warn threshold {limit:.0%}"
+            f"{', lower is better' if lower_is_better else ''})"
         )
-        if change < -limit:
+        if gain < -limit:
             print(
-                f"::warning title={metric} regression::{metric} dropped "
+                f"::warning title={metric} regression::{metric} {direction} "
                 f"{abs(change):.1%} vs the committed {baseline_path} "
                 f"({baseline:,.0f} -> {fresh:,.0f}). Runner noise is "
                 f"common; investigate if this persists across runs."
